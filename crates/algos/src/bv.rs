@@ -1,0 +1,126 @@
+//! Bernstein–Vazirani circuits (paper Section VIII-A, Fig. 10).
+//!
+//! The algorithm recovers a hidden bit string `s` from one oracle query.
+//! Two oracle designs exist: the *boolean* oracle (an extra ancilla in |−⟩
+//! receiving a CNOT per set bit of `s`) and the *phase* oracle (a Z gate
+//! per set bit, no ancilla, no CNOTs). The paper's case study shows QBO
+//! rewrites the boolean oracle into the phase oracle automatically.
+
+use qc_circuit::Circuit;
+
+/// Which oracle construction to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OracleStyle {
+    /// Reversible boolean oracle: ancilla prepared in |−⟩, one CNOT per set
+    /// bit (Fig. 10a).
+    Boolean,
+    /// Phase oracle: one Z gate per set bit (Fig. 10b).
+    Phase,
+}
+
+/// Builds the Bernstein–Vazirani circuit for hidden string `s`
+/// (`s[q]` = the bit probed by data qubit `q`).
+///
+/// Boolean style uses `s.len() + 1` qubits (ancilla last); phase style uses
+/// `s.len()`. Data qubits are measured; the expected outcome is exactly `s`
+/// (little-endian).
+pub fn bernstein_vazirani(s: &[bool], style: OracleStyle) -> Circuit {
+    let n = s.len();
+    match style {
+        OracleStyle::Boolean => {
+            let mut c = Circuit::new(n + 1);
+            // Ancilla into |−⟩.
+            c.x(n).h(n);
+            for q in 0..n {
+                c.h(q);
+            }
+            for (q, bit) in s.iter().enumerate() {
+                if *bit {
+                    c.cx(q, n);
+                }
+            }
+            for q in 0..n {
+                c.h(q);
+            }
+            for q in 0..n {
+                c.measure(q);
+            }
+            c
+        }
+        OracleStyle::Phase => {
+            let mut c = Circuit::new(n);
+            for q in 0..n {
+                c.h(q);
+            }
+            for (q, bit) in s.iter().enumerate() {
+                if *bit {
+                    c.z(q);
+                }
+            }
+            for q in 0..n {
+                c.h(q);
+            }
+            c.measure_all();
+            c
+        }
+    }
+}
+
+/// Encodes a hidden string as the little-endian integer the measurement
+/// should produce.
+pub fn hidden_string_outcome(s: &[bool]) -> usize {
+    s.iter()
+        .enumerate()
+        .fold(0usize, |acc, (q, b)| acc | (usize::from(*b) << q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qc_sim::Statevector;
+
+    fn check_finds_s(s: &[bool], style: OracleStyle) {
+        let c = bernstein_vazirani(s, style);
+        let sv = Statevector::from_circuit(&c);
+        let want = hidden_string_outcome(s);
+        // Data qubits must read exactly s with probability 1; boolean style
+        // has the ancilla in |−⟩ superposition, so marginalize it out.
+        let data_mask = (1usize << s.len()) - 1;
+        let p: f64 = sv
+            .probabilities()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & data_mask == want)
+            .map(|(_, p)| p)
+            .sum();
+        assert!((p - 1.0).abs() < 1e-9, "P[s] = {p} for {s:?} {style:?}");
+    }
+
+    #[test]
+    fn boolean_oracle_finds_hidden_string() {
+        check_finds_s(&[true, true, false, true], OracleStyle::Boolean);
+        check_finds_s(&[false, false], OracleStyle::Boolean);
+        check_finds_s(&[true; 5], OracleStyle::Boolean);
+    }
+
+    #[test]
+    fn phase_oracle_finds_hidden_string() {
+        check_finds_s(&[true, true, false, true], OracleStyle::Phase);
+        check_finds_s(&[false, true, false], OracleStyle::Phase);
+    }
+
+    #[test]
+    fn boolean_oracle_costs_cnots_phase_does_not() {
+        let s = [true, true, false, true];
+        let boolean = bernstein_vazirani(&s, OracleStyle::Boolean);
+        let phase = bernstein_vazirani(&s, OracleStyle::Phase);
+        assert_eq!(boolean.gate_counts().cx, 3);
+        assert_eq!(phase.gate_counts().cx, 0);
+    }
+
+    #[test]
+    fn outcome_encoding_is_little_endian() {
+        assert_eq!(hidden_string_outcome(&[true, false, true]), 0b101);
+        assert_eq!(hidden_string_outcome(&[false, true]), 0b10);
+    }
+}

@@ -1,0 +1,218 @@
+//! Grover's search (paper Sections VII-B, VIII-C, Fig. 7).
+//!
+//! Each iteration applies a phase oracle marking one element and the
+//! diffusion operator; both need a multi-controlled Z across the data
+//! register. The paper evaluates two MCZ designs:
+//!
+//! * **ancilla-free** — recursive decomposition, ~1500 CNOTs at 8 qubits;
+//! * **clean-ancilla V-chain** — Toffoli chain through |0⟩ ancillas
+//!   (~400 CNOTs at 8 qubits), where every ancilla returns to |0⟩ after
+//!   the gate. The `ANNOT(0,0)` annotations of Fig. 7 advertise exactly
+//!   that to the compiler, and Section VIII-C shows they are what keeps
+//!   RPO effective beyond the first iteration.
+
+use qc_circuit::Circuit;
+use qc_synth::mcx_vchain;
+
+/// How to realize the multi-controlled Z gates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum McxDesign {
+    /// Recursive ancilla-free decomposition (exponentially many gates).
+    NoAncilla,
+    /// Toffoli V-chain through clean |0⟩ ancillas; with `annotate`, an
+    /// `ANNOT(0, 0)` is placed on each ancilla after every multi-controlled
+    /// gate (Fig. 7).
+    CleanAncilla {
+        /// Insert `ANNOT(0,0)` after each use (the paper's Fig. 7 design).
+        annotate: bool,
+    },
+}
+
+/// The standard iteration count maximizing the success amplitude,
+/// ⌊π/4·√2ⁿ⌋ (at least 1).
+pub fn optimal_iterations(n: usize) -> usize {
+    ((std::f64::consts::FRAC_PI_4) * ((1u64 << n) as f64).sqrt()).floor() as usize
+}
+
+/// Number of ancilla qubits the design uses for an `n`-qubit search.
+fn ancilla_count(n: usize, design: McxDesign) -> usize {
+    match design {
+        McxDesign::NoAncilla => 0,
+        // MCZ over n data qubits = MCX with n−1 controls ⇒ n−3 ancillas.
+        McxDesign::CleanAncilla { .. } => (n.saturating_sub(3)).min(n),
+    }
+}
+
+/// Builds Grover's search over `n` data qubits marking basis state
+/// `marked`, running `iterations` oracle+diffusion rounds.
+///
+/// Data qubits are `0..n` (measured); ancillas, if any, are `n..`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `marked >= 2ⁿ`.
+pub fn grover(n: usize, marked: usize, iterations: usize, design: McxDesign) -> Circuit {
+    assert!(n >= 2, "grover needs at least 2 qubits");
+    assert!(marked < (1 << n), "marked element out of range");
+    let mut c = Circuit::new(n + ancilla_count(n, design));
+    for q in 0..n {
+        c.h(q);
+    }
+    for _ in 0..iterations {
+        // Oracle: flip the phase of |marked⟩.
+        for q in 0..n {
+            if marked & (1 << q) == 0 {
+                c.x(q);
+            }
+        }
+        apply_mcz(&mut c, n, design);
+        for q in 0..n {
+            if marked & (1 << q) == 0 {
+                c.x(q);
+            }
+        }
+        // Diffusion operator.
+        for q in 0..n {
+            c.h(q);
+        }
+        for q in 0..n {
+            c.x(q);
+        }
+        apply_mcz(&mut c, n, design);
+        for q in 0..n {
+            c.x(q);
+        }
+        for q in 0..n {
+            c.h(q);
+        }
+    }
+    for q in 0..n {
+        c.measure(q);
+    }
+    c
+}
+
+/// Applies a multi-controlled Z across data qubits `0..n`.
+fn apply_mcz(c: &mut Circuit, n: usize, design: McxDesign) {
+    match design {
+        McxDesign::NoAncilla => {
+            let controls: Vec<usize> = (0..n - 1).collect();
+            c.mcz(&controls, n - 1);
+        }
+        McxDesign::CleanAncilla { annotate } => {
+            let k = n - 1; // controls
+            let target = n - 1;
+            // MCZ = H(target) · MCX(controls → target) · H(target).
+            c.h(target);
+            if k <= 2 {
+                match k {
+                    1 => {
+                        c.cx(0, target);
+                    }
+                    _ => {
+                        c.ccx(0, 1, target);
+                    }
+                }
+            } else {
+                // Map the V-chain template: its controls 0..k → data 0..k,
+                // its target k → data target, its ancillas → our ancillas.
+                let chain = mcx_vchain(k);
+                let mut mapping: Vec<usize> = (0..k).collect();
+                mapping.push(target);
+                for a in 0..k - 2 {
+                    mapping.push(n + a);
+                }
+                c.compose(&chain, &mapping);
+            }
+            c.h(target);
+            if annotate {
+                for a in 0..ancilla_count(n, McxDesign::CleanAncilla { annotate }) {
+                    c.annot_zero(n + a);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qc_sim::Statevector;
+
+    fn success_probability(c: &Circuit, n: usize, marked: usize) -> f64 {
+        let sv = Statevector::from_circuit(c);
+        let mask = (1usize << n) - 1;
+        sv.probabilities()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & mask == marked)
+            .map(|(_, p)| p)
+            .sum()
+    }
+
+    #[test]
+    fn amplifies_marked_element_no_ancilla() {
+        let n = 3;
+        let marked = 0b101;
+        let c = grover(n, marked, optimal_iterations(n), McxDesign::NoAncilla);
+        let p = success_probability(&c, n, marked);
+        assert!(p > 0.9, "P[marked] = {p}");
+    }
+
+    #[test]
+    fn amplifies_marked_element_vchain() {
+        let n = 4;
+        let marked = 0b0110;
+        let c = grover(
+            n,
+            marked,
+            optimal_iterations(n),
+            McxDesign::CleanAncilla { annotate: false },
+        );
+        let p = success_probability(&c, n, marked);
+        assert!(p > 0.9, "P[marked] = {p}");
+    }
+
+    #[test]
+    fn designs_agree_functionally() {
+        let n = 4;
+        let marked = 3;
+        let a = grover(n, marked, 2, McxDesign::NoAncilla);
+        let b = grover(n, marked, 2, McxDesign::CleanAncilla { annotate: true });
+        let pa = success_probability(&a, n, marked);
+        let pb = success_probability(&b, n, marked);
+        assert!((pa - pb).abs() < 1e-9, "{pa} vs {pb}");
+    }
+
+    #[test]
+    fn ancillas_end_clean() {
+        let n = 5;
+        let c = grover(n, 7, 1, McxDesign::CleanAncilla { annotate: false });
+        let sv = Statevector::from_circuit(&c);
+        for a in 0..n.saturating_sub(3) {
+            let p = sv.marginal_one_probability(n + a);
+            assert!(p < 1e-9, "ancilla {a} not clean: {p}");
+        }
+    }
+
+    #[test]
+    fn annotations_present_when_requested() {
+        let c = grover(5, 1, 2, McxDesign::CleanAncilla { annotate: true });
+        assert!(c.count_name("annot") > 0);
+        let c = grover(5, 1, 2, McxDesign::CleanAncilla { annotate: false });
+        assert_eq!(c.count_name("annot"), 0);
+    }
+
+    #[test]
+    fn iteration_counts() {
+        assert_eq!(optimal_iterations(3), 2);
+        assert_eq!(optimal_iterations(4), 3);
+        assert!(optimal_iterations(8) >= 12);
+    }
+
+    #[test]
+    fn small_circuits_have_no_ancillas() {
+        let c = grover(3, 1, 1, McxDesign::CleanAncilla { annotate: true });
+        assert_eq!(c.num_qubits(), 3);
+    }
+}

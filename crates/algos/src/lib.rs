@@ -1,0 +1,19 @@
+//! Benchmark circuit generators — the workloads of the RPO paper's
+//! evaluation (Section VII-B): Bernstein–Vazirani, Quantum Phase
+//! Estimation, the VQE hardware-efficient RY ansatz, Quantum Volume, and
+//! Grover's search with both multi-controlled-gate designs (ancilla-free
+//! and clean-ancilla V-chain, optionally annotated per Fig. 7).
+
+pub mod adder;
+pub mod bv;
+pub mod grover;
+pub mod qpe;
+pub mod qv;
+pub mod vqe;
+
+pub use adder::ripple_carry_adder;
+pub use bv::{bernstein_vazirani, hidden_string_outcome, OracleStyle};
+pub use grover::{grover, optimal_iterations, McxDesign};
+pub use qpe::{qpe, qpe_expected_outcome};
+pub use qv::quantum_volume;
+pub use vqe::vqe_ry_ansatz;

@@ -1,0 +1,33 @@
+//! Fig. 11 machinery: throughput of the Monte-Carlo noisy simulation used
+//! for the success-rate experiments, comparing the level-3 and RPO
+//! compilations of 3-qubit QPE (fewer gates = faster simulation too).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qc_algos::qpe;
+use qc_backends::Backend;
+use qc_sim::{NoiseModel, NoisySimulator};
+use qc_transpile::{transpile, TranspileOptions};
+use rpo_core::{transpile_rpo, RpoOptions};
+
+fn bench_noisy_sim(c: &mut Criterion) {
+    let backend = Backend::melbourne();
+    let circ = qpe(3, 7.0 / 8.0);
+    let cal = backend.noise();
+    let noise = NoiseModel::new(cal.p1q, cal.p2q, cal.readout);
+    let level3 = transpile(&circ, &backend, &TranspileOptions::level(3)).unwrap();
+    let rpo = transpile_rpo(&circ, &backend, &RpoOptions::new()).unwrap();
+    let (l3_compact, _) = level3.circuit.compacted();
+    let (rpo_compact, _) = rpo.circuit.compacted();
+
+    let mut group = c.benchmark_group("fig11_noisy_qpe");
+    group.sample_size(10);
+    for (label, compact) in [("level3", &l3_compact), ("rpo", &rpo_compact)] {
+        group.bench_with_input(BenchmarkId::new(label, "1024shots"), compact, |b, cc| {
+            b.iter(|| NoisySimulator::new(noise, 7).run(cc, 1024))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_noisy_sim);
+criterion_main!(benches);

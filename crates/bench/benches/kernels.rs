@@ -1,0 +1,68 @@
+//! Microbenchmarks for the compilation kernels the pipelines are built on:
+//! the KAK/Weyl decomposition and synthesis (ConsolidateBlocks' engine),
+//! the single-qubit Euler extraction, the routing pass, and the
+//! state-vector simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qc_algos::quantum_volume;
+use qc_backends::Backend;
+use qc_circuit::Circuit;
+use qc_math::haar_unitary;
+use qc_sim::Statevector;
+use qc_synth::{synthesize_two_qubit, OneQubitEuler, TwoQubitWeyl};
+use qc_transpile::routing::route;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let u2s: Vec<_> = (0..32).map(|_| haar_unitary(2, &mut rng)).collect();
+    let u4s: Vec<_> = (0..32).map(|_| haar_unitary(4, &mut rng)).collect();
+
+    c.bench_function("euler_1q_decompose", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % u2s.len();
+            OneQubitEuler::from_matrix(&u2s[i])
+        })
+    });
+    c.bench_function("weyl_2q_decompose", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % u4s.len();
+            TwoQubitWeyl::decompose(&u4s[i])
+        })
+    });
+    c.bench_function("weyl_2q_synthesize", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % u4s.len();
+            synthesize_two_qubit(&u4s[i])
+        })
+    });
+
+    let mut ghz = Circuit::new(12);
+    ghz.h(0);
+    for q in 0..11 {
+        ghz.cx(q, q + 1);
+    }
+    c.bench_function("statevector_12q_ghz", |b| {
+        b.iter(|| Statevector::from_circuit(&ghz))
+    });
+
+    let backend = Backend::melbourne();
+    let qv = {
+        let mut c = quantum_volume(8, 3);
+        // The router needs ≤2-qubit gates: pre-unroll the SU(4) blocks.
+        qc_transpile::preset::stage_unroll_device(&mut c).unwrap();
+        let mut wide = Circuit::new(backend.num_qubits());
+        wide.extend(&c);
+        wide
+    };
+    c.bench_function("stochastic_route_qv8_melbourne", |b| {
+        b.iter(|| route(&qv, &backend, 3, 5).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Table II timing column: transpile time of the four benchmark algorithms
+//! on Melbourne under level 3, the Hoare baseline, and RPO. The paper's
+//! claim: RPO is *faster* than plain level 3 on most circuits because the
+//! early QBO shrinks the work for every later pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qc_algos::{grover, qpe, quantum_volume, vqe_ry_ansatz, McxDesign};
+use qc_backends::Backend;
+use qc_circuit::Circuit;
+use qc_hoare::transpile_hoare;
+use qc_transpile::{transpile, TranspileOptions};
+use rpo_core::{transpile_rpo, RpoOptions};
+
+fn circuits() -> Vec<(&'static str, Circuit)> {
+    vec![
+        ("qpe8", qpe(7, 7.0 / 8.0)),
+        ("vqe8", vqe_ry_ansatz(8, 2, 7)),
+        ("qv6", quantum_volume(6, 7)),
+        ("grover6", grover(6, 5, 1, McxDesign::NoAncilla)),
+    ]
+}
+
+fn bench_flows(c: &mut Criterion) {
+    let backend = Backend::melbourne();
+    let mut group = c.benchmark_group("table2_transpile");
+    group.sample_size(10);
+    for (name, circ) in circuits() {
+        group.bench_with_input(BenchmarkId::new("level3", name), &circ, |b, circ| {
+            b.iter(|| transpile(circ, &backend, &TranspileOptions::level(3)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("hoare", name), &circ, |b, circ| {
+            b.iter(|| transpile_hoare(circ, &backend, &TranspileOptions::level(3)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("rpo", name), &circ, |b, circ| {
+            b.iter(|| transpile_rpo(circ, &backend, &RpoOptions::new()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flows);
+criterion_main!(benches);

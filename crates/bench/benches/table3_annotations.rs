@@ -1,0 +1,34 @@
+//! Table III timing: Grover with the clean-ancilla design, with and
+//! without `ANNOT(0,0)` annotations. Annotations should not slow the
+//! pipeline down (they *shrink* later passes by enabling more rewrites).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qc_algos::{grover, McxDesign};
+use qc_backends::Backend;
+use qc_transpile::{transpile, TranspileOptions};
+use rpo_core::{transpile_rpo, RpoOptions};
+
+fn bench_annotations(c: &mut Criterion) {
+    let backend = Backend::melbourne();
+    let mut group = c.benchmark_group("table3_grover_annotations");
+    group.sample_size(10);
+    for iters in [2usize, 4] {
+        let plain = grover(6, 5, iters, McxDesign::CleanAncilla { annotate: false });
+        let annotated = grover(6, 5, iters, McxDesign::CleanAncilla { annotate: true });
+        group.bench_with_input(BenchmarkId::new("level3", iters), &plain, |b, circ| {
+            b.iter(|| transpile(circ, &backend, &TranspileOptions::level(3)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("rpo", iters), &plain, |b, circ| {
+            b.iter(|| transpile_rpo(circ, &backend, &RpoOptions::new()).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("rpo_annot", iters),
+            &annotated,
+            |b, circ| b.iter(|| transpile_rpo(circ, &backend, &RpoOptions::new()).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_annotations);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Table IV timing: QPE transpilation across the three device topologies —
+//! sparser connectivity means more routing work and more RPO opportunity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qc_algos::qpe;
+use qc_backends::Backend;
+use qc_transpile::{transpile, TranspileOptions};
+use rpo_core::{transpile_rpo, RpoOptions};
+
+fn bench_connectivity(c: &mut Criterion) {
+    let circ = qpe(5, 7.0 / 8.0); // 6 qubits total
+    let mut group = c.benchmark_group("table4_qpe_connectivity");
+    group.sample_size(10);
+    for backend in [Backend::melbourne(), Backend::almaden(), Backend::rochester()] {
+        group.bench_with_input(
+            BenchmarkId::new("level3", backend.name()),
+            &backend,
+            |b, be| b.iter(|| transpile(&circ, be, &TranspileOptions::level(3)).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rpo", backend.name()),
+            &backend,
+            |b, be| b.iter(|| transpile_rpo(&circ, be, &RpoOptions::new()).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_connectivity);
+criterion_main!(benches);

@@ -1,0 +1,376 @@
+//! A lightweight dependency-DAG view of a circuit.
+//!
+//! The instruction list of a [`Circuit`] is already a topological order;
+//! [`Dag`] adds the wire structure on top of it: per-node predecessors and
+//! successors along qubit wires, a ready-set scheduler (used by the routing
+//! pass), maximal single-qubit runs (used by `Optimize1qGates`), and
+//! two-qubit block collection (the `Collect2qBlocks` analogue).
+
+use crate::circuit::{Circuit, Instruction};
+
+/// Dependency DAG over the instructions of a circuit.
+#[derive(Clone, Debug)]
+pub struct Dag {
+    num_qubits: usize,
+    nodes: Vec<Instruction>,
+    preds: Vec<Vec<usize>>,
+    succs: Vec<Vec<usize>>,
+}
+
+/// A collected two-qubit block: a maximal run of gates that act only on one
+/// pair of qubits (Qiskit's `Collect2qBlocks`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TwoQubitBlock {
+    /// The two qubits spanned by the block (unordered; stored ascending).
+    pub qubits: (usize, usize),
+    /// Node indices in instruction order. At least one two-qubit gate.
+    pub nodes: Vec<usize>,
+}
+
+impl Dag {
+    /// Builds the DAG from a circuit.
+    pub fn from_circuit(circuit: &Circuit) -> Self {
+        let nodes: Vec<Instruction> = circuit.instructions().to_vec();
+        let n = nodes.len();
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        let mut last_on_wire: Vec<Option<usize>> = vec![None; circuit.num_qubits()];
+        for (i, inst) in nodes.iter().enumerate() {
+            for &q in &inst.qubits {
+                if let Some(p) = last_on_wire[q] {
+                    if !preds[i].contains(&p) {
+                        preds[i].push(p);
+                        succs[p].push(i);
+                    }
+                }
+                last_on_wire[q] = Some(i);
+            }
+        }
+        Dag {
+            num_qubits: circuit.num_qubits(),
+            nodes,
+            preds,
+            succs,
+        }
+    }
+
+    /// Number of qubits of the underlying circuit.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The instructions, indexed by node id (instruction order).
+    pub fn nodes(&self) -> &[Instruction] {
+        &self.nodes
+    }
+
+    /// Wire predecessors of a node.
+    pub fn preds(&self, node: usize) -> &[usize] {
+        &self.preds[node]
+    }
+
+    /// Wire successors of a node.
+    pub fn succs(&self, node: usize) -> &[usize] {
+        &self.succs[node]
+    }
+
+    /// Creates a scheduler whose ready set starts at the DAG's sources.
+    pub fn scheduler(&self) -> Scheduler<'_> {
+        let remaining_preds: Vec<usize> = self.preds.iter().map(|p| p.len()).collect();
+        let ready: Vec<usize> = (0..self.nodes.len())
+            .filter(|&i| remaining_preds[i] == 0)
+            .collect();
+        Scheduler {
+            dag: self,
+            remaining_preds,
+            ready,
+        }
+    }
+
+    /// Maximal runs of consecutive single-qubit *unitary* gates on the same
+    /// wire. Directives, resets and measures break runs, as does any
+    /// multi-qubit gate.
+    pub fn single_qubit_runs(&self) -> Vec<Vec<usize>> {
+        let mut runs: Vec<Vec<usize>> = Vec::new();
+        let mut open: Vec<Option<usize>> = vec![None; self.num_qubits]; // run index per wire
+        for (i, inst) in self.nodes.iter().enumerate() {
+            let one_q_unitary = inst.qubits.len() == 1 && inst.gate.is_unitary_gate();
+            if one_q_unitary {
+                let q = inst.qubits[0];
+                match open[q] {
+                    Some(r) => runs[r].push(i),
+                    None => {
+                        runs.push(vec![i]);
+                        open[q] = Some(runs.len() - 1);
+                    }
+                }
+            } else {
+                for &q in &inst.qubits {
+                    open[q] = None;
+                }
+            }
+        }
+        runs
+    }
+
+    /// Collects maximal two-qubit blocks: contiguous (in wire order) groups
+    /// of gates touching only one pair of qubits, anchored by at least one
+    /// two-qubit gate. Single-qubit gates immediately preceding the block on
+    /// either wire are absorbed.
+    pub fn collect_two_qubit_blocks(&self) -> Vec<TwoQubitBlock> {
+        #[derive(Clone)]
+        struct Open {
+            qubits: (usize, usize),
+            nodes: Vec<usize>,
+            has_two_q: bool,
+        }
+        let mut blocks: Vec<TwoQubitBlock> = Vec::new();
+        let mut open: Vec<Open> = Vec::new();
+        // active[q] = index into `open` of the block currently claiming q.
+        let mut active: Vec<Option<usize>> = vec![None; self.num_qubits];
+        // pending 1q gates per wire, waiting for a 2q anchor.
+        let mut pending: Vec<Vec<usize>> = vec![Vec::new(); self.num_qubits];
+
+        let close = |b: Open, blocks: &mut Vec<TwoQubitBlock>| {
+            if b.has_two_q {
+                blocks.push(TwoQubitBlock {
+                    qubits: b.qubits,
+                    nodes: b.nodes,
+                });
+            }
+        };
+
+        for (i, inst) in self.nodes.iter().enumerate() {
+            let unitary = inst.gate.is_unitary_gate() && !inst.gate.is_directive();
+            match (inst.qubits.len(), unitary) {
+                (1, true) => {
+                    let q = inst.qubits[0];
+                    match active[q] {
+                        Some(b) => open[b].nodes.push(i),
+                        None => pending[q].push(i),
+                    }
+                }
+                (2, true) => {
+                    let (a, b) = (inst.qubits[0].min(inst.qubits[1]), inst.qubits[0].max(inst.qubits[1]));
+                    let same = match (active[a], active[b]) {
+                        (Some(x), Some(y)) if x == y && open[x].qubits == (a, b) => Some(x),
+                        _ => None,
+                    };
+                    if let Some(x) = same {
+                        open[x].nodes.push(i);
+                        open[x].has_two_q = true;
+                    } else {
+                        // Close anything active on a or b.
+                        for q in [a, b] {
+                            if let Some(x) = active[q].take() {
+                                let blk = open[x].clone();
+                                // Release both wires of that block.
+                                for w in [blk.qubits.0, blk.qubits.1] {
+                                    if active[w] == Some(x) {
+                                        active[w] = None;
+                                    }
+                                }
+                                close(blk, &mut blocks);
+                            }
+                        }
+                        // Open a new block, absorbing pending 1q gates.
+                        let mut nodes = Vec::new();
+                        nodes.append(&mut pending[a]);
+                        nodes.append(&mut pending[b]);
+                        nodes.sort_unstable();
+                        nodes.push(i);
+                        open.push(Open {
+                            qubits: (a, b),
+                            nodes,
+                            has_two_q: true,
+                        });
+                        let id = open.len() - 1;
+                        active[a] = Some(id);
+                        active[b] = Some(id);
+                    }
+                }
+                _ => {
+                    // Directive, non-unitary, or >2 qubits: break blocks and
+                    // pending runs on all touched wires.
+                    for &q in &inst.qubits {
+                        pending[q].clear();
+                        if let Some(x) = active[q].take() {
+                            let blk = open[x].clone();
+                            for w in [blk.qubits.0, blk.qubits.1] {
+                                if active[w] == Some(x) {
+                                    active[w] = None;
+                                }
+                            }
+                            close(blk, &mut blocks);
+                        }
+                    }
+                }
+            }
+        }
+        // Close whatever remains open (deduplicated via active map).
+        let mut closed = vec![false; open.len()];
+        for q in 0..self.num_qubits {
+            if let Some(x) = active[q] {
+                if !closed[x] {
+                    closed[x] = true;
+                    close(open[x].clone(), &mut blocks);
+                }
+            }
+        }
+        blocks.sort_by_key(|b| b.nodes[0]);
+        blocks
+    }
+}
+
+/// Incremental topological scheduler over a [`Dag`], used by routing: nodes
+/// become ready once all their wire predecessors have been executed.
+#[derive(Clone, Debug)]
+pub struct Scheduler<'a> {
+    dag: &'a Dag,
+    remaining_preds: Vec<usize>,
+    ready: Vec<usize>,
+}
+
+impl<'a> Scheduler<'a> {
+    /// Nodes whose predecessors have all executed.
+    pub fn ready(&self) -> &[usize] {
+        &self.ready
+    }
+
+    /// Returns `true` when every node has been executed.
+    pub fn is_done(&self) -> bool {
+        self.ready.is_empty()
+    }
+
+    /// Marks `node` executed, removing it from the ready set and promoting
+    /// any successors that become ready.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not currently ready.
+    pub fn execute(&mut self, node: usize) {
+        let pos = self
+            .ready
+            .iter()
+            .position(|&n| n == node)
+            .expect("node must be ready to execute");
+        self.ready.swap_remove(pos);
+        for &s in self.dag.succs(node) {
+            self.remaining_preds[s] -= 1;
+            if self.remaining_preds[s] == 0 {
+                self.ready.push(s);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+
+    #[test]
+    fn wire_structure() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2).h(2);
+        let dag = Dag::from_circuit(&c);
+        assert_eq!(dag.preds(0), &[] as &[usize]);
+        assert_eq!(dag.preds(1), &[0]);
+        assert_eq!(dag.preds(2), &[1]);
+        assert_eq!(dag.preds(3), &[2]);
+        assert_eq!(dag.succs(0), &[1]);
+    }
+
+    #[test]
+    fn multi_wire_pred_deduplicated() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).cx(0, 1);
+        let dag = Dag::from_circuit(&c);
+        // Second cx depends on first through both wires but only once.
+        assert_eq!(dag.preds(1), &[0]);
+    }
+
+    #[test]
+    fn scheduler_executes_in_dependency_order() {
+        let mut c = Circuit::new(3);
+        c.h(0).h(1).cx(0, 1).cx(1, 2);
+        let dag = Dag::from_circuit(&c);
+        let mut s = dag.scheduler();
+        let mut order = Vec::new();
+        while !s.is_done() {
+            let n = s.ready()[0];
+            order.push(n);
+            s.execute(n);
+        }
+        assert_eq!(order.len(), 4);
+        // cx(0,1) must come after both h gates; cx(1,2) after cx(0,1).
+        let pos = |n: usize| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos(2) > pos(0) && pos(2) > pos(1));
+        assert!(pos(3) > pos(2));
+    }
+
+    #[test]
+    fn single_qubit_runs_split_by_two_qubit_gates() {
+        let mut c = Circuit::new(2);
+        c.h(0).t(0).cx(0, 1).s(0).sdg(1).h(1);
+        let dag = Dag::from_circuit(&c);
+        let runs = dag.single_qubit_runs();
+        assert_eq!(runs.len(), 3);
+        assert_eq!(runs[0], vec![0, 1]); // h,t on qubit 0
+        assert_eq!(runs[1], vec![3]); // s on qubit 0 after cx
+        assert_eq!(runs[2], vec![4, 5]); // sdg,h on qubit 1
+    }
+
+    #[test]
+    fn runs_broken_by_directives_and_measure() {
+        let mut c = Circuit::new(1);
+        c.h(0).barrier().h(0).measure(0);
+        let dag = Dag::from_circuit(&c);
+        let runs = dag.single_qubit_runs();
+        assert_eq!(runs.len(), 2);
+    }
+
+    #[test]
+    fn two_qubit_block_collection_basic() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).t(1).cx(0, 1).cx(1, 2);
+        let dag = Dag::from_circuit(&c);
+        let blocks = dag.collect_two_qubit_blocks();
+        assert_eq!(blocks.len(), 2);
+        // First block: h(0) absorbed + cx, t, cx on (0,1).
+        assert_eq!(blocks[0].qubits, (0, 1));
+        assert_eq!(blocks[0].nodes, vec![0, 1, 2, 3]);
+        // Second block: cx(1,2).
+        assert_eq!(blocks[1].qubits, (1, 2));
+        assert_eq!(blocks[1].nodes, vec![4]);
+    }
+
+    #[test]
+    fn blocks_broken_by_three_qubit_gate() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).ccx(0, 1, 2).cx(0, 1);
+        let dag = Dag::from_circuit(&c);
+        let blocks = dag.collect_two_qubit_blocks();
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].nodes, vec![0]);
+        assert_eq!(blocks[1].nodes, vec![2]);
+    }
+
+    #[test]
+    fn trailing_one_qubit_gates_stay_in_block() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).h(0).h(1);
+        let dag = Dag::from_circuit(&c);
+        let blocks = dag.collect_two_qubit_blocks();
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].nodes, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn lone_one_qubit_gates_form_no_block() {
+        let mut c = Circuit::new(2);
+        c.h(0).h(1);
+        let dag = Dag::from_circuit(&c);
+        assert!(dag.collect_two_qubit_blocks().is_empty());
+    }
+}

@@ -1,0 +1,149 @@
+//! OpenQASM 2.0 export.
+//!
+//! Lets circuits produced by this stack (in particular, transpiled output)
+//! be loaded into Qiskit or any other OpenQASM consumer — the natural
+//! cross-check against the paper's original artifact. Gates outside
+//! `qelib1.inc` are lowered structurally (SWAPZ to its defining CNOT pair,
+//! MCX/MCZ rejected with an error so callers unroll first); annotations
+//! and barriers become comments/barriers.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use std::fmt::Write as _;
+
+/// Errors raised during QASM export.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QasmError {
+    /// The gate has no qelib1 representation; unroll the circuit first.
+    UnsupportedGate(String),
+}
+
+impl std::fmt::Display for QasmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QasmError::UnsupportedGate(g) => {
+                write!(f, "gate '{g}' has no OpenQASM 2.0 lowering; unroll first")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QasmError {}
+
+/// Serializes a circuit as an OpenQASM 2.0 program.
+///
+/// # Errors
+///
+/// Returns [`QasmError::UnsupportedGate`] for multi-controlled or
+/// arbitrary-unitary gates — run the transpiler's unroller first.
+///
+/// # Examples
+///
+/// ```
+/// use qc_circuit::{qasm::to_qasm, Circuit};
+/// let mut c = Circuit::new(2);
+/// c.h(0).cx(0, 1).measure_all();
+/// let text = to_qasm(&c).unwrap();
+/// assert!(text.contains("h q[0];"));
+/// assert!(text.contains("cx q[0],q[1];"));
+/// ```
+pub fn to_qasm(circuit: &Circuit) -> Result<String, QasmError> {
+    let n = circuit.num_qubits();
+    let mut out = String::new();
+    let _ = writeln!(out, "OPENQASM 2.0;");
+    let _ = writeln!(out, "include \"qelib1.inc\";");
+    let _ = writeln!(out, "qreg q[{n}];");
+    let _ = writeln!(out, "creg c[{n}];");
+    for inst in circuit.instructions() {
+        let q = &inst.qubits;
+        let line = match &inst.gate {
+            Gate::I => format!("id q[{}];", q[0]),
+            Gate::X => format!("x q[{}];", q[0]),
+            Gate::Y => format!("y q[{}];", q[0]),
+            Gate::Z => format!("z q[{}];", q[0]),
+            Gate::H => format!("h q[{}];", q[0]),
+            Gate::S => format!("s q[{}];", q[0]),
+            Gate::Sdg => format!("sdg q[{}];", q[0]),
+            Gate::T => format!("t q[{}];", q[0]),
+            Gate::Tdg => format!("tdg q[{}];", q[0]),
+            Gate::Rx(t) => format!("rx({t}) q[{}];", q[0]),
+            Gate::Ry(t) => format!("ry({t}) q[{}];", q[0]),
+            Gate::Rz(t) => format!("rz({t}) q[{}];", q[0]),
+            Gate::U1(l) => format!("u1({l}) q[{}];", q[0]),
+            Gate::U2(p, l) => format!("u2({p},{l}) q[{}];", q[0]),
+            Gate::U3(t, p, l) => format!("u3({t},{p},{l}) q[{}];", q[0]),
+            Gate::Cx => format!("cx q[{}],q[{}];", q[0], q[1]),
+            Gate::Cz => format!("cz q[{}],q[{}];", q[0], q[1]),
+            Gate::Cp(l) => format!("cu1({l}) q[{}],q[{}];", q[0], q[1]),
+            Gate::Swap => format!("swap q[{}],q[{}];", q[0], q[1]),
+            Gate::SwapZ => format!(
+                "cx q[{1}],q[{0}];\ncx q[{0}],q[{1}];",
+                q[0], q[1]
+            ),
+            Gate::Ccx => format!("ccx q[{}],q[{}],q[{}];", q[0], q[1], q[2]),
+            Gate::Cswap => format!("cswap q[{}],q[{}],q[{}];", q[0], q[1], q[2]),
+            Gate::Reset => format!("reset q[{}];", q[0]),
+            Gate::Measure => format!("measure q[{0}] -> c[{0}];", q[0]),
+            Gate::Barrier(_) => {
+                let args: Vec<String> = q.iter().map(|&i| format!("q[{i}]")).collect();
+                format!("barrier {};", args.join(","))
+            }
+            Gate::Annot(t, p) => format!("// ANNOT({t},{p}) q[{}]", q[0]),
+            g @ (Gate::Mcx(_) | Gate::Mcz(_) | Gate::Cu(_) | Gate::Unitary(_)) => {
+                return Err(QasmError::UnsupportedGate(g.name().to_string()))
+            }
+        };
+        let _ = writeln!(out, "{line}");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exports_basic_program() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).ccx(0, 1, 2).u3(0.1, 0.2, 0.3, 2).barrier().measure_all();
+        let text = to_qasm(&c).unwrap();
+        assert!(text.starts_with("OPENQASM 2.0;"));
+        assert!(text.contains("qreg q[3];"));
+        assert!(text.contains("ccx q[0],q[1],q[2];"));
+        assert!(text.contains("u3(0.1,0.2,0.3) q[2];"));
+        assert!(text.contains("barrier q[0],q[1],q[2];"));
+        assert!(text.contains("measure q[1] -> c[1];"));
+    }
+
+    #[test]
+    fn swapz_lowers_to_two_cx() {
+        let mut c = Circuit::new(2);
+        c.swapz(0, 1);
+        let text = to_qasm(&c).unwrap();
+        assert!(text.contains("cx q[1],q[0];\ncx q[0],q[1];"));
+    }
+
+    #[test]
+    fn annot_becomes_comment() {
+        let mut c = Circuit::new(1);
+        c.annot_zero(0);
+        let text = to_qasm(&c).unwrap();
+        assert!(text.contains("// ANNOT(0,0) q[0]"));
+    }
+
+    #[test]
+    fn rejects_unlowered_gates() {
+        let mut c = Circuit::new(4);
+        c.mcx(&[0, 1, 2], 3);
+        assert!(matches!(to_qasm(&c), Err(QasmError::UnsupportedGate(_))));
+    }
+
+    #[test]
+    fn transpiled_output_always_exports() {
+        // The device basis is exportable by construction.
+        let mut c = Circuit::new(2);
+        c.u1(0.5, 0).u2(0.1, 0.2, 1).u3(1.0, 2.0, 3.0, 0).cx(0, 1).measure_all();
+        let text = to_qasm(&c).unwrap();
+        assert_eq!(text.matches("cx ").count(), 1);
+    }
+}

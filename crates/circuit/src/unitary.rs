@@ -1,0 +1,192 @@
+//! Embedding gate matrices into full-register unitaries.
+//!
+//! Transpiler passes (block consolidation, equivalence assertions in tests)
+//! need the 2ⁿ×2ⁿ unitary of a small circuit. These routines are dense and
+//! intended for n ≲ 10; the state-vector simulator in `qc-sim` is the fast
+//! path for larger functional checks.
+
+use crate::circuit::Circuit;
+use qc_math::{C64, Matrix};
+
+/// Embeds a k-qubit gate matrix into an n-qubit unitary, acting on the given
+/// qubits (little-endian: `qubits[0]` is the gate's least-significant local
+/// bit).
+///
+/// # Panics
+///
+/// Panics if the matrix dimension does not match `qubits.len()` or a qubit
+/// index is out of range / repeated.
+pub fn embed(gate_matrix: &Matrix, qubits: &[usize], n: usize) -> Matrix {
+    let k = qubits.len();
+    assert_eq!(gate_matrix.rows(), 1 << k, "matrix dimension mismatch");
+    for (i, q) in qubits.iter().enumerate() {
+        assert!(*q < n, "qubit {q} out of range");
+        assert!(!qubits[i + 1..].contains(q), "duplicate qubit {q}");
+    }
+    let dim = 1usize << n;
+    let mut out = Matrix::zeros(dim, dim);
+    for col in 0..dim {
+        // Extract local index from the column basis state.
+        let mut local = 0usize;
+        for (bit, &q) in qubits.iter().enumerate() {
+            if (col >> q) & 1 == 1 {
+                local |= 1 << bit;
+            }
+        }
+        let base = {
+            // Column with the gate's local bits cleared.
+            let mut b = col;
+            for &q in qubits {
+                b &= !(1 << q);
+            }
+            b
+        };
+        for lrow in 0..(1 << k) {
+            let amp = gate_matrix[(lrow, local)];
+            if amp == C64::ZERO {
+                continue;
+            }
+            let mut row = base;
+            for (bit, &q) in qubits.iter().enumerate() {
+                if (lrow >> bit) & 1 == 1 {
+                    row |= 1 << q;
+                }
+            }
+            out[(row, col)] = amp;
+        }
+    }
+    out
+}
+
+/// The full unitary of a circuit, as the ordered product of its embedded
+/// gates.
+///
+/// # Panics
+///
+/// Panics if the circuit contains a non-unitary instruction (reset or
+/// measure). Directives (barriers, annotations) are skipped.
+pub fn circuit_unitary(circuit: &Circuit) -> Matrix {
+    let n = circuit.num_qubits();
+    let mut u = Matrix::identity(1 << n);
+    for inst in circuit.instructions() {
+        if inst.gate.is_directive() {
+            continue;
+        }
+        let m = inst
+            .gate
+            .matrix()
+            .unwrap_or_else(|| panic!("non-unitary instruction {} in circuit_unitary", inst.gate));
+        let g = embed(&m, &inst.qubits, n);
+        u = g.matmul(&u);
+    }
+    u
+}
+
+/// Convenience equivalence check: do two circuits implement the same unitary
+/// up to global phase?
+pub fn circuits_equivalent(a: &Circuit, b: &Circuit, eps: f64) -> bool {
+    if a.num_qubits() != b.num_qubits() {
+        return false;
+    }
+    circuit_unitary(a).equal_up_to_global_phase(&circuit_unitary(b), eps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+
+    #[test]
+    fn embed_single_qubit_gate() {
+        // X on qubit 1 of 2: swaps indices differing in bit 1.
+        let x = Gate::X.matrix().unwrap();
+        let m = embed(&x, &[1], 2);
+        assert_eq!(m[(2, 0)], C64::ONE);
+        assert_eq!(m[(0, 2)], C64::ONE);
+        assert_eq!(m[(3, 1)], C64::ONE);
+        assert_eq!(m[(0, 0)], C64::ZERO);
+        assert!(m.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn embed_cx_both_orientations() {
+        let cx = Gate::Cx.matrix().unwrap();
+        // control 0, target 1: flips bit1 when bit0 set → 1↔3.
+        let m = embed(&cx, &[0, 1], 2);
+        assert_eq!(m[(3, 1)], C64::ONE);
+        assert_eq!(m[(1, 3)], C64::ONE);
+        assert_eq!(m[(0, 0)], C64::ONE);
+        // control 1, target 0: flips bit0 when bit1 set → 2↔3.
+        let m = embed(&cx, &[1, 0], 2);
+        assert_eq!(m[(3, 2)], C64::ONE);
+        assert_eq!(m[(2, 3)], C64::ONE);
+    }
+
+    #[test]
+    fn embed_identity_elsewhere() {
+        let h = Gate::H.matrix().unwrap();
+        let m = embed(&h, &[0], 3);
+        // Qubits 1,2 untouched: block structure H ⊗ I is on bit 0.
+        let i4 = Matrix::identity(4);
+        let expect = i4.kron(&h); // bit0 least significant ⇒ H is rightmost factor
+        assert!(m.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn bell_circuit_unitary() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let u = circuit_unitary(&c);
+        // U|00⟩ = (|00⟩+|11⟩)/√2.
+        let v = u.apply(&[C64::ONE, C64::ZERO, C64::ZERO, C64::ZERO]);
+        let r = std::f64::consts::FRAC_1_SQRT_2;
+        assert!(v[0].approx_eq(C64::real(r), 1e-12));
+        assert!(v[3].approx_eq(C64::real(r), 1e-12));
+        assert!(v[1].norm() < 1e-12 && v[2].norm() < 1e-12);
+    }
+
+    #[test]
+    fn swap_as_three_cnots() {
+        let mut a = Circuit::new(2);
+        a.swap(0, 1);
+        let mut b = Circuit::new(2);
+        b.cx(0, 1).cx(1, 0).cx(0, 1);
+        assert!(circuits_equivalent(&a, &b, 1e-10));
+    }
+
+    #[test]
+    fn swapz_is_two_cnots() {
+        let mut a = Circuit::new(2);
+        a.swapz(0, 1);
+        let mut b = Circuit::new(2);
+        b.cx(1, 0).cx(0, 1);
+        assert!(circuits_equivalent(&a, &b, 1e-10));
+    }
+
+    #[test]
+    fn directives_skipped() {
+        let mut a = Circuit::new(2);
+        a.h(0).barrier().annot_zero(1).cx(0, 1);
+        let mut b = Circuit::new(2);
+        b.h(0).cx(0, 1);
+        assert!(circuits_equivalent(&a, &b, 1e-10));
+    }
+
+    #[test]
+    fn cz_symmetric_embedding() {
+        let cz = Gate::Cz.matrix().unwrap();
+        let m1 = embed(&cz, &[0, 1], 2);
+        let m2 = embed(&cz, &[1, 0], 2);
+        assert!(m1.approx_eq(&m2, 1e-12));
+    }
+
+    #[test]
+    fn three_qubit_toffoli_embedding() {
+        let ccx = Gate::Ccx.matrix().unwrap();
+        // controls on qubits 2,1, target 0: flips bit0 when bits 1,2 set.
+        let m = embed(&ccx, &[2, 1, 0], 3);
+        assert_eq!(m[(7, 6)], C64::ONE);
+        assert_eq!(m[(6, 7)], C64::ONE);
+        assert_eq!(m[(5, 5)], C64::ONE);
+    }
+}

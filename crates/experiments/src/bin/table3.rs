@@ -1,0 +1,62 @@
+//! Table III: Grover's algorithm with clean-ancilla multi-controlled gates,
+//! sweeping iteration count — level 3 vs RPO vs RPO with `ANNOT(0,0)`
+//! annotations on the ancillas (Fig. 7). The annotations keep the ancilla
+//! states visible to QBO across iterations, which is what sustains the
+//! reduction at depth (Section VIII-C).
+
+use qc_algos::{grover, McxDesign};
+use qc_backends::Backend;
+use rpo_experiments::{median_stats, write_csv, Flow, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let backend = Backend::melbourne();
+    // Paper: 8 data qubits; quick mode uses 6 to keep runs snappy.
+    let n = if args.full { 8 } else { 6 };
+    let iterations: Vec<usize> = if args.full {
+        vec![2, 4, 6, 8, 10, 12, 14]
+    } else {
+        vec![2, 4, 6]
+    };
+    println!(
+        "Table III — {n}-qubit Grover with ancilla V-chain on {} ({} trials)\n",
+        backend.name(),
+        args.trials
+    );
+    println!(
+        "{:>10} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} | {:>8} {:>8} {:>8}",
+        "iterations",
+        "cx(l3)",
+        "cx(RPO)",
+        "cx(RPO+A)",
+        "depth(l3)",
+        "d(RPO)",
+        "d(RPO+A)",
+        "t(l3)",
+        "t(RPO)",
+        "t(RPO+A)"
+    );
+    let mut csv = Vec::new();
+    for iters in iterations {
+        let plain = grover(n, 1, iters, McxDesign::CleanAncilla { annotate: false });
+        let annotated = grover(n, 1, iters, McxDesign::CleanAncilla { annotate: true });
+        let l3 = median_stats(&plain, &backend, Flow::Level3, args.trials);
+        let rpo = median_stats(&plain, &backend, Flow::Rpo, args.trials);
+        let rpo_a = median_stats(&annotated, &backend, Flow::Rpo, args.trials);
+        println!(
+            "{iters:>10} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} | {:>8.1} {:>8.1} {:>8.1}",
+            l3.cx, rpo.cx, rpo_a.cx, l3.depth, rpo.depth, rpo_a.depth, l3.time_ms, rpo.time_ms, rpo_a.time_ms
+        );
+        for (label, s) in [("level3", l3), ("RPO", rpo), ("RPO+annot", rpo_a)] {
+            csv.push(format!(
+                "{n},{iters},{label},{},{},{},{:.3}",
+                s.cx, s.single_qubit, s.depth, s.time_ms
+            ));
+        }
+    }
+    write_csv(
+        "table3.csv",
+        "qubits,iterations,flow,cx,single_qubit,depth,time_ms",
+        &csv,
+    );
+}

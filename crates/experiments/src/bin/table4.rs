@@ -1,0 +1,68 @@
+//! Table IV: QPE across backend connectivities (`ibmq_almaden`,
+//! `ibmq_rochester`), level 3 vs RPO. Together with Table II's Melbourne
+//! column this reproduces Section VIII-D: the sparser the coupling graph,
+//! the more SWAPs routing inserts and the more CNOTs RPO recovers.
+
+use qc_algos::qpe;
+use qc_backends::Backend;
+use rpo_experiments::{geometric_mean, median_stats, write_csv, Flow, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let backends = [Backend::almaden(), Backend::rochester(), Backend::melbourne()];
+    println!(
+        "Table IV — QPE median CNOT / time across connectivities ({} trials)\n",
+        args.trials
+    );
+    let mut csv = Vec::new();
+    for backend in &backends {
+        println!(
+            "{} (avg degree {:.2}):",
+            backend.name(),
+            backend.average_degree()
+        );
+        println!(
+            "{:>8} | {:>9} {:>9} | {:>9} {:>9} | {:>8}",
+            "qubits", "cx(l3)", "cx(RPO)", "t(l3)", "t(RPO)", "saved"
+        );
+        let mut ratios = Vec::new();
+        for n in args.sizes() {
+            let c = qpe(n - 1, 7.0 / 8.0);
+            let l3 = median_stats(&c, backend, Flow::Level3, args.trials);
+            let rpo = median_stats(&c, backend, Flow::Rpo, args.trials);
+            let saved = if l3.cx > 0 {
+                100.0 * (l3.cx.saturating_sub(rpo.cx)) as f64 / l3.cx as f64
+            } else {
+                0.0
+            };
+            if l3.cx > 0 {
+                ratios.push(rpo.cx as f64 / l3.cx as f64);
+            }
+            println!(
+                "{n:>8} | {:>9} {:>9} | {:>8.1} {:>8.1} | {saved:>6.1}%",
+                l3.cx, rpo.cx, l3.time_ms, rpo.time_ms
+            );
+            for (label, s) in [("level3", l3), ("RPO", rpo)] {
+                csv.push(format!(
+                    "{},{n},{label},{},{},{},{:.3}",
+                    backend.name(),
+                    s.cx,
+                    s.single_qubit,
+                    s.depth,
+                    s.time_ms
+                ));
+            }
+        }
+        if !ratios.is_empty() {
+            println!(
+                "  → average CNOT reduction: {:.1}%\n",
+                (1.0 - geometric_mean(&ratios)) * 100.0
+            );
+        }
+    }
+    write_csv(
+        "table4.csv",
+        "backend,qubits,flow,cx,single_qubit,depth,time_ms",
+        &csv,
+    );
+}

@@ -1,0 +1,56 @@
+//! Table V (Appendix E): median single-qubit gate count and circuit depth
+//! for the four algorithms on `ibmq_16_melbourne` — showing RPO improves
+//! these metrics alongside the CNOT count.
+
+use qc_algos::{grover, qpe, quantum_volume, vqe_ry_ansatz, McxDesign};
+use qc_backends::Backend;
+use qc_circuit::Circuit;
+use rpo_experiments::{median_stats, write_csv, Flow, HarnessArgs};
+
+fn circuit_for(algo: &str, n: usize) -> Circuit {
+    match algo {
+        "QPE" => qpe(n - 1, 7.0 / 8.0),
+        "VQE" => vqe_ry_ansatz(n, 2, 7),
+        "QV" => quantum_volume(n, 7),
+        "Grover" => grover(n, (1 << n) - 2, 1, McxDesign::NoAncilla),
+        _ => unreachable!(),
+    }
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let backend = Backend::melbourne();
+    let flows = [Flow::Level3, Flow::Hoare, Flow::Rpo];
+    let algos = ["QPE", "VQE", "QV", "Grover"];
+    println!(
+        "Table V — median single-qubit gates / depth on {} ({} trials)\n",
+        backend.name(),
+        args.trials
+    );
+    let mut csv = Vec::new();
+    print!("{:>8} |", "qubits");
+    for algo in algos {
+        for flow in flows {
+            print!(" {:>13}", format!("{algo}/{}", flow.label()));
+        }
+    }
+    println!();
+    for n in args.sizes() {
+        print!("{n:>8} |");
+        for algo in algos {
+            let c = circuit_for(algo, n);
+            for flow in flows {
+                let s = median_stats(&c, &backend, flow, args.trials);
+                print!(" {:>6}/{:<6}", s.single_qubit, s.depth);
+                csv.push(format!(
+                    "{algo},{n},{},{},{}",
+                    flow.label(),
+                    s.single_qubit,
+                    s.depth
+                ));
+            }
+        }
+        println!();
+    }
+    write_csv("table5.csv", "algo,qubits,flow,single_qubit,depth", &csv);
+}

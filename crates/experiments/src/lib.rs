@@ -1,0 +1,292 @@
+//! Shared harness for regenerating the RPO paper's tables and figures.
+//!
+//! Each binary in `src/bin/` reproduces one artifact:
+//!
+//! | binary   | paper artifact |
+//! |----------|----------------|
+//! | `table2` | Table II — CNOT count & transpile time, 4 algorithms on Melbourne |
+//! | `table3` | Table III — Grover with annotations vs without |
+//! | `table4` | Table IV — QPE across backend connectivities |
+//! | `table5` | Table V — single-qubit gate count & depth (Appendix E) |
+//! | `fig10`  | Fig. 10 — Bernstein–Vazirani boolean → phase oracle case study |
+//! | `fig11`  | Fig. 11 — noisy 3-qubit QPE success rates on three devices |
+//!
+//! The experimental protocol follows Section VII-B: every configuration is
+//! transpiled over several seeds (the paper uses 25) and the *median* CNOT
+//! count / time is reported; results are printed as aligned tables and
+//! dumped as CSV under `results/`.
+
+use qc_backends::Backend;
+use qc_circuit::Circuit;
+use qc_hoare::transpile_hoare;
+use qc_sim::{NoiseModel, NoisySimulator};
+use qc_transpile::preset::Transpiled;
+use qc_transpile::{transpile, TranspileOptions};
+use rpo_core::{transpile_rpo, RpoOptions};
+use std::io::Write as _;
+use std::time::Instant;
+
+/// Which transpilation flow to run — the paper's comparison columns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Flow {
+    /// Qiskit optimization level 3 (the baseline).
+    Level3,
+    /// Level 3 plus the Hoare-logic optimizer.
+    Hoare,
+    /// Level 3 extended with QBO/QPO per Fig. 8 (the paper's RPO).
+    Rpo,
+}
+
+impl Flow {
+    /// Column label used in printed tables and CSV.
+    pub fn label(self) -> &'static str {
+        match self {
+            Flow::Level3 => "level3",
+            Flow::Hoare => "hoare",
+            Flow::Rpo => "RPO",
+        }
+    }
+}
+
+/// Transpiles one circuit under the given flow and seed.
+///
+/// # Panics
+///
+/// Panics when transpilation fails (the harness treats that as fatal).
+pub fn transpile_flow(c: &Circuit, backend: &Backend, flow: Flow, seed: u64) -> Transpiled {
+    let base = TranspileOptions::level(3).with_seed(seed);
+    match flow {
+        Flow::Level3 => transpile(c, backend, &base).expect("level3 transpile"),
+        Flow::Hoare => transpile_hoare(c, backend, &base).expect("hoare transpile"),
+        Flow::Rpo => {
+            transpile_rpo(c, backend, &RpoOptions::new().with_seed(seed)).expect("rpo transpile")
+        }
+    }
+}
+
+/// Median statistics over several seeded transpilations of one circuit.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunStats {
+    /// Median CNOT count.
+    pub cx: usize,
+    /// Median single-qubit gate count.
+    pub single_qubit: usize,
+    /// Median circuit depth.
+    pub depth: usize,
+    /// Median wall-clock transpile time in milliseconds.
+    pub time_ms: f64,
+}
+
+/// Runs `trials` seeded transpilations and reports medians (the paper's
+/// protocol for absorbing the router's stochasticity).
+pub fn median_stats(c: &Circuit, backend: &Backend, flow: Flow, trials: usize) -> RunStats {
+    let mut cx = Vec::with_capacity(trials);
+    let mut oneq = Vec::with_capacity(trials);
+    let mut depth = Vec::with_capacity(trials);
+    let mut time = Vec::with_capacity(trials);
+    for seed in 0..trials as u64 {
+        let start = Instant::now();
+        let out = transpile_flow(c, backend, flow, seed);
+        time.push(start.elapsed().as_secs_f64() * 1e3);
+        let counts = out.circuit.gate_counts();
+        cx.push(counts.cx);
+        oneq.push(counts.single_qubit);
+        depth.push(out.circuit.depth());
+    }
+    RunStats {
+        cx: median_usize(&mut cx),
+        single_qubit: median_usize(&mut oneq),
+        depth: median_usize(&mut depth),
+        time_ms: median_f64(&mut time),
+    }
+}
+
+/// Median of an unsorted slice (sorts in place).
+pub fn median_usize(v: &mut [usize]) -> usize {
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+
+/// Median of an unsorted slice of floats (sorts in place).
+pub fn median_f64(v: &mut [f64]) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    v[v.len() / 2]
+}
+
+/// Geometric mean of positive ratios (the paper's average-ratio statistic).
+pub fn geometric_mean(xs: &[f64]) -> f64 {
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Measurement distribution over the *logical* qubits of a transpiled
+/// circuit under backend noise: compacts the physical circuit to its used
+/// wires, runs the Monte-Carlo simulator, and projects each physical
+/// outcome onto the logical bits through `final_map`.
+pub fn logical_distribution(
+    t: &Transpiled,
+    num_logical: usize,
+    noise: NoiseModel,
+    shots: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let (compact, old_of_new) = t.circuit.compacted();
+    let mut sim = NoisySimulator::new(noise, seed);
+    let counts = sim.run(&compact, shots);
+    let compact_of_old = |old: usize| old_of_new.iter().position(|&o| o == old);
+    let logical_positions: Vec<Option<usize>> = (0..num_logical)
+        .map(|q| compact_of_old(t.final_map[q]))
+        .collect();
+    let mut dist = vec![0.0; 1 << num_logical];
+    for (outcome, n) in counts {
+        let mut logical = 0usize;
+        for (q, pos) in logical_positions.iter().enumerate() {
+            if let Some(p) = pos {
+                if (outcome >> p) & 1 == 1 {
+                    logical |= 1 << q;
+                }
+            }
+        }
+        dist[logical] += n as f64 / shots as f64;
+    }
+    dist
+}
+
+/// Success rate: probability mass on the expected logical outcome.
+pub fn success_rate(
+    t: &Transpiled,
+    num_logical: usize,
+    expected: usize,
+    noise: NoiseModel,
+    shots: usize,
+    seed: u64,
+) -> f64 {
+    logical_distribution(t, num_logical, noise, shots, seed)[expected]
+}
+
+/// Converts backend calibration data into the simulator's noise model.
+pub fn noise_of(backend: &Backend) -> NoiseModel {
+    let n = backend.noise();
+    NoiseModel::new(n.p1q, n.p2q, n.readout)
+}
+
+/// Simple CLI arguments shared by the experiment binaries.
+#[derive(Clone, Debug)]
+pub struct HarnessArgs {
+    /// Number of seeded transpilations per cell (paper: 25).
+    pub trials: usize,
+    /// Run the full problem sizes from the paper instead of the quick set.
+    pub full: bool,
+    /// Shots for noisy simulations.
+    pub shots: usize,
+}
+
+impl HarnessArgs {
+    /// Parses `--trials N`, `--full`, `--shots N` from `std::env::args`.
+    pub fn parse() -> Self {
+        let mut args = HarnessArgs {
+            trials: 5,
+            full: false,
+            shots: 4096,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--trials" => {
+                    args.trials = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--trials needs a number");
+                }
+                "--shots" => {
+                    args.shots = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--shots needs a number");
+                }
+                "--full" => args.full = true,
+                other => eprintln!("ignoring unknown argument '{other}'"),
+            }
+        }
+        args
+    }
+
+    /// The qubit sizes to sweep (paper: 4–14 even; quick mode: 4–8).
+    pub fn sizes(&self) -> Vec<usize> {
+        if self.full {
+            vec![4, 6, 8, 10, 12, 14]
+        } else {
+            vec![4, 6, 8]
+        }
+    }
+}
+
+/// Writes rows as CSV under `results/`, creating the directory if needed.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        eprintln!("warning: could not create results/");
+        return;
+    }
+    let path = dir.join(name);
+    match std::fs::File::create(&path) {
+        Ok(mut f) => {
+            let _ = writeln!(f, "{header}");
+            for r in rows {
+                let _ = writeln!(f, "{r}");
+            }
+            println!("\nwrote {}", path.display());
+        }
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qc_algos::{qpe, qpe_expected_outcome};
+
+    #[test]
+    fn median_helpers() {
+        assert_eq!(median_usize(&mut [3, 1, 2]), 2);
+        assert_eq!(median_usize(&mut [5]), 5);
+        assert!((median_f64(&mut [1.0, 9.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flows_produce_comparable_circuits() {
+        let backend = Backend::melbourne();
+        let c = qpe(3, 7.0 / 8.0);
+        let s3 = median_stats(&c, &backend, Flow::Level3, 2);
+        let sr = median_stats(&c, &backend, Flow::Rpo, 2);
+        assert!(s3.cx > 0);
+        assert!(sr.cx <= s3.cx, "RPO {} vs level3 {}", sr.cx, s3.cx);
+    }
+
+    #[test]
+    fn logical_distribution_ideal_case() {
+        // Noiseless QPE must put ~all mass on the expected outcome.
+        let backend = Backend::melbourne();
+        let c = qpe(3, 7.0 / 8.0);
+        let t = transpile_flow(&c, &backend, Flow::Rpo, 0);
+        let dist = logical_distribution(&t, 3, NoiseModel::ideal(), 2048, 1);
+        let want = qpe_expected_outcome(3, 7.0 / 8.0);
+        assert!(
+            dist[want] > 0.99,
+            "expected outcome mass {} on {want:b}",
+            dist[want]
+        );
+    }
+
+    #[test]
+    fn noise_reduces_success() {
+        let backend = Backend::melbourne();
+        let c = qpe(3, 7.0 / 8.0);
+        let t = transpile_flow(&c, &backend, Flow::Level3, 0);
+        let want = qpe_expected_outcome(3, 7.0 / 8.0);
+        let ideal = success_rate(&t, 3, want, NoiseModel::ideal(), 2048, 1);
+        let noisy = success_rate(&t, 3, want, noise_of(&backend), 2048, 1);
+        assert!(noisy < ideal);
+        assert!(noisy > 0.05, "noise should not destroy everything: {noisy}");
+    }
+}

@@ -1,0 +1,169 @@
+//! Haar-random unitaries and states.
+//!
+//! The Quantum Volume benchmark (Cross et al., cited by the RPO paper) draws
+//! Haar-random SU(4) blocks; property tests across the workspace draw random
+//! unitaries to exercise decompositions. Haar sampling uses the standard
+//! Ginibre + QR construction: fill a matrix with i.i.d. complex Gaussians,
+//! orthonormalize, and fix the phases with the R diagonal.
+
+use crate::complex::C64;
+use crate::matrix::{normalize, Matrix};
+use rand::Rng;
+
+/// Samples a standard complex Gaussian via Box–Muller.
+fn gaussian(rng: &mut impl Rng) -> C64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    let r = (-2.0 * u1.ln()).sqrt();
+    C64::new(r * u2.cos(), r * u2.sin())
+}
+
+/// Draws an `n × n` unitary from the Haar measure.
+///
+/// The construction is Ginibre-then-QR with the phase-of-R correction of
+/// Mezzadri ("How to generate random matrices from the classical compact
+/// groups"), which makes the distribution exactly Haar rather than merely
+/// orthonormal.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let u = qc_math::haar_unitary(4, &mut rng);
+/// assert!(u.is_unitary(1e-10));
+/// ```
+pub fn haar_unitary(n: usize, rng: &mut impl Rng) -> Matrix {
+    let z = Matrix::from_fn(n, n, |_, _| gaussian(rng));
+    let (q, r) = qr(&z);
+    // Multiply each column of Q by phase(R_jj) to remove the QR gauge.
+    let mut out = q;
+    for j in 0..n {
+        let d = r[(j, j)];
+        let phase = if d.norm() > 0.0 {
+            d.scale(1.0 / d.norm())
+        } else {
+            C64::ONE
+        };
+        for i in 0..n {
+            out[(i, j)] *= phase;
+        }
+    }
+    out
+}
+
+/// Draws a Haar-random pure state of dimension `n` (unit vector).
+pub fn haar_state(n: usize, rng: &mut impl Rng) -> Vec<C64> {
+    let mut v: Vec<C64> = (0..n).map(|_| gaussian(rng)).collect();
+    normalize(&mut v);
+    v
+}
+
+/// QR decomposition by modified Gram–Schmidt. Returns `(Q, R)` with
+/// `Q·R = A`, `Q` having orthonormal columns.
+///
+/// # Panics
+///
+/// Panics if `a` is not square (all workspace uses are square).
+pub fn qr(a: &Matrix) -> (Matrix, Matrix) {
+    assert!(a.is_square(), "qr currently supports square matrices");
+    let n = a.rows();
+    let mut q_cols: Vec<Vec<C64>> = Vec::with_capacity(n);
+    let mut r = Matrix::zeros(n, n);
+    for j in 0..n {
+        let mut v = a.column(j);
+        for (i, qi) in q_cols.iter().enumerate() {
+            let proj = crate::matrix::inner(qi, &v);
+            r[(i, j)] = proj;
+            for (vk, qk) in v.iter_mut().zip(qi) {
+                *vk -= proj * *qk;
+            }
+        }
+        let norm = normalize(&mut v);
+        if norm < 1e-14 {
+            // Rank-deficient column: substitute an arbitrary vector
+            // orthogonal to the previous ones (re-orthonormalized basis
+            // vector). Haar sampling essentially never hits this.
+            v = vec![C64::ZERO; n];
+            v[j] = C64::ONE;
+            for qi in &q_cols {
+                let proj = crate::matrix::inner(qi, &v);
+                for (vk, qk) in v.iter_mut().zip(qi) {
+                    *vk -= proj * *qk;
+                }
+            }
+            normalize(&mut v);
+        }
+        r[(j, j)] = C64::real(norm);
+        q_cols.push(v);
+    }
+    let q = Matrix::from_fn(n, n, |i, j| q_cols[j][i]);
+    (q, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn qr_reconstructs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Matrix::from_fn(3, 3, |_, _| gaussian(&mut rng));
+        let (q, r) = qr(&a);
+        assert!(q.is_unitary(1e-10));
+        assert!(q.matmul(&r).approx_eq(&a, 1e-10));
+        // R is upper triangular.
+        for i in 0..3 {
+            for j in 0..i {
+                assert!(r[(i, j)].norm() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn haar_unitary_is_unitary() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for n in [2, 4, 8] {
+            let u = haar_unitary(n, &mut rng);
+            assert!(u.is_unitary(1e-10), "n={n}");
+        }
+    }
+
+    #[test]
+    fn haar_unitary_deterministic_per_seed() {
+        let u1 = haar_unitary(4, &mut StdRng::seed_from_u64(5));
+        let u2 = haar_unitary(4, &mut StdRng::seed_from_u64(5));
+        assert!(u1.approx_eq(&u2, 0.0_f64.max(1e-15)));
+        let u3 = haar_unitary(4, &mut StdRng::seed_from_u64(6));
+        assert!(!u1.approx_eq(&u3, 1e-6));
+    }
+
+    #[test]
+    fn haar_state_normalized() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let s = haar_state(8, &mut rng);
+        let norm: f64 = s.iter().map(|z| z.norm_sqr()).sum();
+        assert!((norm - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn haar_first_moment_roughly_uniform() {
+        // Mean |u00|² over many draws should approach 1/n.
+        let mut rng = StdRng::seed_from_u64(123);
+        let n = 4;
+        let trials = 400;
+        let mut acc = 0.0;
+        for _ in 0..trials {
+            let u = haar_unitary(n, &mut rng);
+            acc += u[(0, 0)].norm_sqr();
+        }
+        let mean = acc / trials as f64;
+        assert!(
+            (mean - 1.0 / n as f64).abs() < 0.05,
+            "mean |u00|^2 = {mean}, expected ~{}",
+            1.0 / n as f64
+        );
+    }
+}

@@ -1,0 +1,426 @@
+//! Real symmetric eigendecomposition and simultaneous diagonalization.
+//!
+//! The two-qubit KAK/Weyl decomposition reduces to the following problem: a
+//! complex symmetric unitary Γ = X + iY has commuting real symmetric parts
+//! (X² + Y² = I and XY = YX follow from unitarity), so there exists a real
+//! orthogonal P with PᵀXP and PᵀYP both diagonal. This module provides the
+//! cyclic Jacobi eigensolver and the degenerate-subspace refinement that
+//! computes such a P deterministically.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major real matrix.
+#[derive(Clone, PartialEq)]
+pub struct RealMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl RealMatrix {
+    /// Creates a `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        RealMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = RealMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix element-wise from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = RealMatrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> RealMatrix {
+        RealMatrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Matrix product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &RealMatrix) -> RealMatrix {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch in matmul");
+        let mut out = RealMatrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// The determinant via LU elimination with partial pivoting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn det(&self) -> f64 {
+        assert_eq!(self.rows, self.cols, "determinant requires square matrix");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut det = 1.0;
+        for col in 0..n {
+            let mut pivot = col;
+            let mut best = a[(col, col)].abs();
+            for r in col + 1..n {
+                if a[(r, col)].abs() > best {
+                    best = a[(r, col)].abs();
+                    pivot = r;
+                }
+            }
+            if best == 0.0 {
+                return 0.0;
+            }
+            if pivot != col {
+                for c in 0..n {
+                    let tmp = a[(pivot, c)];
+                    a[(pivot, c)] = a[(col, c)];
+                    a[(col, c)] = tmp;
+                }
+                det = -det;
+            }
+            let p = a[(col, col)];
+            det *= p;
+            for r in col + 1..n {
+                let f = a[(r, col)] / p;
+                for c in col..n {
+                    a[(r, c)] -= f * a[(col, c)];
+                }
+            }
+        }
+        det
+    }
+
+    /// Entry-wise approximate equality.
+    pub fn approx_eq(&self, other: &RealMatrix, eps: f64) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() < eps)
+    }
+
+    /// Largest absolute off-diagonal element (convergence measure for
+    /// Jacobi sweeps).
+    pub fn max_off_diagonal(&self) -> f64 {
+        let mut m: f64 = 0.0;
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if i != j {
+                    m = m.max(self[(i, j)].abs());
+                }
+            }
+        }
+        m
+    }
+
+    /// Returns `true` when `AᵀA ≈ I` within `eps`.
+    pub fn is_orthogonal(&self, eps: f64) -> bool {
+        self.rows == self.cols
+            && self
+                .transpose()
+                .matmul(self)
+                .approx_eq(&RealMatrix::identity(self.rows), eps)
+    }
+
+    /// Scales column `j` by `s` in place.
+    pub fn scale_column(&mut self, j: usize, s: f64) {
+        for i in 0..self.rows {
+            self[(i, j)] *= s;
+        }
+    }
+}
+
+impl Index<(usize, usize)> for RealMatrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for RealMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for RealMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "RealMatrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  ")?;
+            for j in 0..self.cols {
+                write!(f, "{:+.6} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Eigendecomposition of a real symmetric matrix by the cyclic Jacobi
+/// method.
+///
+/// Returns `(eigenvalues, eigenvectors)` where the eigenvectors are the
+/// *columns* of the returned orthogonal matrix, paired with the eigenvalue at
+/// the same index. Eigenvalues are sorted in ascending order.
+///
+/// # Panics
+///
+/// Panics if `a` is not square. Symmetry is assumed; only the upper triangle
+/// drives the rotations, so mild asymmetry is tolerated.
+pub fn jacobi_eigh(a: &RealMatrix) -> (Vec<f64>, RealMatrix) {
+    assert_eq!(a.rows(), a.cols(), "jacobi_eigh requires a square matrix");
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = RealMatrix::identity(n);
+    let max_sweeps = 100;
+    for _ in 0..max_sweeps {
+        if m.max_off_diagonal() < 1e-13 {
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = m[(p, q)];
+                if apq.abs() < 1e-15 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                // Classic Jacobi rotation computation (Golub & Van Loan).
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // Apply the rotation G(p,q,θ): M ← GᵀMG, V ← VG.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m[(i, i)], i)).collect();
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite eigenvalues"));
+    let eigenvalues: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+    let vectors = RealMatrix::from_fn(n, n, |i, j| v[(i, pairs[j].1)]);
+    (eigenvalues, vectors)
+}
+
+/// Simultaneously diagonalizes two commuting real symmetric matrices.
+///
+/// Returns an orthogonal `P` with determinant `+1` such that both `PᵀAP` and
+/// `PᵀBP` are diagonal (within numerical tolerance). The strategy is to
+/// diagonalize `A`, then within each (near-)degenerate eigenspace of `A`
+/// diagonalize the projection of `B` — a rotation inside a degenerate
+/// eigenspace of `A` leaves `PᵀAP` diagonal.
+///
+/// # Panics
+///
+/// Panics if the matrices are not square of equal size.
+pub fn simultaneous_diagonalize(a: &RealMatrix, b: &RealMatrix) -> RealMatrix {
+    assert_eq!(a.rows(), a.cols());
+    assert_eq!(b.rows(), b.cols());
+    assert_eq!(a.rows(), b.rows(), "matrices must have matching size");
+    let n = a.rows();
+    let (evals, mut p) = jacobi_eigh(a);
+    // Group near-equal eigenvalues (sorted ascending by jacobi_eigh).
+    let scale = evals
+        .iter()
+        .fold(1.0_f64, |acc, e| acc.max(e.abs()));
+    let tol = 1e-7 * scale.max(1.0);
+    let mut start = 0;
+    while start < n {
+        let mut end = start + 1;
+        while end < n && (evals[end] - evals[start]).abs() < tol {
+            end += 1;
+        }
+        let k = end - start;
+        if k > 1 {
+            // Project B into the degenerate subspace: B' = Pgᵀ B Pg.
+            let pg = RealMatrix::from_fn(n, k, |i, j| p[(i, start + j)]);
+            let bp = pg.transpose().matmul(b).matmul(&pg);
+            let (_, w) = jacobi_eigh(&bp);
+            // Update the columns: Pg ← Pg·W.
+            let updated = pg.matmul(&w);
+            for i in 0..n {
+                for j in 0..k {
+                    p[(i, start + j)] = updated[(i, j)];
+                }
+            }
+        }
+        start = end;
+    }
+    // Fix the determinant to +1 so the result lies in SO(n).
+    if p.det() < 0.0 {
+        p.scale_column(0, -1.0);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym_from(rows: &[&[f64]]) -> RealMatrix {
+        RealMatrix::from_fn(rows.len(), rows[0].len(), |i, j| rows[i][j])
+    }
+
+    fn is_diagonal(m: &RealMatrix, eps: f64) -> bool {
+        m.max_off_diagonal() < eps
+    }
+
+    #[test]
+    fn jacobi_diagonal_input() {
+        let d = sym_from(&[&[3.0, 0.0], &[0.0, -1.0]]);
+        let (evals, v) = jacobi_eigh(&d);
+        assert!((evals[0] + 1.0).abs() < 1e-12);
+        assert!((evals[1] - 3.0).abs() < 1e-12);
+        assert!(v.is_orthogonal(1e-12));
+    }
+
+    #[test]
+    fn jacobi_2x2_known_eigenvalues() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let a = sym_from(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let (evals, v) = jacobi_eigh(&a);
+        assert!((evals[0] - 1.0).abs() < 1e-10);
+        assert!((evals[1] - 3.0).abs() < 1e-10);
+        let d = v.transpose().matmul(&a).matmul(&v);
+        assert!(is_diagonal(&d, 1e-10));
+    }
+
+    #[test]
+    fn jacobi_reconstructs_matrix() {
+        let a = sym_from(&[
+            &[4.0, 1.0, -2.0, 0.5],
+            &[1.0, 3.0, 0.0, 1.5],
+            &[-2.0, 0.0, 1.0, 1.0],
+            &[0.5, 1.5, 1.0, -2.0],
+        ]);
+        let (evals, v) = jacobi_eigh(&a);
+        assert!(v.is_orthogonal(1e-10));
+        // A = V D Vᵀ
+        let mut d = RealMatrix::zeros(4, 4);
+        for i in 0..4 {
+            d[(i, i)] = evals[i];
+        }
+        let rebuilt = v.matmul(&d).matmul(&v.transpose());
+        assert!(rebuilt.approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn jacobi_eigenvalues_sorted() {
+        let a = sym_from(&[
+            &[0.0, 2.0, 0.0],
+            &[2.0, 0.0, 0.0],
+            &[0.0, 0.0, 5.0],
+        ]);
+        let (evals, _) = jacobi_eigh(&a);
+        assert!(evals.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        assert!((evals[0] + 2.0).abs() < 1e-10);
+        assert!((evals[1] - 2.0).abs() < 1e-10);
+        assert!((evals[2] - 5.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn simultaneous_diag_identity_and_generic() {
+        // A = I is maximally degenerate; P must then diagonalize B alone.
+        let a = RealMatrix::identity(3);
+        let b = sym_from(&[
+            &[1.0, 2.0, 0.0],
+            &[2.0, 1.0, 0.5],
+            &[0.0, 0.5, -1.0],
+        ]);
+        let p = simultaneous_diagonalize(&a, &b);
+        assert!(p.is_orthogonal(1e-9));
+        assert!((p.det() - 1.0).abs() < 1e-9);
+        let bd = p.transpose().matmul(&b).matmul(&p);
+        assert!(is_diagonal(&bd, 1e-8), "B not diagonalized: {bd:?}");
+    }
+
+    #[test]
+    fn simultaneous_diag_commuting_pair() {
+        // Construct a commuting pair: A = Q D1 Qᵀ, B = Q D2 Qᵀ with shared Q
+        // (a rotation) and degenerate D1.
+        let c = (0.6_f64).cos();
+        let s = (0.6_f64).sin();
+        let q = sym_from(&[&[c, -s, 0.0], &[s, c, 0.0], &[0.0, 0.0, 1.0]]);
+        let d1 = sym_from(&[&[2.0, 0.0, 0.0], &[0.0, 2.0, 0.0], &[0.0, 0.0, 7.0]]);
+        let d2 = sym_from(&[&[1.0, 0.0, 0.0], &[0.0, -3.0, 0.0], &[0.0, 0.0, 4.0]]);
+        let a = q.matmul(&d1).matmul(&q.transpose());
+        let b = q.matmul(&d2).matmul(&q.transpose());
+        let p = simultaneous_diagonalize(&a, &b);
+        let ad = p.transpose().matmul(&a).matmul(&p);
+        let bd = p.transpose().matmul(&b).matmul(&p);
+        assert!(is_diagonal(&ad, 1e-8), "A not diagonal: {ad:?}");
+        assert!(is_diagonal(&bd, 1e-8), "B not diagonal: {bd:?}");
+    }
+
+    #[test]
+    fn det_and_orthogonality_helpers() {
+        let r = sym_from(&[&[0.0, -1.0], &[1.0, 0.0]]);
+        assert!((r.det() - 1.0).abs() < 1e-14);
+        assert!(r.is_orthogonal(1e-14));
+        let m = sym_from(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert!((m.det() + 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,168 @@
+//! Singular value decomposition of 2×2 complex matrices.
+//!
+//! The Schmidt decomposition of a two-qubit pure state — the kernel of the
+//! paper's two-qubit-block state-preparation optimization (Fig. 4) — is
+//! exactly the SVD of the state's 2×2 coefficient matrix. Only the 2×2 case
+//! is needed, so a direct analytic construction via the Hermitian
+//! eigendecomposition of `A†A` is used.
+
+use crate::complex::C64;
+use crate::matrix::Matrix;
+
+/// Computes the singular value decomposition `A = U·Σ·V†` of a 2×2 complex
+/// matrix.
+///
+/// Returns `(u, sigma, v)` where `u` and `v` are 2×2 unitary matrices and
+/// `sigma = [σ₀, σ₁]` with `σ₀ ≥ σ₁ ≥ 0`.
+///
+/// # Panics
+///
+/// Panics if `a` is not 2×2.
+///
+/// # Examples
+///
+/// ```
+/// use qc_math::{svd2x2, C64, Matrix};
+///
+/// let a = Matrix::from_rows(&[
+///     vec![C64::new(1.0, 0.0), C64::new(0.0, 0.5)],
+///     vec![C64::new(0.0, 0.0), C64::new(2.0, 0.0)],
+/// ]);
+/// let (u, s, v) = svd2x2(&a);
+/// let sigma = Matrix::diag(&[C64::real(s[0]), C64::real(s[1])]);
+/// let rebuilt = u.matmul(&sigma).matmul(&v.adjoint());
+/// assert!(rebuilt.approx_eq(&a, 1e-10));
+/// ```
+pub fn svd2x2(a: &Matrix) -> (Matrix, [f64; 2], Matrix) {
+    assert_eq!((a.rows(), a.cols()), (2, 2), "svd2x2 requires a 2x2 matrix");
+    // H = A†A is Hermitian positive semidefinite; its eigenvalues are σᵢ².
+    let h = a.adjoint().matmul(a);
+    let h00 = h[(0, 0)].re;
+    let h11 = h[(1, 1)].re;
+    let h01 = h[(0, 1)];
+    // Eigenvalues of [[h00, h01],[conj(h01), h11]].
+    let tr = h00 + h11;
+    let diff = h00 - h11;
+    let disc = (diff * diff + 4.0 * h01.norm_sqr()).sqrt();
+    let l0 = 0.5 * (tr + disc); // larger eigenvalue
+
+    // Eigenvector for l0: solve (H - l0 I)v = 0.
+    let v0 = eigenvector_2x2(h00, h01, h11, l0);
+    // Orthogonal complement gives the second eigenvector: v1 ⟂ v0.
+    let v1 = [-v0[1].conj(), v0[0].conj()];
+    let v = Matrix::from_rows(&[vec![v0[0], v1[0]], vec![v0[1], v1[1]]]);
+
+    // σᵢ = ‖A·vᵢ‖ (numerically more robust near rank deficiency than the
+    // eigenvalue route, which can report σ ~ √ε for an exactly-zero image);
+    // uᵢ = A·vᵢ / σᵢ, completing the basis when σᵢ vanishes.
+    let av0 = a.apply(&[v0[0], v0[1]]);
+    let av1 = a.apply(&[v1[0], v1[1]]);
+    let s0 = (av0[0].norm_sqr() + av0[1].norm_sqr()).sqrt();
+    let s1 = (av1[0].norm_sqr() + av1[1].norm_sqr()).sqrt();
+    let u0 = if s0 > 1e-12 {
+        [av0[0].scale(1.0 / s0), av0[1].scale(1.0 / s0)]
+    } else {
+        [C64::ONE, C64::ZERO]
+    };
+    let u1 = if s1 > 1e-12 {
+        [av1[0].scale(1.0 / s1), av1[1].scale(1.0 / s1)]
+    } else {
+        // Orthogonal complement of u0.
+        [-u0[1].conj(), u0[0].conj()]
+    };
+    let u = Matrix::from_rows(&[vec![u0[0], u1[0]], vec![u0[1], u1[1]]]);
+    (u, [s0, s1], v)
+}
+
+/// Unit eigenvector of the Hermitian matrix `[[h00, h01],[conj(h01), h11]]`
+/// for eigenvalue `l`.
+fn eigenvector_2x2(h00: f64, h01: C64, h11: f64, l: f64) -> [C64; 2] {
+    // Rows of (H - lI): [h00-l, h01] and [conj(h01), h11-l]. The eigenvector
+    // is orthogonal to each row's conjugate; pick the numerically larger row.
+    let r0 = (C64::real(h00 - l), h01);
+    let r1 = (h01.conj(), C64::real(h11 - l));
+    let n0 = r0.0.norm_sqr() + r0.1.norm_sqr();
+    let n1 = r1.0.norm_sqr() + r1.1.norm_sqr();
+    let (a, b) = if n0 >= n1 { r0 } else { r1 };
+    let mut v = if a.norm() < 1e-14 && b.norm() < 1e-14 {
+        // Degenerate: any vector is an eigenvector.
+        [C64::ONE, C64::ZERO]
+    } else {
+        // Null-space condition a·v₀ + b·v₁ = 0 ⇒ v = (-b, a).
+        [-b, a]
+    };
+    let norm = (v[0].norm_sqr() + v[1].norm_sqr()).sqrt();
+    v[0] = v[0].scale(1.0 / norm);
+    v[1] = v[1].scale(1.0 / norm);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_svd(a: &Matrix, eps: f64) {
+        let (u, s, v) = svd2x2(a);
+        assert!(u.is_unitary(eps), "U not unitary: {u:?}");
+        assert!(v.is_unitary(eps), "V not unitary: {v:?}");
+        assert!(s[0] >= s[1] && s[1] >= -eps, "singular values bad: {s:?}");
+        let sigma = Matrix::diag(&[C64::real(s[0]), C64::real(s[1])]);
+        let rebuilt = u.matmul(&sigma).matmul(&v.adjoint());
+        assert!(rebuilt.approx_eq(a, eps), "rebuild failed:\n{a:?}\n{rebuilt:?}");
+    }
+
+    #[test]
+    fn svd_identity() {
+        let (_, s, _) = svd2x2(&Matrix::identity(2));
+        assert!((s[0] - 1.0).abs() < 1e-12 && (s[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn svd_diagonal() {
+        let a = Matrix::diag(&[C64::real(3.0), C64::real(0.5)]);
+        let (_, s, _) = svd2x2(&a);
+        assert!((s[0] - 3.0).abs() < 1e-12 && (s[1] - 0.5).abs() < 1e-12);
+        check_svd(&a, 1e-10);
+    }
+
+    #[test]
+    fn svd_rank_one() {
+        // Outer product |0⟩⟨+| scaled: rank 1, σ₁ = 0.
+        let a = Matrix::from_rows(&[
+            vec![C64::real(1.0), C64::real(1.0)],
+            vec![C64::ZERO, C64::ZERO],
+        ]);
+        let (_, s, _) = svd2x2(&a);
+        assert!((s[0] - 2.0_f64.sqrt()).abs() < 1e-12);
+        assert!(s[1].abs() < 1e-12);
+        check_svd(&a, 1e-10);
+    }
+
+    #[test]
+    fn svd_zero_matrix() {
+        let a = Matrix::zeros(2, 2);
+        check_svd(&a, 1e-10);
+    }
+
+    #[test]
+    fn svd_generic_complex() {
+        let a = Matrix::from_rows(&[
+            vec![C64::new(0.3, -0.8), C64::new(1.2, 0.4)],
+            vec![C64::new(-0.5, 0.1), C64::new(0.0, 2.0)],
+        ]);
+        check_svd(&a, 1e-9);
+    }
+
+    #[test]
+    fn svd_unitary_input_has_unit_singular_values() {
+        // Hadamard-like unitary.
+        let r = std::f64::consts::FRAC_1_SQRT_2;
+        let a = Matrix::from_rows(&[
+            vec![C64::real(r), C64::real(r)],
+            vec![C64::real(r), C64::real(-r)],
+        ]);
+        let (_, s, _) = svd2x2(&a);
+        assert!((s[0] - 1.0).abs() < 1e-12 && (s[1] - 1.0).abs() < 1e-12);
+        check_svd(&a, 1e-10);
+    }
+}

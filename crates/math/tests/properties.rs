@@ -1,0 +1,148 @@
+//! Property-based tests for the linear-algebra kernels.
+
+use proptest::prelude::*;
+use qc_math::matrix::{inner, normalize};
+use qc_math::{haar_unitary, jacobi_eigh, simultaneous_diagonalize, svd2x2, C64, Matrix, RealMatrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn complex_strategy() -> impl Strategy<Value = C64> {
+    (-3.0..3.0f64, -3.0..3.0f64).prop_map(|(re, im)| C64::new(re, im))
+}
+
+fn matrix2_strategy() -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(complex_strategy(), 4).prop_map(|v| {
+        Matrix::from_rows(&[vec![v[0], v[1]], vec![v[2], v[3]]])
+    })
+}
+
+fn sym4_strategy() -> impl Strategy<Value = RealMatrix> {
+    proptest::collection::vec(-4.0..4.0f64, 10).prop_map(|v| {
+        // Upper-triangular packing of a symmetric 4×4.
+        let idx = |i: usize, j: usize| -> f64 {
+            let (a, b) = (i.min(j), i.max(j));
+            let flat = a * 4 + b - a * (a + 1) / 2;
+            v[flat]
+        };
+        RealMatrix::from_fn(4, 4, |i, j| idx(i, j))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn complex_field_axioms(a in complex_strategy(), b in complex_strategy(), c in complex_strategy()) {
+        prop_assert!(((a + b) + c).approx_eq(a + (b + c), 1e-9));
+        prop_assert!((a * b).approx_eq(b * a, 1e-9));
+        prop_assert!((a * (b + c)).approx_eq(a * b + a * c, 1e-9));
+        prop_assert!((a.conj().conj()).approx_eq(a, 1e-12));
+        prop_assert!(((a * b).conj()).approx_eq(a.conj() * b.conj(), 1e-9));
+    }
+
+    #[test]
+    fn determinant_multiplicative(m1 in matrix2_strategy(), m2 in matrix2_strategy()) {
+        let lhs = m1.matmul(&m2).det();
+        let rhs = m1.det() * m2.det();
+        prop_assert!(lhs.approx_eq(rhs, 1e-6 * (1.0 + lhs.norm())));
+    }
+
+    #[test]
+    fn adjoint_reverses_products(m1 in matrix2_strategy(), m2 in matrix2_strategy()) {
+        let lhs = m1.matmul(&m2).adjoint();
+        let rhs = m2.adjoint().matmul(&m1.adjoint());
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn kron_mixed_product(a in matrix2_strategy(), b in matrix2_strategy(), c in matrix2_strategy(), d in matrix2_strategy()) {
+        // (A⊗B)(C⊗D) = (AC)⊗(BD)
+        let lhs = a.kron(&b).matmul(&c.kron(&d));
+        let rhs = a.matmul(&c).kron(&b.matmul(&d));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-7));
+    }
+
+    #[test]
+    fn svd_reconstructs_any_2x2(m in matrix2_strategy()) {
+        let (u, s, v) = svd2x2(&m);
+        prop_assert!(u.is_unitary(1e-8));
+        prop_assert!(v.is_unitary(1e-8));
+        prop_assert!(s[0] >= s[1] && s[1] >= -1e-12);
+        let sigma = Matrix::diag(&[C64::real(s[0]), C64::real(s[1])]);
+        prop_assert!(u.matmul(&sigma).matmul(&v.adjoint()).approx_eq(&m, 1e-7));
+    }
+
+    #[test]
+    fn jacobi_diagonalizes_symmetric(a in sym4_strategy()) {
+        let (evals, v) = jacobi_eigh(&a);
+        prop_assert!(v.is_orthogonal(1e-8));
+        let d = v.transpose().matmul(&a).matmul(&v);
+        prop_assert!(d.max_off_diagonal() < 1e-7);
+        for (i, &e) in evals.iter().enumerate() {
+            prop_assert!((d[(i, i)] - e).abs() < 1e-7);
+        }
+        // Eigenvalues sorted ascending.
+        prop_assert!(evals.windows(2).all(|w| w[0] <= w[1] + 1e-9));
+    }
+
+    #[test]
+    fn haar_unitaries_are_unitary(seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u = haar_unitary(4, &mut rng);
+        prop_assert!(u.is_unitary(1e-9));
+        prop_assert!((u.det().norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn global_phase_equality_is_phase_invariant(seed in 0u64..1000, phase in 0.0..std::f64::consts::TAU) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u = haar_unitary(2, &mut rng);
+        let phased = u.scale(C64::cis(phase));
+        prop_assert!(u.equal_up_to_global_phase(&phased, 1e-9));
+    }
+
+    #[test]
+    fn normalization_yields_unit_vectors(v in proptest::collection::vec(complex_strategy(), 4)) {
+        let norm_in: f64 = v.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+        prop_assume!(norm_in > 1e-6);
+        let mut w = v.clone();
+        normalize(&mut w);
+        prop_assert!((inner(&w, &w).re - 1.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn simultaneous_diagonalization_on_commuting_pairs() {
+    // Deterministic sweep: conjugate commuting diagonal pairs by random
+    // rotations and check both come back diagonal.
+    for seed in 0..20u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = {
+            // Random orthogonal via QR of a random real matrix.
+            let m = haar_unitary(4, &mut rng);
+            RealMatrix::from_fn(4, 4, |i, j| m[(i, j)].re + m[(i, j)].im)
+        };
+        // Orthogonalize columns (Gram–Schmidt on the real matrix).
+        let mut cols: Vec<Vec<f64>> = (0..4).map(|j| (0..4).map(|i| q[(i, j)]).collect()).collect();
+        for j in 0..4 {
+            for k in 0..j {
+                let dot: f64 = (0..4).map(|i| cols[j][i] * cols[k][i]).sum();
+                for i in 0..4 {
+                    cols[j][i] -= dot * cols[k][i];
+                }
+            }
+            let n: f64 = cols[j].iter().map(|x| x * x).sum::<f64>().sqrt();
+            for x in cols[j].iter_mut() {
+                *x /= n;
+            }
+        }
+        let q = RealMatrix::from_fn(4, 4, |i, j| cols[j][i]);
+        let d1 = RealMatrix::from_fn(4, 4, |i, j| if i == j { [2.0, 2.0, -1.0, 5.0][i] } else { 0.0 });
+        let d2 = RealMatrix::from_fn(4, 4, |i, j| if i == j { [1.0, -3.0, 4.0, 4.0][i] } else { 0.0 });
+        let a = q.matmul(&d1).matmul(&q.transpose());
+        let b = q.matmul(&d2).matmul(&q.transpose());
+        let p = simultaneous_diagonalize(&a, &b);
+        assert!(p.transpose().matmul(&a).matmul(&p).max_off_diagonal() < 1e-6);
+        assert!(p.transpose().matmul(&b).matmul(&p).max_off_diagonal() < 1e-6);
+    }
+}

@@ -1,0 +1,442 @@
+//! Exact state-vector simulation.
+
+use qc_circuit::{Circuit, Gate};
+use qc_math::{C64, Matrix};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// An n-qubit pure state as 2ⁿ complex amplitudes (little-endian basis
+/// indexing: bit q of the index is the value of qubit q).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Statevector {
+    num_qubits: usize,
+    amps: Vec<C64>,
+}
+
+impl Statevector {
+    /// The all-zeros state |0…0⟩.
+    pub fn zero_state(num_qubits: usize) -> Self {
+        let mut amps = vec![C64::ZERO; 1 << num_qubits];
+        amps[0] = C64::ONE;
+        Statevector { num_qubits, amps }
+    }
+
+    /// Builds a state from raw amplitudes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not 2ⁿ or the norm deviates from 1 by more
+    /// than `1e-6`.
+    pub fn from_amplitudes(amps: Vec<C64>) -> Self {
+        assert!(amps.len().is_power_of_two(), "length must be a power of two");
+        let norm: f64 = amps.iter().map(|z| z.norm_sqr()).sum();
+        assert!(
+            (norm - 1.0).abs() < 1e-6,
+            "state vector must be normalized (norm² = {norm})"
+        );
+        Statevector {
+            num_qubits: amps.len().trailing_zeros() as usize,
+            amps,
+        }
+    }
+
+    /// Runs a circuit on |0…0⟩ and returns the final state. Measurements are
+    /// ignored (deferred measurement); resets collapse deterministically via
+    /// an internal fixed-seed RNG.
+    pub fn from_circuit(circuit: &Circuit) -> Self {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        Self::from_circuit_with_rng(circuit, &mut rng)
+    }
+
+    /// Runs a circuit on |0…0⟩ using `rng` for any stochastic collapse
+    /// (resets).
+    pub fn from_circuit_with_rng(circuit: &Circuit, rng: &mut impl Rng) -> Self {
+        let mut sv = Statevector::zero_state(circuit.num_qubits());
+        for inst in circuit.instructions() {
+            sv.apply_instruction(&inst.gate, &inst.qubits, rng);
+        }
+        sv
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The raw amplitudes (little-endian indexing).
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amps
+    }
+
+    /// Applies one instruction; measurements are no-ops, resets collapse via
+    /// `rng`.
+    pub fn apply_instruction(&mut self, gate: &Gate, qubits: &[usize], rng: &mut impl Rng) {
+        if gate.is_directive() || matches!(gate, Gate::Measure) {
+            return;
+        }
+        if matches!(gate, Gate::Reset) {
+            self.reset(qubits[0], rng);
+            return;
+        }
+        self.apply_gate(gate, qubits);
+    }
+
+    /// Applies a unitary gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-unitary instructions or qubit-index errors.
+    pub fn apply_gate(&mut self, gate: &Gate, qubits: &[usize]) {
+        match gate {
+            Gate::Cx => self.apply_cx(qubits[0], qubits[1]),
+            Gate::Cz => self.apply_phase_on_mask((1 << qubits[0]) | (1 << qubits[1]), C64::real(-1.0)),
+            Gate::Cp(l) => {
+                self.apply_phase_on_mask((1 << qubits[0]) | (1 << qubits[1]), C64::cis(*l))
+            }
+            Gate::Swap => self.apply_swap(qubits[0], qubits[1]),
+            Gate::Mcz(_) => {
+                let mask = qubits.iter().fold(0usize, |m, &q| m | (1 << q));
+                self.apply_phase_on_mask(mask, C64::real(-1.0));
+            }
+            Gate::Mcx(n) => {
+                let ctrl_mask = qubits[..*n].iter().fold(0usize, |m, &q| m | (1 << q));
+                self.apply_controlled_x(ctrl_mask, qubits[*n]);
+            }
+            Gate::Ccx => {
+                let ctrl_mask = (1 << qubits[0]) | (1 << qubits[1]);
+                self.apply_controlled_x(ctrl_mask, qubits[2]);
+            }
+            _ => {
+                let m = gate
+                    .matrix()
+                    .unwrap_or_else(|| panic!("gate {gate} has no unitary matrix"));
+                if qubits.len() == 1 {
+                    self.apply_1q_matrix(&m, qubits[0]);
+                } else {
+                    self.apply_matrix(&m, qubits);
+                }
+            }
+        }
+    }
+
+    /// Applies an arbitrary k-qubit matrix on the given qubits
+    /// (little-endian local ordering, matching [`qc_circuit::embed`]).
+    pub fn apply_matrix(&mut self, m: &Matrix, qubits: &[usize]) {
+        let k = qubits.len();
+        assert_eq!(m.rows(), 1 << k, "matrix dimension mismatch");
+        let dim = self.amps.len();
+        let full_mask: usize = qubits.iter().map(|&q| 1usize << q).sum();
+        let mut scratch = vec![C64::ZERO; 1 << k];
+        // Iterate base indices with all target bits clear.
+        for base in 0..dim {
+            if base & full_mask != 0 {
+                continue;
+            }
+            // Gather.
+            for local in 0..(1 << k) {
+                let mut idx = base;
+                for (bit, &q) in qubits.iter().enumerate() {
+                    if (local >> bit) & 1 == 1 {
+                        idx |= 1 << q;
+                    }
+                }
+                scratch[local] = self.amps[idx];
+            }
+            // Multiply and scatter.
+            for (row, out) in m_rows(m).enumerate() {
+                let mut acc = C64::ZERO;
+                for (col, coeff) in out.iter().enumerate() {
+                    if *coeff != C64::ZERO {
+                        acc += *coeff * scratch[col];
+                    }
+                }
+                let mut idx = base;
+                for (bit, &q) in qubits.iter().enumerate() {
+                    if (row >> bit) & 1 == 1 {
+                        idx |= 1 << q;
+                    }
+                }
+                self.amps[idx] = acc;
+            }
+        }
+    }
+
+    fn apply_1q_matrix(&mut self, m: &Matrix, q: usize) {
+        let step = 1usize << q;
+        let (a, b, c, d) = (m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]);
+        let dim = self.amps.len();
+        let mut i = 0;
+        while i < dim {
+            if i & step == 0 {
+                let j = i | step;
+                let x = self.amps[i];
+                let y = self.amps[j];
+                self.amps[i] = a * x + b * y;
+                self.amps[j] = c * x + d * y;
+            }
+            i += 1;
+        }
+    }
+
+    fn apply_cx(&mut self, control: usize, target: usize) {
+        let cmask = 1usize << control;
+        let tmask = 1usize << target;
+        for i in 0..self.amps.len() {
+            if i & cmask != 0 && i & tmask == 0 {
+                self.amps.swap(i, i | tmask);
+            }
+        }
+    }
+
+    fn apply_controlled_x(&mut self, ctrl_mask: usize, target: usize) {
+        let tmask = 1usize << target;
+        for i in 0..self.amps.len() {
+            if i & ctrl_mask == ctrl_mask && i & tmask == 0 {
+                self.amps.swap(i, i | tmask);
+            }
+        }
+    }
+
+    fn apply_swap(&mut self, a: usize, b: usize) {
+        let (ma, mb) = (1usize << a, 1usize << b);
+        for i in 0..self.amps.len() {
+            if i & ma != 0 && i & mb == 0 {
+                self.amps.swap(i, (i & !ma) | mb);
+            }
+        }
+    }
+
+    fn apply_phase_on_mask(&mut self, mask: usize, phase: C64) {
+        for (i, amp) in self.amps.iter_mut().enumerate() {
+            if i & mask == mask {
+                *amp = *amp * phase;
+            }
+        }
+    }
+
+    /// Measurement probabilities for each basis state.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|z| z.norm_sqr()).collect()
+    }
+
+    /// Probability of measuring the exact basis state `bits` (little-endian
+    /// integer encoding).
+    pub fn probability_of(&self, bits: usize) -> f64 {
+        self.amps[bits].norm_sqr()
+    }
+
+    /// Probability that qubit `q` measures as 1.
+    pub fn marginal_one_probability(&self, q: usize) -> f64 {
+        let mask = 1usize << q;
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & mask != 0)
+            .map(|(_, z)| z.norm_sqr())
+            .sum()
+    }
+
+    /// Samples `shots` measurement outcomes, returning basis-state counts.
+    pub fn sample(&self, shots: usize, rng: &mut impl Rng) -> HashMap<usize, usize> {
+        let probs = self.probabilities();
+        let mut counts = HashMap::new();
+        for _ in 0..shots {
+            let mut r: f64 = rng.gen();
+            let mut outcome = probs.len() - 1;
+            for (i, p) in probs.iter().enumerate() {
+                if r < *p {
+                    outcome = i;
+                    break;
+                }
+                r -= p;
+            }
+            *counts.entry(outcome).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Projectively resets qubit `q` to |0⟩: measures it (using `rng` to
+    /// choose the branch) and applies X if the outcome was 1.
+    pub fn reset(&mut self, q: usize, rng: &mut impl Rng) {
+        let p1 = self.marginal_one_probability(q);
+        let outcome_one = rng.gen::<f64>() < p1;
+        let mask = 1usize << q;
+        let keep_p = if outcome_one { p1 } else { 1.0 - p1 };
+        if keep_p <= 0.0 {
+            return; // nothing to collapse
+        }
+        let scale = 1.0 / keep_p.sqrt();
+        for i in 0..self.amps.len() {
+            let bit_set = i & mask != 0;
+            if bit_set != outcome_one {
+                self.amps[i] = C64::ZERO;
+            } else {
+                self.amps[i] = self.amps[i].scale(scale);
+            }
+        }
+        if outcome_one {
+            // Map |…1…⟩ back to |…0…⟩.
+            for i in 0..self.amps.len() {
+                if i & mask != 0 {
+                    self.amps.swap(i, i & !mask);
+                }
+            }
+        }
+    }
+}
+
+fn m_rows(m: &Matrix) -> impl Iterator<Item = Vec<C64>> + '_ {
+    (0..m.rows()).map(move |i| (0..m.cols()).map(|j| m[(i, j)]).collect())
+}
+
+/// Converts raw counts into a probability distribution over basis states.
+pub fn counts_to_distribution(counts: &HashMap<usize, usize>, dim: usize) -> Vec<f64> {
+    let total: usize = counts.values().sum();
+    let mut dist = vec![0.0; dim];
+    if total == 0 {
+        return dist;
+    }
+    for (&k, &v) in counts {
+        dist[k] = v as f64 / total as f64;
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qc_circuit::circuit_unitary;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_state_probability() {
+        let sv = Statevector::zero_state(3);
+        assert_eq!(sv.probability_of(0), 1.0);
+        assert_eq!(sv.num_qubits(), 3);
+    }
+
+    #[test]
+    fn x_flips_qubit() {
+        let mut c = Circuit::new(2);
+        c.x(1);
+        let sv = Statevector::from_circuit(&c);
+        assert!((sv.probability_of(0b10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ghz_state() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2);
+        let sv = Statevector::from_circuit(&c);
+        assert!((sv.probability_of(0) - 0.5).abs() < 1e-12);
+        assert!((sv.probability_of(7) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fast_paths_match_generic_matrix_path() {
+        // Apply each specialized gate both via apply_gate and via the full
+        // embedded matrix; results must agree on a random-ish state.
+        let gates: Vec<(Gate, Vec<usize>)> = vec![
+            (Gate::Cx, vec![2, 0]),
+            (Gate::Cz, vec![1, 2]),
+            (Gate::Cp(0.7), vec![0, 2]),
+            (Gate::Swap, vec![0, 2]),
+            (Gate::Ccx, vec![2, 0, 1]),
+            (Gate::Mcx(2), vec![1, 2, 0]),
+            (Gate::Mcz(2), vec![0, 1, 2]),
+            (Gate::SwapZ, vec![1, 2]),
+        ];
+        let mut prep = Circuit::new(3);
+        prep.h(0).t(0).h(1).s(1).h(2).rx(0.3, 2).cx(0, 1);
+        for (gate, qubits) in gates {
+            let mut sv1 = Statevector::from_circuit(&prep);
+            sv1.apply_gate(&gate, &qubits);
+            let mut sv2 = Statevector::from_circuit(&prep);
+            let m = gate.matrix().unwrap();
+            sv2.apply_matrix(&m, &qubits);
+            for (a, b) in sv1.amplitudes().iter().zip(sv2.amplitudes()) {
+                assert!(a.approx_eq(*b, 1e-10), "mismatch for {gate}");
+            }
+        }
+    }
+
+    #[test]
+    fn statevector_matches_circuit_unitary() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).t(1).cz(1, 2).u3(0.4, 1.0, -0.2, 2).swap(0, 2);
+        let sv = Statevector::from_circuit(&c);
+        let u = circuit_unitary(&c);
+        let col = u.column(0);
+        for (a, b) in sv.amplitudes().iter().zip(&col) {
+            assert!(a.approx_eq(*b, 1e-10));
+        }
+    }
+
+    #[test]
+    fn sampling_statistics() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let sv = Statevector::from_circuit(&c);
+        let mut rng = StdRng::seed_from_u64(11);
+        let counts = sv.sample(10_000, &mut rng);
+        let ones = *counts.get(&1).unwrap_or(&0) as f64;
+        assert!((ones / 10_000.0 - 0.5).abs() < 0.03);
+    }
+
+    #[test]
+    fn reset_collapses_to_zero() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let mut sv = Statevector::from_circuit(&c);
+        let mut rng = StdRng::seed_from_u64(3);
+        sv.reset(0, &mut rng);
+        assert!((sv.probability_of(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_on_entangled_pair_collapses_partner() {
+        // Bell state; resetting qubit 0 leaves qubit 1 in a definite state.
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        for seed in 0..8 {
+            let mut sv = Statevector::from_circuit(&c);
+            let mut rng = StdRng::seed_from_u64(seed);
+            sv.reset(0, &mut rng);
+            // Qubit 0 must be |0⟩; qubit 1 must be classical (prob 0 or 1).
+            let p0 = sv.marginal_one_probability(0);
+            assert!(p0 < 1e-12);
+            let p1 = sv.marginal_one_probability(1);
+            assert!(p1 < 1e-12 || (p1 - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn marginal_probability() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        let sv = Statevector::from_circuit(&c);
+        assert!((sv.marginal_one_probability(0) - 0.5).abs() < 1e-12);
+        assert!(sv.marginal_one_probability(1) < 1e-12);
+    }
+
+    #[test]
+    fn counts_to_distribution_normalizes() {
+        let mut counts = HashMap::new();
+        counts.insert(0, 75);
+        counts.insert(3, 25);
+        let d = counts_to_distribution(&counts, 4);
+        assert!((d[0] - 0.75).abs() < 1e-12);
+        assert!((d[3] - 0.25).abs() < 1e-12);
+        assert_eq!(d[1], 0.0);
+    }
+
+    #[test]
+    fn measure_is_noop_for_statevector() {
+        let mut c = Circuit::new(1);
+        c.h(0).measure(0);
+        let sv = Statevector::from_circuit(&c);
+        assert!((sv.probability_of(0) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,149 @@
+//! Quantum state preparation.
+//!
+//! The paper's two-qubit-block optimization (Section V-D) replaces a
+//! three-CNOT universal block with a *state preparation* circuit when both
+//! inputs are known pure states: any two-qubit pure state can be prepared
+//! from |00⟩ with one CNOT and a handful of single-qubit gates (Fig. 4). The
+//! construction is the Schmidt decomposition: SVD the 2×2 coefficient
+//! matrix, rotate the Schmidt weights onto qubit 1, entangle with one CNOT,
+//! and apply the Schmidt bases locally.
+
+use qc_circuit::{Circuit, Gate};
+use qc_math::{svd2x2, C64, Matrix};
+
+use crate::euler::matrix_to_u3_gate;
+
+/// The gate preparing the single-qubit pure state
+/// `cos(θ/2)|0⟩ + e^{iφ}sin(θ/2)|1⟩` from |0⟩ — `u3(θ, φ, 0)`, exactly the
+/// parameterization the paper's pure-state analysis tracks.
+pub fn prepare_one_qubit(theta: f64, phi: f64) -> Gate {
+    Gate::U3(theta, phi, 0.0)
+}
+
+/// Synthesizes a circuit preparing the given two-qubit state from |00⟩,
+/// up to global phase, using at most one CNOT (zero for product states).
+///
+/// Amplitude ordering is little-endian: `state[2·q1 + q0]`.
+///
+/// # Panics
+///
+/// Panics if `state` does not have exactly 4 amplitudes or is not normalized
+/// within `1e-6`.
+pub fn prepare_two_qubit(state: &[C64]) -> Circuit {
+    assert_eq!(state.len(), 4, "expected a two-qubit state");
+    let norm: f64 = state.iter().map(|z| z.norm_sqr()).sum();
+    assert!(
+        (norm - 1.0).abs() < 1e-6,
+        "state must be normalized (norm² = {norm})"
+    );
+    // Coefficient matrix M[q1][q0].
+    let m = Matrix::from_rows(&[
+        vec![state[0], state[1]],
+        vec![state[2], state[3]],
+    ]);
+    let (u, s, v) = svd2x2(&m);
+    let mut circ = Circuit::new(2);
+    let entangled = s[1] > 1e-9;
+    if entangled {
+        // Schmidt weights onto qubit 1: cosα|0⟩ + sinα|1⟩.
+        let alpha = 2.0 * s[1].atan2(s[0]);
+        circ.ry(alpha, 1);
+        circ.cx(1, 0);
+    }
+    // Apply Schmidt bases: U on qubit 1, conj(V) on qubit 0.
+    let vbar = v.conjugate();
+    for (mat, q) in [(&vbar, 0usize), (&u, 1usize)] {
+        let g = matrix_to_u3_gate(mat);
+        if !matches!(g, Gate::I) {
+            circ.push(g, &[q]);
+        }
+    }
+    circ
+}
+
+/// Computes the Schmidt coefficients `(σ₀, σ₁)` of a two-qubit state
+/// (σ₀ ≥ σ₁ ≥ 0, σ₀² + σ₁² = 1); σ₁ = 0 exactly for product states.
+pub fn schmidt_coefficients(state: &[C64]) -> (f64, f64) {
+    assert_eq!(state.len(), 4, "expected a two-qubit state");
+    let m = Matrix::from_rows(&[
+        vec![state[0], state[1]],
+        vec![state[2], state[3]],
+    ]);
+    let (_, s, _) = svd2x2(&m);
+    (s[0], s[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qc_math::haar_state;
+    use qc_math::matrix::states_equal_up_to_phase;
+    use qc_sim::Statevector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check_prep(state: &[C64], max_cx: usize) {
+        let circ = prepare_two_qubit(state);
+        assert!(circ.gate_counts().cx <= max_cx);
+        let sv = Statevector::from_circuit(&circ);
+        assert!(
+            states_equal_up_to_phase(sv.amplitudes(), state, 1e-8),
+            "prepared {:?}, wanted {:?}",
+            sv.amplitudes(),
+            state
+        );
+    }
+
+    #[test]
+    fn prepares_bell_state() {
+        let r = std::f64::consts::FRAC_1_SQRT_2;
+        let bell = [C64::real(r), C64::ZERO, C64::ZERO, C64::real(r)];
+        check_prep(&bell, 1);
+        let (s0, s1) = schmidt_coefficients(&bell);
+        assert!((s0 - r).abs() < 1e-12 && (s1 - r).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prepares_product_state_without_cnot() {
+        // |+⟩⊗|1⟩ (q1 = +, q0 = 1): amplitudes at 01 and 11.
+        let r = std::f64::consts::FRAC_1_SQRT_2;
+        let st = [C64::ZERO, C64::real(r), C64::ZERO, C64::real(r)];
+        check_prep(&st, 0);
+        let (_, s1) = schmidt_coefficients(&st);
+        assert!(s1 < 1e-12);
+    }
+
+    #[test]
+    fn prepares_basis_states() {
+        for k in 0..4 {
+            let mut st = [C64::ZERO; 4];
+            st[k] = C64::ONE;
+            check_prep(&st, 0);
+        }
+    }
+
+    #[test]
+    fn prepares_random_states_with_one_cnot() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..50 {
+            let st = haar_state(4, &mut rng);
+            check_prep(&st, 1);
+        }
+    }
+
+    #[test]
+    fn one_qubit_preparation_gate() {
+        let g = prepare_one_qubit(1.1, 0.4);
+        let m = g.matrix().unwrap();
+        let amp0 = m[(0, 0)];
+        let amp1 = m[(1, 0)];
+        assert!((amp0.norm() - (1.1_f64 / 2.0).cos()).abs() < 1e-12);
+        assert!((amp1.arg() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "normalized")]
+    fn rejects_unnormalized() {
+        prepare_two_qubit(&[C64::ONE, C64::ONE, C64::ZERO, C64::ZERO]);
+    }
+}

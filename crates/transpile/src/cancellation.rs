@@ -1,0 +1,197 @@
+//! Gate cancellation passes: adjacent self-inverse pair removal and
+//! commutation-aware CNOT cancellation.
+//!
+//! These are the "gate-cancellation procedure based on gate commutation
+//! relationships" that Qiskit's level ≥ 2 pipelines run (Section II-B of the
+//! paper) — the baseline optimizations RPO is measured on top of.
+
+use crate::{Pass, TranspileError};
+use qc_circuit::{Circuit, Dag, Gate, Instruction};
+
+/// Cancels adjacent `cx` pairs with identical control/target, and adjacent
+/// self-inverse single-qubit pairs (h·h, x·x, …). Also commutes `u1`/`z`
+/// rotations past CNOT controls when doing so exposes a cancellation.
+#[derive(Default)]
+pub struct CxCancellation;
+
+/// Returns `true` when the gate is diagonal in the Z basis (commutes with a
+/// CNOT control on the same wire).
+fn is_z_diagonal(g: &Gate) -> bool {
+    matches!(g, Gate::Z | Gate::S | Gate::Sdg | Gate::T | Gate::Tdg | Gate::Rz(_) | Gate::U1(_))
+}
+
+fn is_self_inverse_1q(g: &Gate) -> bool {
+    matches!(g, Gate::X | Gate::Y | Gate::Z | Gate::H)
+}
+
+impl Pass for CxCancellation {
+    fn name(&self) -> &'static str {
+        "CxCancellation"
+    }
+
+    fn run(&self, circuit: &mut Circuit) -> Result<(), TranspileError> {
+        // Iterate until no more cancellations fire.
+        for _ in 0..64 {
+            if !cancel_once(circuit) {
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One cancellation sweep; returns whether anything changed.
+fn cancel_once(circuit: &mut Circuit) -> bool {
+    let dag = Dag::from_circuit(circuit);
+    let nodes = dag.nodes();
+    let mut removed = vec![false; nodes.len()];
+    let mut changed = false;
+
+    // Helper: the next non-removed successor of `node` along wire `q` that
+    // is not a Z-diagonal 1q gate when `skip_diagonal` (used to look through
+    // phase gates sitting on a CNOT control).
+    let next_on_wire = |node: usize, q: usize, removed: &[bool], skip_diagonal: bool| {
+        let mut cur = node;
+        'outer: loop {
+            for &s in dag.succs(cur) {
+                if nodes[s].qubits.contains(&q) {
+                    if removed[s] {
+                        cur = s;
+                        continue 'outer;
+                    }
+                    if skip_diagonal
+                        && nodes[s].qubits.len() == 1
+                        && is_z_diagonal(&nodes[s].gate)
+                    {
+                        cur = s;
+                        continue 'outer;
+                    }
+                    return Some(s);
+                }
+            }
+            return None;
+        }
+    };
+
+    for i in 0..nodes.len() {
+        if removed[i] {
+            continue;
+        }
+        match &nodes[i].gate {
+            Gate::Cx => {
+                let (c, t) = (nodes[i].qubits[0], nodes[i].qubits[1]);
+                // Successor through the control wire may skip Z-diagonal
+                // gates (they commute with the control); the target wire
+                // must connect directly.
+                let sc = next_on_wire(i, c, &removed, true);
+                let st = next_on_wire(i, t, &removed, false);
+                if let (Some(sc), Some(st)) = (sc, st) {
+                    if sc == st
+                        && matches!(nodes[sc].gate, Gate::Cx)
+                        && nodes[sc].qubits == vec![c, t]
+                    {
+                        removed[i] = true;
+                        removed[sc] = true;
+                        changed = true;
+                    }
+                }
+            }
+            g if nodes[i].qubits.len() == 1 && is_self_inverse_1q(g) => {
+                let q = nodes[i].qubits[0];
+                if let Some(s) = next_on_wire(i, q, &removed, false) {
+                    if nodes[s].gate == *g && nodes[s].qubits.len() == 1 {
+                        removed[i] = true;
+                        removed[s] = true;
+                        changed = true;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    if changed {
+        let out: Vec<Instruction> = circuit
+            .instructions()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !removed[*i])
+            .map(|(_, inst)| inst.clone())
+            .collect();
+        circuit.set_instructions(out);
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qc_circuit::circuit_unitary;
+
+    fn cancelled(c: &Circuit) -> Circuit {
+        let mut out = c.clone();
+        CxCancellation.run(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn adjacent_cx_pairs_cancel() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).cx(0, 1);
+        assert_eq!(cancelled(&c).gate_counts().cx, 0);
+    }
+
+    #[test]
+    fn opposite_direction_cx_does_not_cancel() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).cx(1, 0);
+        assert_eq!(cancelled(&c).gate_counts().cx, 2);
+    }
+
+    #[test]
+    fn cx_pair_with_phase_on_control_cancels() {
+        // u1 on the control commutes with CNOT; the pair still cancels.
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).t(0).cx(0, 1);
+        let out = cancelled(&c);
+        assert_eq!(out.gate_counts().cx, 0);
+        assert_eq!(out.gate_counts().single_qubit, 1);
+        assert!(circuit_unitary(&out)
+            .equal_up_to_global_phase(&circuit_unitary(&c), 1e-9));
+    }
+
+    #[test]
+    fn cx_pair_with_gate_on_target_does_not_cancel() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).t(1).cx(0, 1);
+        assert_eq!(cancelled(&c).gate_counts().cx, 2);
+    }
+
+    #[test]
+    fn self_inverse_1q_pairs_cancel() {
+        let mut c = Circuit::new(1);
+        c.h(0).h(0).x(0).x(0).z(0);
+        let out = cancelled(&c);
+        assert_eq!(out.gate_counts().total, 1);
+    }
+
+    #[test]
+    fn chains_collapse_fully() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).cx(0, 1).cx(0, 1).cx(0, 1);
+        assert_eq!(cancelled(&c).gate_counts().cx, 0);
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).cx(0, 1).cx(0, 1);
+        assert_eq!(cancelled(&c).gate_counts().cx, 1);
+    }
+
+    #[test]
+    fn preserves_semantics() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).s(0).cx(0, 1).cx(1, 2).x(2).x(2).h(0);
+        let out = cancelled(&c);
+        assert!(circuit_unitary(&out)
+            .equal_up_to_global_phase(&circuit_unitary(&c), 1e-9));
+        assert!(out.gate_counts().total < c.gate_counts().total);
+    }
+}

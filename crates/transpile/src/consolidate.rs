@@ -1,0 +1,187 @@
+//! `Collect2qBlocks` + `ConsolidateBlocks`: two-qubit block re-synthesis.
+//!
+//! This is the Qiskit level-3 "re-synthesis of two qubit blocks" the paper
+//! describes in Section II-B: collect maximal runs of gates confined to one
+//! qubit pair, compute the block unitary, and re-synthesize via the KAK
+//! decomposition — keeping the replacement only when it reduces the CNOT
+//! count (or matches it with fewer gates overall). Unlike the paper's RPO,
+//! this pass preserves the unitary matrix exactly (up to global phase); it
+//! is the *strict* peephole optimization RPO relaxes.
+
+use crate::{Pass, TranspileError};
+use qc_circuit::{circuit_unitary, Circuit, Dag, Instruction};
+use qc_synth::synthesize_two_qubit;
+
+/// Re-synthesizes collected two-qubit blocks when it reduces cost.
+#[derive(Default)]
+pub struct ConsolidateBlocks;
+
+impl Pass for ConsolidateBlocks {
+    fn name(&self) -> &'static str {
+        "ConsolidateBlocks"
+    }
+
+    fn run(&self, circuit: &mut Circuit) -> Result<(), TranspileError> {
+        let dag = Dag::from_circuit(circuit);
+        let blocks = dag.collect_two_qubit_blocks();
+        if blocks.is_empty() {
+            return Ok(());
+        }
+        // node index → (block head, replacement) bookkeeping.
+        let mut drop = vec![false; circuit.len()];
+        let mut replace_at: Vec<Option<Vec<Instruction>>> = vec![None; circuit.len()];
+        for block in &blocks {
+            let (a, b) = block.qubits;
+            // Build the local 2-qubit circuit (a→0, b→1).
+            let mut local = Circuit::new(2);
+            let mut cx_before = 0usize;
+            for &n in &block.nodes {
+                let inst = &dag.nodes()[n];
+                let qs: Vec<usize> = inst
+                    .qubits
+                    .iter()
+                    .map(|&q| if q == a { 0 } else { 1 })
+                    .collect();
+                if inst.qubits.len() == 2 {
+                    cx_before += two_qubit_cx_cost(&inst.gate);
+                }
+                local.push(inst.gate.clone(), &qs);
+            }
+            if cx_before <= 1 {
+                // Cannot improve a 0- or 1-CNOT block (templates need ≥ 0/1).
+                continue;
+            }
+            let u = circuit_unitary(&local);
+            let synth = synthesize_two_qubit(&u);
+            let counts_new = synth.gate_counts();
+            let counts_old = local.gate_counts();
+            let better = counts_new.cx < cx_before
+                || (counts_new.cx == cx_before && counts_new.total < counts_old.total);
+            if !better {
+                continue;
+            }
+            // Map the synthesized circuit back onto (a, b).
+            let mapped: Vec<Instruction> = synth
+                .instructions()
+                .iter()
+                .map(|inst| {
+                    let qs: Vec<usize> = inst
+                        .qubits
+                        .iter()
+                        .map(|&q| if q == 0 { a } else { b })
+                        .collect();
+                    Instruction::new(inst.gate.clone(), qs)
+                })
+                .collect();
+            for &n in &block.nodes {
+                drop[n] = true;
+            }
+            replace_at[*block.nodes.last().expect("non-empty block")] = Some(mapped);
+        }
+        let mut out = Vec::with_capacity(circuit.len());
+        for (i, inst) in circuit.instructions().iter().enumerate() {
+            if let Some(mapped) = replace_at[i].take() {
+                out.extend(mapped);
+            } else if !drop[i] {
+                out.push(inst.clone());
+            }
+        }
+        circuit.set_instructions(out);
+        Ok(())
+    }
+}
+
+/// CNOT cost of a two-qubit gate once unrolled to the device basis.
+fn two_qubit_cx_cost(g: &qc_circuit::Gate) -> usize {
+    use qc_circuit::Gate;
+    match g {
+        Gate::Cx => 1,
+        Gate::Cz => 1,
+        Gate::Cp(_) => 2,
+        Gate::Swap => 3,
+        Gate::SwapZ => 2,
+        Gate::Cu(_) => 2,
+        Gate::Unitary(_) => 4,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qc_circuit::Gate;
+
+    fn consolidated(c: &Circuit) -> Circuit {
+        let mut out = c.clone();
+        ConsolidateBlocks.run(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn cancels_redundant_cx_pair_via_resynthesis() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).cx(0, 1);
+        let out = consolidated(&c);
+        assert_eq!(out.gate_counts().cx, 0);
+        assert!(circuit_unitary(&out)
+            .equal_up_to_global_phase(&circuit_unitary(&c), 1e-7));
+    }
+
+    #[test]
+    fn compresses_long_block() {
+        // Many interleaved gates on one pair: generic class needs ≤ 4 CX.
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).t(1).cx(1, 0).s(0).cx(0, 1).h(1).cx(1, 0).t(0).cx(0, 1);
+        let out = consolidated(&c);
+        assert!(out.gate_counts().cx <= 4, "got {}", out.gate_counts().cx);
+        assert!(circuit_unitary(&out)
+            .equal_up_to_global_phase(&circuit_unitary(&c), 1e-6));
+    }
+
+    #[test]
+    fn leaves_single_cx_blocks_alone() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).t(1);
+        let out = consolidated(&c);
+        assert_eq!(out, c);
+    }
+
+    #[test]
+    fn swap_heavy_block_reduced() {
+        // swap·cx is iSWAP-family: 2 CX suffice vs 4 unrolled.
+        let mut c = Circuit::new(2);
+        c.swap(0, 1).cx(0, 1);
+        let out = consolidated(&c);
+        assert!(out.gate_counts().cx <= 2, "got {}", out.gate_counts().cx);
+        assert!(circuit_unitary(&out)
+            .equal_up_to_global_phase(&circuit_unitary(&c), 1e-7));
+    }
+
+    #[test]
+    fn respects_block_boundaries() {
+        // The ccx splits the pair blocks; nothing merged across it.
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).ccx(0, 1, 2).cx(0, 1);
+        let out = consolidated(&c);
+        assert_eq!(out.count_name("ccx"), 1);
+        assert_eq!(out.gate_counts().cx, 2);
+    }
+
+    #[test]
+    fn multi_block_circuit_preserves_semantics() {
+        let mut c = Circuit::new(3);
+        c.h(0)
+            .cx(0, 1)
+            .t(1)
+            .cx(0, 1)
+            .cx(1, 2)
+            .s(2)
+            .cx(1, 2)
+            .h(2)
+            .push(Gate::Cp(0.3), &[0, 2]);
+        let out = consolidated(&c);
+        assert!(circuit_unitary(&out)
+            .equal_up_to_global_phase(&circuit_unitary(&c), 1e-6));
+        assert!(out.gate_counts().cx < c.gate_counts().cx + 2);
+    }
+}

@@ -1,0 +1,175 @@
+//! A quantum-circuit transpiler modeled on the Qiskit pipeline the RPO
+//! paper extends.
+//!
+//! The paper's Fig. 8 pipeline (optimization level 3) is:
+//!
+//! ```text
+//! 1  QBO()                      ← RPO addition (crate `rpo-core`)
+//! 2  Unroller(basis_gates)
+//! 3  <layout selection>
+//! 4  <routing process>
+//! 5  QBO()                      ← RPO addition
+//! 6  Unroller(basis + swap + swapz)   ← RPO addition
+//! 7  Optimize1qGates()
+//! 8  QPO()                      ← RPO addition
+//! 9  while not <fixed point> { <optimizations> }
+//! ```
+//!
+//! This crate provides everything except the RPO passes themselves: the
+//! [`Pass`] abstraction, the [`unroll::Unroller`], [`optimize_1q`],
+//! [`cancellation`], [`consolidate`] (Collect2qBlocks + ConsolidateBlocks),
+//! [`layout`] selection, the seeded stochastic [`routing`] pass, and the
+//! preset level 0–3 pipelines in [`preset`]. The stages are exposed
+//! individually so `rpo-core` can interleave its passes exactly as in the
+//! paper.
+//!
+//! # Examples
+//!
+//! ```
+//! use qc_backends::Backend;
+//! use qc_circuit::Circuit;
+//! use qc_transpile::{transpile, TranspileOptions};
+//!
+//! let mut ghz = Circuit::new(3);
+//! ghz.h(0).cx(0, 1).cx(1, 2).measure_all();
+//! let out = transpile(&ghz, &Backend::melbourne(), &TranspileOptions::level(3)).unwrap();
+//! assert_eq!(out.circuit.num_qubits(), 15);
+//! ```
+
+pub mod cancellation;
+pub mod commutation;
+pub mod consolidate;
+pub mod layout;
+pub mod optimize_1q;
+pub mod preset;
+pub mod routing;
+pub mod unroll;
+
+pub use preset::{transpile, TranspileOptions};
+
+use qc_circuit::Circuit;
+use std::fmt;
+
+/// Errors produced by transpilation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TranspileError {
+    /// The circuit has more qubits than the backend.
+    TooManyQubits {
+        /// Qubits required by the circuit.
+        circuit: usize,
+        /// Qubits available on the backend.
+        backend: usize,
+    },
+    /// A gate that no decomposition rule covers reached the unroller.
+    UnsupportedGate(String),
+    /// An internal invariant was violated (a bug, not a user error).
+    Internal(String),
+}
+
+impl fmt::Display for TranspileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranspileError::TooManyQubits { circuit, backend } => write!(
+                f,
+                "circuit needs {circuit} qubits but the backend has {backend}"
+            ),
+            TranspileError::UnsupportedGate(name) => {
+                write!(f, "no decomposition rule for gate '{name}'")
+            }
+            TranspileError::Internal(msg) => write!(f, "internal transpiler error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TranspileError {}
+
+/// A circuit-to-circuit transformation, the unit the preset pipelines are
+/// composed from.
+pub trait Pass {
+    /// Short pass name for logging and diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Transforms the circuit in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TranspileError`] when the circuit cannot be processed
+    /// (unsupported gate, resource mismatch).
+    fn run(&self, circuit: &mut Circuit) -> Result<(), TranspileError>;
+}
+
+/// Runs a sequence of passes in order.
+#[derive(Default)]
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl PassManager {
+    /// Creates an empty pass manager.
+    pub fn new() -> Self {
+        PassManager { passes: Vec::new() }
+    }
+
+    /// Appends a pass.
+    pub fn add(&mut self, pass: Box<dyn Pass>) -> &mut Self {
+        self.passes.push(pass);
+        self
+    }
+
+    /// Runs all passes on a copy of the input circuit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first pass failure.
+    pub fn run(&self, circuit: &Circuit) -> Result<Circuit, TranspileError> {
+        let mut c = circuit.clone();
+        for pass in &self.passes {
+            pass.run(&mut c)?;
+        }
+        Ok(c)
+    }
+
+    /// Names of the registered passes, in order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Count;
+    impl Pass for Count {
+        fn name(&self) -> &'static str {
+            "count"
+        }
+        fn run(&self, circuit: &mut Circuit) -> Result<(), TranspileError> {
+            circuit.x(0);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn pass_manager_runs_in_order() {
+        let mut pm = PassManager::new();
+        pm.add(Box::new(Count)).add(Box::new(Count));
+        let c = Circuit::new(1);
+        let out = pm.run(&c).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(pm.pass_names(), vec!["count", "count"]);
+        // Input untouched.
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = TranspileError::TooManyQubits {
+            circuit: 20,
+            backend: 15,
+        };
+        assert!(e.to_string().contains("20"));
+        let e = TranspileError::UnsupportedGate("foo".into());
+        assert!(e.to_string().contains("foo"));
+    }
+}

@@ -1,0 +1,284 @@
+//! Preset pass pipelines: optimization levels 0–3.
+//!
+//! Mirrors the Qiskit 0.18 preset pass managers the paper describes in
+//! Section II-B: level 0 only maps; level 1 adds light gate collapsing;
+//! level 2 adds cancellation loops; level 3 adds two-qubit block
+//! re-synthesis. The individual stages are public so the RPO pipeline
+//! (crate `rpo-core`) can interleave its QBO/QPO passes per Fig. 8.
+
+use crate::cancellation::CxCancellation;
+use crate::commutation::CommutativeCancellation;
+use crate::consolidate::ConsolidateBlocks;
+use crate::layout::{apply_layout, dense_layout, trivial_layout};
+use crate::optimize_1q::Optimize1qGates;
+use crate::routing::route;
+use crate::unroll::Unroller;
+use crate::{Pass, TranspileError};
+use qc_backends::Backend;
+use qc_circuit::Circuit;
+
+/// Options controlling transpilation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TranspileOptions {
+    /// Optimization level, 0–3 (higher = more effort), as in the paper.
+    pub level: u8,
+    /// Seed for every stochastic component (routing).
+    pub seed: u64,
+    /// Number of seeded routing trials; the cheapest is kept.
+    pub routing_trials: usize,
+}
+
+impl TranspileOptions {
+    /// Options for the given optimization level with default seed and
+    /// trial count.
+    pub fn level(level: u8) -> Self {
+        TranspileOptions {
+            level,
+            seed: 0,
+            routing_trials: 5,
+        }
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the routing trial count.
+    pub fn with_routing_trials(mut self, trials: usize) -> Self {
+        self.routing_trials = trials;
+        self
+    }
+}
+
+/// A transpiled circuit plus the logical→physical qubit map needed to read
+/// measurement outcomes.
+#[derive(Clone, Debug)]
+pub struct Transpiled {
+    /// The hardware-ready circuit on backend-width wires.
+    pub circuit: Circuit,
+    /// `final_map[q]` = physical qubit where logical qubit `q` is measured
+    /// (or ends up).
+    pub final_map: Vec<usize>,
+}
+
+/// Unrolls into the device basis `{u1, u2, u3, id, cx}`.
+pub fn stage_unroll_device(c: &mut Circuit) -> Result<(), TranspileError> {
+    Unroller::to_device_basis().run(c)
+}
+
+/// Unrolls into the extended basis that preserves `swap`/`swapz`.
+pub fn stage_unroll_extended(c: &mut Circuit) -> Result<(), TranspileError> {
+    Unroller::to_extended_basis().run(c)
+}
+
+/// Selects a layout (trivial below level 2, dense otherwise) and rewrites
+/// the circuit onto physical wires. Returns the layout.
+pub fn stage_layout(
+    c: &mut Circuit,
+    backend: &Backend,
+    level: u8,
+) -> Result<Vec<usize>, TranspileError> {
+    let layout = if level >= 2 {
+        dense_layout(c, backend)?
+    } else {
+        if c.num_qubits() > backend.num_qubits() {
+            return Err(TranspileError::TooManyQubits {
+                circuit: c.num_qubits(),
+                backend: backend.num_qubits(),
+            });
+        }
+        trivial_layout(c.num_qubits())
+    };
+    *c = apply_layout(c, &layout, backend.num_qubits())?;
+    Ok(layout)
+}
+
+/// Routes the circuit, returning the end-of-circuit wire map.
+pub fn stage_route(
+    c: &mut Circuit,
+    backend: &Backend,
+    seed: u64,
+    trials: usize,
+) -> Result<Vec<usize>, TranspileError> {
+    let routed = route(c, backend, seed, trials)?;
+    *c = routed.circuit;
+    Ok(routed.wire_map)
+}
+
+/// Runs `Optimize1qGates` once.
+pub fn stage_optimize_1q(c: &mut Circuit) -> Result<(), TranspileError> {
+    Optimize1qGates.run(c)
+}
+
+/// The level-2/3 fixed-point loop: cancellation + 1q merging (+ block
+/// consolidation at level 3) until gate counts stop improving.
+pub fn stage_fixpoint_loop(c: &mut Circuit, consolidate: bool) -> Result<(), TranspileError> {
+    for _ in 0..10 {
+        let before = c.gate_counts();
+        CommutativeCancellation.run(c)?;
+        CxCancellation.run(c)?;
+        Optimize1qGates.run(c)?;
+        if consolidate {
+            ConsolidateBlocks.run(c)?;
+            stage_unroll_device(c)?;
+            Optimize1qGates.run(c)?;
+            CxCancellation.run(c)?;
+        }
+        let after = c.gate_counts();
+        if after.cx >= before.cx && after.total >= before.total {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Transpiles a circuit for a backend at the requested optimization level.
+///
+/// # Errors
+///
+/// Fails when the circuit does not fit the backend or contains a gate with
+/// no decomposition rule.
+///
+/// # Examples
+///
+/// ```
+/// use qc_backends::Backend;
+/// use qc_circuit::Circuit;
+/// use qc_transpile::{transpile, TranspileOptions};
+///
+/// let mut bell = Circuit::new(2);
+/// bell.h(0).cx(0, 1).measure_all();
+/// let out = transpile(&bell, &Backend::melbourne(), &TranspileOptions::level(3)).unwrap();
+/// assert!(out.circuit.gate_counts().cx >= 1);
+/// ```
+pub fn transpile(
+    circuit: &Circuit,
+    backend: &Backend,
+    opts: &TranspileOptions,
+) -> Result<Transpiled, TranspileError> {
+    let mut c = circuit.clone();
+    stage_unroll_device(&mut c)?;
+    let layout = stage_layout(&mut c, backend, opts.level)?;
+    let wire_map = stage_route(&mut c, backend, opts.seed, opts.routing_trials)?;
+    stage_unroll_device(&mut c)?; // decompose routing SWAPs
+    match opts.level {
+        0 => {}
+        1 => {
+            stage_optimize_1q(&mut c)?;
+            CxCancellation.run(&mut c)?;
+        }
+        2 => {
+            stage_optimize_1q(&mut c)?;
+            stage_fixpoint_loop(&mut c, false)?;
+        }
+        _ => {
+            stage_optimize_1q(&mut c)?;
+            stage_fixpoint_loop(&mut c, true)?;
+        }
+    }
+    let final_map = layout.iter().map(|&w| wire_map[w]).collect();
+    Ok(Transpiled {
+        circuit: c,
+        final_map,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qc_sim::Statevector;
+
+    fn bell() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).measure_all();
+        c
+    }
+
+    #[test]
+    fn all_levels_produce_device_gates() {
+        let backend = Backend::melbourne();
+        for level in 0..=3 {
+            let out = transpile(&bell(), &backend, &TranspileOptions::level(level)).unwrap();
+            for inst in out.circuit.instructions() {
+                assert!(
+                    crate::unroll::device_basis().contains(inst.gate.name())
+                        || !inst.gate.is_unitary_gate(),
+                    "level {level} left gate {}",
+                    inst.gate
+                );
+                if inst.qubits.len() == 2 && inst.gate.is_unitary_gate() {
+                    assert!(backend.are_adjacent(inst.qubits[0], inst.qubits[1]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn higher_levels_do_not_increase_cx() {
+        let backend = Backend::melbourne();
+        let mut c = Circuit::new(5);
+        // An entangling mesh that needs routing.
+        for i in 0..5 {
+            c.h(i);
+        }
+        for i in 0..5 {
+            for j in i + 1..5 {
+                c.cx(i, j);
+            }
+        }
+        let opts = |l| TranspileOptions::level(l).with_seed(3);
+        let cx0 = transpile(&c, &backend, &opts(0)).unwrap().circuit.gate_counts().cx;
+        let cx3 = transpile(&c, &backend, &opts(3)).unwrap().circuit.gate_counts().cx;
+        assert!(cx3 <= cx0, "level 3 ({cx3}) worse than level 0 ({cx0})");
+    }
+
+    #[test]
+    fn transpiled_bell_still_makes_bell_pairs() {
+        let backend = Backend::melbourne();
+        let out = transpile(&bell(), &backend, &TranspileOptions::level(3)).unwrap();
+        let sv = Statevector::from_circuit(&out.circuit);
+        // Probability mass must sit on the two states where the mapped
+        // qubits agree.
+        let q0 = out.final_map[0];
+        let q1 = out.final_map[1];
+        let probs = sv.probabilities();
+        let mut agree = 0.0;
+        for (idx, p) in probs.iter().enumerate() {
+            let b0 = (idx >> q0) & 1;
+            let b1 = (idx >> q1) & 1;
+            if b0 == b1 {
+                agree += p;
+            }
+        }
+        assert!((agree - 1.0).abs() < 1e-9, "bell correlation lost: {agree}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let backend = Backend::melbourne();
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 3).cx(1, 2).cx(0, 2).measure_all();
+        let o = TranspileOptions::level(3).with_seed(9);
+        let a = transpile(&c, &backend, &o).unwrap();
+        let b = transpile(&c, &backend, &o).unwrap();
+        assert_eq!(a.circuit, b.circuit);
+    }
+
+    #[test]
+    fn measure_only_circuit() {
+        let backend = Backend::melbourne();
+        let mut c = Circuit::new(1);
+        c.measure(0);
+        let out = transpile(&c, &backend, &TranspileOptions::level(3)).unwrap();
+        assert_eq!(out.circuit.count_name("measure"), 1);
+    }
+
+    #[test]
+    fn oversized_circuit_rejected() {
+        let backend = Backend::linear(2);
+        let c = Circuit::new(5);
+        assert!(transpile(&c, &backend, &TranspileOptions::level(1)).is_err());
+    }
+}

@@ -1,0 +1,67 @@
+//! # rpo — Relaxed Peephole Optimization for quantum circuits
+//!
+//! A Rust reproduction of *"Relaxed Peephole Optimization: A Novel Compiler
+//! Optimization for Quantum Circuits"* (Liu, Bello & Zhou, CGO 2021),
+//! including the full compiler substrate it runs on: a quantum-circuit IR,
+//! a Qiskit-style transpiler (layout, stochastic routing, basis
+//! translation, KAK block re-synthesis), a noisy state-vector simulator,
+//! fake IBM Q backends, the paper's benchmark algorithms, and the
+//! Hoare-logic baseline it compares against.
+//!
+//! The paper's contribution lives in [`rpo_core`]: compile-time
+//! single-qubit state analyses (basis-state automaton + pure-state Bloch
+//! tracking) feeding two passes — QBO and QPO — that replace gates with
+//! functionally equivalent but cheaper ones even when the unitary changes.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rpo::prelude::*;
+//!
+//! // The paper's motivating example: a CNOT whose control is provably |0⟩.
+//! let mut circuit = Circuit::new(2);
+//! circuit.h(1).cx(0, 1).measure_all();
+//!
+//! let backend = Backend::melbourne();
+//! let baseline = transpile(&circuit, &backend, &TranspileOptions::level(3)).unwrap();
+//! let optimized = transpile_rpo(&circuit, &backend, &RpoOptions::new()).unwrap();
+//! assert!(optimized.circuit.gate_counts().cx <= baseline.circuit.gate_counts().cx);
+//! ```
+//!
+//! See `examples/` for runnable walkthroughs of each paper experiment and
+//! `crates/experiments` for the table/figure reproduction harness.
+
+pub use qc_algos as algos;
+pub use qc_backends as backends;
+pub use qc_circuit as circuit;
+pub use qc_hoare as hoare;
+pub use qc_math as math;
+pub use qc_sim as sim;
+pub use qc_synth as synth;
+pub use qc_transpile as transpile;
+pub use rpo_core as core;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use qc_backends::Backend;
+    pub use qc_circuit::{BasisState, Circuit, Gate};
+    pub use qc_hoare::{transpile_hoare, HoareOptimizer};
+    pub use qc_sim::{NoiseModel, NoisySimulator, Statevector};
+    pub use qc_transpile::{transpile, Pass, TranspileOptions};
+    pub use rpo_core::{transpile_rpo, Qbo, Qpo, RpoOptions};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_work_together() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let sv = Statevector::from_circuit(&c);
+        assert!((sv.probability_of(0) - 0.5).abs() < 1e-12);
+        let out = transpile(&c, &Backend::linear(2), &TranspileOptions::level(1)).unwrap();
+        assert!(out.circuit.gate_counts().cx >= 1);
+    }
+}
