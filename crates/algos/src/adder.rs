@@ -118,7 +118,7 @@ mod tests {
         c.extend(&ripple_carry_adder(n, true));
         let sv = Statevector::from_circuit(&c);
         // Outcomes: a=0,b=1 and a=1,b=2, each with probability 1/2.
-        let idx0 = 0 | (1 << n);
+        let idx0 = 1 << n;
         let idx1 = 1 | (2 << n);
         assert!((sv.probability_of(idx0) - 0.5).abs() < 1e-9);
         assert!((sv.probability_of(idx1) - 0.5).abs() < 1e-9);

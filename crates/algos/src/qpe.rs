@@ -76,10 +76,7 @@ mod tests {
             for k in 0..(1usize << n) {
                 let theta = k as f64 / (1u64 << n) as f64;
                 let p = qpe_success_probability(n, theta);
-                assert!(
-                    (p - 1.0).abs() < 1e-8,
-                    "n={n}, θ={theta}: P = {p}"
-                );
+                assert!((p - 1.0).abs() < 1e-8, "n={n}, θ={theta}: P = {p}");
             }
         }
     }

@@ -18,7 +18,10 @@ pub fn vqe_ry_ansatz(n: usize, depth: usize, seed: u64) -> Circuit {
     let mut c = Circuit::new(n);
     let rotation_layer = |c: &mut Circuit, rng: &mut StdRng| {
         for q in 0..n {
-            c.ry(rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI), q);
+            c.ry(
+                rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI),
+                q,
+            );
         }
     };
     rotation_layer(&mut c, &mut rng);

@@ -132,7 +132,15 @@ impl Backend {
             }
         }
         // Staggered verticals (published pattern).
-        for &(a, b) in &[(1, 6), (3, 8), (5, 10), (7, 12), (9, 14), (11, 16), (13, 18)] {
+        for &(a, b) in &[
+            (1, 6),
+            (3, 8),
+            (5, 10),
+            (7, 12),
+            (9, 14),
+            (11, 16),
+            (13, 18),
+        ] {
             edges.push((a, b));
         }
         Backend::new(
@@ -288,6 +296,7 @@ impl Backend {
         let n = self.num_qubits;
         let mut dist = vec![vec![usize::MAX; n]; n];
         let adj: Vec<Vec<usize>> = (0..n).map(|q| self.neighbors(q)).collect();
+        #[allow(clippy::needless_range_loop)] // `start` indexes dist rows *and* seeds the BFS
         for start in 0..n {
             dist[start][start] = 0;
             let mut queue = std::collections::VecDeque::from([start]);
@@ -345,7 +354,10 @@ mod tests {
         assert!(connected(&b));
         // Degree ≤ 3 everywhere, as on the real device.
         for q in 0..53 {
-            assert!(b.neighbors(q).len() <= 3, "qubit {q} has too many neighbors");
+            assert!(
+                b.neighbors(q).len() <= 3,
+                "qubit {q} has too many neighbors"
+            );
         }
     }
 
@@ -372,10 +384,10 @@ mod tests {
     fn fully_connected_has_distance_one() {
         let b = Backend::fully_connected(6);
         let d = b.distance_matrix();
-        for i in 0..6 {
-            for j in 0..6 {
+        for (i, row) in d.iter().enumerate() {
+            for (j, &dij) in row.iter().enumerate() {
                 if i != j {
-                    assert_eq!(d[i][j], 1);
+                    assert_eq!(dij, 1);
                 }
             }
         }

@@ -1,12 +1,19 @@
 //! Microbenchmarks for the compilation kernels the pipelines are built on:
-//! the KAK/Weyl decomposition and synthesis (ConsolidateBlocks' engine),
-//! the single-qubit Euler extraction, the routing pass, and the
-//! state-vector simulator.
+//! the gate-application kernel engine (circuit-unitary construction and the
+//! state-vector simulator), the KAK/Weyl decomposition and synthesis
+//! (ConsolidateBlocks' engine), the single-qubit Euler extraction, and the
+//! routing pass.
+//!
+//! The `circuit_unitary_*_10q100g` pair is the acceptance benchmark for the
+//! shared kernel engine: the kernel-based path must beat the retained
+//! embed-then-matmul reference by ≥10× on a random 10-qubit, 100-gate
+//! circuit (`scripts/bench.sh` records both in `BENCH_kernels.json`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use qc_algos::quantum_volume;
 use qc_backends::Backend;
-use qc_circuit::Circuit;
+use qc_circuit::testing::random_circuit;
+use qc_circuit::{circuit_unitary, circuit_unitary_reference, Circuit};
 use qc_math::haar_unitary;
 use qc_sim::Statevector;
 use qc_synth::{synthesize_two_qubit, OneQubitEuler, TwoQubitWeyl};
@@ -39,6 +46,19 @@ fn bench_kernels(c: &mut Criterion) {
             i = (i + 1) % u4s.len();
             synthesize_two_qubit(&u4s[i])
         })
+    });
+
+    let unitary_circuit = random_circuit(10, 100, 2021);
+    c.bench_function("circuit_unitary_kernel_10q100g", |b| {
+        b.iter(|| circuit_unitary(&unitary_circuit))
+    });
+    c.bench_function("circuit_unitary_reference_10q100g", |b| {
+        b.iter(|| circuit_unitary_reference(&unitary_circuit))
+    });
+
+    let sv_circuit = random_circuit(12, 120, 7);
+    c.bench_function("statevector_12q_random120g", |b| {
+        b.iter(|| Statevector::from_circuit(&sv_circuit))
     });
 
     let mut ghz = Circuit::new(12);

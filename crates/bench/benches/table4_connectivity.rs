@@ -11,7 +11,11 @@ fn bench_connectivity(c: &mut Criterion) {
     let circ = qpe(5, 7.0 / 8.0); // 6 qubits total
     let mut group = c.benchmark_group("table4_qpe_connectivity");
     group.sample_size(10);
-    for backend in [Backend::melbourne(), Backend::almaden(), Backend::rochester()] {
+    for backend in [
+        Backend::melbourne(),
+        Backend::almaden(),
+        Backend::rochester(),
+    ] {
         group.bench_with_input(
             BenchmarkId::new("level3", backend.name()),
             &backend,

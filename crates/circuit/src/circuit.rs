@@ -126,7 +126,8 @@ impl Circuit {
                 self.num_qubits
             );
         }
-        self.instructions.push(Instruction::new(gate, qubits.to_vec()));
+        self.instructions
+            .push(Instruction::new(gate, qubits.to_vec()));
         self
     }
 
@@ -461,7 +462,13 @@ mod tests {
     #[test]
     fn builder_chains_and_counts() {
         let mut c = Circuit::new(3);
-        c.h(0).cx(0, 1).t(1).cz(1, 2).ccx(0, 1, 2).barrier().measure_all();
+        c.h(0)
+            .cx(0, 1)
+            .t(1)
+            .cz(1, 2)
+            .ccx(0, 1, 2)
+            .barrier()
+            .measure_all();
         let counts = c.gate_counts();
         assert_eq!(counts.cx, 1);
         assert_eq!(counts.single_qubit, 2);

@@ -151,7 +151,10 @@ impl Dag {
                     }
                 }
                 (2, true) => {
-                    let (a, b) = (inst.qubits[0].min(inst.qubits[1]), inst.qubits[0].max(inst.qubits[1]));
+                    let (a, b) = (
+                        inst.qubits[0].min(inst.qubits[1]),
+                        inst.qubits[0].max(inst.qubits[1]),
+                    );
                     let same = match (active[a], active[b]) {
                         (Some(x), Some(y)) if x == y && open[x].qubits == (a, b) => Some(x),
                         _ => None,
@@ -209,8 +212,8 @@ impl Dag {
         }
         // Close whatever remains open (deduplicated via active map).
         let mut closed = vec![false; open.len()];
-        for q in 0..self.num_qubits {
-            if let Some(x) = active[q] {
+        for &slot in active.iter().take(self.num_qubits) {
+            if let Some(x) = slot {
                 if !closed[x] {
                     closed[x] = true;
                     close(open[x].clone(), &mut blocks);

@@ -1,8 +1,16 @@
 //! The gate set and per-gate metadata (arity, matrices, inverses, names).
 
-use qc_math::{C64, Matrix};
+use qc_math::{KernelOp, Matrix, C64};
 use std::f64::consts::{FRAC_1_SQRT_2, FRAC_PI_2, PI};
 use std::fmt;
+
+/// SWAPZ as a basis-state permutation: `cx(q1→q0)` then `cx(q0→q1)` maps
+/// `|b₁b₀⟩` to `|b₀, b₀⊕b₁⟩`, i.e. local state `l → SWAPZ_PERM[l]`.
+static SWAPZ_PERM: [usize; 4] = [0, 3, 1, 2];
+
+/// Fredkin as a permutation: control is local bit 0; states 3 = `011` and
+/// 5 = `101` exchange, everything else is fixed.
+static CSWAP_PERM: [usize; 8] = [0, 1, 2, 5, 4, 3, 6, 7];
 
 /// The six single-qubit basis states tracked by the paper's basis-state
 /// analysis (Section VI-A): the Z-basis (|0⟩, |1⟩), X-basis (|+⟩, |−⟩) and
@@ -244,14 +252,8 @@ impl Gate {
         let r = FRAC_1_SQRT_2;
         let m = match self {
             Gate::I => Matrix::identity(2),
-            Gate::X => Matrix::from_rows(&[
-                vec![C64::ZERO, C64::ONE],
-                vec![C64::ONE, C64::ZERO],
-            ]),
-            Gate::Y => Matrix::from_rows(&[
-                vec![C64::ZERO, -C64::I],
-                vec![C64::I, C64::ZERO],
-            ]),
+            Gate::X => Matrix::from_rows(&[vec![C64::ZERO, C64::ONE], vec![C64::ONE, C64::ZERO]]),
+            Gate::Y => Matrix::from_rows(&[vec![C64::ZERO, -C64::I], vec![C64::I, C64::ZERO]]),
             Gate::Z => Matrix::diag(&[C64::ONE, C64::real(-1.0)]),
             Gate::H => Matrix::from_rows(&[
                 vec![C64::real(r), C64::real(r)],
@@ -362,6 +364,77 @@ impl Gate {
         Some(m)
     }
 
+    /// The gate's action classified for the shared kernel engine
+    /// ([`qc_math::KernelEngine`]), in local qubit ordering, or `None` for
+    /// non-unitary instructions and directives.
+    ///
+    /// Unlike [`Gate::matrix`], this never heap-allocates: structured gates
+    /// map to stack-sized kernel descriptors, permutation gates reference
+    /// static tables, and `Unitary` blocks are borrowed. It is the
+    /// per-instruction fast path for both the state-vector simulator and
+    /// circuit-unitary construction.
+    pub fn kernel(&self) -> Option<KernelOp<'_>> {
+        let r = FRAC_1_SQRT_2;
+        let op = match self {
+            Gate::I => KernelOp::OneQDiag([C64::ONE, C64::ONE]),
+            Gate::X | Gate::Cx | Gate::Ccx | Gate::Mcx(_) => KernelOp::ControlledX,
+            Gate::Y => KernelOp::OneQ([C64::ZERO, -C64::I, C64::I, C64::ZERO]),
+            Gate::Z => KernelOp::OneQDiag([C64::ONE, C64::real(-1.0)]),
+            Gate::H => {
+                let h = C64::real(r);
+                KernelOp::OneQ([h, h, h, -h])
+            }
+            Gate::S => KernelOp::OneQDiag([C64::ONE, C64::I]),
+            Gate::Sdg => KernelOp::OneQDiag([C64::ONE, -C64::I]),
+            Gate::T => KernelOp::OneQDiag([C64::ONE, C64::cis(PI / 4.0)]),
+            Gate::Tdg => KernelOp::OneQDiag([C64::ONE, C64::cis(-PI / 4.0)]),
+            Gate::Rx(t) => {
+                let c = C64::real((t / 2.0).cos());
+                let s = C64::new(0.0, -(t / 2.0).sin());
+                KernelOp::OneQ([c, s, s, c])
+            }
+            Gate::Ry(t) => {
+                let c = C64::real((t / 2.0).cos());
+                let s = C64::real((t / 2.0).sin());
+                KernelOp::OneQ([c, -s, s, c])
+            }
+            Gate::Rz(t) => KernelOp::OneQDiag([C64::cis(-t / 2.0), C64::cis(t / 2.0)]),
+            Gate::U1(l) => KernelOp::OneQDiag([C64::ONE, C64::cis(*l)]),
+            Gate::U2(phi, lam) => KernelOp::OneQ(u3_entries(FRAC_PI_2, *phi, *lam)),
+            Gate::U3(t, phi, lam) => KernelOp::OneQ(u3_entries(*t, *phi, *lam)),
+            Gate::Cz | Gate::Mcz(_) => KernelOp::PhaseAllOnes(C64::real(-1.0)),
+            Gate::Cp(l) => KernelOp::PhaseAllOnes(C64::cis(*l)),
+            Gate::Swap => KernelOp::Swap,
+            Gate::SwapZ => KernelOp::Permutation(&SWAPZ_PERM),
+            Gate::Cswap => KernelOp::Permutation(&CSWAP_PERM),
+            Gate::Cu(u) => KernelOp::ControlledOneQ([u[(0, 0)], u[(0, 1)], u[(1, 0)], u[(1, 1)]]),
+            Gate::Unitary(u) => KernelOp::Dense(u),
+            Gate::Reset | Gate::Measure | Gate::Barrier(_) | Gate::Annot(_, _) => return None,
+        };
+        Some(op)
+    }
+
+    /// The 2×2 matrix of a single-qubit gate as a stack array (row-major
+    /// `[m00, m01, m10, m11]`), or `None` for everything else.
+    ///
+    /// This is the allocation-free alternative to [`Gate::matrix`] for the
+    /// per-instruction single-qubit analyses (state tracking, 1q-run
+    /// collection, QPO re-synthesis).
+    pub fn matrix2x2(&self) -> Option<[C64; 4]> {
+        if self.num_qubits() != 1 {
+            return None;
+        }
+        match self.kernel()? {
+            KernelOp::OneQ(m) => Some(m),
+            KernelOp::OneQDiag([d0, d1]) => Some([d0, C64::ZERO, C64::ZERO, d1]),
+            KernelOp::ControlledX => Some([C64::ZERO, C64::ONE, C64::ONE, C64::ZERO]),
+            // A 1-qubit `Gate::Unitary` block classifies as Dense; the arity
+            // check above guarantees the matrix is 2×2 here.
+            KernelOp::Dense(m) => Some([m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]]),
+            _ => None,
+        }
+    }
+
     /// The inverse gate, or `None` for non-invertible instructions
     /// (reset/measure) and directives.
     pub fn inverse(&self) -> Option<Gate> {
@@ -412,14 +485,23 @@ impl Gate {
     }
 }
 
-/// The u3 matrix in the convention used throughout this workspace.
-pub fn u3_matrix(theta: f64, phi: f64, lam: f64) -> Matrix {
+/// The u3 matrix entries (row-major 2×2) in the convention used throughout
+/// this workspace.
+fn u3_entries(theta: f64, phi: f64, lam: f64) -> [C64; 4] {
     let c = (theta / 2.0).cos();
     let s = (theta / 2.0).sin();
-    Matrix::from_rows(&[
-        vec![C64::real(c), -C64::cis(lam).scale(s)],
-        vec![C64::cis(phi).scale(s), C64::cis(phi + lam).scale(c)],
-    ])
+    [
+        C64::real(c),
+        -C64::cis(lam).scale(s),
+        C64::cis(phi).scale(s),
+        C64::cis(phi + lam).scale(c),
+    ]
+}
+
+/// The u3 matrix in the convention used throughout this workspace.
+pub fn u3_matrix(theta: f64, phi: f64, lam: f64) -> Matrix {
+    let [a, b, c, d] = u3_entries(theta, phi, lam);
+    Matrix::from_rows(&[vec![a, b], vec![c, d]])
 }
 
 impl fmt::Display for Gate {
@@ -483,6 +565,153 @@ mod tests {
         }
     }
 
+    /// Reconstructs the dense matrix a [`KernelOp`] describes (in local
+    /// ordering) so the kernel classification can be checked against
+    /// [`Gate::matrix`] — two independent encodings of the same gate.
+    fn kernel_to_matrix(op: &KernelOp<'_>, k: usize) -> Matrix {
+        let dim = 1usize << k;
+        match op {
+            KernelOp::OneQ(m) => Matrix::from_rows(&[vec![m[0], m[1]], vec![m[2], m[3]]]),
+            KernelOp::OneQDiag(d) => Matrix::diag(d),
+            KernelOp::ControlledOneQ(u) => {
+                let mut m = Matrix::identity(4);
+                m[(1, 1)] = u[0];
+                m[(1, 3)] = u[1];
+                m[(3, 1)] = u[2];
+                m[(3, 3)] = u[3];
+                m
+            }
+            KernelOp::PhaseAllOnes(p) => {
+                let mut m = Matrix::identity(dim);
+                m[(dim - 1, dim - 1)] = *p;
+                m
+            }
+            KernelOp::ControlledX => {
+                let mut m = Matrix::identity(dim);
+                let a = (dim >> 1) - 1; // all controls set, target clear
+                let b = dim - 1;
+                m[(a, a)] = C64::ZERO;
+                m[(b, b)] = C64::ZERO;
+                m[(a, b)] = C64::ONE;
+                m[(b, a)] = C64::ONE;
+                m
+            }
+            KernelOp::Swap => {
+                let mut m = Matrix::zeros(4, 4);
+                m[(0, 0)] = C64::ONE;
+                m[(3, 3)] = C64::ONE;
+                m[(1, 2)] = C64::ONE;
+                m[(2, 1)] = C64::ONE;
+                m
+            }
+            KernelOp::Permutation(perm) => {
+                let mut m = Matrix::zeros(dim, dim);
+                for (l, &p) in perm.iter().enumerate() {
+                    m[(p, l)] = C64::ONE;
+                }
+                m
+            }
+            KernelOp::Dense(m) => (*m).clone(),
+        }
+    }
+
+    #[test]
+    fn kernel_classification_matches_matrix_for_every_gate() {
+        let gates = vec![
+            Gate::I,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::H,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Tdg,
+            Gate::Rx(0.7),
+            Gate::Ry(-1.2),
+            Gate::Rz(2.5),
+            Gate::U1(0.3),
+            Gate::U2(0.1, 0.9),
+            Gate::U3(1.1, 0.2, -0.4),
+            Gate::Cx,
+            Gate::Cz,
+            Gate::Cp(1.0),
+            Gate::Swap,
+            Gate::SwapZ,
+            Gate::Ccx,
+            Gate::Cswap,
+            Gate::Mcx(3),
+            Gate::Mcz(3),
+            Gate::Cu(Gate::T.matrix().unwrap()),
+            Gate::Unitary(Gate::Swap.matrix().unwrap()),
+        ];
+        for g in &gates {
+            let op = g.kernel().unwrap_or_else(|| panic!("{g} has no kernel"));
+            let dense = kernel_to_matrix(&op, g.num_qubits());
+            assert!(
+                dense.approx_eq(&g.matrix().unwrap(), 1e-12),
+                "kernel/matrix mismatch for {g}"
+            );
+        }
+        for g in [
+            Gate::Reset,
+            Gate::Measure,
+            Gate::Barrier(2),
+            Gate::Annot(0.1, 0.2),
+        ] {
+            assert!(g.kernel().is_none(), "{g} must have no kernel");
+        }
+    }
+
+    #[test]
+    fn matrix2x2_matches_matrix_for_one_qubit_gates() {
+        let gates = vec![
+            Gate::I,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::H,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Tdg,
+            Gate::Rx(0.7),
+            Gate::Ry(-1.2),
+            Gate::Rz(2.5),
+            Gate::U1(0.3),
+            Gate::U2(0.1, 0.9),
+            Gate::U3(1.1, 0.2, -0.4),
+        ];
+        for g in &gates {
+            let [a, b, c, d] = g.matrix2x2().unwrap_or_else(|| panic!("{g} is 1q"));
+            let m = g.matrix().unwrap();
+            assert!(
+                (m[(0, 0)] - a).norm() < 1e-15
+                    && (m[(0, 1)] - b).norm() < 1e-15
+                    && (m[(1, 0)] - c).norm() < 1e-15
+                    && (m[(1, 1)] - d).norm() < 1e-15,
+                "matrix2x2 mismatch for {g}"
+            );
+        }
+        assert!(Gate::Cx.matrix2x2().is_none());
+        assert!(Gate::Reset.matrix2x2().is_none());
+        assert!(Gate::Annot(0.0, 0.0).matrix2x2().is_none());
+    }
+
+    #[test]
+    fn matrix2x2_covers_one_qubit_unitary_blocks() {
+        // A 1-qubit Gate::Unitary (the Unroller synthesizes these) must
+        // expose its 2×2 like any other 1q gate; larger blocks must not.
+        let g = Gate::Unitary(Gate::H.matrix().unwrap());
+        let [a, b, c, d] = g.matrix2x2().expect("1q unitary block has a 2×2");
+        let r = FRAC_1_SQRT_2;
+        assert!((a - C64::real(r)).norm() < 1e-15 && (b - C64::real(r)).norm() < 1e-15);
+        assert!((c - C64::real(r)).norm() < 1e-15 && (d - C64::real(-r)).norm() < 1e-15);
+        assert!(Gate::Unitary(Gate::Cx.matrix().unwrap())
+            .matrix2x2()
+            .is_none());
+    }
+
     #[test]
     fn inverses_compose_to_identity() {
         let gates = vec![
@@ -496,10 +725,7 @@ mod tests {
         ];
         for g in gates {
             let inv = g.inverse().expect("invertible");
-            let prod = inv
-                .matrix()
-                .unwrap()
-                .matmul(&g.matrix().unwrap());
+            let prod = inv.matrix().unwrap().matmul(&g.matrix().unwrap());
             let id = Matrix::identity(prod.rows());
             assert!(
                 prod.equal_up_to_global_phase(&id, 1e-10),

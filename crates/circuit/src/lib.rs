@@ -35,9 +35,10 @@ pub mod circuit;
 pub mod dag;
 pub mod gate;
 pub mod qasm;
+pub mod testing;
 pub mod unitary;
 
 pub use circuit::{Circuit, GateCounts, Instruction};
 pub use dag::Dag;
 pub use gate::{BasisState, Gate};
-pub use unitary::{circuit_unitary, embed};
+pub use unitary::{circuit_unitary, circuit_unitary_reference, circuits_equivalent, embed};

@@ -76,10 +76,7 @@ pub fn to_qasm(circuit: &Circuit) -> Result<String, QasmError> {
             Gate::Cz => format!("cz q[{}],q[{}];", q[0], q[1]),
             Gate::Cp(l) => format!("cu1({l}) q[{}],q[{}];", q[0], q[1]),
             Gate::Swap => format!("swap q[{}],q[{}];", q[0], q[1]),
-            Gate::SwapZ => format!(
-                "cx q[{1}],q[{0}];\ncx q[{0}],q[{1}];",
-                q[0], q[1]
-            ),
+            Gate::SwapZ => format!("cx q[{1}],q[{0}];\ncx q[{0}],q[{1}];", q[0], q[1]),
             Gate::Ccx => format!("ccx q[{}],q[{}],q[{}];", q[0], q[1], q[2]),
             Gate::Cswap => format!("cswap q[{}],q[{}],q[{}];", q[0], q[1], q[2]),
             Gate::Reset => format!("reset q[{}];", q[0]),
@@ -105,7 +102,12 @@ mod tests {
     #[test]
     fn exports_basic_program() {
         let mut c = Circuit::new(3);
-        c.h(0).cx(0, 1).ccx(0, 1, 2).u3(0.1, 0.2, 0.3, 2).barrier().measure_all();
+        c.h(0)
+            .cx(0, 1)
+            .ccx(0, 1, 2)
+            .u3(0.1, 0.2, 0.3, 2)
+            .barrier()
+            .measure_all();
         let text = to_qasm(&c).unwrap();
         assert!(text.starts_with("OPENQASM 2.0;"));
         assert!(text.contains("qreg q[3];"));
@@ -142,7 +144,11 @@ mod tests {
     fn transpiled_output_always_exports() {
         // The device basis is exportable by construction.
         let mut c = Circuit::new(2);
-        c.u1(0.5, 0).u2(0.1, 0.2, 1).u3(1.0, 2.0, 3.0, 0).cx(0, 1).measure_all();
+        c.u1(0.5, 0)
+            .u2(0.1, 0.2, 1)
+            .u3(1.0, 2.0, 3.0, 0)
+            .cx(0, 1)
+            .measure_all();
         let text = to_qasm(&c).unwrap();
         assert_eq!(text.matches("cx ").count(), 1);
     }

@@ -1,0 +1,142 @@
+//! Deterministic random-circuit generation for oracle tests and benchmarks.
+//!
+//! Lives in the library (not a test module) so both the equivalence tests
+//! in `qc-circuit`/`qc-sim` and the `kernels` criterion bench can draw the
+//! same circuit distribution. The generator uses an internal SplitMix64
+//! stream, keeping `qc-circuit` dependency-free.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// A tiny deterministic PRNG (SplitMix64) for circuit sampling.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeds the stream.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform angle in `(-π, π)`.
+    pub fn angle(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 2.0 * std::f64::consts::PI
+    }
+
+    /// `k` distinct qubit indices below `n`, in random order (so multi-qubit
+    /// gates exercise adjacent, non-adjacent and reversed orderings alike).
+    pub fn distinct_qubits(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot draw {k} distinct qubits from {n}");
+        let mut pool: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = i + self.below(n - i);
+            pool.swap(i, j);
+        }
+        pool.truncate(k);
+        pool
+    }
+}
+
+/// Builds a random `num_gates`-gate unitary circuit on `num_qubits` qubits
+/// covering the full unitary gate set (no reset/measure/directives), with
+/// uniformly random qubit assignments — including non-adjacent and reversed
+/// orderings — and random angles. Deterministic per seed.
+///
+/// Multi-qubit gate kinds requiring more qubits than available are skipped
+/// in favor of single-qubit kinds, so any `num_qubits ≥ 1` works.
+pub fn random_circuit(num_qubits: usize, num_gates: usize, seed: u64) -> Circuit {
+    let mut rng = SplitMix64::new(seed);
+    let mut c = Circuit::new(num_qubits);
+    let mut added = 0;
+    while added < num_gates {
+        let kind = rng.below(25);
+        let need = match kind {
+            0..=14 => 1,
+            15..=19 => 2,
+            20..=22 => 3,
+            _ => 4,
+        };
+        if need > num_qubits {
+            continue;
+        }
+        let q = rng.distinct_qubits(num_qubits, need);
+        match kind {
+            0 => c.x(q[0]),
+            1 => c.y(q[0]),
+            2 => c.z(q[0]),
+            3 => c.h(q[0]),
+            4 => c.s(q[0]),
+            5 => c.sdg(q[0]),
+            6 => c.t(q[0]),
+            7 => c.tdg(q[0]),
+            8 => c.rx(rng.angle(), q[0]),
+            9 => c.ry(rng.angle(), q[0]),
+            10 => c.rz(rng.angle(), q[0]),
+            11 => c.u1(rng.angle(), q[0]),
+            12 => c.u2(rng.angle(), rng.angle(), q[0]),
+            13 => c.u3(rng.angle(), rng.angle(), rng.angle(), q[0]),
+            14 => c.id(q[0]),
+            15 => c.cx(q[0], q[1]),
+            16 => c.cz(q[0], q[1]),
+            17 => c.cp(rng.angle(), q[0], q[1]),
+            18 => c.swap(q[0], q[1]),
+            19 => c.swapz(q[0], q[1]),
+            20 => c.ccx(q[0], q[1], q[2]),
+            21 => c.cswap(q[0], q[1], q[2]),
+            22 => c.push(
+                Gate::Cu(
+                    Gate::U3(rng.angle(), rng.angle(), rng.angle())
+                        .matrix()
+                        .unwrap(),
+                ),
+                &q[..2],
+            ),
+            23 => c.mcx(&q[..3], q[3]),
+            _ => c.mcz(&q[..3], q[3]),
+        };
+        added += 1;
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = random_circuit(4, 30, 7);
+        let b = random_circuit(4, 30, 7);
+        assert_eq!(a.instructions(), b.instructions());
+        let c = random_circuit(4, 30, 8);
+        assert_ne!(a.instructions(), c.instructions());
+    }
+
+    #[test]
+    fn requested_gate_count_and_qubit_bounds() {
+        for n in 1..5 {
+            let c = random_circuit(n, 40, n as u64);
+            assert_eq!(c.len(), 40);
+            for inst in c.instructions() {
+                assert!(inst.qubits.iter().all(|&q| q < n));
+                assert!(inst.gate.is_unitary_gate());
+            }
+        }
+    }
+}

@@ -1,12 +1,23 @@
-//! Embedding gate matrices into full-register unitaries.
+//! Circuit unitaries via the shared kernel engine, plus gate embedding.
 //!
 //! Transpiler passes (block consolidation, equivalence assertions in tests)
-//! need the 2ⁿ×2ⁿ unitary of a small circuit. These routines are dense and
-//! intended for n ≲ 10; the state-vector simulator in `qc-sim` is the fast
-//! path for larger functional checks.
+//! need the 2ⁿ×2ⁿ unitary of a small circuit. [`circuit_unitary`] builds it
+//! by applying each gate's kernel to the 2ⁿ columns of an identity matrix
+//! through [`qc_math::KernelEngine`] — **O(2ⁿ·4ᵏ) work per column, so
+//! O(4ⁿ·4ᵏ/2ᵏ) per k-qubit gate**, with no per-gate allocation. The older
+//! embed-then-matmul formulation ([`circuit_unitary_reference`]) costs
+//! O(8ⁿ) per gate in its dense form (O(4ⁿ·2ᵏ) with zero-skipping, plus two
+//! 4ⁿ-entry allocations per gate) and is retained as the independent oracle
+//! for equivalence tests and benchmarks.
+//!
+//! Rule of thumb: use [`circuit_unitary`] everywhere; use
+//! [`circuit_unitary_reference`] only when an implementation-independent
+//! cross-check is the point. Both are dense and intended for n ≲ 12; the
+//! state-vector simulator in `qc-sim` is the fast path for larger
+//! functional checks (one column, not 2ⁿ).
 
 use crate::circuit::Circuit;
-use qc_math::{C64, Matrix};
+use qc_math::{KernelEngine, Matrix, C64};
 
 /// Embeds a k-qubit gate matrix into an n-qubit unitary, acting on the given
 /// qubits (little-endian: `qubits[0]` is the gate's least-significant local
@@ -58,14 +69,59 @@ pub fn embed(gate_matrix: &Matrix, qubits: &[usize], n: usize) -> Matrix {
     out
 }
 
-/// The full unitary of a circuit, as the ordered product of its embedded
-/// gates.
+/// The full unitary of a circuit.
+///
+/// Built by streaming every gate's kernel over an identity matrix stored
+/// row-major: in the product G·U a gate acts on the *row-index* bits, so
+/// each kernel step mixes whole rows — contiguous length-2ⁿ element-wise
+/// passes, which vectorize and stream (the 2ⁿ columns are updated in one
+/// batch; no transpose is ever needed). Per k-qubit gate this is
+/// O(4ⁿ·4ᵏ/2ᵏ) dense — and far less for the structured kernels (diagonal,
+/// controlled-X, swap) — versus the O(8ⁿ) embed-then-matmul of
+/// [`circuit_unitary_reference`].
 ///
 /// # Panics
 ///
 /// Panics if the circuit contains a non-unitary instruction (reset or
 /// measure). Directives (barriers, annotations) are skipped.
 pub fn circuit_unitary(circuit: &Circuit) -> Matrix {
+    let n = circuit.num_qubits();
+    let dim = 1usize << n;
+    // Row-major U, starting as the identity. Each gate mixes *rows* (a gate
+    // acts on the row-index bits of U in the product G·U), so every kernel
+    // step is an element-wise pass over contiguous length-2ⁿ rows.
+    let mut data = vec![C64::ZERO; dim * dim];
+    for i in 0..dim {
+        data[i * dim + i] = C64::ONE;
+    }
+    let mut engine = KernelEngine::new();
+    for inst in circuit.instructions() {
+        if inst.gate.is_directive() {
+            continue;
+        }
+        let op = inst
+            .gate
+            .kernel()
+            .unwrap_or_else(|| panic!("non-unitary instruction {} in circuit_unitary", inst.gate));
+        engine.apply_batched(&mut data, n, dim, &op, &inst.qubits);
+    }
+    Matrix::from_vec(dim, dim, data)
+}
+
+/// The original embed-then-matmul construction of a circuit's unitary:
+/// every gate is embedded as a full 2ⁿ×2ⁿ matrix and multiplied into the
+/// accumulator.
+///
+/// O(8ⁿ) per gate in dense form; kept as the implementation-independent
+/// **oracle** for the kernel-based [`circuit_unitary`] — equivalence tests
+/// and the `kernels` criterion bench compare the two paths. New code should
+/// call [`circuit_unitary`].
+///
+/// # Panics
+///
+/// Panics if the circuit contains a non-unitary instruction (reset or
+/// measure). Directives (barriers, annotations) are skipped.
+pub fn circuit_unitary_reference(circuit: &Circuit) -> Matrix {
     let n = circuit.num_qubits();
     let mut u = Matrix::identity(1 << n);
     for inst in circuit.instructions() {

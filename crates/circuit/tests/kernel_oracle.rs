@@ -1,0 +1,99 @@
+//! Oracle equivalence tests for the kernel-based `circuit_unitary`.
+//!
+//! The retained embed-then-matmul construction
+//! (`circuit_unitary_reference`) is an independent encoding of gate
+//! semantics — it goes through `Gate::matrix()` and dense multiplication,
+//! never through `Gate::kernel()` — so agreement on random circuits over
+//! the full gate set is strong evidence the kernel engine and the gate
+//! classification are both correct.
+
+use qc_circuit::testing::random_circuit;
+use qc_circuit::{circuit_unitary, circuit_unitary_reference, Circuit, Gate};
+
+#[test]
+fn random_circuits_match_reference_1_to_6_qubits() {
+    for n in 1..=6 {
+        for seed in 0..8u64 {
+            let c = random_circuit(n, 24, seed * 100 + n as u64);
+            let fast = circuit_unitary(&c);
+            let slow = circuit_unitary_reference(&c);
+            assert!(
+                fast.approx_eq(&slow, 1e-9),
+                "kernel/reference unitary mismatch on {n} qubits, seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_gate_kind_alone_matches_reference() {
+    // One instruction per circuit, on deliberately awkward qubit orders:
+    // non-adjacent and reversed.
+    let cases: Vec<(Gate, Vec<usize>)> = vec![
+        (Gate::H, vec![3]),
+        (Gate::Y, vec![0]),
+        (Gate::Rz(0.9), vec![2]),
+        (Gate::U3(0.4, -0.7, 1.2), vec![1]),
+        (Gate::Cx, vec![3, 0]),
+        (Gate::Cx, vec![0, 3]),
+        (Gate::Cz, vec![2, 0]),
+        (Gate::Cp(0.6), vec![1, 3]),
+        (Gate::Swap, vec![3, 1]),
+        (Gate::SwapZ, vec![2, 0]),
+        (Gate::Ccx, vec![3, 1, 0]),
+        (Gate::Cswap, vec![1, 3, 2]),
+        (Gate::Mcx(3), vec![3, 0, 2, 1]),
+        (Gate::Mcz(3), vec![1, 3, 0, 2]),
+        (Gate::Cu(Gate::S.matrix().unwrap()), vec![3, 1]),
+        (Gate::Unitary(Gate::Ccx.matrix().unwrap()), vec![2, 0, 3]),
+    ];
+    for (gate, qubits) in cases {
+        let mut c = Circuit::new(4);
+        c.push(gate.clone(), &qubits);
+        let fast = circuit_unitary(&c);
+        let slow = circuit_unitary_reference(&c);
+        assert!(
+            fast.approx_eq(&slow, 1e-12),
+            "mismatch for {gate} on {qubits:?}"
+        );
+    }
+}
+
+#[test]
+fn unitarity_is_preserved() {
+    for seed in 0..4u64 {
+        let c = random_circuit(5, 40, 31 + seed);
+        assert!(circuit_unitary(&c).is_unitary(1e-9));
+    }
+}
+
+#[test]
+fn directives_are_skipped_like_reference() {
+    let mut c = Circuit::new(3);
+    c.h(0)
+        .barrier()
+        .annot_zero(1)
+        .cx(0, 2)
+        .annot(0.3, 0.1, 2)
+        .swap(1, 2);
+    assert!(circuit_unitary(&c).approx_eq(&circuit_unitary_reference(&c), 1e-12));
+}
+
+#[test]
+fn consolidated_unitary_blocks_round_trip() {
+    // A consolidated block (Gate::Unitary) of a sub-circuit behaves like
+    // the sub-circuit inlined, on every qubit ordering.
+    let mut inner = Circuit::new(2);
+    inner.h(0).cx(0, 1).t(1);
+    let block = circuit_unitary(&inner);
+    for qubits in [[0usize, 2], [2, 0], [1, 2]] {
+        let mut with_block = Circuit::new(3);
+        with_block.push(Gate::Unitary(block.clone()), &qubits);
+        let mut inlined = Circuit::new(3);
+        inlined.h(qubits[0]).cx(qubits[0], qubits[1]).t(qubits[1]);
+        assert!(
+            circuit_unitary(&with_block).approx_eq(&circuit_unitary(&inlined), 1e-10),
+            "block mismatch on {qubits:?}"
+        );
+    }
+}

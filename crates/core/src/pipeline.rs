@@ -174,17 +174,9 @@ mod tests {
     use qc_transpile::transpile;
 
     fn routed_equivalent_counts(c: &Circuit, backend: &Backend, seed: u64) -> (usize, usize) {
-        let base = transpile(
-            c,
-            backend,
-            &TranspileOptions::level(3).with_seed(seed),
-        )
-        .unwrap();
+        let base = transpile(c, backend, &TranspileOptions::level(3).with_seed(seed)).unwrap();
         let rpo = transpile_rpo(c, backend, &RpoOptions::new().with_seed(seed)).unwrap();
-        (
-            base.circuit.gate_counts().cx,
-            rpo.circuit.gate_counts().cx,
-        )
+        (base.circuit.gate_counts().cx, rpo.circuit.gate_counts().cx)
     }
 
     #[test]

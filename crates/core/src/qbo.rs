@@ -26,7 +26,7 @@
 //! eigenstate with *any* eigenvalue are removed (the phase is global and
 //! unobservable); the default matches the paper's eigenvalue-1 rule.
 
-use crate::state::{basis_transform_gates, eigenphase_of, StateAnalysis};
+use crate::state::{basis_transform_gates, eigenphase_of, eigenphase_of_2x2, StateAnalysis};
 use qc_circuit::{BasisState, Circuit, Gate, Instruction};
 use qc_math::C64;
 use qc_transpile::{Pass, TranspileError};
@@ -86,8 +86,8 @@ impl Qbo {
                     .pure_state(q[0])
                     .state_vector()
                     .or_else(|| basis(0).map(|b| b.state_vector()))?;
-                let m = g.matrix().expect("unitary gate");
-                let lambda = eigenphase_of(&m, &v)?;
+                let m = g.matrix2x2().expect("unitary 1q gate");
+                let lambda = eigenphase_of_2x2(&m, &v)?;
                 if lambda.approx_eq(C64::ONE, 1e-9) || self.phase_relaxed {
                     Some(vec![])
                 } else {
@@ -204,7 +204,9 @@ impl Qbo {
             }
             // --- multi-controlled Z (symmetric) ----------------------------
             Gate::Mcz(_) => {
-                if q.iter().any(|&c| st.basis(c).known() == Some(BasisState::Zero)) {
+                if q.iter()
+                    .any(|&c| st.basis(c).known() == Some(BasisState::Zero))
+                {
                     return Some(vec![]);
                 }
                 let remaining: Vec<usize> = q
@@ -378,6 +380,22 @@ mod tests {
             "QBO changed functional behavior\nbefore:\n{c}\nafter:\n{out}"
         );
         out
+    }
+
+    #[test]
+    fn one_qubit_unitary_blocks_survive_qbo() {
+        // Regression: a 1-qubit Gate::Unitary (synthesized by the Unroller,
+        // and legal user input before unrolling) must flow through the
+        // eigenstate rule without panicking.
+        let mut c = Circuit::new(2);
+        c.push(Gate::Unitary(Gate::Z.matrix().unwrap()), &[0]); // |0⟩ eigenstate, λ=1
+        c.push(Gate::Unitary(Gate::H.matrix().unwrap()), &[1]);
+        c.cx(0, 1);
+        let out = qbo(&c);
+        // Z on |0⟩ is removed by Eq. 7, and the CX goes with it (its control
+        // is still provably |0⟩); only the H block survives.
+        assert_eq!(out.gate_counts().total, 1);
+        assert!(matches!(out.instructions()[0].gate, Gate::Unitary(_)));
     }
 
     #[test]

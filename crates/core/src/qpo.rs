@@ -20,7 +20,7 @@
 use crate::state::{vector_to_bloch, PureTracked, StateAnalysis};
 use qc_circuit::gate::u3_matrix;
 use qc_circuit::{circuit_unitary, Circuit, Dag, Gate, Instruction};
-use qc_math::{C64, Matrix};
+use qc_math::{Matrix, C64};
 use qc_synth::{matrix_to_u3_gate, prepare_two_qubit};
 use qc_transpile::{Pass, TranspileError};
 
@@ -70,14 +70,8 @@ fn rewrite(inst: &Instruction, st: &StateAnalysis) -> Option<Vec<Instruction>> {
     match &inst.gate {
         Gate::Swap => match (pure(0), pure(1)) {
             (
-                PureTracked::Pure {
-                    theta: t0,
-                    phi: p0,
-                },
-                PureTracked::Pure {
-                    theta: t1,
-                    phi: p1,
-                },
+                PureTracked::Pure { theta: t0, phi: p0 },
+                PureTracked::Pure { theta: t1, phi: p1 },
             ) => {
                 // Eq. 6: V maps |ψ₀⟩→|ψ₁⟩ on wire 0; V† the reverse on wire 1.
                 let v = prep_matrix(t1, p1).matmul(&prep_matrix(t0, p0).adjoint());
@@ -116,14 +110,8 @@ fn rewrite(inst: &Instruction, st: &StateAnalysis) -> Option<Vec<Instruction>> {
             // Eq. 9: both targets in known pure states.
             let (p1, p2) = (pure(1), pure(2));
             if let (
-                PureTracked::Pure {
-                    theta: t1,
-                    phi: f1,
-                },
-                PureTracked::Pure {
-                    theta: t2,
-                    phi: f2,
-                },
+                PureTracked::Pure { theta: t1, phi: f1 },
+                PureTracked::Pure { theta: t2, phi: f2 },
             ) = (p1, p2)
             {
                 let v = prep_matrix(t2, f2).matmul(&prep_matrix(t1, f1).adjoint());
@@ -201,7 +189,13 @@ fn optimize_blocks(circuit: &mut Circuit) -> Result<(), TranspileError> {
     for block in &blocks {
         let (a, b) = block.qubits;
         // Entry state of each wire at its first gate inside the block.
-        let first_for = |w: usize| block.nodes.iter().copied().find(|&n| dag.nodes()[n].qubits.contains(&w));
+        let first_for = |w: usize| {
+            block
+                .nodes
+                .iter()
+                .copied()
+                .find(|&n| dag.nodes()[n].qubits.contains(&w))
+        };
         let (Some(na), Some(nb)) = (first_for(a), first_for(b)) else {
             continue;
         };
@@ -233,12 +227,7 @@ fn optimize_blocks(circuit: &mut Circuit) -> Result<(), TranspileError> {
         }
         // Statically evaluate the block on the known product input.
         let u = circuit_unitary(&local);
-        let input = [
-            vb[0] * va[0],
-            vb[0] * va[1],
-            vb[1] * va[0],
-            vb[1] * va[1],
-        ];
+        let input = [vb[0] * va[0], vb[0] * va[1], vb[1] * va[0], vb[1] * va[1]];
         let output = u.apply(&input);
         let mut replacement_circ = Circuit::new(2);
         // Un-prepare the known inputs back to |00⟩…
@@ -354,7 +343,10 @@ mod tests {
     #[test]
     fn fredkin_with_equal_pure_targets_removed() {
         let mut c = Circuit::new(3);
-        c.h(0).u3(0.4, 0.2, 0.0, 1).u3(0.4, 0.2, 0.0, 2).cswap(0, 1, 2);
+        c.h(0)
+            .u3(0.4, 0.2, 0.0, 1)
+            .u3(0.4, 0.2, 0.0, 2)
+            .cswap(0, 1, 2);
         let out = qpo(&c);
         assert_eq!(out.count_name("cswap"), 0);
         assert_eq!(out.count_name("cu"), 0);

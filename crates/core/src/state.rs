@@ -18,7 +18,7 @@
 //! conservatively sends its qubits to ⊤.
 
 use qc_circuit::{BasisState, Circuit, Gate};
-use qc_math::{C64, Matrix};
+use qc_math::{apply_2x2, Matrix, C64};
 
 /// Tolerance for recognizing basis states and eigenstates.
 pub const STATE_EPS: f64 = 1e-9;
@@ -118,7 +118,14 @@ pub fn recognize_basis(v: &[C64; 2]) -> Option<BasisState> {
 
 /// If `m · v = λ·v`, returns the eigenvalue λ; `None` otherwise.
 pub fn eigenphase_of(m: &Matrix, v: &[C64; 2]) -> Option<C64> {
-    let out = m.apply(&[v[0], v[1]]);
+    eigenphase_of_2x2(&[m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]], v)
+}
+
+/// [`eigenphase_of`] on a stack 2×2 (row-major), avoiding the heap matrix —
+/// the form fed by [`qc_circuit::Gate::matrix2x2`] in the per-instruction
+/// QBO scan.
+pub fn eigenphase_of_2x2(m: &[C64; 4], v: &[C64; 2]) -> Option<C64> {
+    let out = apply_2x2(m, v);
     let overlap = v[0].conj() * out[0] + v[1].conj() * out[1];
     if (overlap.norm() - 1.0).abs() < STATE_EPS {
         Some(overlap.scale(1.0 / overlap.norm()))
@@ -204,11 +211,13 @@ impl StateAnalysis {
             }
             g if g.num_qubits() == 1 && g.is_unitary_gate() => {
                 let q = qubits[0];
-                let m = g.matrix().expect("unitary 1q gate has a matrix");
+                // Stack 2×2 — the analysis runs once per instruction, so
+                // avoid Gate::matrix()'s heap allocation.
+                let m = g.matrix2x2().expect("unitary 1q gate has a 2×2 matrix");
                 // Pure domain: exact Bloch update.
                 if let Some(v) = self.pure[q].state_vector() {
-                    let out = m.apply(&v);
-                    let (theta, phi) = vector_to_bloch(&[out[0], out[1]]);
+                    let out = apply_2x2(&m, &v);
+                    let (theta, phi) = vector_to_bloch(&out);
                     self.pure[q] = PureTracked::Pure { theta, phi };
                 } else {
                     self.pure[q] = PureTracked::Top;
@@ -217,8 +226,8 @@ impl StateAnalysis {
                 self.basis[q] = match self.basis[q] {
                     BasisTracked::Known(b) => {
                         let v = b.state_vector();
-                        let out = m.apply(&v);
-                        match recognize_basis(&[out[0], out[1]]) {
+                        let out = apply_2x2(&m, &v);
+                        match recognize_basis(&out) {
                             Some(nb) => BasisTracked::Known(nb),
                             None => BasisTracked::Top,
                         }
@@ -270,11 +279,12 @@ pub fn basis_transform_gates(from: BasisState, to: BasisState) -> Vec<Gate> {
     let pool = [Gate::X, Gate::Y, Gate::Z, Gate::H, Gate::S, Gate::Sdg];
     let fv = from.state_vector();
     let maps = |gates: &[&Gate]| -> bool {
-        let mut v = vec![fv[0], fv[1]];
+        let mut v = fv;
         for g in gates {
-            v = g.matrix().expect("pool gates are unitary").apply(&v);
+            let m = g.matrix2x2().expect("pool gates are unitary 1q");
+            v = apply_2x2(&m, &v);
         }
-        recognize_basis(&[v[0], v[1]]) == Some(to)
+        recognize_basis(&v) == Some(to)
     };
     for g in &pool {
         if maps(&[g]) {

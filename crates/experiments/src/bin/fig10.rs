@@ -49,5 +49,8 @@ fn main() {
         "the Hoare baseline cannot see X-basis states"
     );
     println!("✓ QBO(boolean oracle) has the phase oracle's cost — the paper's Fig. 10 conversion");
-    println!("✓ Hoare-logic baseline leaves all {} CNOTs in place", hoare_out.gate_counts().cx);
+    println!(
+        "✓ Hoare-logic baseline leaves all {} CNOTs in place",
+        hoare_out.gate_counts().cx
+    );
 }

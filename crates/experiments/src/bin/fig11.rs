@@ -16,7 +16,10 @@ fn main() {
     let n = 3;
     let circuit = qpe(n, theta);
     let expected = qpe_expected_outcome(n, theta);
-    println!("Fig. 11 — noisy 3-qubit QPE (expected outcome {expected:03b}), {} shots\n", args.shots);
+    println!(
+        "Fig. 11 — noisy 3-qubit QPE (expected outcome {expected:03b}), {} shots\n",
+        args.shots
+    );
     let mut improvements = Vec::new();
     let mut csv = Vec::new();
     for backend in [

@@ -22,8 +22,14 @@ fn main() {
     let backend = Backend::melbourne();
     let flows = [Flow::Level3, Flow::Hoare, Flow::Rpo];
     let algos = ["QPE", "VQE", "QV", "Grover"];
-    println!("Table II — median CNOT count / transpile time (ms) on {}", backend.name());
-    println!("({} trials per cell; paper uses 25 — pass --trials 25 --full to match)\n", args.trials);
+    println!(
+        "Table II — median CNOT count / transpile time (ms) on {}",
+        backend.name()
+    );
+    println!(
+        "({} trials per cell; paper uses 25 — pass --trials 25 --full to match)\n",
+        args.trials
+    );
     let mut csv = Vec::new();
     print!("{:>8} |", "qubits");
     for algo in algos {
@@ -65,7 +71,10 @@ fn main() {
         }
     }
     let gm = rpo_experiments::geometric_mean(&ratios);
-    println!("\naverage CNOT ratio RPO/level3 = {gm:.3} (reduction {:.1}%)", (1.0 - gm) * 100.0);
+    println!(
+        "\naverage CNOT ratio RPO/level3 = {gm:.3} (reduction {:.1}%)",
+        (1.0 - gm) * 100.0
+    );
     write_csv(
         "table2.csv",
         "algo,qubits,flow,cx,single_qubit,depth,time_ms",

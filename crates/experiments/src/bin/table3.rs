@@ -45,7 +45,15 @@ fn main() {
         let rpo_a = median_stats(&annotated, &backend, Flow::Rpo, args.trials);
         println!(
             "{iters:>10} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} | {:>8.1} {:>8.1} {:>8.1}",
-            l3.cx, rpo.cx, rpo_a.cx, l3.depth, rpo.depth, rpo_a.depth, l3.time_ms, rpo.time_ms, rpo_a.time_ms
+            l3.cx,
+            rpo.cx,
+            rpo_a.cx,
+            l3.depth,
+            rpo.depth,
+            rpo_a.depth,
+            l3.time_ms,
+            rpo.time_ms,
+            rpo_a.time_ms
         );
         for (label, s) in [("level3", l3), ("RPO", rpo), ("RPO+annot", rpo_a)] {
             csv.push(format!(

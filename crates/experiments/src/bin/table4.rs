@@ -9,7 +9,11 @@ use rpo_experiments::{geometric_mean, median_stats, write_csv, Flow, HarnessArgs
 
 fn main() {
     let args = HarnessArgs::parse();
-    let backends = [Backend::almaden(), Backend::rochester(), Backend::melbourne()];
+    let backends = [
+        Backend::almaden(),
+        Backend::rochester(),
+        Backend::melbourne(),
+    ];
     println!(
         "Table IV — QPE median CNOT / time across connectivities ({} trials)\n",
         args.trials

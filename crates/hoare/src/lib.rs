@@ -87,10 +87,7 @@ impl HoareOptimizer {
             },
             Gate::Mcx(n) => {
                 let controls = &q[..*n];
-                if controls
-                    .iter()
-                    .any(|&c| st[c] == Classical::Value(false))
-                {
+                if controls.iter().any(|&c| st[c] == Classical::Value(false)) {
                     return Some(vec![]);
                 }
                 let remaining: Vec<usize> = controls
@@ -193,7 +190,6 @@ impl HoareOptimizer {
             }
         }
     }
-
 }
 
 fn diag_residual(g: &Gate) -> Gate {

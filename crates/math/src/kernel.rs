@@ -1,0 +1,853 @@
+//! In-place k-qubit gate-application kernels.
+//!
+//! This module is the shared engine behind both the state-vector simulator
+//! (`qc-sim`) and circuit-unitary construction (`qc-circuit`): a family of
+//! routines that apply a k-qubit gate **in place** to a buffer of 2ⁿ
+//! "amplitudes", where each amplitude is either a single scalar (a state
+//! vector) or a contiguous row of `row_len` scalars (the rows of a unitary
+//! being built, i.e. 2ⁿ stacked column vectors viewed index-major).
+//!
+//! # Complexity
+//!
+//! Applying a k-qubit gate to one 2ⁿ-amplitude vector costs **O(2ⁿ·4ᵏ/2ᵏ)**
+//! arithmetic in the dense case (2ⁿ⁻ᵏ blocks of 4ᵏ multiply-adds) — and much
+//! less for the structured kernels:
+//!
+//! | kernel               | gates                     | work per vector      |
+//! |----------------------|---------------------------|----------------------|
+//! | dense k-qubit        | `Unitary`, fallback       | 2ⁿ⁻ᵏ·4ᵏ madds        |
+//! | dense 1-qubit        | `H`, `Rx`, `Ry`, `U3`, …  | 2ⁿ⁻¹ 2×2 mults       |
+//! | diagonal 1-qubit     | `Z`, `S`, `T`, `Rz`, `U1` | ≤ 2ⁿ scalar mults    |
+//! | controlled-1q        | `Cu`                      | 2ⁿ⁻² 2×2 mults       |
+//! | phase on all-ones    | `Cz`, `Cp`, `Mcz`         | 2ⁿ⁻ᵏ scalar mults    |
+//! | controlled-X         | `X`, `Cx`, `Ccx`, `Mcx`   | 2ⁿ⁻ᵏ swaps           |
+//! | swap / permutation   | `Swap`, `SwapZ`, `Cswap`  | ≤ 2ⁿ moves           |
+//!
+//! Crucially there is **no skip-scan**: instead of iterating all 2ⁿ indices
+//! and discarding those with target bits set (`if i & mask != 0 { continue }`),
+//! every kernel enumerates the 2ⁿ⁻ᵏ *base indices* directly by inserting
+//! zero bits at the target-qubit positions ([`expand_bits`]).
+//!
+//! In batched (`row_len > 1`) mode every index operation becomes an
+//! element-wise pass over contiguous rows, which the compiler autovectorizes
+//! and the prefetcher streams — this is what makes kernel-based
+//! circuit-unitary construction an order of magnitude faster than
+//! embed-then-matmul.
+//!
+//! [`KernelEngine`] owns the scratch buffers (gather buffer, offset tables)
+//! so that applying a long gate sequence performs no per-gate heap
+//! allocation beyond scratch growth on the first use of each arity.
+//!
+//! Qubit ordering matches the rest of the workspace: little-endian, with
+//! `qubits[0]` the gate's least-significant local bit.
+
+use crate::complex::C64;
+use crate::matrix::Matrix;
+
+/// A gate's action in *local* (gate-qubit) terms, classified for kernel
+/// dispatch. Obtained from `qc_circuit::Gate::kernel()`; constructing one
+/// never heap-allocates (the dense fallback borrows).
+#[derive(Clone, Debug, PartialEq)]
+pub enum KernelOp<'a> {
+    /// Dense 2×2 on one qubit; row-major `[m00, m01, m10, m11]`.
+    OneQ([C64; 4]),
+    /// Diagonal 1-qubit gate `diag(d0, d1)`.
+    OneQDiag([C64; 2]),
+    /// 2×2 unitary on the *last* qubit, controlled on the first
+    /// (`qubits = [control, target]`); row-major `[u00, u01, u10, u11]`.
+    ControlledOneQ([C64; 4]),
+    /// Multiply amplitudes whose gate-qubit bits are *all* 1 by `phase`
+    /// (`Cz`, `Cp(λ)`, `Mcz`); symmetric in the qubits.
+    PhaseAllOnes(C64),
+    /// X on the last qubit, controlled on all earlier qubits being 1
+    /// (`X` with zero controls, `Cx`, `Ccx`, `Mcx`).
+    ControlledX,
+    /// Exchange the gate's two qubits.
+    Swap,
+    /// An arbitrary permutation of the 2ᵏ local basis states:
+    /// state `l` maps to `perm[l]`.
+    Permutation(&'static [usize]),
+    /// Dense 2ᵏ×2ᵏ fallback (borrowed, e.g. from `Gate::Unitary`).
+    Dense(&'a Matrix),
+}
+
+/// Applies a row-major 2×2 matrix to a 2-vector on the stack — the
+/// allocation-free companion to `Matrix::apply` for the per-instruction
+/// single-qubit analyses.
+#[inline]
+pub fn apply_2x2(m: &[C64; 4], v: &[C64; 2]) -> [C64; 2] {
+    [m[0] * v[0] + m[1] * v[1], m[2] * v[0] + m[3] * v[1]]
+}
+
+/// Multiplies two row-major 2×2 matrices (`a · b`) on the stack.
+#[inline]
+pub fn mul_2x2(a: &[C64; 4], b: &[C64; 4]) -> [C64; 4] {
+    [
+        a[0] * b[0] + a[1] * b[2],
+        a[0] * b[1] + a[1] * b[3],
+        a[2] * b[0] + a[3] * b[2],
+        a[2] * b[1] + a[3] * b[3],
+    ]
+}
+
+/// Inserts a zero bit at each position in `sorted_masks` (single-bit masks in
+/// ascending order), spreading the low bits of `base` across the remaining
+/// positions. This is the base-index enumeration primitive: iterating
+/// `base ∈ 0..2ⁿ⁻ᵏ` and expanding yields exactly the indices with all k
+/// target bits clear, in increasing order.
+#[inline]
+pub fn expand_bits(base: usize, sorted_masks: &[usize]) -> usize {
+    let mut x = base;
+    for &m in sorted_masks {
+        x = (x & (m - 1)) | ((x & !(m - 1)) << 1);
+    }
+    x
+}
+
+/// Reusable engine applying [`KernelOp`]s in place. Holds all scratch
+/// storage (offset tables, gather rows) so a gate sequence runs
+/// allocation-free after warm-up.
+#[derive(Clone, Debug, Default)]
+pub struct KernelEngine {
+    /// Gather buffer for the dense/permutation paths (2ᵏ rows).
+    scratch: Vec<C64>,
+    /// Per-local-state index offsets for the current qubit set (2ᵏ entries).
+    offsets: Vec<usize>,
+    /// Sorted single-bit masks of the current qubit set (k entries).
+    masks: Vec<usize>,
+}
+
+impl KernelEngine {
+    /// A fresh engine with empty scratch buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies `op` on `qubits` to a single 2ⁿ-amplitude state vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len() != 2ⁿ`, a qubit index is out of range or
+    /// repeated, or the op's arity disagrees with `qubits.len()`.
+    pub fn apply(&mut self, buf: &mut [C64], n: usize, op: &KernelOp<'_>, qubits: &[usize]) {
+        assert_eq!(buf.len(), 1usize << n, "state vector length must be 2^{n}");
+        self.apply_batched(buf, n, 1, op, qubits);
+    }
+
+    /// Applies `op` on `qubits` to 2ⁿ contiguous rows of `row_len` scalars
+    /// each — the batched form used to build circuit unitaries, where row r
+    /// of the buffer is row r of the matrix (equivalently: the buffer is 2ⁿ
+    /// stacked column vectors viewed index-major). The gate mixes *rows*;
+    /// every arithmetic step is an element-wise pass over contiguous rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len() != 2ⁿ·row_len`, `row_len == 0`, a qubit index is
+    /// out of range or repeated, or the op's arity disagrees with
+    /// `qubits.len()`.
+    pub fn apply_batched(
+        &mut self,
+        buf: &mut [C64],
+        n: usize,
+        row_len: usize,
+        op: &KernelOp<'_>,
+        qubits: &[usize],
+    ) {
+        let dim = 1usize << n;
+        assert!(row_len > 0, "row_len must be positive");
+        assert_eq!(buf.len(), dim * row_len, "buffer must hold 2^{n} rows");
+        for (i, q) in qubits.iter().enumerate() {
+            assert!(*q < n, "qubit {q} out of range for {n} qubits");
+            assert!(!qubits[i + 1..].contains(q), "duplicate qubit {q}");
+        }
+        match op {
+            KernelOp::OneQ(m) => {
+                assert_eq!(qubits.len(), 1, "OneQ takes one qubit");
+                apply_1q(buf, row_len, qubits[0], m);
+            }
+            KernelOp::OneQDiag(d) => {
+                assert_eq!(qubits.len(), 1, "OneQDiag takes one qubit");
+                apply_1q_diag(buf, row_len, qubits[0], d);
+            }
+            KernelOp::ControlledOneQ(u) => {
+                assert_eq!(qubits.len(), 2, "ControlledOneQ takes two qubits");
+                apply_controlled_1q(buf, row_len, qubits[0], qubits[1], u);
+            }
+            KernelOp::PhaseAllOnes(phase) => {
+                assert!(!qubits.is_empty(), "PhaseAllOnes takes at least one qubit");
+                self.set_masks(qubits);
+                let full_mask: usize = qubits.iter().map(|&q| 1usize << q).sum();
+                let nk = dim >> qubits.len();
+                for b in 0..nk {
+                    let i = expand_bits(b, &self.masks) | full_mask;
+                    scale_row(&mut buf[i * row_len..(i + 1) * row_len], *phase);
+                }
+            }
+            KernelOp::ControlledX => {
+                assert!(!qubits.is_empty(), "ControlledX takes at least one qubit");
+                self.set_masks(qubits);
+                let (&target, controls) = qubits.split_last().expect("nonempty");
+                let ctrl_mask: usize = controls.iter().map(|&q| 1usize << q).sum();
+                let tmask = 1usize << target;
+                let nk = dim >> qubits.len();
+                for b in 0..nk {
+                    let i = expand_bits(b, &self.masks) | ctrl_mask;
+                    swap_rows(buf, row_len, i, i | tmask);
+                }
+            }
+            KernelOp::Swap => {
+                assert_eq!(qubits.len(), 2, "Swap takes two qubits");
+                self.set_masks(qubits);
+                let (ma, mb) = (1usize << qubits[0], 1usize << qubits[1]);
+                let nk = dim >> 2;
+                for b in 0..nk {
+                    let base = expand_bits(b, &self.masks);
+                    swap_rows(buf, row_len, base | ma, base | mb);
+                }
+            }
+            KernelOp::Permutation(perm) => {
+                let k = qubits.len();
+                assert_eq!(perm.len(), 1 << k, "permutation arity mismatch");
+                assert!(perm.len() <= 64, "permutation too large");
+                self.set_offsets(qubits);
+                // Inverse permutation for cycle-following moves.
+                let mut inv = [0usize; 64];
+                for (l, &p) in perm.iter().enumerate() {
+                    inv[p] = l;
+                }
+                self.scratch.resize(row_len, C64::ZERO);
+                let nk = dim >> k;
+                for b in 0..nk {
+                    let base = expand_bits(b, &self.masks);
+                    // Apply each cycle with a single temporary row: fixed
+                    // points (e.g. 6 of 8 states of a Fredkin) cost nothing.
+                    let mut visited = 0u64;
+                    for start in 0..perm.len() {
+                        if visited & (1 << start) != 0 || perm[start] == start {
+                            continue;
+                        }
+                        let row_of = |l: usize| (base + self.offsets[l]) * row_len;
+                        self.scratch
+                            .copy_from_slice(&buf[row_of(start)..row_of(start) + row_len]);
+                        visited |= 1 << start;
+                        let mut cur = start;
+                        loop {
+                            let prev = inv[cur];
+                            visited |= 1 << prev;
+                            if prev == start {
+                                buf[row_of(cur)..row_of(cur) + row_len]
+                                    .copy_from_slice(&self.scratch);
+                                break;
+                            }
+                            copy_row(buf, row_len, row_of(prev), row_of(cur));
+                            cur = prev;
+                        }
+                    }
+                }
+            }
+            KernelOp::Dense(m) => self.apply_dense_batched(buf, n, row_len, m, qubits),
+        }
+    }
+
+    /// Applies an arbitrary dense 2ᵏ×2ᵏ matrix on `qubits` to a single
+    /// 2ⁿ-amplitude state vector — the general gather/multiply/scatter path
+    /// over precomputed offset tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension or qubit-index errors (see [`KernelEngine::apply`]).
+    pub fn apply_dense(&mut self, buf: &mut [C64], n: usize, m: &Matrix, qubits: &[usize]) {
+        assert_eq!(buf.len(), 1usize << n, "state vector length must be 2^{n}");
+        self.apply_dense_batched(buf, n, 1, m, qubits);
+    }
+
+    /// Batched form of [`KernelEngine::apply_dense`] (see
+    /// [`KernelEngine::apply_batched`] for the row layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension or qubit-index errors.
+    pub fn apply_dense_batched(
+        &mut self,
+        buf: &mut [C64],
+        n: usize,
+        row_len: usize,
+        m: &Matrix,
+        qubits: &[usize],
+    ) {
+        let k = qubits.len();
+        assert_eq!(m.rows(), 1 << k, "matrix dimension mismatch");
+        assert_eq!(m.cols(), 1 << k, "matrix must be square");
+        let dim = 1usize << n;
+        assert!(row_len > 0, "row_len must be positive");
+        assert_eq!(buf.len(), dim * row_len, "buffer must hold 2^{n} rows");
+        for (i, q) in qubits.iter().enumerate() {
+            assert!(*q < n, "qubit {q} out of range for {n} qubits");
+            assert!(!qubits[i + 1..].contains(q), "duplicate qubit {q}");
+        }
+        if k == 1 {
+            // Register-kernel specialization: no gather/scatter indirection.
+            let m2 = [m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]];
+            apply_1q(buf, row_len, qubits[0], &m2);
+            return;
+        }
+        self.set_offsets(qubits);
+        let side = 1usize << k;
+        let mat = m.as_slice();
+        let nk = dim >> k;
+        if row_len == 1 {
+            // State-vector path: gather 2ᵏ scalars, dense multiply, scatter.
+            self.scratch.resize(side, C64::ZERO);
+            for b in 0..nk {
+                let base = expand_bits(b, &self.masks);
+                for (l, &off) in self.offsets.iter().enumerate() {
+                    self.scratch[l] = buf[base + off];
+                }
+                for (row, &off) in self.offsets.iter().enumerate() {
+                    let mrow = &mat[row * side..(row + 1) * side];
+                    let mut acc = C64::ZERO;
+                    for (col, &s) in self.scratch.iter().enumerate() {
+                        acc += mrow[col] * s;
+                    }
+                    buf[base + off] = acc;
+                }
+            }
+            return;
+        }
+        self.scratch.resize(side * row_len, C64::ZERO);
+        for b in 0..nk {
+            let base = expand_bits(b, &self.masks);
+            // Gather the 2ᵏ participating rows.
+            for (l, &off) in self.offsets.iter().enumerate() {
+                let row = (base + off) * row_len;
+                self.scratch[l * row_len..(l + 1) * row_len]
+                    .copy_from_slice(&buf[row..row + row_len]);
+            }
+            // Each output row is a coefficient combination of the gathered
+            // rows: contiguous axpy passes.
+            for (row, &off) in self.offsets.iter().enumerate() {
+                let dst = &mut buf[(base + off) * row_len..(base + off + 1) * row_len];
+                let mrow = &mat[row * side..(row + 1) * side];
+                dst.fill(C64::ZERO);
+                for (col, &coeff) in mrow.iter().enumerate() {
+                    if coeff == C64::ZERO {
+                        continue;
+                    }
+                    axpy(
+                        dst,
+                        &self.scratch[col * row_len..(col + 1) * row_len],
+                        coeff,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Rebuilds `self.masks` (sorted single-bit masks) for `qubits`.
+    fn set_masks(&mut self, qubits: &[usize]) {
+        self.masks.clear();
+        self.masks.extend(qubits.iter().map(|&q| 1usize << q));
+        self.masks.sort_unstable();
+    }
+
+    /// Rebuilds `self.masks` and the per-local-state offset table
+    /// `offsets[l] = Σ_{bit set in l} 2^qubits[bit]`.
+    fn set_offsets(&mut self, qubits: &[usize]) {
+        self.set_masks(qubits);
+        let side = 1usize << qubits.len();
+        self.offsets.clear();
+        self.offsets.reserve(side);
+        for local in 0..side {
+            let mut off = 0usize;
+            for (bit, &q) in qubits.iter().enumerate() {
+                if (local >> bit) & 1 == 1 {
+                    off |= 1 << q;
+                }
+            }
+            self.offsets.push(off);
+        }
+    }
+}
+
+/// How wide a SIMD path the host CPU offers for the hot row loops.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SimdLevel {
+    Scalar,
+    Avx2,
+    Avx512,
+}
+
+/// Detects (once) the best vector extension available. The kernels stay
+/// plain scalar Rust; compiling them under `#[target_feature]` lets LLVM
+/// autovectorize with AVX2/AVX-512 + FMA, which roughly doubles the dense
+/// mix throughput on machines that have them.
+fn simd_level() -> SimdLevel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::OnceLock;
+        static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
+        *LEVEL.get_or_init(|| {
+            if is_x86_feature_detected!("avx512f") {
+                SimdLevel::Avx512
+            } else if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+                SimdLevel::Avx2
+            } else {
+                SimdLevel::Scalar
+            }
+        })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        SimdLevel::Scalar
+    }
+}
+
+/// Emits `avx2`/`avx512` clones of a scalar loop body plus a dispatching
+/// wrapper. The `unsafe` on the feature-gated clones is sound: they are
+/// only called after `simd_level()` confirmed the feature, and the bodies
+/// themselves are safe code.
+macro_rules! simd_dispatch {
+    ($dispatch:ident => $inner:ident / $avx2:ident / $avx512:ident, fn($($arg:ident: $ty:ty),* $(,)?)) => {
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx2", enable = "fma")]
+        unsafe fn $avx2($($arg: $ty),*) {
+            $inner($($arg),*)
+        }
+
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx512f")]
+        unsafe fn $avx512($($arg: $ty),*) {
+            $inner($($arg),*)
+        }
+
+        #[inline]
+        fn $dispatch($($arg: $ty),*) {
+            match simd_level() {
+                #[cfg(target_arch = "x86_64")]
+                SimdLevel::Avx512 => unsafe { $avx512($($arg),*) },
+                #[cfg(target_arch = "x86_64")]
+                SimdLevel::Avx2 => unsafe { $avx2($($arg),*) },
+                _ => $inner($($arg),*),
+            }
+        }
+    };
+}
+
+/// Multiplies a contiguous row by a scalar.
+#[inline]
+fn scale_row(row: &mut [C64], s: C64) {
+    for z in row {
+        *z *= s;
+    }
+}
+
+/// Element-wise `dst += coeff · src` over contiguous rows.
+#[inline(always)]
+fn axpy_inner(dst: &mut [C64], src: &[C64], coeff: C64) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d += coeff * *s;
+    }
+}
+simd_dispatch!(axpy => axpy_inner / axpy_avx2 / axpy_avx512,
+    fn(dst: &mut [C64], src: &[C64], coeff: C64));
+
+/// Copies `row_len` elements from element-offset `src` to element-offset
+/// `dst` (disjoint by construction).
+#[inline]
+fn copy_row(buf: &mut [C64], row_len: usize, src: usize, dst: usize) {
+    debug_assert_ne!(src, dst);
+    let (lo, hi) = buf.split_at_mut(src.max(dst));
+    if src < dst {
+        hi[..row_len].copy_from_slice(&lo[src..src + row_len]);
+    } else {
+        lo[dst..dst + row_len].copy_from_slice(&hi[..row_len]);
+    }
+}
+
+/// Swaps rows `i` and `j` (disjoint by construction).
+#[inline]
+fn swap_rows(buf: &mut [C64], row_len: usize, i: usize, j: usize) {
+    if row_len == 1 {
+        buf.swap(i, j);
+        return;
+    }
+    let (lo, hi) = (i.min(j), i.max(j));
+    let (a, b) = buf.split_at_mut(hi * row_len);
+    a[lo * row_len..(lo + 1) * row_len].swap_with_slice(&mut b[..row_len]);
+}
+
+/// Element-wise 2×2 mix of two equal-length rows.
+#[inline(always)]
+fn mix_rows_inner(ri: &mut [C64], rj: &mut [C64], m: &[C64; 4]) {
+    let [a, b, c, d] = *m;
+    for (x, y) in ri.iter_mut().zip(rj.iter_mut()) {
+        let (xv, yv) = (*x, *y);
+        *x = a * xv + b * yv;
+        *y = c * xv + d * yv;
+    }
+}
+simd_dispatch!(mix_rows => mix_rows_inner / mix_rows_avx2 / mix_rows_avx512,
+    fn(ri: &mut [C64], rj: &mut [C64], m: &[C64; 4]));
+
+/// Scalar (state-vector) block of the dense 2×2 kernel: mixes the
+/// interleaved pairs `(i, i + step)` for `i ∈ [base, base + step)`.
+#[inline(always)]
+fn mix_pairs_scalar_inner(block: &mut [C64], step: usize, m: &[C64; 4]) {
+    let [a, b, c, d] = *m;
+    let (xs, ys) = block.split_at_mut(step);
+    for (x, y) in xs.iter_mut().zip(ys.iter_mut()) {
+        let (xv, yv) = (*x, *y);
+        *x = a * xv + b * yv;
+        *y = c * xv + d * yv;
+    }
+}
+simd_dispatch!(mix_pairs_scalar => mix_pairs_scalar_inner / mix_pairs_scalar_avx2 / mix_pairs_scalar_avx512,
+    fn(block: &mut [C64], step: usize, m: &[C64; 4]));
+
+/// Mixes row pair `(i, j)` by `[[a, b], [c, d]]`, element-wise over the rows.
+#[inline]
+fn mix_row_pair(buf: &mut [C64], row_len: usize, i: usize, j: usize, m: &[C64; 4]) {
+    debug_assert!(i < j);
+    let (lo, hi) = buf.split_at_mut(j * row_len);
+    mix_rows(
+        &mut lo[i * row_len..(i + 1) * row_len],
+        &mut hi[..row_len],
+        m,
+    );
+}
+
+/// Dense 2×2 kernel: for every index pair `(i, i | 2^q)`, left-multiplies by
+/// `[[a, b], [c, d]]`. Branch-free block/offset enumeration; a scalar fast
+/// path serves state vectors (`row_len == 1`).
+fn apply_1q(buf: &mut [C64], row_len: usize, q: usize, m: &[C64; 4]) {
+    let step = 1usize << q;
+    if row_len == 1 {
+        for block in buf.chunks_exact_mut(step << 1) {
+            mix_pairs_scalar(block, step, m);
+        }
+        return;
+    }
+    let dim = buf.len() / row_len;
+    let mut base = 0;
+    while base < dim {
+        for i in base..base + step {
+            mix_row_pair(buf, row_len, i, i + step, m);
+        }
+        base += step << 1;
+    }
+}
+
+/// Diagonal 1-qubit kernel: multiplies the `bit q = 0` half-runs by `d0` and
+/// the `bit q = 1` half-runs by `d1`, skipping unit factors entirely. Runs
+/// of consecutive rows are contiguous memory regardless of `row_len`.
+fn apply_1q_diag(buf: &mut [C64], row_len: usize, q: usize, d: &[C64; 2]) {
+    let run = (1usize << q) * row_len;
+    let [d0, d1] = *d;
+    let scale0 = d0 != C64::ONE;
+    let scale1 = d1 != C64::ONE;
+    if !scale0 && !scale1 {
+        return;
+    }
+    let mut base = 0;
+    while base < buf.len() {
+        if scale0 {
+            scale_row(&mut buf[base..base + run], d0);
+        }
+        if scale1 {
+            scale_row(&mut buf[base + run..base + 2 * run], d1);
+        }
+        base += run << 1;
+    }
+}
+
+/// Controlled-2×2 kernel: applies `[[a, b], [c, d]]` to the target pair on
+/// the 2ⁿ⁻² base indices with the control bit set.
+fn apply_controlled_1q(
+    buf: &mut [C64],
+    row_len: usize,
+    control: usize,
+    target: usize,
+    u: &[C64; 4],
+) {
+    let cmask = 1usize << control;
+    let tmask = 1usize << target;
+    let masks = if cmask < tmask {
+        [cmask, tmask]
+    } else {
+        [tmask, cmask]
+    };
+    let dim = buf.len() / row_len;
+    let nk = dim >> 2;
+    if row_len == 1 {
+        let [a, b, c, d] = *u;
+        for bidx in 0..nk {
+            let i = expand_bits(bidx, &masks) | cmask;
+            let j = i | tmask;
+            let x = buf[i];
+            let y = buf[j];
+            buf[i] = a * x + b * y;
+            buf[j] = c * x + d * y;
+        }
+        return;
+    }
+    for bidx in 0..nk {
+        let i = expand_bits(bidx, &masks) | cmask;
+        mix_row_pair(buf, row_len, i, i | tmask, u);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h2() -> [C64; 4] {
+        let r = C64::real(std::f64::consts::FRAC_1_SQRT_2);
+        [r, r, r, -r]
+    }
+
+    /// Reference: embed the op as a full 2ⁿ×2ⁿ matrix and apply densely.
+    fn apply_via_embed(op_matrix: &Matrix, qubits: &[usize], v: &[C64]) -> Vec<C64> {
+        let dim = v.len();
+        let k = qubits.len();
+        let mut out = vec![C64::ZERO; dim];
+        #[allow(clippy::needless_range_loop)] // `col` is a basis index, not just a `v` position
+        for col in 0..dim {
+            let mut local = 0usize;
+            for (bit, &q) in qubits.iter().enumerate() {
+                if (col >> q) & 1 == 1 {
+                    local |= 1 << bit;
+                }
+            }
+            let base = qubits.iter().fold(col, |b, &q| b & !(1 << q));
+            for lrow in 0..(1 << k) {
+                let mut row = base;
+                for (bit, &q) in qubits.iter().enumerate() {
+                    if (lrow >> bit) & 1 == 1 {
+                        row |= 1 << q;
+                    }
+                }
+                out[row] += op_matrix[(lrow, local)] * v[col];
+            }
+        }
+        out
+    }
+
+    fn random_state(n: usize, seed: u64) -> Vec<C64> {
+        // Deterministic pseudo-random amplitudes (not normalized; kernels are
+        // linear so normalization is irrelevant).
+        let mut s = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        (0..1 << n).map(|_| C64::new(next(), next())).collect()
+    }
+
+    fn assert_close(a: &[C64], b: &[C64]) {
+        for (x, y) in a.iter().zip(b) {
+            assert!((*x - *y).norm() < 1e-12, "kernel mismatch: {x} vs {y}");
+        }
+    }
+
+    /// Checks an op in both scalar mode and batched mode (rows built from
+    /// shifted copies of the state) against the embedding reference.
+    fn check_op(op: &KernelOp<'_>, op_matrix: &Matrix, qubits: &[usize], n: usize, seed: u64) {
+        let v = random_state(n, seed);
+        // Scalar mode.
+        let mut got = v.clone();
+        KernelEngine::new().apply(&mut got, n, op, qubits);
+        let expect = apply_via_embed(op_matrix, qubits, &v);
+        assert_close(&got, &expect);
+        // Batched mode with row_len 3: three independent columns.
+        let cols: [Vec<C64>; 3] = [
+            v.clone(),
+            random_state(n, seed ^ 0xABCD),
+            random_state(n, seed ^ 0x1234),
+        ];
+        let row_len = 3;
+        let mut buf = vec![C64::ZERO; (1 << n) * row_len];
+        for (c, col) in cols.iter().enumerate() {
+            for r in 0..1 << n {
+                buf[r * row_len + c] = col[r];
+            }
+        }
+        KernelEngine::new().apply_batched(&mut buf, n, row_len, op, qubits);
+        for (c, col) in cols.iter().enumerate() {
+            let got: Vec<C64> = (0..1 << n).map(|r| buf[r * row_len + c]).collect();
+            assert_close(&got, &apply_via_embed(op_matrix, qubits, col));
+        }
+    }
+
+    #[test]
+    fn expand_bits_enumerates_clear_positions() {
+        // Masks for qubits 1 and 3 of 4: bases must have bits 1,3 clear.
+        let masks = [2usize, 8];
+        let got: Vec<usize> = (0..4).map(|b| expand_bits(b, &masks)).collect();
+        assert_eq!(got, vec![0b0000, 0b0001, 0b0100, 0b0101]);
+    }
+
+    #[test]
+    fn two_by_two_helpers() {
+        let h = h2();
+        let v = [C64::new(0.6, 0.1), C64::new(-0.2, 0.7)];
+        let hv = apply_2x2(&h, &v);
+        let r = std::f64::consts::FRAC_1_SQRT_2;
+        assert!((hv[0] - (v[0] + v[1]).scale(r)).norm() < 1e-15);
+        let hh = mul_2x2(&h, &h);
+        assert!((hh[0] - C64::ONE).norm() < 1e-12 && hh[1].norm() < 1e-12);
+    }
+
+    #[test]
+    fn one_q_matches_embed_on_every_qubit() {
+        let m = h2();
+        let mm = Matrix::from_rows(&[vec![m[0], m[1]], vec![m[2], m[3]]]);
+        for q in 0..4 {
+            check_op(&KernelOp::OneQ(m), &mm, &[q], 4, q as u64);
+        }
+    }
+
+    #[test]
+    fn diag_matches_dense_diag() {
+        let d = [C64::ONE, C64::cis(0.7)];
+        let mm = Matrix::diag(&d);
+        for q in 0..3 {
+            check_op(&KernelOp::OneQDiag(d), &mm, &[q], 3, 10 + q as u64);
+        }
+    }
+
+    #[test]
+    fn controlled_1q_matches_embed() {
+        let t = [C64::ONE, C64::ZERO, C64::ZERO, C64::cis(0.9)];
+        let mut mm = Matrix::identity(4);
+        mm[(1, 1)] = t[0];
+        mm[(1, 3)] = t[1];
+        mm[(3, 1)] = t[2];
+        mm[(3, 3)] = t[3];
+        for (c, tq) in [(0, 1), (1, 0), (0, 3), (3, 1)] {
+            check_op(
+                &KernelOp::ControlledOneQ(t),
+                &mm,
+                &[c, tq],
+                4,
+                (c * 5 + tq) as u64,
+            );
+        }
+    }
+
+    #[test]
+    fn controlled_x_all_orderings() {
+        let mut cx = Matrix::zeros(4, 4);
+        cx[(0, 0)] = C64::ONE;
+        cx[(2, 2)] = C64::ONE;
+        cx[(3, 1)] = C64::ONE;
+        cx[(1, 3)] = C64::ONE;
+        for (c, t) in [(0, 1), (1, 0), (0, 3), (3, 0), (2, 1)] {
+            check_op(&KernelOp::ControlledX, &cx, &[c, t], 4, (c * 7 + t) as u64);
+        }
+    }
+
+    #[test]
+    fn phase_all_ones_matches_diag() {
+        let phase = C64::cis(1.1);
+        let mm = Matrix::diag(&[C64::ONE, C64::ONE, C64::ONE, phase]);
+        for (a, b) in [(0, 2), (2, 0), (1, 3)] {
+            check_op(
+                &KernelOp::PhaseAllOnes(phase),
+                &mm,
+                &[a, b],
+                4,
+                (a * 11 + b) as u64,
+            );
+        }
+    }
+
+    #[test]
+    fn swap_matches_permutation_matrix() {
+        let mut sw = Matrix::zeros(4, 4);
+        sw[(0, 0)] = C64::ONE;
+        sw[(3, 3)] = C64::ONE;
+        sw[(1, 2)] = C64::ONE;
+        sw[(2, 1)] = C64::ONE;
+        for (a, b) in [(0, 1), (2, 0), (1, 3)] {
+            check_op(&KernelOp::Swap, &sw, &[a, b], 4, (a * 13 + b) as u64);
+        }
+    }
+
+    #[test]
+    fn dense_matches_embed_for_2q() {
+        // A non-trivial 4×4: H⊗H followed by CZ-like phases.
+        let r = C64::real(0.5);
+        let mm = Matrix::from_fn(4, 4, |i, j| {
+            let sign = if (i & j).count_ones() % 2 == 1 {
+                -1.0
+            } else {
+                1.0
+            };
+            r.scale(sign) * C64::cis(0.1 * (i * 4 + j) as f64)
+        });
+        for (a, b) in [(0, 1), (1, 0), (0, 2), (2, 1)] {
+            check_op(&KernelOp::Dense(&mm), &mm, &[a, b], 3, (a * 17 + b) as u64);
+        }
+    }
+
+    #[test]
+    fn permutation_kernel_applies_mapping() {
+        // SwapZ's permutation: l → perm[l].
+        static PERM: [usize; 4] = [0, 3, 1, 2];
+        let mut mm = Matrix::zeros(4, 4);
+        for (l, &p) in PERM.iter().enumerate() {
+            mm[(p, l)] = C64::ONE;
+        }
+        for (a, b) in [(0, 1), (1, 2), (2, 0)] {
+            check_op(
+                &KernelOp::Permutation(&PERM),
+                &mm,
+                &[a, b],
+                3,
+                (a * 19 + b) as u64,
+            );
+        }
+    }
+
+    #[test]
+    fn engine_reuse_is_consistent() {
+        // The same engine applied to different qubit sets must rebuild its
+        // tables correctly.
+        let mut eng = KernelEngine::new();
+        let phase = C64::cis(0.4);
+        let v = random_state(4, 99);
+        let mut got = v.clone();
+        eng.apply(&mut got, 4, &KernelOp::PhaseAllOnes(phase), &[0, 1, 2]);
+        eng.apply(&mut got, 4, &KernelOp::ControlledX, &[3, 0]);
+        eng.apply(&mut got, 4, &KernelOp::Swap, &[1, 3]);
+        let mut fresh = v.clone();
+        KernelEngine::new().apply(&mut fresh, 4, &KernelOp::PhaseAllOnes(phase), &[0, 1, 2]);
+        KernelEngine::new().apply(&mut fresh, 4, &KernelOp::ControlledX, &[3, 0]);
+        KernelEngine::new().apply(&mut fresh, 4, &KernelOp::Swap, &[1, 3]);
+        assert_close(&got, &fresh);
+    }
+
+    #[test]
+    fn identity_rows_build_unitaries() {
+        // Batched mode with row_len = 2ⁿ starting from the identity yields
+        // the gate's embedding itself.
+        let m = h2();
+        let dim = 8usize;
+        let mut buf = vec![C64::ZERO; dim * dim];
+        for i in 0..dim {
+            buf[i * dim + i] = C64::ONE;
+        }
+        KernelEngine::new().apply_batched(&mut buf, 3, dim, &KernelOp::OneQ(m), &[1]);
+        let mm = Matrix::from_rows(&[vec![m[0], m[1]], vec![m[2], m[3]]]);
+        for col in 0..dim {
+            let unit: Vec<C64> = (0..dim)
+                .map(|r| if r == col { C64::ONE } else { C64::ZERO })
+                .collect();
+            let expect = apply_via_embed(&mm, &[1], &unit);
+            let got: Vec<C64> = (0..dim).map(|r| buf[r * dim + col]).collect();
+            assert_close(&got, &expect);
+        }
+    }
+}

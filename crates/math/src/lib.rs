@@ -2,6 +2,8 @@
 //!
 //! This crate provides the numeric substrate used by the rest of the RPO
 //! workspace: complex scalars ([`C64`]), dense complex matrices ([`Matrix`]),
+//! the in-place gate-application kernel engine ([`KernelEngine`]) shared by
+//! the state-vector simulator and circuit-unitary construction,
 //! real symmetric eigendecomposition (cyclic Jacobi), simultaneous
 //! diagonalization of commuting symmetric pairs (the kernel of the two-qubit
 //! KAK/Weyl decomposition), a complex 2×2 singular value decomposition (used
@@ -26,12 +28,14 @@
 //! ```
 
 pub mod complex;
+pub mod kernel;
 pub mod matrix;
 pub mod random;
 pub mod real;
 pub mod svd;
 
 pub use complex::C64;
+pub use kernel::{apply_2x2, mul_2x2, KernelEngine, KernelOp};
 pub use matrix::Matrix;
 pub use random::{haar_state, haar_unitary};
 pub use real::{jacobi_eigh, simultaneous_diagonalize, RealMatrix};

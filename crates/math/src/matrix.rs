@@ -71,6 +71,16 @@ impl Matrix {
         }
     }
 
+    /// Wraps row-major storage as a `rows × cols` matrix without copying.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<C64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "storage length mismatch");
+        Matrix { rows, cols, data }
+    }
+
     /// Builds a matrix element-wise from a function of `(row, col)`.
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> C64) -> Self {
         let mut m = Matrix::zeros(rows, cols);
@@ -356,7 +366,11 @@ impl Matrix {
 
     /// Returns `true` when `A†A ≈ I` within `eps`.
     pub fn is_unitary(&self, eps: f64) -> bool {
-        self.is_square() && self.adjoint().matmul(self).approx_eq(&Matrix::identity(self.rows), eps)
+        self.is_square()
+            && self
+                .adjoint()
+                .matmul(self)
+                .approx_eq(&Matrix::identity(self.rows), eps)
     }
 
     /// Returns `true` when the matrix is Hermitian within `eps`.
@@ -496,7 +510,12 @@ impl Add for &Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| *a + *b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| *a + *b)
+                .collect(),
         }
     }
 }
@@ -508,7 +527,12 @@ impl Sub for &Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| *a - *b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| *a - *b)
+                .collect(),
         }
     }
 }
@@ -661,10 +685,7 @@ mod tests {
 
     #[test]
     fn singular_matrix_has_no_inverse() {
-        let a = Matrix::from_rows(&[
-            vec![C64::ONE, C64::ONE],
-            vec![C64::ONE, C64::ONE],
-        ]);
+        let a = Matrix::from_rows(&[vec![C64::ONE, C64::ONE], vec![C64::ONE, C64::ONE]]);
         assert!(a.inverse().is_none());
         assert!(a.det().norm() < 1e-14);
     }

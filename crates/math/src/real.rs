@@ -283,9 +283,7 @@ pub fn simultaneous_diagonalize(a: &RealMatrix, b: &RealMatrix) -> RealMatrix {
     let n = a.rows();
     let (evals, mut p) = jacobi_eigh(a);
     // Group near-equal eigenvalues (sorted ascending by jacobi_eigh).
-    let scale = evals
-        .iter()
-        .fold(1.0_f64, |acc, e| acc.max(e.abs()));
+    let scale = evals.iter().fold(1.0_f64, |acc, e| acc.max(e.abs()));
     let tol = 1e-7 * scale.max(1.0);
     let mut start = 0;
     while start < n {
@@ -369,11 +367,7 @@ mod tests {
 
     #[test]
     fn jacobi_eigenvalues_sorted() {
-        let a = sym_from(&[
-            &[0.0, 2.0, 0.0],
-            &[2.0, 0.0, 0.0],
-            &[0.0, 0.0, 5.0],
-        ]);
+        let a = sym_from(&[&[0.0, 2.0, 0.0], &[2.0, 0.0, 0.0], &[0.0, 0.0, 5.0]]);
         let (evals, _) = jacobi_eigh(&a);
         assert!(evals.windows(2).all(|w| w[0] <= w[1] + 1e-12));
         assert!((evals[0] + 2.0).abs() < 1e-10);
@@ -385,11 +379,7 @@ mod tests {
     fn simultaneous_diag_identity_and_generic() {
         // A = I is maximally degenerate; P must then diagonalize B alone.
         let a = RealMatrix::identity(3);
-        let b = sym_from(&[
-            &[1.0, 2.0, 0.0],
-            &[2.0, 1.0, 0.5],
-            &[0.0, 0.5, -1.0],
-        ]);
+        let b = sym_from(&[&[1.0, 2.0, 0.0], &[2.0, 1.0, 0.5], &[0.0, 0.5, -1.0]]);
         let p = simultaneous_diagonalize(&a, &b);
         assert!(p.is_orthogonal(1e-9));
         assert!((p.det() - 1.0).abs() < 1e-9);

@@ -108,7 +108,10 @@ mod tests {
         assert!(s[0] >= s[1] && s[1] >= -eps, "singular values bad: {s:?}");
         let sigma = Matrix::diag(&[C64::real(s[0]), C64::real(s[1])]);
         let rebuilt = u.matmul(&sigma).matmul(&v.adjoint());
-        assert!(rebuilt.approx_eq(a, eps), "rebuild failed:\n{a:?}\n{rebuilt:?}");
+        assert!(
+            rebuilt.approx_eq(a, eps),
+            "rebuild failed:\n{a:?}\n{rebuilt:?}"
+        );
     }
 
     #[test]

@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 use qc_math::matrix::{inner, normalize};
-use qc_math::{haar_unitary, jacobi_eigh, simultaneous_diagonalize, svd2x2, C64, Matrix, RealMatrix};
+use qc_math::{
+    haar_unitary, jacobi_eigh, simultaneous_diagonalize, svd2x2, Matrix, RealMatrix, C64,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -11,9 +13,8 @@ fn complex_strategy() -> impl Strategy<Value = C64> {
 }
 
 fn matrix2_strategy() -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(complex_strategy(), 4).prop_map(|v| {
-        Matrix::from_rows(&[vec![v[0], v[1]], vec![v[2], v[3]]])
-    })
+    proptest::collection::vec(complex_strategy(), 4)
+        .prop_map(|v| Matrix::from_rows(&[vec![v[0], v[1]], vec![v[2], v[3]]]))
 }
 
 fn sym4_strategy() -> impl Strategy<Value = RealMatrix> {
@@ -24,7 +25,7 @@ fn sym4_strategy() -> impl Strategy<Value = RealMatrix> {
             let flat = a * 4 + b - a * (a + 1) / 2;
             v[flat]
         };
-        RealMatrix::from_fn(4, 4, |i, j| idx(i, j))
+        RealMatrix::from_fn(4, 4, idx)
     })
 }
 
@@ -123,12 +124,15 @@ fn simultaneous_diagonalization_on_commuting_pairs() {
             RealMatrix::from_fn(4, 4, |i, j| m[(i, j)].re + m[(i, j)].im)
         };
         // Orthogonalize columns (Gram–Schmidt on the real matrix).
-        let mut cols: Vec<Vec<f64>> = (0..4).map(|j| (0..4).map(|i| q[(i, j)]).collect()).collect();
+        let mut cols: Vec<Vec<f64>> = (0..4)
+            .map(|j| (0..4).map(|i| q[(i, j)]).collect())
+            .collect();
         for j in 0..4 {
             for k in 0..j {
                 let dot: f64 = (0..4).map(|i| cols[j][i] * cols[k][i]).sum();
-                for i in 0..4 {
-                    cols[j][i] -= dot * cols[k][i];
+                let ck = cols[k].clone();
+                for (x, y) in cols[j].iter_mut().zip(&ck) {
+                    *x -= dot * y;
                 }
             }
             let n: f64 = cols[j].iter().map(|x| x * x).sum::<f64>().sqrt();
@@ -137,8 +141,20 @@ fn simultaneous_diagonalization_on_commuting_pairs() {
             }
         }
         let q = RealMatrix::from_fn(4, 4, |i, j| cols[j][i]);
-        let d1 = RealMatrix::from_fn(4, 4, |i, j| if i == j { [2.0, 2.0, -1.0, 5.0][i] } else { 0.0 });
-        let d2 = RealMatrix::from_fn(4, 4, |i, j| if i == j { [1.0, -3.0, 4.0, 4.0][i] } else { 0.0 });
+        let d1 = RealMatrix::from_fn(4, 4, |i, j| {
+            if i == j {
+                [2.0, 2.0, -1.0, 5.0][i]
+            } else {
+                0.0
+            }
+        });
+        let d2 = RealMatrix::from_fn(4, 4, |i, j| {
+            if i == j {
+                [1.0, -3.0, 4.0, 4.0][i]
+            } else {
+                0.0
+            }
+        });
         let a = q.matmul(&d1).matmul(&q.transpose());
         let b = q.matmul(&d2).matmul(&q.transpose());
         let p = simultaneous_diagonalize(&a, &b);

@@ -50,9 +50,5 @@ pub fn same_output_state(a: &Circuit, b: &Circuit, eps: f64) -> bool {
 pub fn output_distribution_distance(a: &Circuit, b: &Circuit) -> f64 {
     let pa = Statevector::from_circuit(a).probabilities();
     let pb = Statevector::from_circuit(b).probabilities();
-    0.5 * pa
-        .iter()
-        .zip(&pb)
-        .map(|(x, y)| (x - y).abs())
-        .sum::<f64>()
+    0.5 * pa.iter().zip(&pb).map(|(x, y)| (x - y).abs()).sum::<f64>()
 }

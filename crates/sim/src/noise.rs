@@ -42,7 +42,10 @@ impl NoiseModel {
     /// Panics if any probability is outside `[0, 1]`.
     pub fn new(p1q: f64, p2q: f64, readout: f64) -> Self {
         for (name, p) in [("p1q", p1q), ("p2q", p2q), ("readout", readout)] {
-            assert!((0.0..=1.0).contains(&p), "{name} must be a probability, got {p}");
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "{name} must be a probability, got {p}"
+            );
         }
         NoiseModel { p1q, p2q, readout }
     }
@@ -212,7 +215,10 @@ mod tests {
         let mut noisy = NoisySimulator::new(noisy_model, 1);
         let rate = noisy.success_rate(&c, 1, 2000);
         assert!(rate < 0.95, "noise should reduce success rate, got {rate}");
-        assert!(rate > 0.5, "single gate shouldn't destroy the state, got {rate}");
+        assert!(
+            rate > 0.5,
+            "single gate shouldn't destroy the state, got {rate}"
+        );
     }
 
     #[test]

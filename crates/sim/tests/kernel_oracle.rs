@@ -1,0 +1,87 @@
+//! Oracle equivalence tests for kernel-based state-vector simulation.
+//!
+//! `Statevector` applies gates through `Gate::kernel()` and the shared
+//! engine; the oracle column comes from `circuit_unitary_reference` — the
+//! retained embed-then-matmul path that never touches the kernel engine.
+
+use qc_circuit::testing::random_circuit;
+use qc_circuit::{circuit_unitary_reference, Circuit, Gate};
+use qc_sim::Statevector;
+
+fn assert_matches_reference_column(c: &Circuit, label: &str) {
+    let sv = Statevector::from_circuit(c);
+    let expect = circuit_unitary_reference(c).column(0);
+    for (a, b) in sv.amplitudes().iter().zip(&expect) {
+        assert!((*a - *b).norm() < 1e-9, "statevector mismatch: {label}");
+    }
+}
+
+#[test]
+fn random_circuits_match_reference_1_to_6_qubits() {
+    for n in 1..=6 {
+        for seed in 0..8u64 {
+            let c = random_circuit(n, 30, seed * 37 + n as u64);
+            assert_matches_reference_column(&c, &format!("{n} qubits, seed {seed}"));
+        }
+    }
+}
+
+#[test]
+fn qubit_orderings_adjacent_nonadjacent_reversed() {
+    let orderings: Vec<(Gate, Vec<usize>)> = vec![
+        (Gate::Cx, vec![0, 1]),
+        (Gate::Cx, vec![1, 0]),
+        (Gate::Cx, vec![0, 4]),
+        (Gate::Cx, vec![4, 0]),
+        (Gate::Swap, vec![1, 4]),
+        (Gate::Ccx, vec![4, 2, 0]),
+        (Gate::Ccx, vec![0, 2, 4]),
+        (Gate::Mcx(2), vec![3, 1, 4]),
+        (Gate::Mcz(3), vec![4, 0, 1, 3]),
+        (Gate::Cswap, vec![4, 0, 2]),
+        (Gate::SwapZ, vec![3, 0]),
+        (Gate::Cu(Gate::Tdg.matrix().unwrap()), vec![2, 4]),
+    ];
+    for (gate, qubits) in orderings {
+        // Prepare a generic state first so controls/targets carry weight.
+        let mut c = Circuit::new(5);
+        for q in 0..5 {
+            c.u3(0.3 + q as f64 * 0.4, 0.2 * q as f64, -0.1, q);
+        }
+        c.push(gate.clone(), &qubits);
+        assert_matches_reference_column(&c, &format!("{gate} on {qubits:?}"));
+    }
+}
+
+#[test]
+fn apply_matrix_scratch_reuse_stays_correct() {
+    // Repeated dense applications through the same engine (scratch reuse
+    // across different qubit sets and arities) must stay exact.
+    let mut sv = Statevector::zero_state(4);
+    let mut reference = Circuit::new(4);
+    let h = Gate::H.matrix().unwrap();
+    let ccx = Gate::Ccx.matrix().unwrap();
+    let swap = Gate::Swap.matrix().unwrap();
+    sv.apply_matrix(&h, &[2]);
+    reference.h(2);
+    sv.apply_matrix(&ccx, &[2, 0, 3]);
+    reference.ccx(2, 0, 3);
+    sv.apply_matrix(&swap, &[3, 1]);
+    reference.swap(3, 1);
+    sv.apply_matrix(&h, &[0]);
+    reference.h(0);
+    let expect = circuit_unitary_reference(&reference).column(0);
+    for (a, b) in sv.amplitudes().iter().zip(&expect) {
+        assert!((*a - *b).norm() < 1e-12);
+    }
+}
+
+#[test]
+fn norm_is_preserved_over_long_random_circuits() {
+    for seed in 0..4u64 {
+        let c = random_circuit(6, 200, 1000 + seed);
+        let sv = Statevector::from_circuit(&c);
+        let norm: f64 = sv.amplitudes().iter().map(|z| z.norm_sqr()).sum();
+        assert!((norm - 1.0).abs() < 1e-9, "norm drifted: {norm}");
+    }
+}

@@ -7,7 +7,7 @@
 
 use qc_circuit::gate::u3_matrix;
 use qc_circuit::Gate;
-use qc_math::{C64, Matrix};
+use qc_math::{Matrix, C64};
 
 /// The result of decomposing a 2×2 unitary as `e^{iα}·u3(θ, φ, λ)`.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -205,10 +205,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "must be unitary")]
     fn rejects_non_unitary() {
-        let m = Matrix::from_rows(&[
-            vec![C64::ONE, C64::ONE],
-            vec![C64::ZERO, C64::ONE],
-        ]);
+        let m = Matrix::from_rows(&[vec![C64::ONE, C64::ONE], vec![C64::ZERO, C64::ONE]]);
         OneQubitEuler::from_matrix(&m);
     }
 }

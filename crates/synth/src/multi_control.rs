@@ -258,7 +258,8 @@ mod tests {
         let k = 6;
         let with_anc = mcx_vchain(k);
         let without = mcx_no_ancilla(k);
-        let cost = |c: &Circuit| c.count_name("ccx") * 6 + c.count_name("cp") * 2 + c.gate_counts().cx;
+        let cost =
+            |c: &Circuit| c.count_name("ccx") * 6 + c.count_name("cp") * 2 + c.gate_counts().cx;
         assert!(
             cost(&without) > 2 * cost(&with_anc),
             "expected ancilla-free to be much more expensive: {} vs {}",

@@ -9,7 +9,7 @@
 //! and apply the Schmidt bases locally.
 
 use qc_circuit::{Circuit, Gate};
-use qc_math::{svd2x2, C64, Matrix};
+use qc_math::{svd2x2, Matrix, C64};
 
 use crate::euler::matrix_to_u3_gate;
 
@@ -37,10 +37,7 @@ pub fn prepare_two_qubit(state: &[C64]) -> Circuit {
         "state must be normalized (norm² = {norm})"
     );
     // Coefficient matrix M[q1][q0].
-    let m = Matrix::from_rows(&[
-        vec![state[0], state[1]],
-        vec![state[2], state[3]],
-    ]);
+    let m = Matrix::from_rows(&[vec![state[0], state[1]], vec![state[2], state[3]]]);
     let (u, s, v) = svd2x2(&m);
     let mut circ = Circuit::new(2);
     let entangled = s[1] > 1e-9;
@@ -65,10 +62,7 @@ pub fn prepare_two_qubit(state: &[C64]) -> Circuit {
 /// (σ₀ ≥ σ₁ ≥ 0, σ₀² + σ₁² = 1); σ₁ = 0 exactly for product states.
 pub fn schmidt_coefficients(state: &[C64]) -> (f64, f64) {
     assert_eq!(state.len(), 4, "expected a two-qubit state");
-    let m = Matrix::from_rows(&[
-        vec![state[0], state[1]],
-        vec![state[2], state[3]],
-    ]);
+    let m = Matrix::from_rows(&[vec![state[0], state[1]], vec![state[2], state[3]]]);
     let (_, s, _) = svd2x2(&m);
     (s[0], s[1])
 }

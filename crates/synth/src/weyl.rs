@@ -26,7 +26,7 @@
 
 use crate::euler::matrix_to_u3_gate;
 use qc_circuit::{circuit_unitary, Circuit, Gate};
-use qc_math::{C64, Matrix, RealMatrix};
+use qc_math::{Matrix, RealMatrix, C64};
 use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
 
 const TOL: f64 = 1e-9;
@@ -121,11 +121,7 @@ impl TwoQubitWeyl {
         for i in 0..4 {
             for j in 0..4 {
                 if i != j {
-                    debug_assert!(
-                        d[(i, j)].norm() < 1e-6,
-                        "gamma not diagonalized: {:?}",
-                        d
-                    );
+                    debug_assert!(d[(i, j)].norm() < 1e-6, "gamma not diagonalized: {:?}", d);
                 }
             }
         }
@@ -539,9 +535,7 @@ mod tests {
         let u2 = l.matmul(&u).matmul(&r);
         let w1 = check_decompose(&u2);
         assert!(
-            (w0.a - w1.a).abs() < 1e-7
-                && (w0.b - w1.b).abs() < 1e-7
-                && (w0.c - w1.c).abs() < 1e-7,
+            (w0.a - w1.a).abs() < 1e-7 && (w0.b - w1.b).abs() < 1e-7 && (w0.c - w1.c).abs() < 1e-7,
             "coords not local-invariant: ({},{},{}) vs ({},{},{})",
             w0.a,
             w0.b,

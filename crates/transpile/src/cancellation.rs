@@ -17,7 +17,10 @@ pub struct CxCancellation;
 /// Returns `true` when the gate is diagonal in the Z basis (commutes with a
 /// CNOT control on the same wire).
 fn is_z_diagonal(g: &Gate) -> bool {
-    matches!(g, Gate::Z | Gate::S | Gate::Sdg | Gate::T | Gate::Tdg | Gate::Rz(_) | Gate::U1(_))
+    matches!(
+        g,
+        Gate::Z | Gate::S | Gate::Sdg | Gate::T | Gate::Tdg | Gate::Rz(_) | Gate::U1(_)
+    )
 }
 
 fn is_self_inverse_1q(g: &Gate) -> bool {
@@ -59,9 +62,7 @@ fn cancel_once(circuit: &mut Circuit) -> bool {
                         cur = s;
                         continue 'outer;
                     }
-                    if skip_diagonal
-                        && nodes[s].qubits.len() == 1
-                        && is_z_diagonal(&nodes[s].gate)
+                    if skip_diagonal && nodes[s].qubits.len() == 1 && is_z_diagonal(&nodes[s].gate)
                     {
                         cur = s;
                         continue 'outer;
@@ -156,8 +157,7 @@ mod tests {
         let out = cancelled(&c);
         assert_eq!(out.gate_counts().cx, 0);
         assert_eq!(out.gate_counts().single_qubit, 1);
-        assert!(circuit_unitary(&out)
-            .equal_up_to_global_phase(&circuit_unitary(&c), 1e-9));
+        assert!(circuit_unitary(&out).equal_up_to_global_phase(&circuit_unitary(&c), 1e-9));
     }
 
     #[test]
@@ -190,8 +190,7 @@ mod tests {
         let mut c = Circuit::new(3);
         c.h(0).cx(0, 1).s(0).cx(0, 1).cx(1, 2).x(2).x(2).h(0);
         let out = cancelled(&c);
-        assert!(circuit_unitary(&out)
-            .equal_up_to_global_phase(&circuit_unitary(&c), 1e-9));
+        assert!(circuit_unitary(&out).equal_up_to_global_phase(&circuit_unitary(&c), 1e-9));
         assert!(out.gate_counts().total < c.gate_counts().total);
     }
 }

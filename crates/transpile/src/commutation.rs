@@ -63,21 +63,20 @@ impl Pass for CommutativeCancellation {
         // replacement[i]: None = keep; Some(None) = drop; Some(Some(g)) = emit g.
         let mut replacement: Vec<Option<Option<Gate>>> = vec![None; insts.len()];
 
-        let flush = |runs: &mut Vec<Option<Run>>,
-                         replacement: &mut Vec<Option<Option<Gate>>>,
-                         q: usize| {
-            if let Some(run) = runs[q].take() {
-                let angle = normalize_angle(run.angle);
-                let merged = if angle.abs() < 1e-12 {
-                    None
-                } else if run.kind == 0 {
-                    Some(Gate::U1(angle))
-                } else {
-                    Some(Gate::Rx(angle))
-                };
-                replacement[run.head] = Some(merged);
-            }
-        };
+        let flush =
+            |runs: &mut Vec<Option<Run>>, replacement: &mut Vec<Option<Option<Gate>>>, q: usize| {
+                if let Some(run) = runs[q].take() {
+                    let angle = normalize_angle(run.angle);
+                    let merged = if angle.abs() < 1e-12 {
+                        None
+                    } else if run.kind == 0 {
+                        Some(Gate::U1(angle))
+                    } else {
+                        Some(Gate::Rx(angle))
+                    };
+                    replacement[run.head] = Some(merged);
+                }
+            };
 
         for (i, inst) in insts.iter().enumerate() {
             match (&inst.gate, inst.qubits.len()) {
@@ -240,8 +239,7 @@ mod tests {
         let mut c = Circuit::new(2);
         c.t(0).s(0).x(0).x(0).tdg(0).cx(0, 1).u1(0.25, 0);
         let out = run(&c);
-        assert!(circuit_unitary(&out)
-            .equal_up_to_global_phase(&circuit_unitary(&c), 1e-9));
+        assert!(circuit_unitary(&out).equal_up_to_global_phase(&circuit_unitary(&c), 1e-9));
         assert!(out.gate_counts().single_qubit <= 3);
     }
 

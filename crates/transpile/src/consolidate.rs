@@ -123,19 +123,26 @@ mod tests {
         c.cx(0, 1).cx(0, 1);
         let out = consolidated(&c);
         assert_eq!(out.gate_counts().cx, 0);
-        assert!(circuit_unitary(&out)
-            .equal_up_to_global_phase(&circuit_unitary(&c), 1e-7));
+        assert!(circuit_unitary(&out).equal_up_to_global_phase(&circuit_unitary(&c), 1e-7));
     }
 
     #[test]
     fn compresses_long_block() {
         // Many interleaved gates on one pair: generic class needs ≤ 4 CX.
         let mut c = Circuit::new(2);
-        c.h(0).cx(0, 1).t(1).cx(1, 0).s(0).cx(0, 1).h(1).cx(1, 0).t(0).cx(0, 1);
+        c.h(0)
+            .cx(0, 1)
+            .t(1)
+            .cx(1, 0)
+            .s(0)
+            .cx(0, 1)
+            .h(1)
+            .cx(1, 0)
+            .t(0)
+            .cx(0, 1);
         let out = consolidated(&c);
         assert!(out.gate_counts().cx <= 4, "got {}", out.gate_counts().cx);
-        assert!(circuit_unitary(&out)
-            .equal_up_to_global_phase(&circuit_unitary(&c), 1e-6));
+        assert!(circuit_unitary(&out).equal_up_to_global_phase(&circuit_unitary(&c), 1e-6));
     }
 
     #[test]
@@ -153,8 +160,7 @@ mod tests {
         c.swap(0, 1).cx(0, 1);
         let out = consolidated(&c);
         assert!(out.gate_counts().cx <= 2, "got {}", out.gate_counts().cx);
-        assert!(circuit_unitary(&out)
-            .equal_up_to_global_phase(&circuit_unitary(&c), 1e-7));
+        assert!(circuit_unitary(&out).equal_up_to_global_phase(&circuit_unitary(&c), 1e-7));
     }
 
     #[test]
@@ -180,8 +186,7 @@ mod tests {
             .h(2)
             .push(Gate::Cp(0.3), &[0, 2]);
         let out = consolidated(&c);
-        assert!(circuit_unitary(&out)
-            .equal_up_to_global_phase(&circuit_unitary(&c), 1e-6));
+        assert!(circuit_unitary(&out).equal_up_to_global_phase(&circuit_unitary(&c), 1e-6));
         assert!(out.gate_counts().cx < c.gate_counts().cx + 2);
     }
 }

@@ -47,7 +47,10 @@ pub fn dense_layout(circuit: &Circuit, backend: &Backend) -> Result<Vec<usize>, 
                 if subset.contains(&q) {
                     continue;
                 }
-                let links = subset.iter().filter(|&&s| backend.are_adjacent(s, q)).count();
+                let links = subset
+                    .iter()
+                    .filter(|&&s| backend.are_adjacent(s, q))
+                    .count();
                 if links == 0 && !subset.is_empty() {
                     continue;
                 }
@@ -202,7 +205,12 @@ mod tests {
         // Qubit 0's physical slot should have at least as many in-region
         // neighbors as any other assigned slot.
         let region: Vec<usize> = layout.clone();
-        let deg = |p: usize| region.iter().filter(|&&r| backend.are_adjacent(p, r)).count();
+        let deg = |p: usize| {
+            region
+                .iter()
+                .filter(|&&r| backend.are_adjacent(p, r))
+                .count()
+        };
         for q in 1..4 {
             assert!(deg(layout[0]) >= deg(layout[q]));
         }

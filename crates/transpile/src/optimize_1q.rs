@@ -25,16 +25,24 @@ impl Pass for Optimize1qGates {
         // drop[i] marks members to delete.
         let mut replacement: Vec<Option<Option<Gate>>> = vec![None; circuit.len()];
         for run in runs {
-            // Multiply matrices in time order (later gates on the left).
-            let mut m = qc_math::Matrix::identity(2);
+            // Multiply matrices in time order (later gates on the left),
+            // accumulating on the stack; one heap matrix per run, not per
+            // gate.
+            let mut m = [
+                qc_math::C64::ONE,
+                qc_math::C64::ZERO,
+                qc_math::C64::ZERO,
+                qc_math::C64::ONE,
+            ];
             for &node in &run {
                 let g = &dag.nodes()[node].gate;
-                let gm = g.matrix().ok_or_else(|| {
+                let gm = g.matrix2x2().ok_or_else(|| {
                     TranspileError::Internal(format!("non-unitary gate {g} in 1q run"))
                 })?;
-                m = gm.matmul(&m);
+                m = qc_math::mul_2x2(&gm, &m);
             }
-            let merged = OneQubitEuler::from_matrix(&m).to_gate();
+            let merged =
+                OneQubitEuler::from_matrix(&qc_math::Matrix::from_vec(2, 2, m.to_vec())).to_gate();
             let head = run[0];
             for &node in &run {
                 replacement[node] = Some(None);
@@ -90,10 +98,17 @@ mod tests {
     #[test]
     fn preserves_semantics_across_cx() {
         let mut c = Circuit::new(2);
-        c.h(0).t(0).s(0).cx(0, 1).tdg(1).h(1).sdg(1).rx(0.4, 0).rz(0.2, 0);
+        c.h(0)
+            .t(0)
+            .s(0)
+            .cx(0, 1)
+            .tdg(1)
+            .h(1)
+            .sdg(1)
+            .rx(0.4, 0)
+            .rz(0.2, 0);
         let out = optimized(&c);
-        assert!(circuit_unitary(&out)
-            .equal_up_to_global_phase(&circuit_unitary(&c), 1e-8));
+        assert!(circuit_unitary(&out).equal_up_to_global_phase(&circuit_unitary(&c), 1e-8));
         // Three runs → at most three 1q gates.
         assert!(out.gate_counts().single_qubit <= 3);
     }

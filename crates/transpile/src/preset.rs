@@ -229,8 +229,16 @@ mod tests {
             }
         }
         let opts = |l| TranspileOptions::level(l).with_seed(3);
-        let cx0 = transpile(&c, &backend, &opts(0)).unwrap().circuit.gate_counts().cx;
-        let cx3 = transpile(&c, &backend, &opts(3)).unwrap().circuit.gate_counts().cx;
+        let cx0 = transpile(&c, &backend, &opts(0))
+            .unwrap()
+            .circuit
+            .gate_counts()
+            .cx;
+        let cx3 = transpile(&c, &backend, &opts(3))
+            .unwrap()
+            .circuit
+            .gate_counts()
+            .cx;
         assert!(cx3 <= cx0, "level 3 ({cx3}) worse than level 0 ({cx0})");
     }
 

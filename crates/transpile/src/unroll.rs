@@ -196,7 +196,15 @@ mod tests {
     #[test]
     fn simple_gates_unroll() {
         let mut c = Circuit::new(2);
-        c.x(0).y(0).z(1).h(1).s(0).tdg(1).rx(0.3, 0).ry(0.5, 1).rz(0.7, 0);
+        c.x(0)
+            .y(0)
+            .z(1)
+            .h(1)
+            .s(0)
+            .tdg(1)
+            .rx(0.3, 0)
+            .ry(0.5, 1)
+            .rz(0.7, 0);
         assert_equiv_and_basis(&c);
     }
 
@@ -265,8 +273,7 @@ mod tests {
         let out = unrolled(&c);
         assert_eq!(out.gate_counts().cx, 2);
         // Semantics preserved exactly (it is defined as those two CNOTs).
-        assert!(circuit_unitary(&out)
-            .equal_up_to_global_phase(&circuit_unitary(&c), 1e-9));
+        assert!(circuit_unitary(&out).equal_up_to_global_phase(&circuit_unitary(&c), 1e-9));
     }
 
     #[test]

@@ -30,7 +30,10 @@ fn main() {
             }
         }
         c.h(0).cx(0, 1).cx(0, 1).h(0); // identity, but opaque to the analysis
-        c.compose(&ripple_carry_adder(n, annotate), &(0..2 * n + 1).collect::<Vec<_>>());
+        c.compose(
+            &ripple_carry_adder(n, annotate),
+            &(0..2 * n + 1).collect::<Vec<_>>(),
+        );
         c.cx(carry, 2 * n + 1); // dead CNOT: the carry is provably |0⟩ — if you know it
         c.measure_all();
         c
@@ -41,9 +44,15 @@ fn main() {
         let mut optimized = build(annotate);
         Qbo::new().run(&mut optimized).expect("qbo");
         counts.push(optimized.gate_counts().cx);
-        println!("{label:<18} → {} CNOTs after QBO", optimized.gate_counts().cx);
+        println!(
+            "{label:<18} → {} CNOTs after QBO",
+            optimized.gate_counts().cx
+        );
     }
-    assert!(counts[1] < counts[0], "annotation must unlock the dead CNOT");
+    assert!(
+        counts[1] < counts[0],
+        "annotation must unlock the dead CNOT"
+    );
 
     // Verify the arithmetic survives the full RPO pipeline.
     let circuit = build(true);
@@ -67,6 +76,9 @@ fn main() {
         })
         .map(|(_, p)| p)
         .sum();
-    println!("\nP[{a_val} + {b_val} ≡ {expected_sum} (mod {})] after RPO compilation = {p:.6}", 1 << n);
+    println!(
+        "\nP[{a_val} + {b_val} ≡ {expected_sum} (mod {})] after RPO compilation = {p:.6}",
+        1 << n
+    );
     assert!((p - 1.0).abs() < 1e-9);
 }

@@ -14,8 +14,18 @@ fn main() {
     let backend = Backend::melbourne();
     println!("{n}-qubit Grover, marked element {marked:0n$b}, {iterations} iterations\n");
 
-    let plain = grover(n, marked, iterations, McxDesign::CleanAncilla { annotate: false });
-    let annotated = grover(n, marked, iterations, McxDesign::CleanAncilla { annotate: true });
+    let plain = grover(
+        n,
+        marked,
+        iterations,
+        McxDesign::CleanAncilla { annotate: false },
+    );
+    let annotated = grover(
+        n,
+        marked,
+        iterations,
+        McxDesign::CleanAncilla { annotate: true },
+    );
 
     let opts = |seed| RpoOptions::new().with_seed(seed);
     let level3 = transpile(&plain, &backend, &TranspileOptions::level(3).with_seed(5)).unwrap();

@@ -15,7 +15,11 @@ fn main() {
     let shots = 8192;
     println!("3-qubit QPE of θ = 7/8; correct outcome = {expected:03b}\n");
 
-    for backend in [Backend::melbourne(), Backend::almaden(), Backend::rochester()] {
+    for backend in [
+        Backend::melbourne(),
+        Backend::almaden(),
+        Backend::rochester(),
+    ] {
         let level3 =
             transpile(&circuit, &backend, &TranspileOptions::level(3).with_seed(0)).unwrap();
         let rpo = transpile_rpo(&circuit, &backend, &RpoOptions::new().with_seed(0)).unwrap();
@@ -35,7 +39,7 @@ fn main() {
                             .iter()
                             .position(|&o| o == t.final_map[q])
                             .expect("measured qubit present");
-                        (((outcome >> ci) & 1) as usize) << q
+                        ((outcome >> ci) & 1) << q
                     })
                     .sum();
                 if logical == expected {

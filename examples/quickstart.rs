@@ -18,7 +18,11 @@ fn main() {
     circuit.measure_all();
 
     let backend = Backend::melbourne();
-    println!("target device: {} ({} qubits)\n", backend.name(), backend.num_qubits());
+    println!(
+        "target device: {} ({} qubits)\n",
+        backend.name(),
+        backend.num_qubits()
+    );
 
     let baseline = transpile(&circuit, &backend, &TranspileOptions::level(3).with_seed(1))
         .expect("level-3 transpilation");
@@ -30,7 +34,11 @@ fn main() {
     println!("                 level 3    RPO");
     println!("CNOT gates     {:>9} {:>6}", b.cx, r.cx);
     println!("1-qubit gates  {:>9} {:>6}", b.single_qubit, r.single_qubit);
-    println!("depth          {:>9} {:>6}", baseline.circuit.depth(), rpo.circuit.depth());
+    println!(
+        "depth          {:>9} {:>6}",
+        baseline.circuit.depth(),
+        rpo.circuit.depth()
+    );
 
     assert!(r.cx <= b.cx);
     if b.cx > 0 {

@@ -3,8 +3,8 @@
 //!
 //! Run with: `cargo run --release --example swap_pure_states`
 
-use rpo::prelude::*;
 use qc_sim::same_output_state;
+use rpo::prelude::*;
 
 fn report(label: &str, before: &Circuit, after: &Circuit) {
     println!(

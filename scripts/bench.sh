@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Runs the `kernels` criterion bench and emits BENCH_kernels.json at the
+# repo root so successive PRs accumulate a performance trajectory.
+#
+# Usage: scripts/bench.sh [name-filter]
+#   name-filter  optional substring restricting which benchmarks run
+#                (e.g. `scripts/bench.sh circuit_unitary`).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT="${BENCH_OUT:-BENCH_kernels.json}"
+
+CRITERION_JSON_OUT="$PWD/$OUT" cargo bench -p qc-bench --bench kernels -- "${1:-}"
+
+echo
+echo "Summary written to $OUT:"
+cat "$OUT"

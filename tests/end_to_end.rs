@@ -107,8 +107,14 @@ fn vqe_ansatz_round_trips_through_all_flows() {
         plain
     });
     for (label, t) in [
-        ("level3", transpile(&c, &backend, &TranspileOptions::level(3).with_seed(4)).unwrap()),
-        ("rpo", transpile_rpo(&c, &backend, &RpoOptions::new().with_seed(4)).unwrap()),
+        (
+            "level3",
+            transpile(&c, &backend, &TranspileOptions::level(3).with_seed(4)).unwrap(),
+        ),
+        (
+            "rpo",
+            transpile_rpo(&c, &backend, &RpoOptions::new().with_seed(4)).unwrap(),
+        ),
     ] {
         // Fidelity: |⟨ref|out⟩|² with out read through the wire maps.
         let (compact, old_of_new) = t.circuit.compacted();
@@ -156,7 +162,10 @@ fn rpo_beats_or_ties_level3_across_seeds_and_devices() {
     let circuits: Vec<(&str, Circuit)> = vec![
         ("qpe4", qpe(4, 0.3)),
         ("vqe5", vqe_ry_ansatz(5, 2, 3)),
-        ("bv", bernstein_vazirani(&[true, true, true, false], OracleStyle::Boolean)),
+        (
+            "bv",
+            bernstein_vazirani(&[true, true, true, false], OracleStyle::Boolean),
+        ),
     ];
     for backend in [Backend::melbourne(), Backend::almaden()] {
         for (name, c) in &circuits {
@@ -188,8 +197,16 @@ fn annotations_strictly_help_grover() {
     let plain = grover(n, 5, 2, McxDesign::CleanAncilla { annotate: false });
     let annotated = grover(n, 5, 2, McxDesign::CleanAncilla { annotate: true });
     let opts = RpoOptions::new().with_seed(9);
-    let r_plain = transpile_rpo(&plain, &backend, &opts).unwrap().circuit.gate_counts().cx;
-    let r_annot = transpile_rpo(&annotated, &backend, &opts).unwrap().circuit.gate_counts().cx;
+    let r_plain = transpile_rpo(&plain, &backend, &opts)
+        .unwrap()
+        .circuit
+        .gate_counts()
+        .cx;
+    let r_annot = transpile_rpo(&annotated, &backend, &opts)
+        .unwrap()
+        .circuit
+        .gate_counts()
+        .cx;
     assert!(
         r_annot <= r_plain,
         "annotations must not hurt: {r_annot} vs {r_plain}"
@@ -228,8 +245,8 @@ fn adder_annotation_enables_ancilla_reuse_optimization() {
     let build = |annotate: bool| {
         let mut c = Circuit::new(2 * n + 2);
         c.x(0).x(n); // a = 1, b = 1
-        // Blind the analysis: an identity pair the automaton cannot see
-        // through (both wires go to ⊤), mimicking real entangled inputs.
+                     // Blind the analysis: an identity pair the automaton cannot see
+                     // through (both wires go to ⊤), mimicking real entangled inputs.
         c.h(0).cx(0, n).cx(0, n).h(0);
         c.compose(
             &ripple_carry_adder(n, annotate),

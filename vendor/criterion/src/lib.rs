@@ -1,0 +1,274 @@
+//! Offline stand-in for the subset of the `criterion` API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a minimal wall-clock benchmarking harness with the same surface syntax:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! `sample_size` / `bench_with_input` / `finish`, [`BenchmarkId`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: one calibration call sizes the per-sample iteration
+//! count toward [`TARGET_SAMPLE_NANOS`]; `sample_size` samples are then
+//! timed and the **median ns/iter** is reported. Results print as a table
+//! and, when the `CRITERION_JSON_OUT` environment variable names a path, are
+//! also written there as a JSON array of
+//! `{"name", "median_ns", "samples", "iters_per_sample"}` records —
+//! `scripts/bench.sh` uses this to emit `BENCH_kernels.json`.
+//!
+//! A single positional command-line argument acts as a substring filter on
+//! benchmark names (matching `cargo bench -- <filter>`); `--`-prefixed flags
+//! are ignored for compatibility with harness arguments cargo may pass.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one measured sample.
+const TARGET_SAMPLE_NANOS: u128 = 25_000_000; // 25 ms
+
+/// Cap on total measured samples per benchmark.
+const MAX_SAMPLES: usize = 100;
+
+/// An opaque value barrier, preventing the optimizer from deleting work.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// One finished measurement.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Full benchmark name (`group/function/param`).
+    pub name: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Number of samples measured.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            sample_size: 10,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a driver from command-line arguments (positional arg = name
+    /// substring filter; flags ignored).
+    pub fn from_args() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            filter,
+            ..Criterion::default()
+        }
+    }
+
+    /// Runs one benchmark under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let sample_size = self.sample_size;
+        self.run(id.to_string(), sample_size, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            sample_size: self.sample_size,
+            name: name.to_string(),
+            criterion: self,
+        }
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, name: String, sample_size: usize, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Calibration: one single-iteration call sizes the sample loop.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed.as_nanos().max(1);
+        let iters = (TARGET_SAMPLE_NANOS / per_iter).clamp(1, u128::from(u32::MAX)) as u64;
+        let samples = sample_size.clamp(2, MAX_SAMPLES);
+        let mut measured: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            b.iters = iters;
+            f(&mut b);
+            measured.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        measured.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let median = if measured.len() % 2 == 1 {
+            measured[measured.len() / 2]
+        } else {
+            (measured[measured.len() / 2 - 1] + measured[measured.len() / 2]) / 2.0
+        };
+        println!(
+            "bench: {name:<50} {:>14}/iter  ({samples} samples × {iters} iters)",
+            format_ns(median)
+        );
+        self.results.push(BenchResult {
+            name,
+            median_ns: median,
+            samples,
+            iters_per_sample: iters,
+        });
+    }
+
+    /// Prints the closing summary and writes the JSON report if
+    /// `CRITERION_JSON_OUT` is set.
+    pub fn final_summary(&self) {
+        if let Ok(path) = std::env::var("CRITERION_JSON_OUT") {
+            let mut out = String::from("[\n");
+            for (i, r) in self.results.iter().enumerate() {
+                out.push_str(&format!(
+                    "  {{\"name\": \"{}\", \"median_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+                    r.name.replace('"', "'"),
+                    r.median_ns,
+                    r.samples,
+                    r.iters_per_sample,
+                    if i + 1 == self.results.len() { "" } else { "," }
+                ));
+            }
+            out.push_str("]\n");
+            if let Err(e) = std::fs::write(&path, out) {
+                eprintln!("criterion shim: failed to write {path}: {e}");
+            } else {
+                println!(
+                    "criterion shim: wrote {} results to {path}",
+                    self.results.len()
+                );
+            }
+        }
+    }
+
+    /// The measurements collected so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples for subsequent benchmarks in the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        let sample_size = self.sample_size;
+        self.criterion.run(name, sample_size, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `group/id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        let sample_size = self.sample_size;
+        self.criterion.run(name, sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A `function/parameter` benchmark identifier.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds the identifier `function/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The per-sample timing handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`; the routine's return value is passed
+    /// through [`black_box`] so its computation isn't optimized away.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Bundles benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Emits `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for the `serde` trait surface this workspace uses.
+//!
+//! The build environment has no access to crates.io. The workspace only uses
+//! serde as *markers* (`#[derive(Serialize, Deserialize)]` plus trait
+//! bounds) — nothing is actually serialized — so the vendored traits are
+//! empty and blanket-implemented, and the derives expand to nothing. When a
+//! future PR needs real (de)serialization, replace this shim with a JSON
+//! writer or the real crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

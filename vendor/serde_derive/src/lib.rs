@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The vendored `serde` marker traits are blanket-implemented for all types,
+//! so these derives only need to *exist* for `#[derive(Serialize,
+//! Deserialize)]` attributes to compile; they expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive (the vendored trait has a blanket impl).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive (the vendored trait has a blanket impl).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
