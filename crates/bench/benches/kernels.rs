@@ -4,16 +4,19 @@
 //! (ConsolidateBlocks' engine), the single-qubit Euler extraction, and the
 //! routing pass.
 //!
-//! The `circuit_unitary_*_10q100g` pair is the acceptance benchmark for the
-//! shared kernel engine: the kernel-based path must beat the retained
-//! embed-then-matmul reference by ≥10× on a random 10-qubit, 100-gate
-//! circuit (`scripts/bench.sh` records both in `BENCH_kernels.json`).
+//! The `circuit_unitary_*_10q100g` family is the acceptance benchmark for
+//! the shared kernel engine: the kernel-based path must beat the retained
+//! embed-then-matmul reference by ≥10×, and the fused + cache-blocked +
+//! (optionally) parallel pipeline must beat the plain per-gate streaming
+//! path, on a random 10-qubit, 100-gate circuit (`scripts/bench.sh` records
+//! all of them, plus the effective kernel thread count, in
+//! `BENCH_kernels.json`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use qc_algos::quantum_volume;
 use qc_backends::Backend;
 use qc_circuit::testing::random_circuit;
-use qc_circuit::{circuit_unitary, circuit_unitary_reference, Circuit};
+use qc_circuit::{circuit_unitary, circuit_unitary_reference, circuit_unitary_unfused, Circuit};
 use qc_math::haar_unitary;
 use qc_sim::Statevector;
 use qc_synth::{synthesize_two_qubit, OneQubitEuler, TwoQubitWeyl};
@@ -22,6 +25,13 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn bench_kernels(c: &mut Criterion) {
+    // Tag every JSON record with the thread count the kernels actually use
+    // (1 without the `parallel` feature; the RPO_THREADS/available-
+    // parallelism cap with it) — not a value re-derived in shell.
+    std::env::set_var(
+        "CRITERION_JSON_META",
+        format!("\"threads\": {}", qc_math::kernel_threads()),
+    );
     let mut rng = StdRng::seed_from_u64(1);
     let u2s: Vec<_> = (0..32).map(|_| haar_unitary(2, &mut rng)).collect();
     let u4s: Vec<_> = (0..32).map(|_| haar_unitary(4, &mut rng)).collect();
@@ -49,16 +59,33 @@ fn bench_kernels(c: &mut Criterion) {
     });
 
     let unitary_circuit = random_circuit(10, 100, 2021);
+    // The acceptance benchmark: the full pipeline (fusion + cache-blocked
+    // panels + parallel kernels when the `parallel` feature is on).
     c.bench_function("circuit_unitary_kernel_10q100g", |b| {
         b.iter(|| circuit_unitary(&unitary_circuit))
+    });
+    // PR 1's per-gate streaming (no fusion, single panel): isolates how much
+    // of the trajectory the fusion/panel stages contribute.
+    c.bench_function("circuit_unitary_unfused_10q100g", |b| {
+        b.iter(|| circuit_unitary_unfused(&unitary_circuit))
     });
     c.bench_function("circuit_unitary_reference_10q100g", |b| {
         b.iter(|| circuit_unitary_reference(&unitary_circuit))
     });
 
     let sv_circuit = random_circuit(12, 120, 7);
+    // Fused whole-circuit run vs the per-gate engine path.
     c.bench_function("statevector_12q_random120g", |b| {
         b.iter(|| Statevector::from_circuit(&sv_circuit))
+    });
+    c.bench_function("statevector_12q_random120g_pergate", |b| {
+        b.iter(|| {
+            let mut sv = Statevector::zero_state(12);
+            for inst in sv_circuit.instructions() {
+                sv.apply_gate(&inst.gate, &inst.qubits);
+            }
+            sv
+        })
     });
 
     let mut ghz = Circuit::new(12);

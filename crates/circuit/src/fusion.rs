@@ -1,0 +1,484 @@
+//! Gate fusion: collapsing 1-qubit runs and folding 1-qubit gates into
+//! adjacent two-qubit blocks before anything touches a 2ⁿ-sized buffer.
+//!
+//! At n ≳ 8 every kernel pass over a state vector or unitary panel is
+//! memory-bound: the cost is the sweep, not the arithmetic. The planner in
+//! this module therefore rewrites a gate stream to minimize the number of
+//! sweeps:
+//!
+//! * **1q runs collapse.** Consecutive single-qubit gates on the same qubit
+//!   — no matter what lies between them on *other* qubits — accumulate into
+//!   one 2×2 product ([`qc_math::mul_2x2`]), applied as a single dense-1q
+//!   pass.
+//! * **1q gates fold into 2q blocks.** A pending 1q product is absorbed
+//!   into a following two-qubit gate's 4×4 (the gate matrix
+//!   right-multiplied by the embedded 2×2) unless it can do better:
+//!   products that *commute through* the gate stay pending and keep
+//!   growing (diagonals through phase gates, CX/Cu controls; `αI + βX`
+//!   through CX targets; anything through `Swap`, relayed to the other
+//!   qubit), and runs that must flush right after a dense block on the
+//!   same qubit left-fold into that block's 4×4 — a planner-side 4×4
+//!   product instead of a buffer sweep.
+//!
+//! Structured two-qubit gates with no stuck pending neighbors pass through
+//! untouched (their specialized kernels beat a dense 4×4); gates on three
+//! or more qubits flush their qubits' non-commuting pending products and
+//! pass through.
+//!
+//! Fusion is exactly unitary-preserving in exact arithmetic and agrees with
+//! the unfused stream to rounding (the oracle tests in
+//! `tests/kernel_oracle.rs` pin both paths against
+//! [`crate::circuit_unitary_reference`]). Consumers: [`crate::circuit_unitary`]
+//! streams fused ops over column panels, and `qc_sim::Statevector` applies
+//! them to its amplitude vector.
+
+use crate::circuit::Instruction;
+use qc_math::{mul_2x2, KernelOp, Matrix, C64};
+
+/// One fused instruction: a kernel op plus the (global) qubits it acts on.
+#[derive(Clone, Debug)]
+pub struct FusedInst<'c> {
+    /// Global qubit indices, `qubits[0]` = the op's least-significant bit.
+    pub qubits: Vec<usize>,
+    kernel: FusedKernel<'c>,
+}
+
+/// The op payload of a [`FusedInst`]: either a pass-through of the original
+/// gate's kernel (possibly borrowing its matrix) or an owned fusion product.
+#[derive(Clone, Debug)]
+enum FusedKernel<'c> {
+    /// The original gate's kernel, untouched.
+    Passthrough(KernelOp<'c>),
+    /// A collapsed run of single-qubit gates (row-major 2×2).
+    OneQ([C64; 4]),
+    /// A two-qubit block with folded single-qubit neighbors (4×4).
+    Dense(Matrix),
+}
+
+impl FusedInst<'_> {
+    /// The kernel op to hand to [`qc_math::KernelEngine`]; borrows `self`
+    /// for the owned dense case.
+    pub fn op(&self) -> KernelOp<'_> {
+        match &self.kernel {
+            FusedKernel::Passthrough(op) => op.clone(),
+            FusedKernel::OneQ(m) => KernelOp::OneQ(*m),
+            FusedKernel::Dense(m) => KernelOp::Dense(m),
+        }
+    }
+}
+
+/// Embeds a 2×2 on local bit `bit` of a two-qubit block (little-endian:
+/// index = b₁b₀).
+fn embed_1q_in_4x4(m: &[C64; 4], bit: usize) -> Matrix {
+    let mut out = Matrix::zeros(4, 4);
+    for high in 0..2 {
+        for (r, c, v) in [(0, 0, m[0]), (0, 1, m[1]), (1, 0, m[2]), (1, 1, m[3])] {
+            let (row, col) = if bit == 0 {
+                ((high << 1) | r, (high << 1) | c)
+            } else {
+                ((r << 1) | high, (c << 1) | high)
+            };
+            out[(row, col)] = v;
+        }
+    }
+    out
+}
+
+/// The exact 2×2 identity (what an even run of self-inverse gates collapses
+/// to); flushing it would waste a full sweep.
+fn is_exact_identity(m: &[C64; 4]) -> bool {
+    m[0] == C64::ONE && m[1] == C64::ZERO && m[2] == C64::ZERO && m[3] == C64::ONE
+}
+
+/// Fuses a unitary gate stream for `num_qubits` qubits. Directives
+/// (barriers, annotations) are dropped — they carry no unitary action.
+///
+/// # Panics
+///
+/// Panics on non-unitary instructions (reset/measure); segment streams at
+/// such boundaries before planning (see `qc_sim::Statevector`).
+pub fn fuse_instructions(insts: &[Instruction], num_qubits: usize) -> Vec<FusedInst<'_>> {
+    Planner::new(num_qubits).plan(insts)
+}
+
+/// Streaming fusion state: per-qubit pending 1q products plus, per qubit,
+/// the index of the most recent emitted dense 2q block it participates in
+/// and nothing has touched since (the left-fold target for flushes).
+struct Planner<'c> {
+    pending: Vec<Option<[C64; 4]>>,
+    last_dense: Vec<Option<usize>>,
+    out: Vec<FusedInst<'c>>,
+}
+
+impl<'c> Planner<'c> {
+    fn new(num_qubits: usize) -> Self {
+        Planner {
+            pending: vec![None; num_qubits],
+            last_dense: vec![None; num_qubits],
+            out: Vec::new(),
+        }
+    }
+
+    /// Emits qubit `q`'s pending product: left-folded into the most recent
+    /// dense block on `q` when one is still foldable, as its own dense-1q
+    /// (or cheaper diagonal) pass otherwise. Exact identities (e.g. X·X)
+    /// are dropped.
+    fn flush(&mut self, q: usize) {
+        let Some(m) = self.pending[q].take() else {
+            return;
+        };
+        if is_exact_identity(&m) {
+            return;
+        }
+        if let Some(idx) = self.last_dense[q] {
+            let target = &mut self.out[idx];
+            let bit = if target.qubits[0] == q { 0 } else { 1 };
+            let FusedKernel::Dense(m4) = &mut target.kernel else {
+                unreachable!("last_dense only indexes Dense ops");
+            };
+            // The run happened *after* the block: left-multiply.
+            *m4 = embed_1q_in_4x4(&m, bit).matmul(m4);
+            return;
+        }
+        let kernel = if is_diagonal(&m) {
+            // The diagonal kernel multiplies each half-run once (and skips
+            // unit factors) — half the arithmetic of a dense 2×2 pass.
+            FusedKernel::Passthrough(KernelOp::OneQDiag([m[0], m[3]]))
+        } else {
+            FusedKernel::OneQ(m)
+        };
+        self.out.push(FusedInst {
+            qubits: vec![q],
+            kernel,
+        });
+    }
+
+    fn plan(mut self, insts: &'c [Instruction]) -> Vec<FusedInst<'c>> {
+        for inst in insts {
+            if inst.gate.is_directive() {
+                continue;
+            }
+            if let Some(m) = inst.gate.matrix2x2() {
+                let q = inst.qubits[0];
+                self.pending[q] = Some(match self.pending[q] {
+                    Some(prev) => mul_2x2(&m, &prev),
+                    None => m,
+                });
+                continue;
+            }
+            let op = inst.gate.kernel().unwrap_or_else(|| {
+                panic!("non-unitary instruction {} in fused gate stream", inst.gate)
+            });
+            if inst.qubits.len() == 2 && matches!(op, KernelOp::Dense(_)) {
+                self.fold_dense_2q(inst);
+            } else {
+                self.pass_structured(inst, op);
+            }
+        }
+        for q in 0..self.pending.len() {
+            self.flush(q);
+        }
+        self.out
+    }
+
+    /// Plans a structured (non-dense) gate of any arity. Pending neighbors
+    /// are, in order of preference: left-folded into an earlier dense block
+    /// (free — a planner-side 4×4 product, no sweep), *commuted through*
+    /// the gate when algebra allows (extending the run), relayed to the
+    /// other qubit for `Swap`, or — for a 2q gate with any product still
+    /// stuck — folded with the gate into one dense 4×4 (one sweep instead
+    /// of a 1q pass plus the structured pass). Only stuck products on 3+
+    /// qubit gates are flushed as their own pass.
+    fn pass_structured(&mut self, inst: &'c Instruction, op: KernelOp<'c>) {
+        // Free folds into earlier dense blocks first; a product folded here
+        // no longer needs to commute with this gate.
+        for &q in &inst.qubits {
+            if self.pending[q].is_some() && self.last_dense[q].is_some() {
+                self.flush(q);
+            }
+        }
+        if matches!(op, KernelOp::Swap) {
+            // P(a) · Swap ≡ Swap · P(b): pending products change qubit and
+            // stay pending; the swap remains a pure copy pass.
+            let (a, b) = (inst.qubits[0], inst.qubits[1]);
+            self.pending.swap(a, b);
+        } else {
+            let keep: Vec<bool> = inst
+                .qubits
+                .iter()
+                .map(|&q| match &self.pending[q] {
+                    Some(m) => commutes_through(&op, &inst.qubits, q, m),
+                    None => true,
+                })
+                .collect();
+            if inst.qubits.len() == 2 && keep.iter().any(|k| !k) {
+                // Both sides stuck: absorbing them and the gate into one
+                // dense 4×4 beats two 1q passes plus the structured pass.
+                self.fold_dense_2q(inst);
+                return;
+            }
+            for (&q, kept) in inst.qubits.iter().zip(&keep) {
+                if !kept {
+                    self.flush(q);
+                }
+            }
+        }
+        for &q in &inst.qubits {
+            self.last_dense[q] = None;
+        }
+        self.out.push(FusedInst {
+            qubits: inst.qubits.clone(),
+            kernel: FusedKernel::Passthrough(op),
+        });
+    }
+
+    /// Folds a two-qubit gate and its qubits' pending products into one
+    /// dense 4×4: the gate's matrix right-multiplied by the embedded 2×2s
+    /// (they act first; products on different bits commute). The block is
+    /// recorded as both qubits' left-fold target.
+    fn fold_dense_2q(&mut self, inst: &'c Instruction) {
+        let (a, b) = (inst.qubits[0], inst.qubits[1]);
+        let mut m4 = inst
+            .gate
+            .matrix()
+            .expect("two-qubit unitary gate has a matrix");
+        if let Some(m) = self.pending[a].take() {
+            m4 = m4.matmul(&embed_1q_in_4x4(&m, 0));
+        }
+        if let Some(m) = self.pending[b].take() {
+            m4 = m4.matmul(&embed_1q_in_4x4(&m, 1));
+        }
+        let idx = self.out.len();
+        self.out.push(FusedInst {
+            qubits: vec![a, b],
+            kernel: FusedKernel::Dense(m4),
+        });
+        self.last_dense[a] = Some(idx);
+        self.last_dense[b] = Some(idx);
+    }
+}
+
+/// Is `m` diagonal (in exact arithmetic — diagonal gates produce exact
+/// structural zeros)?
+fn is_diagonal(m: &[C64; 4]) -> bool {
+    m[1] == C64::ZERO && m[2] == C64::ZERO
+}
+
+/// Whether the 1q product `m` on qubit `q` commutes through the structured
+/// op, letting it stay pending (and keep growing) instead of flushing:
+///
+/// * all-ones phases (`Cz`/`Cp`/`Mcz`) commute with any diagonal;
+/// * a controlled-X commutes with diagonals on its controls and with
+///   `αI + βX` matrices on its target;
+/// * a controlled-1q (`Cu`) commutes with diagonals on its control.
+fn commutes_through(op: &KernelOp<'_>, qubits: &[usize], q: usize, m: &[C64; 4]) -> bool {
+    match op {
+        KernelOp::PhaseAllOnes(_) => is_diagonal(m),
+        KernelOp::ControlledX => {
+            let target = *qubits.last().expect("controlled-X has qubits");
+            if q == target {
+                m[0] == m[3] && m[1] == m[2]
+            } else {
+                is_diagonal(m)
+            }
+        }
+        KernelOp::ControlledOneQ(_) => q == qubits[0] && is_diagonal(m),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+    use crate::unitary::{circuit_unitary_reference, embed};
+
+    /// The dense local matrix of any kernel op (k = qubit count) — used to
+    /// check fused plans without going through the engine.
+    fn op_matrix(op: &KernelOp<'_>, k: usize) -> Matrix {
+        let side = 1usize << k;
+        match op {
+            KernelOp::OneQ(m) => Matrix::from_rows(&[vec![m[0], m[1]], vec![m[2], m[3]]]),
+            KernelOp::OneQDiag(d) => Matrix::diag(d),
+            KernelOp::ControlledOneQ(u) => {
+                let mut c = Matrix::identity(4);
+                c[(1, 1)] = u[0];
+                c[(1, 3)] = u[1];
+                c[(3, 1)] = u[2];
+                c[(3, 3)] = u[3];
+                c
+            }
+            KernelOp::PhaseAllOnes(p) => {
+                let mut m = Matrix::identity(side);
+                m[(side - 1, side - 1)] = *p;
+                m
+            }
+            KernelOp::ControlledX => {
+                // Target = last qubit = local bit k-1; controls are the rest.
+                let ctrl = (side >> 1) - 1;
+                Matrix::from_fn(side, side, |r, c| {
+                    let flip = if c & ctrl == ctrl { c ^ (side >> 1) } else { c };
+                    if r == flip {
+                        C64::ONE
+                    } else {
+                        C64::ZERO
+                    }
+                })
+            }
+            KernelOp::Swap => Matrix::from_fn(4, 4, |r, c| {
+                let sw = ((c & 1) << 1) | (c >> 1);
+                if r == sw {
+                    C64::ONE
+                } else {
+                    C64::ZERO
+                }
+            }),
+            KernelOp::Permutation(perm) => {
+                let mut m = Matrix::zeros(side, side);
+                for (l, &p) in perm.iter().enumerate() {
+                    m[(p, l)] = C64::ONE;
+                }
+                m
+            }
+            KernelOp::Dense(d) => (*d).clone(),
+        }
+    }
+
+    /// Applies a fused plan densely via embedding — an engine-independent
+    /// check that planning alone preserves the unitary.
+    fn plan_unitary(plan: &[FusedInst<'_>], n: usize) -> Matrix {
+        let mut u = Matrix::identity(1 << n);
+        for fi in plan {
+            let m = op_matrix(&fi.op(), fi.qubits.len());
+            u = embed(&m, &fi.qubits, n).matmul(&u);
+        }
+        u
+    }
+
+    #[test]
+    fn one_qubit_run_collapses_to_single_op() {
+        let mut c = Circuit::new(2);
+        c.h(0).s(0).t(0).h(0);
+        let plan = fuse_instructions(c.instructions(), 2);
+        assert_eq!(plan.len(), 1);
+        assert!(plan_unitary(&plan, 2).approx_eq(&circuit_unitary_reference(&c), 1e-12));
+    }
+
+    #[test]
+    fn interleaved_runs_collapse_per_qubit() {
+        // Gates alternate qubits; each qubit's run still collapses.
+        let mut c = Circuit::new(2);
+        c.h(0).h(1).t(0).s(1).h(0).h(1);
+        let plan = fuse_instructions(c.instructions(), 2);
+        assert_eq!(plan.len(), 2);
+        assert!(plan_unitary(&plan, 2).approx_eq(&circuit_unitary_reference(&c), 1e-12));
+    }
+
+    #[test]
+    fn one_q_gates_fold_into_two_qubit_block() {
+        let mut c = Circuit::new(2);
+        c.h(0).t(1).cx(0, 1);
+        let plan = fuse_instructions(c.instructions(), 2);
+        assert_eq!(plan.len(), 1, "h, t and cx must fuse into one 4×4");
+        assert!(matches!(plan[0].kernel, FusedKernel::Dense(_)));
+        assert!(plan_unitary(&plan, 2).approx_eq(&circuit_unitary_reference(&c), 1e-12));
+    }
+
+    #[test]
+    fn bare_structured_two_qubit_gates_pass_through() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).cz(1, 2).swap(0, 2);
+        let plan = fuse_instructions(c.instructions(), 3);
+        assert_eq!(plan.len(), 3);
+        assert!(plan
+            .iter()
+            .all(|fi| matches!(fi.kernel, FusedKernel::Passthrough(_))));
+    }
+
+    #[test]
+    fn exactly_self_inverse_run_vanishes() {
+        // X·X and Z·Z are exact identities in f64 (0/±1 entries); a flushed
+        // exact identity would waste a full sweep, so it is dropped. H·H is
+        // *not* exact (1/√2 rounds) and must still be emitted.
+        let mut c = Circuit::new(1);
+        c.x(0).x(0).z(0).z(0);
+        assert!(fuse_instructions(c.instructions(), 1).is_empty());
+        let mut c = Circuit::new(1);
+        c.h(0).h(0);
+        assert_eq!(fuse_instructions(c.instructions(), 1).len(), 1);
+    }
+
+    #[test]
+    fn three_qubit_gate_flushes_non_commuting_neighbors() {
+        let mut c = Circuit::new(3);
+        c.h(0).h(1).ccx(0, 1, 2);
+        let plan = fuse_instructions(c.instructions(), 3);
+        // Two flushed Hadamards (H does not commute with a control) then
+        // the passthrough Toffoli.
+        assert_eq!(plan.len(), 3);
+        assert!(matches!(plan[2].kernel, FusedKernel::Passthrough(_)));
+        assert_eq!(plan[2].qubits, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn diagonal_products_commute_through_controls() {
+        // T on a CX control and S·T on a CZ qubit stay pending through the
+        // 2q gates and keep accumulating; only one diagonal pass remains.
+        let mut c = Circuit::new(2);
+        c.t(0).cx(0, 1).s(0).cz(0, 1).t(0);
+        let plan = fuse_instructions(c.instructions(), 2);
+        assert_eq!(plan.len(), 3, "cx, cz and one merged diagonal run");
+        assert!(matches!(plan[2].op(), KernelOp::OneQDiag(_)));
+        assert!(plan_unitary(&plan, 2).approx_eq(&circuit_unitary_reference(&c), 1e-12));
+    }
+
+    #[test]
+    fn swap_relays_pending_products() {
+        // H(0) commutes through Swap(0,1) as H(1), merging with the later
+        // H(1)·X(1) run; the swap stays a pure passthrough.
+        let mut c = Circuit::new(2);
+        c.h(0).swap(0, 1).x(1).h(1);
+        let plan = fuse_instructions(c.instructions(), 2);
+        assert_eq!(plan.len(), 2, "swap plus one merged 1q run");
+        assert!(matches!(plan[0].op(), KernelOp::Swap));
+        assert_eq!(plan[1].qubits, vec![1]);
+        assert!(plan_unitary(&plan, 2).approx_eq(&circuit_unitary_reference(&c), 1e-12));
+    }
+
+    #[test]
+    fn trailing_runs_left_fold_into_dense_blocks() {
+        // cu makes a dense block on (0,1); the later H(1)·T(1) run folds
+        // back into it instead of costing its own pass.
+        let mut c = Circuit::new(2);
+        c.h(0).h(1).cx(0, 1).t(1).h(1);
+        let plan = fuse_instructions(c.instructions(), 2);
+        assert_eq!(plan.len(), 1, "everything folds into the one 4×4");
+        assert!(matches!(plan[0].kernel, FusedKernel::Dense(_)));
+        assert!(plan_unitary(&plan, 2).approx_eq(&circuit_unitary_reference(&c), 1e-12));
+    }
+
+    #[test]
+    fn directives_are_dropped_and_do_not_break_runs() {
+        let mut c = Circuit::new(2);
+        c.h(0).barrier().t(0).annot_zero(1).h(0);
+        let plan = fuse_instructions(c.instructions(), 2);
+        assert_eq!(plan.len(), 1);
+    }
+
+    #[test]
+    fn fused_plan_preserves_random_circuit_unitaries() {
+        use crate::testing::random_circuit;
+        for n in 1..=4usize {
+            for seed in 0..4u64 {
+                let c = random_circuit(n, 20, 1000 + seed * 10 + n as u64);
+                let plan = fuse_instructions(c.instructions(), n);
+                let got = plan_unitary(&plan, n);
+                let want = circuit_unitary_reference(&c);
+                assert!(
+                    got.approx_eq(&want, 1e-9),
+                    "fusion changed the unitary on {n} qubits, seed {seed}"
+                );
+            }
+        }
+    }
+}

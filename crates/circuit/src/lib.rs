@@ -33,6 +33,7 @@
 
 pub mod circuit;
 pub mod dag;
+pub mod fusion;
 pub mod gate;
 pub mod qasm;
 pub mod testing;
@@ -40,5 +41,9 @@ pub mod unitary;
 
 pub use circuit::{Circuit, GateCounts, Instruction};
 pub use dag::Dag;
+pub use fusion::{fuse_instructions, FusedInst};
 pub use gate::{BasisState, Gate};
-pub use unitary::{circuit_unitary, circuit_unitary_reference, circuits_equivalent, embed};
+pub use unitary::{
+    circuit_unitary, circuit_unitary_reference, circuit_unitary_unfused, circuits_equivalent,
+    embed, UnitaryAccumulator,
+};

@@ -2,22 +2,40 @@
 //!
 //! Transpiler passes (block consolidation, equivalence assertions in tests)
 //! need the 2ⁿ×2ⁿ unitary of a small circuit. [`circuit_unitary`] builds it
-//! by applying each gate's kernel to the 2ⁿ columns of an identity matrix
-//! through [`qc_math::KernelEngine`] — **O(2ⁿ·4ᵏ) work per column, so
-//! O(4ⁿ·4ᵏ/2ᵏ) per k-qubit gate**, with no per-gate allocation. The older
-//! embed-then-matmul formulation ([`circuit_unitary_reference`]) costs
-//! O(8ⁿ) per gate in its dense form (O(4ⁿ·2ᵏ) with zero-skipping, plus two
-//! 4ⁿ-entry allocations per gate) and is retained as the independent oracle
-//! for equivalence tests and benchmarks.
+//! in three stages:
 //!
-//! Rule of thumb: use [`circuit_unitary`] everywhere; use
-//! [`circuit_unitary_reference`] only when an implementation-independent
-//! cross-check is the point. Both are dense and intended for n ≲ 12; the
-//! state-vector simulator in `qc-sim` is the fast path for larger
-//! functional checks (one column, not 2ⁿ).
+//! 1. **Fusion** ([`crate::fusion`]): 1q runs collapse to single 2×2
+//!    products and 1q gates fold into adjacent 2q blocks, minimizing the
+//!    number of passes over the buffer.
+//! 2. **Cache-blocked panels**: the 2ⁿ columns are processed in panels
+//!    sized to keep each panel (2ⁿ rows × width) inside L2
+//!    ([`PANEL_TARGET_ELEMS`]); the whole fused gate sequence streams over
+//!    one panel before the next is touched, so construction runs at cache
+//!    bandwidth instead of DRAM bandwidth once n ≳ 9.
+//! 3. **Kernel streaming** ([`qc_math::KernelEngine`]): each fused op is a
+//!    structured in-place pass over the panel's rows — **O(2ⁿ·4ᵏ/2ᵏ) per
+//!    dense k-qubit op** and far less for diagonal/permutation ops.
+//!
+//! Under the `parallel` cargo feature, panels are distributed across the
+//! vendored scoped-thread pool; panel boundaries depend only on n, so the
+//! result is **bit-identical at every thread count** (each panel is an
+//! independent computation).
+//!
+//! The older embed-then-matmul formulation ([`circuit_unitary_reference`])
+//! costs O(8ⁿ) per gate in its dense form and is retained as the
+//! independent oracle for equivalence tests and benchmarks;
+//! [`circuit_unitary_unfused`] preserves the intermediate per-gate
+//! streaming path (no fusion, single panel) for the same purpose.
+//!
+//! Rule of thumb: use [`circuit_unitary`] everywhere; use the others only
+//! when an implementation-independent cross-check is the point. All are
+//! dense and intended for n ≲ 12; the state-vector simulator in `qc-sim`
+//! is the fast path for larger functional checks (one column, not 2ⁿ).
 
 use crate::circuit::Circuit;
-use qc_math::{KernelEngine, Matrix, C64};
+use crate::fusion::{fuse_instructions, FusedInst};
+use crate::gate::Gate;
+use qc_math::{KernelEngine, KernelOp, Matrix, C64};
 
 /// Embeds a k-qubit gate matrix into an n-qubit unitary, acting on the given
 /// qubits (little-endian: `qubits[0]` is the gate's least-significant local
@@ -69,16 +87,31 @@ pub fn embed(gate_matrix: &Matrix, qubits: &[usize], n: usize) -> Matrix {
     out
 }
 
-/// The full unitary of a circuit.
+/// Column-panel size target, in scalars: 2¹⁶ C64 = 1 MiB, sized to keep a
+/// whole panel resident in L2 while the fused gate sequence streams over it.
+pub const PANEL_TARGET_ELEMS: usize = 1 << 16;
+
+/// The panel width used for an n-qubit unitary (`dim = 2ⁿ`): the full
+/// matrix when it already fits the target, else `PANEL_TARGET_ELEMS / dim`
+/// columns (≥ 8). Depends only on `dim`, never on thread count — panel
+/// decomposition is part of the deterministic result contract.
+fn panel_width(dim: usize) -> usize {
+    if dim * dim <= PANEL_TARGET_ELEMS {
+        dim
+    } else {
+        (PANEL_TARGET_ELEMS / dim).clamp(8, dim)
+    }
+}
+
+/// The full unitary of a circuit: fusion, then cache-blocked panel
+/// streaming of the fused kernels (see the module docs for the pipeline).
 ///
-/// Built by streaming every gate's kernel over an identity matrix stored
-/// row-major: in the product G·U a gate acts on the *row-index* bits, so
-/// each kernel step mixes whole rows — contiguous length-2ⁿ element-wise
-/// passes, which vectorize and stream (the 2ⁿ columns are updated in one
-/// batch; no transpose is ever needed). Per k-qubit gate this is
-/// O(4ⁿ·4ᵏ/2ᵏ) dense — and far less for the structured kernels (diagonal,
-/// controlled-X, swap) — versus the O(8ⁿ) embed-then-matmul of
-/// [`circuit_unitary_reference`].
+/// In the product G·U a gate acts on the *row-index* bits, so each kernel
+/// step mixes whole rows — contiguous element-wise passes over the panel,
+/// which vectorize and stream; no transpose is ever needed. Per k-qubit
+/// gate this is O(4ⁿ·4ᵏ/2ᵏ) dense — and far less for the structured
+/// kernels (diagonal, controlled-X, swap) — versus the O(8ⁿ)
+/// embed-then-matmul of [`circuit_unitary_reference`].
 ///
 /// # Panics
 ///
@@ -86,10 +119,30 @@ pub fn embed(gate_matrix: &Matrix, qubits: &[usize], n: usize) -> Matrix {
 /// measure). Directives (barriers, annotations) are skipped.
 pub fn circuit_unitary(circuit: &Circuit) -> Matrix {
     let n = circuit.num_qubits();
+    let plan = fuse_instructions(circuit.instructions(), n);
+    unitary_from_plan(&plan, n, panel_width(1usize << n))
+}
+
+/// [`circuit_unitary`] with an explicit panel width (a power of two
+/// dividing 2ⁿ). Exposed for oracle tests that pin the panel decomposition
+/// on small circuits; everything else should use [`circuit_unitary`].
+#[doc(hidden)]
+pub fn circuit_unitary_with_panel_width(circuit: &Circuit, width: usize) -> Matrix {
+    let n = circuit.num_qubits();
+    let plan = fuse_instructions(circuit.instructions(), n);
+    unitary_from_plan(&plan, n, width)
+}
+
+/// The per-gate kernel-streaming construction without fusion or panels —
+/// PR 1's formulation, retained as a mid-level oracle (independent of the
+/// fusion planner, shares only the kernel engine) and benchmark baseline.
+///
+/// # Panics
+///
+/// Panics on non-unitary instructions; directives are skipped.
+pub fn circuit_unitary_unfused(circuit: &Circuit) -> Matrix {
+    let n = circuit.num_qubits();
     let dim = 1usize << n;
-    // Row-major U, starting as the identity. Each gate mixes *rows* (a gate
-    // acts on the row-index bits of U in the product G·U), so every kernel
-    // step is an element-wise pass over contiguous length-2ⁿ rows.
     let mut data = vec![C64::ZERO; dim * dim];
     for i in 0..dim {
         data[i * dim + i] = C64::ONE;
@@ -106,6 +159,157 @@ pub fn circuit_unitary(circuit: &Circuit) -> Matrix {
         engine.apply_batched(&mut data, n, dim, &op, &inst.qubits);
     }
     Matrix::from_vec(dim, dim, data)
+}
+
+/// Streams a fused plan over column panels of the identity, assembling the
+/// full row-major unitary. Panels are independent; under the `parallel`
+/// feature they are chunked across the scoped-thread pool.
+fn unitary_from_plan(plan: &[FusedInst<'_>], n: usize, width: usize) -> Matrix {
+    let dim = 1usize << n;
+    assert!(
+        width.is_power_of_two() && width <= dim,
+        "panel width must be a power of two ≤ 2^n"
+    );
+    if width == dim {
+        // Single panel: stream in place over the identity, no copies.
+        let mut data = vec![C64::ZERO; dim * dim];
+        for i in 0..dim {
+            data[i * dim + i] = C64::ONE;
+        }
+        let mut engine = KernelEngine::new();
+        for fi in plan {
+            engine.apply_batched(&mut data, n, dim, &fi.op(), &fi.qubits);
+        }
+        return Matrix::from_vec(dim, dim, data);
+    }
+    let panels = dim / width;
+    let mut data = vec![C64::ZERO; dim * dim];
+    let out = SendPtr(data.as_mut_ptr());
+    let body = |panel_lo: usize, panel_hi: usize| {
+        // Per-executor engine and panel scratch, reused across its panels.
+        let mut engine = KernelEngine::new();
+        let mut scratch = vec![C64::ZERO; dim * width];
+        for p in panel_lo..panel_hi {
+            let col0 = p * width;
+            scratch.fill(C64::ZERO);
+            // Identity restricted to columns [col0, col0 + width).
+            for c in 0..width {
+                scratch[(col0 + c) * width + c] = C64::ONE;
+            }
+            for fi in plan {
+                engine.apply_batched(&mut scratch, n, width, &fi.op(), &fi.qubits);
+            }
+            // Scatter the panel into the output's column stripe. Executors
+            // own disjoint panels, hence disjoint column ranges.
+            for r in 0..dim {
+                // SAFETY: `out` outlives the loop (we hold `data` alive
+                // below) and stripes [r*dim + col0, +width) are disjoint
+                // across panels.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        scratch.as_ptr().add(r * width),
+                        out.add(r * dim + col0),
+                        width,
+                    );
+                }
+            }
+        }
+    };
+    run_panels(panels, body);
+    Matrix::from_vec(dim, dim, data)
+}
+
+/// A `Send + Sync` raw pointer wrapper for the panel scatter; executors
+/// write disjoint column stripes.
+#[derive(Copy, Clone)]
+struct SendPtr(*mut C64);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// Pointer to element `off`. Taking `self` by value makes closures
+    /// capture the whole wrapper (not the raw field), keeping them `Sync`.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`pointer::add`]; writes through the result must
+    /// target ranges disjoint from every other executor's.
+    unsafe fn add(self, off: usize) -> *mut C64 {
+        unsafe { self.0.add(off) }
+    }
+}
+
+/// Runs `body(lo, hi)` over panel chunks — through the pool's shared
+/// partition policy (`scoped_pool::run_chunked`, the same splitter the
+/// kernel loops use) when the `parallel` feature is on, inline otherwise.
+fn run_panels<F: Fn(usize, usize) + Sync>(panels: usize, body: F) {
+    #[cfg(feature = "parallel")]
+    scoped_pool::run_chunked(panels, body);
+    #[cfg(not(feature = "parallel"))]
+    body(0, panels);
+}
+
+/// Incrementally accumulates the unitary of a gate sequence on a small
+/// register — the engine-backed replacement for re-running
+/// [`circuit_unitary`] on a growing circuit. `ConsolidateBlocks` extends
+/// one of these gate-by-gate per candidate block (a 4×4 per 2q block)
+/// instead of re-walking the block per candidate.
+#[derive(Clone, Debug)]
+pub struct UnitaryAccumulator {
+    n: usize,
+    dim: usize,
+    data: Vec<C64>,
+    engine: KernelEngine,
+}
+
+impl UnitaryAccumulator {
+    /// A fresh accumulator holding the 2ⁿ×2ⁿ identity.
+    pub fn new(n: usize) -> Self {
+        let dim = 1usize << n;
+        let mut acc = UnitaryAccumulator {
+            n,
+            dim,
+            data: vec![C64::ZERO; dim * dim],
+            engine: KernelEngine::new(),
+        };
+        acc.reset();
+        acc
+    }
+
+    /// Restores the identity without reallocating.
+    pub fn reset(&mut self) {
+        self.data.fill(C64::ZERO);
+        for i in 0..self.dim {
+            self.data[i * self.dim + i] = C64::ONE;
+        }
+    }
+
+    /// Left-multiplies the accumulated unitary by `gate` on `qubits`
+    /// (local indices < n), i.e. appends the gate in circuit order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-unitary instructions or qubit-index errors.
+    pub fn push(&mut self, gate: &Gate, qubits: &[usize]) {
+        if gate.is_directive() {
+            return;
+        }
+        let op = gate
+            .kernel()
+            .unwrap_or_else(|| panic!("non-unitary instruction {gate} in UnitaryAccumulator"));
+        self.push_op(&op, qubits);
+    }
+
+    /// Appends a raw kernel op (see [`UnitaryAccumulator::push`]).
+    pub fn push_op(&mut self, op: &KernelOp<'_>, qubits: &[usize]) {
+        self.engine
+            .apply_batched(&mut self.data, self.n, self.dim, op, qubits);
+    }
+
+    /// The accumulated unitary so far.
+    pub fn matrix(&self) -> Matrix {
+        Matrix::from_vec(self.dim, self.dim, self.data.clone())
+    }
 }
 
 /// The original embed-then-matmul construction of a circuit's unitary:

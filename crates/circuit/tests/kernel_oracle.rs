@@ -8,7 +8,10 @@
 //! classification are both correct.
 
 use qc_circuit::testing::random_circuit;
-use qc_circuit::{circuit_unitary, circuit_unitary_reference, Circuit, Gate};
+use qc_circuit::unitary::circuit_unitary_with_panel_width;
+use qc_circuit::{
+    circuit_unitary, circuit_unitary_reference, circuit_unitary_unfused, Circuit, Gate,
+};
 
 #[test]
 fn random_circuits_match_reference_1_to_6_qubits() {
@@ -22,6 +25,63 @@ fn random_circuits_match_reference_1_to_6_qubits() {
                 "kernel/reference unitary mismatch on {n} qubits, seed {seed}"
             );
         }
+    }
+}
+
+#[test]
+fn unfused_streaming_matches_reference() {
+    // The per-gate streaming path must stay correct independently of the
+    // fusion planner — it is the mid-level oracle between `circuit_unitary`
+    // (fused, paneled) and the embed-then-matmul reference.
+    for n in 1..=5 {
+        for seed in 0..4u64 {
+            let c = random_circuit(n, 24, 7000 + seed * 100 + n as u64);
+            assert!(
+                circuit_unitary_unfused(&c).approx_eq(&circuit_unitary_reference(&c), 1e-9),
+                "unfused/reference mismatch on {n} qubits, seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn panel_decomposition_is_exact_at_any_width() {
+    // Panel streaming must reproduce the single-panel result *bit for bit*:
+    // each column's trajectory is the same arithmetic whether or not its
+    // panel is processed alongside others.
+    for n in 3..=5usize {
+        let c = random_circuit(n, 30, 40 + n as u64);
+        let whole = circuit_unitary_with_panel_width(&c, 1 << n);
+        let mut width = 2usize;
+        while width < (1 << n) {
+            let paneled = circuit_unitary_with_panel_width(&c, width);
+            assert!(
+                whole == paneled,
+                "panel width {width} changed bits on {n} qubits"
+            );
+            width <<= 1;
+        }
+    }
+}
+
+#[test]
+#[cfg(feature = "parallel")]
+fn parallel_panels_are_bit_identical_at_every_thread_count() {
+    // 8 panels of width 32 on an 8-qubit circuit: the panel fan-out is the
+    // parallel surface here (the panels are too small for the kernels'
+    // inner splitting to engage).
+    let c = random_circuit(8, 60, 2026);
+    let max_t = qc_math::max_threads().max(2);
+    qc_math::set_max_threads(Some(1));
+    let sequential = circuit_unitary_with_panel_width(&c, 32);
+    for threads in [2, max_t] {
+        qc_math::set_max_threads(Some(threads));
+        let parallel = circuit_unitary_with_panel_width(&c, 32);
+        qc_math::set_max_threads(None);
+        assert!(
+            sequential == parallel,
+            "thread count {threads} changed circuit_unitary bits"
+        );
     }
 }
 

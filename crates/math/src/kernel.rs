@@ -34,15 +34,53 @@
 //! circuit-unitary construction an order of magnitude faster than
 //! embed-then-matmul.
 //!
-//! [`KernelEngine`] owns the scratch buffers (gather buffer, offset tables)
-//! so that applying a long gate sequence performs no per-gate heap
-//! allocation beyond scratch growth on the first use of each arity.
+//! # Parallel execution
+//!
+//! Every kernel's base-index (or row-block) loop is written as a *range
+//! body* — a closure over a sub-range of independent work units. Under the
+//! `parallel` cargo feature, a kernel pass that *touches* at least
+//! [`PAR_MIN_ELEMS`] scalars has its range split across the vendored
+//! scoped-thread pool (`scoped_pool`); passes touching less (including
+//! structured ops like a CZ that scale only a quarter of a large buffer),
+//! single-thread configurations, and builds without the feature run the
+//! identical body over the full range on the calling thread. Because each work unit touches a disjoint index set
+//! and performs the same arithmetic in the same order regardless of the
+//! split, **results are bit-identical at every thread count**. The thread
+//! count is `RPO_THREADS` (else the machine's available parallelism),
+//! overridable at runtime with [`set_max_threads`].
+//!
+//! [`KernelEngine`] owns the offset/mask tables so that applying a long
+//! gate sequence performs no per-gate heap allocation beyond table growth
+//! on the first use of each arity; dense/permutation gather scratch lives
+//! on the stack for blocks up to 64 scalars (every 1–3 qubit gate in
+//! batched panels up to that width) and in a per-call (per-executor)
+//! allocation above that.
 //!
 //! Qubit ordering matches the rest of the workspace: little-endian, with
 //! `qubits[0]` the gate's least-significant local bit.
 
 use crate::complex::C64;
 use crate::matrix::Matrix;
+
+#[cfg(feature = "parallel")]
+pub use scoped_pool::{default_threads, max_threads, set_max_threads};
+
+/// Buffers smaller than this many scalars never fan out to the thread pool:
+/// below ~1 MiB the split/merge latency exceeds the memory-bound sweep.
+pub const PAR_MIN_ELEMS: usize = 1 << 16;
+
+/// The number of executors kernel loops may fan out to: `max_threads()`
+/// under the `parallel` feature, 1 otherwise.
+pub fn kernel_threads() -> usize {
+    #[cfg(feature = "parallel")]
+    {
+        max_threads()
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        1
+    }
+}
 
 /// A gate's action in *local* (gate-qubit) terms, classified for kernel
 /// dispatch. Obtained from `qc_circuit::Gate::kernel()`; constructing one
@@ -104,13 +142,73 @@ pub fn expand_bits(base: usize, sorted_masks: &[usize]) -> usize {
     x
 }
 
-/// Reusable engine applying [`KernelOp`]s in place. Holds all scratch
-/// storage (offset tables, gather rows) so a gate sequence runs
-/// allocation-free after warm-up.
+/// A raw shared view of a kernel buffer, passed into range bodies so that
+/// statically partitioned executors can address disjoint rows without
+/// slicing through a single `&mut`.
+///
+/// # Safety contract
+///
+/// [`BufPtr::span`] hands out `&mut` sub-slices; callers must guarantee that
+/// concurrently live spans never overlap. Every kernel satisfies this
+/// structurally: work units own disjoint row-index sets (distinct base
+/// indices expand to distinct rows), and units are partitioned across
+/// executors without overlap.
+#[derive(Copy, Clone)]
+struct BufPtr {
+    ptr: *mut C64,
+    len: usize,
+}
+
+// SAFETY: see the struct-level contract; disjointness is the caller's
+// obligation and is upheld by every kernel body in this module.
+unsafe impl Send for BufPtr {}
+unsafe impl Sync for BufPtr {}
+
+impl BufPtr {
+    fn of(buf: &mut [C64]) -> BufPtr {
+        BufPtr {
+            ptr: buf.as_mut_ptr(),
+            len: buf.len(),
+        }
+    }
+
+    /// A mutable view of elements `[start, start + len)`.
+    ///
+    /// # Safety
+    ///
+    /// The range must be in bounds and not overlap any other span that is
+    /// live at the same time (on this or any other executor).
+    #[inline]
+    #[allow(clippy::mut_from_ref)] // the aliasing discipline is the type's documented contract
+    unsafe fn span<'a>(&self, start: usize, len: usize) -> &'a mut [C64] {
+        debug_assert!(start + len <= self.len);
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), len) }
+    }
+}
+
+/// Runs `body(lo, hi)` over the unit range `0..units`, splitting it into
+/// contiguous chunks across the scoped-thread pool when the `parallel`
+/// feature is enabled, more than one executor is configured, and the kernel
+/// touches at least [`PAR_MIN_ELEMS`] scalars (`total_elems`). Otherwise the
+/// body runs once over the full range on the calling thread.
+///
+/// Bodies must make each unit's work element-wise independent of the split
+/// so results are bit-identical at every thread count.
+#[inline]
+fn par_units<F: Fn(usize, usize) + Sync>(units: usize, total_elems: usize, body: F) {
+    #[cfg(feature = "parallel")]
+    if total_elems >= PAR_MIN_ELEMS {
+        return scoped_pool::run_chunked(units, body);
+    }
+    let _ = total_elems;
+    body(0, units)
+}
+
+/// Reusable engine applying [`KernelOp`]s in place. Holds the offset/mask
+/// tables so a gate sequence rebuilds no per-gate index structures beyond
+/// table growth on the first use of each arity.
 #[derive(Clone, Debug, Default)]
 pub struct KernelEngine {
-    /// Gather buffer for the dense/permutation paths (2ᵏ rows).
-    scratch: Vec<C64>,
     /// Per-local-state index offsets for the current qubit set (2ᵏ entries).
     offsets: Vec<usize>,
     /// Sorted single-bit masks of the current qubit set (k entries).
@@ -118,7 +216,7 @@ pub struct KernelEngine {
 }
 
 impl KernelEngine {
-    /// A fresh engine with empty scratch buffers.
+    /// A fresh engine with empty tables.
     pub fn new() -> Self {
         Self::default()
     }
@@ -176,74 +274,114 @@ impl KernelEngine {
             KernelOp::PhaseAllOnes(phase) => {
                 assert!(!qubits.is_empty(), "PhaseAllOnes takes at least one qubit");
                 self.set_masks(qubits);
+                let masks = self.masks.as_slice();
                 let full_mask: usize = qubits.iter().map(|&q| 1usize << q).sum();
                 let nk = dim >> qubits.len();
-                for b in 0..nk {
-                    let i = expand_bits(b, &self.masks) | full_mask;
-                    scale_row(&mut buf[i * row_len..(i + 1) * row_len], *phase);
-                }
+                let phase = *phase;
+                let bp = BufPtr::of(buf);
+                par_units(nk, nk * row_len, move |lo, hi| {
+                    for b in lo..hi {
+                        let i = expand_bits(b, masks) | full_mask;
+                        // SAFETY: distinct b → distinct i; rows are disjoint.
+                        scale_row(unsafe { bp.span(i * row_len, row_len) }, phase);
+                    }
+                });
             }
             KernelOp::ControlledX => {
                 assert!(!qubits.is_empty(), "ControlledX takes at least one qubit");
                 self.set_masks(qubits);
+                let masks = self.masks.as_slice();
                 let (&target, controls) = qubits.split_last().expect("nonempty");
                 let ctrl_mask: usize = controls.iter().map(|&q| 1usize << q).sum();
                 let tmask = 1usize << target;
                 let nk = dim >> qubits.len();
-                for b in 0..nk {
-                    let i = expand_bits(b, &self.masks) | ctrl_mask;
-                    swap_rows(buf, row_len, i, i | tmask);
-                }
+                let bp = BufPtr::of(buf);
+                par_units(nk, 2 * nk * row_len, move |lo, hi| {
+                    for b in lo..hi {
+                        let i = expand_bits(b, masks) | ctrl_mask;
+                        let j = i | tmask;
+                        // SAFETY: i ≠ j and distinct b give disjoint rows.
+                        unsafe {
+                            bp.span(i * row_len, row_len)
+                                .swap_with_slice(bp.span(j * row_len, row_len));
+                        }
+                    }
+                });
             }
             KernelOp::Swap => {
                 assert_eq!(qubits.len(), 2, "Swap takes two qubits");
                 self.set_masks(qubits);
+                let masks = self.masks.as_slice();
                 let (ma, mb) = (1usize << qubits[0], 1usize << qubits[1]);
                 let nk = dim >> 2;
-                for b in 0..nk {
-                    let base = expand_bits(b, &self.masks);
-                    swap_rows(buf, row_len, base | ma, base | mb);
-                }
+                let bp = BufPtr::of(buf);
+                par_units(nk, 2 * nk * row_len, move |lo, hi| {
+                    for b in lo..hi {
+                        let base = expand_bits(b, masks);
+                        let (i, j) = (base | ma, base | mb);
+                        // SAFETY: i ≠ j and distinct bases give disjoint rows.
+                        unsafe {
+                            bp.span(i * row_len, row_len)
+                                .swap_with_slice(bp.span(j * row_len, row_len));
+                        }
+                    }
+                });
             }
             KernelOp::Permutation(perm) => {
                 let k = qubits.len();
                 assert_eq!(perm.len(), 1 << k, "permutation arity mismatch");
                 assert!(perm.len() <= 64, "permutation too large");
                 self.set_offsets(qubits);
+                let masks = self.masks.as_slice();
+                let offsets = self.offsets.as_slice();
                 // Inverse permutation for cycle-following moves.
                 let mut inv = [0usize; 64];
                 for (l, &p) in perm.iter().enumerate() {
                     inv[p] = l;
                 }
-                self.scratch.resize(row_len, C64::ZERO);
                 let nk = dim >> k;
-                for b in 0..nk {
-                    let base = expand_bits(b, &self.masks);
-                    // Apply each cycle with a single temporary row: fixed
-                    // points (e.g. 6 of 8 states of a Fredkin) cost nothing.
-                    let mut visited = 0u64;
-                    for start in 0..perm.len() {
-                        if visited & (1 << start) != 0 || perm[start] == start {
-                            continue;
-                        }
-                        let row_of = |l: usize| (base + self.offsets[l]) * row_len;
-                        self.scratch
-                            .copy_from_slice(&buf[row_of(start)..row_of(start) + row_len]);
-                        visited |= 1 << start;
-                        let mut cur = start;
-                        loop {
-                            let prev = inv[cur];
-                            visited |= 1 << prev;
-                            if prev == start {
-                                buf[row_of(cur)..row_of(cur) + row_len]
-                                    .copy_from_slice(&self.scratch);
-                                break;
+                let bp = BufPtr::of(buf);
+                par_units(nk, dim * row_len, move |lo, hi| {
+                    // One temporary row per executor: fixed points (e.g. 6 of
+                    // 8 states of a Fredkin) cost nothing.
+                    let mut stack = [C64::ZERO; 64];
+                    let mut heap;
+                    let tmp: &mut [C64] = if row_len <= stack.len() {
+                        &mut stack[..row_len]
+                    } else {
+                        heap = vec![C64::ZERO; row_len];
+                        heap.as_mut_slice()
+                    };
+                    for b in lo..hi {
+                        let base = expand_bits(b, masks);
+                        let mut visited = 0u64;
+                        for start in 0..perm.len() {
+                            if visited & (1 << start) != 0 || perm[start] == start {
+                                continue;
                             }
-                            copy_row(buf, row_len, row_of(prev), row_of(cur));
-                            cur = prev;
+                            let row_of = |l: usize| (base + offsets[l]) * row_len;
+                            // SAFETY: all rows touched by this cycle belong
+                            // to base group b, owned by this executor, and
+                            // the cycle visits each row once.
+                            unsafe {
+                                tmp.copy_from_slice(bp.span(row_of(start), row_len));
+                                visited |= 1 << start;
+                                let mut cur = start;
+                                loop {
+                                    let prev = inv[cur];
+                                    visited |= 1 << prev;
+                                    if prev == start {
+                                        bp.span(row_of(cur), row_len).copy_from_slice(tmp);
+                                        break;
+                                    }
+                                    bp.span(row_of(cur), row_len)
+                                        .copy_from_slice(bp.span(row_of(prev), row_len));
+                                    cur = prev;
+                                }
+                            }
                         }
                     }
-                }
+                });
             }
             KernelOp::Dense(m) => self.apply_dense_batched(buf, n, row_len, m, qubits),
         }
@@ -291,56 +429,83 @@ impl KernelEngine {
             apply_1q(buf, row_len, qubits[0], &m2);
             return;
         }
+        if k == 2 {
+            // Register-kernel specialization for the gate-fusion hot path:
+            // the four participating rows are mixed element-wise in one
+            // sweep, with no gather/scatter copies at all.
+            let mut m4 = [C64::ZERO; 16];
+            for (i, v) in m4.iter_mut().enumerate() {
+                *v = m[(i >> 2, i & 3)];
+            }
+            apply_dense_2q(buf, row_len, qubits[0], qubits[1], &m4);
+            return;
+        }
         self.set_offsets(qubits);
+        let masks = self.masks.as_slice();
+        let offsets = self.offsets.as_slice();
         let side = 1usize << k;
         let mat = m.as_slice();
         let nk = dim >> k;
-        if row_len == 1 {
-            // State-vector path: gather 2ᵏ scalars, dense multiply, scatter.
-            self.scratch.resize(side, C64::ZERO);
-            for b in 0..nk {
-                let base = expand_bits(b, &self.masks);
-                for (l, &off) in self.offsets.iter().enumerate() {
-                    self.scratch[l] = buf[base + off];
-                }
-                for (row, &off) in self.offsets.iter().enumerate() {
-                    let mrow = &mat[row * side..(row + 1) * side];
-                    let mut acc = C64::ZERO;
-                    for (col, &s) in self.scratch.iter().enumerate() {
-                        acc += mrow[col] * s;
+        let bp = BufPtr::of(buf);
+        par_units(nk, dim * row_len, move |lo, hi| {
+            // Gather scratch, one block per executor: on the stack for
+            // blocks up to 64 scalars, else a per-call allocation.
+            let mut stack = [C64::ZERO; 64];
+            let mut heap;
+            let scratch: &mut [C64] = if side * row_len <= stack.len() {
+                &mut stack[..side * row_len]
+            } else {
+                heap = vec![C64::ZERO; side * row_len];
+                heap.as_mut_slice()
+            };
+            if row_len == 1 {
+                // State-vector path: gather 2ᵏ scalars, dense multiply,
+                // scatter.
+                for b in lo..hi {
+                    let base = expand_bits(b, masks);
+                    // SAFETY: base group b's rows are owned by this executor.
+                    unsafe {
+                        for (l, &off) in offsets.iter().enumerate() {
+                            scratch[l] = *bp.ptr.add(base + off);
+                        }
+                        for (row, &off) in offsets.iter().enumerate() {
+                            let mrow = &mat[row * side..(row + 1) * side];
+                            let mut acc = C64::ZERO;
+                            for (col, &s) in scratch.iter().enumerate() {
+                                acc += mrow[col] * s;
+                            }
+                            *bp.ptr.add(base + off) = acc;
+                        }
                     }
-                    buf[base + off] = acc;
                 }
+                return;
             }
-            return;
-        }
-        self.scratch.resize(side * row_len, C64::ZERO);
-        for b in 0..nk {
-            let base = expand_bits(b, &self.masks);
-            // Gather the 2ᵏ participating rows.
-            for (l, &off) in self.offsets.iter().enumerate() {
-                let row = (base + off) * row_len;
-                self.scratch[l * row_len..(l + 1) * row_len]
-                    .copy_from_slice(&buf[row..row + row_len]);
-            }
-            // Each output row is a coefficient combination of the gathered
-            // rows: contiguous axpy passes.
-            for (row, &off) in self.offsets.iter().enumerate() {
-                let dst = &mut buf[(base + off) * row_len..(base + off + 1) * row_len];
-                let mrow = &mat[row * side..(row + 1) * side];
-                dst.fill(C64::ZERO);
-                for (col, &coeff) in mrow.iter().enumerate() {
-                    if coeff == C64::ZERO {
-                        continue;
+            for b in lo..hi {
+                let base = expand_bits(b, masks);
+                // SAFETY: base group b's rows are owned by this executor and
+                // distinct offsets address distinct rows.
+                unsafe {
+                    // Gather the 2ᵏ participating rows.
+                    for (l, &off) in offsets.iter().enumerate() {
+                        scratch[l * row_len..(l + 1) * row_len]
+                            .copy_from_slice(bp.span((base + off) * row_len, row_len));
                     }
-                    axpy(
-                        dst,
-                        &self.scratch[col * row_len..(col + 1) * row_len],
-                        coeff,
-                    );
+                    // Each output row is a coefficient combination of the
+                    // gathered rows: contiguous axpy passes.
+                    for (row, &off) in offsets.iter().enumerate() {
+                        let dst = bp.span((base + off) * row_len, row_len);
+                        let mrow = &mat[row * side..(row + 1) * side];
+                        dst.fill(C64::ZERO);
+                        for (col, &coeff) in mrow.iter().enumerate() {
+                            if coeff == C64::ZERO {
+                                continue;
+                            }
+                            axpy(dst, &scratch[col * row_len..(col + 1) * row_len], coeff);
+                        }
+                    }
                 }
             }
-        }
+        });
     }
 
     /// Rebuilds `self.masks` (sorted single-bit masks) for `qubits`.
@@ -451,32 +616,9 @@ fn axpy_inner(dst: &mut [C64], src: &[C64], coeff: C64) {
 simd_dispatch!(axpy => axpy_inner / axpy_avx2 / axpy_avx512,
     fn(dst: &mut [C64], src: &[C64], coeff: C64));
 
-/// Copies `row_len` elements from element-offset `src` to element-offset
-/// `dst` (disjoint by construction).
-#[inline]
-fn copy_row(buf: &mut [C64], row_len: usize, src: usize, dst: usize) {
-    debug_assert_ne!(src, dst);
-    let (lo, hi) = buf.split_at_mut(src.max(dst));
-    if src < dst {
-        hi[..row_len].copy_from_slice(&lo[src..src + row_len]);
-    } else {
-        lo[dst..dst + row_len].copy_from_slice(&hi[..row_len]);
-    }
-}
-
-/// Swaps rows `i` and `j` (disjoint by construction).
-#[inline]
-fn swap_rows(buf: &mut [C64], row_len: usize, i: usize, j: usize) {
-    if row_len == 1 {
-        buf.swap(i, j);
-        return;
-    }
-    let (lo, hi) = (i.min(j), i.max(j));
-    let (a, b) = buf.split_at_mut(hi * row_len);
-    a[lo * row_len..(lo + 1) * row_len].swap_with_slice(&mut b[..row_len]);
-}
-
-/// Element-wise 2×2 mix of two equal-length rows.
+/// Element-wise 2×2 mix of two equal-length runs: `x ← a·x + b·y`,
+/// `y ← c·x + d·y`. Serves both state vectors (runs of scalars) and batched
+/// rows (runs of whole rows) — the runs are contiguous either way.
 #[inline(always)]
 fn mix_rows_inner(ri: &mut [C64], rj: &mut [C64], m: &[C64; 4]) {
     let [a, b, c, d] = *m;
@@ -489,75 +631,100 @@ fn mix_rows_inner(ri: &mut [C64], rj: &mut [C64], m: &[C64; 4]) {
 simd_dispatch!(mix_rows => mix_rows_inner / mix_rows_avx2 / mix_rows_avx512,
     fn(ri: &mut [C64], rj: &mut [C64], m: &[C64; 4]));
 
-/// Scalar (state-vector) block of the dense 2×2 kernel: mixes the
-/// interleaved pairs `(i, i + step)` for `i ∈ [base, base + step)`.
+/// Element-wise 4×4 mix of four equal-length runs (the dense two-qubit
+/// kernel's inner loop): `rₗ ← Σ_c m[l][c]·r_c` per element. One read and
+/// one write per element — no gather scratch.
 #[inline(always)]
-fn mix_pairs_scalar_inner(block: &mut [C64], step: usize, m: &[C64; 4]) {
-    let [a, b, c, d] = *m;
-    let (xs, ys) = block.split_at_mut(step);
-    for (x, y) in xs.iter_mut().zip(ys.iter_mut()) {
-        let (xv, yv) = (*x, *y);
-        *x = a * xv + b * yv;
-        *y = c * xv + d * yv;
+fn mix_rows4_inner(r0: &mut [C64], r1: &mut [C64], r2: &mut [C64], r3: &mut [C64], m: &[C64; 16]) {
+    for (((x0, x1), x2), x3) in r0.iter_mut().zip(r1).zip(r2).zip(r3) {
+        let v = [*x0, *x1, *x2, *x3];
+        *x0 = m[0] * v[0] + m[1] * v[1] + m[2] * v[2] + m[3] * v[3];
+        *x1 = m[4] * v[0] + m[5] * v[1] + m[6] * v[2] + m[7] * v[3];
+        *x2 = m[8] * v[0] + m[9] * v[1] + m[10] * v[2] + m[11] * v[3];
+        *x3 = m[12] * v[0] + m[13] * v[1] + m[14] * v[2] + m[15] * v[3];
     }
 }
-simd_dispatch!(mix_pairs_scalar => mix_pairs_scalar_inner / mix_pairs_scalar_avx2 / mix_pairs_scalar_avx512,
-    fn(block: &mut [C64], step: usize, m: &[C64; 4]));
+simd_dispatch!(mix_rows4 => mix_rows4_inner / mix_rows4_avx2 / mix_rows4_avx512,
+    fn(r0: &mut [C64], r1: &mut [C64], r2: &mut [C64], r3: &mut [C64], m: &[C64; 16]));
 
-/// Mixes row pair `(i, j)` by `[[a, b], [c, d]]`, element-wise over the rows.
+/// Walks pair indices `[lo, hi)` for target qubit `q`, emitting each maximal
+/// contiguous run as `(x_start_elem, run_elems)` where the paired y-run
+/// begins `2^q · row_len` elements later. Pair index `p = b·2^q + o` maps to
+/// row `i = b·2^{q+1} + o` with partner `i + 2^q`.
 #[inline]
-fn mix_row_pair(buf: &mut [C64], row_len: usize, i: usize, j: usize, m: &[C64; 4]) {
-    debug_assert!(i < j);
-    let (lo, hi) = buf.split_at_mut(j * row_len);
-    mix_rows(
-        &mut lo[i * row_len..(i + 1) * row_len],
-        &mut hi[..row_len],
-        m,
-    );
+fn for_each_pair_run(
+    lo: usize,
+    hi: usize,
+    q: usize,
+    row_len: usize,
+    mut f: impl FnMut(usize, usize),
+) {
+    let step = 1usize << q;
+    let mut p = lo;
+    while p < hi {
+        let o = p & (step - 1);
+        let span = (step - o).min(hi - p);
+        let block = p >> q;
+        let x_start = ((block << (q + 1)) + o) * row_len;
+        f(x_start, span * row_len);
+        p += span;
+    }
 }
 
 /// Dense 2×2 kernel: for every index pair `(i, i | 2^q)`, left-multiplies by
-/// `[[a, b], [c, d]]`. Branch-free block/offset enumeration; a scalar fast
-/// path serves state vectors (`row_len == 1`).
+/// `[[a, b], [c, d]]`. Pairs are enumerated as contiguous runs (branch-free
+/// block/offset walk), so every mix is one element-wise pass over two
+/// equal-length contiguous regions — scalar state vectors and batched rows
+/// share the same body.
 fn apply_1q(buf: &mut [C64], row_len: usize, q: usize, m: &[C64; 4]) {
     let step = 1usize << q;
-    if row_len == 1 {
-        for block in buf.chunks_exact_mut(step << 1) {
-            mix_pairs_scalar(block, step, m);
-        }
-        return;
-    }
     let dim = buf.len() / row_len;
-    let mut base = 0;
-    while base < dim {
-        for i in base..base + step {
-            mix_row_pair(buf, row_len, i, i + step, m);
-        }
-        base += step << 1;
-    }
+    let pairs = dim >> 1;
+    let total = buf.len();
+    let bp = BufPtr::of(buf);
+    par_units(pairs, total, move |lo, hi| {
+        for_each_pair_run(lo, hi, q, row_len, |x_start, run| {
+            // SAFETY: x-run and y-run are disjoint (offset < 2^q) and each
+            // pair index belongs to exactly one executor.
+            unsafe {
+                mix_rows(
+                    bp.span(x_start, run),
+                    bp.span(x_start + step * row_len, run),
+                    m,
+                );
+            }
+        });
+    });
 }
 
 /// Diagonal 1-qubit kernel: multiplies the `bit q = 0` half-runs by `d0` and
 /// the `bit q = 1` half-runs by `d1`, skipping unit factors entirely. Runs
 /// of consecutive rows are contiguous memory regardless of `row_len`.
 fn apply_1q_diag(buf: &mut [C64], row_len: usize, q: usize, d: &[C64; 2]) {
-    let run = (1usize << q) * row_len;
+    let step = 1usize << q;
     let [d0, d1] = *d;
     let scale0 = d0 != C64::ONE;
     let scale1 = d1 != C64::ONE;
     if !scale0 && !scale1 {
         return;
     }
-    let mut base = 0;
-    while base < buf.len() {
-        if scale0 {
-            scale_row(&mut buf[base..base + run], d0);
-        }
-        if scale1 {
-            scale_row(&mut buf[base + run..base + 2 * run], d1);
-        }
-        base += run << 1;
-    }
+    let dim = buf.len() / row_len;
+    let pairs = dim >> 1;
+    let total = buf.len();
+    let bp = BufPtr::of(buf);
+    par_units(pairs, total, move |lo, hi| {
+        for_each_pair_run(lo, hi, q, row_len, |x_start, run| {
+            // SAFETY: disjoint runs, one executor per pair index.
+            unsafe {
+                if scale0 {
+                    scale_row(bp.span(x_start, run), d0);
+                }
+                if scale1 {
+                    scale_row(bp.span(x_start + step * row_len, run), d1);
+                }
+            }
+        });
+    });
 }
 
 /// Controlled-2×2 kernel: applies `[[a, b], [c, d]]` to the target pair on
@@ -578,22 +745,92 @@ fn apply_controlled_1q(
     };
     let dim = buf.len() / row_len;
     let nk = dim >> 2;
-    if row_len == 1 {
-        let [a, b, c, d] = *u;
-        for bidx in 0..nk {
+    let total = buf.len() / 2;
+    let bp = BufPtr::of(buf);
+    let u = *u;
+    par_units(nk, total, move |lo, hi| {
+        if row_len == 1 {
+            let [a, b, c, d] = u;
+            for bidx in lo..hi {
+                let i = expand_bits(bidx, &masks) | cmask;
+                let j = i | tmask;
+                // SAFETY: i ≠ j; distinct base indices are disjoint.
+                unsafe {
+                    let x = *bp.ptr.add(i);
+                    let y = *bp.ptr.add(j);
+                    *bp.ptr.add(i) = a * x + b * y;
+                    *bp.ptr.add(j) = c * x + d * y;
+                }
+            }
+            return;
+        }
+        for bidx in lo..hi {
             let i = expand_bits(bidx, &masks) | cmask;
             let j = i | tmask;
-            let x = buf[i];
-            let y = buf[j];
-            buf[i] = a * x + b * y;
-            buf[j] = c * x + d * y;
+            // SAFETY: i ≠ j; distinct base indices are disjoint.
+            unsafe {
+                mix_rows(
+                    bp.span(i * row_len, row_len),
+                    bp.span(j * row_len, row_len),
+                    &u,
+                );
+            }
         }
-        return;
-    }
-    for bidx in 0..nk {
-        let i = expand_bits(bidx, &masks) | cmask;
-        mix_row_pair(buf, row_len, i, i | tmask, u);
-    }
+    });
+}
+
+/// Dense two-qubit kernel: left-multiplies every base-index quadruple
+/// `(i, i|2^a, i|2^b, i|2^a|2^b)` by a row-major 4×4 (local index = bit b
+/// ·2 + bit a). The rows are mixed element-wise in place ([`mix_rows4`]);
+/// unlike the general gather path this touches each element exactly once
+/// per read and write, which is what the fused 1q→2q blocks ride on.
+fn apply_dense_2q(buf: &mut [C64], row_len: usize, qa: usize, qb: usize, m: &[C64; 16]) {
+    let ma = 1usize << qa;
+    let mb = 1usize << qb;
+    let masks = if ma < mb { [ma, mb] } else { [mb, ma] };
+    let dim = buf.len() / row_len;
+    let nk = dim >> 2;
+    let total = buf.len();
+    let bp = BufPtr::of(buf);
+    let m = *m;
+    par_units(nk, total, move |lo, hi| {
+        if row_len == 1 {
+            for bidx in lo..hi {
+                let base = expand_bits(bidx, &masks);
+                // SAFETY: the four indices are distinct and distinct base
+                // indices give disjoint quadruples.
+                unsafe {
+                    let v = [
+                        *bp.ptr.add(base),
+                        *bp.ptr.add(base | ma),
+                        *bp.ptr.add(base | mb),
+                        *bp.ptr.add(base | ma | mb),
+                    ];
+                    *bp.ptr.add(base) = m[0] * v[0] + m[1] * v[1] + m[2] * v[2] + m[3] * v[3];
+                    *bp.ptr.add(base | ma) = m[4] * v[0] + m[5] * v[1] + m[6] * v[2] + m[7] * v[3];
+                    *bp.ptr.add(base | mb) =
+                        m[8] * v[0] + m[9] * v[1] + m[10] * v[2] + m[11] * v[3];
+                    *bp.ptr.add(base | ma | mb) =
+                        m[12] * v[0] + m[13] * v[1] + m[14] * v[2] + m[15] * v[3];
+                }
+            }
+            return;
+        }
+        for bidx in lo..hi {
+            let base = expand_bits(bidx, &masks);
+            // SAFETY: the four rows are distinct and distinct base indices
+            // give disjoint quadruples.
+            unsafe {
+                mix_rows4(
+                    bp.span(base * row_len, row_len),
+                    bp.span((base | ma) * row_len, row_len),
+                    bp.span((base | mb) * row_len, row_len),
+                    bp.span((base | ma | mb) * row_len, row_len),
+                    &m,
+                );
+            }
+        }
+    });
 }
 
 #[cfg(test)]
@@ -697,6 +934,24 @@ mod tests {
         assert!((hv[0] - (v[0] + v[1]).scale(r)).norm() < 1e-15);
         let hh = mul_2x2(&h, &h);
         assert!((hh[0] - C64::ONE).norm() < 1e-12 && hh[1].norm() < 1e-12);
+    }
+
+    #[test]
+    fn pair_run_walk_covers_every_pair_once() {
+        // For q=1, row_len=1, pairs 0..6 split at an unaligned boundary.
+        let mut seen = Vec::new();
+        for (lo, hi) in [(0, 3), (3, 6)] {
+            for_each_pair_run(lo, hi, 1, 1, |start, run| {
+                for e in 0..run {
+                    seen.push(start + e);
+                }
+            });
+        }
+        // Pair p = b*2 + o ↦ x index b*4 + o: pairs 0..6 → x rows.
+        let mut expect: Vec<usize> = (0..6).map(|p| ((p >> 1) << 2) + (p & 1)).collect();
+        seen.sort_unstable();
+        expect.sort_unstable();
+        assert_eq!(seen, expect);
     }
 
     #[test]
@@ -848,6 +1103,68 @@ mod tests {
             let expect = apply_via_embed(&mm, &[1], &unit);
             let got: Vec<C64> = (0..dim).map(|r| buf[r * dim + col]).collect();
             assert_close(&got, &expect);
+        }
+    }
+
+    /// Applies a fixed op sequence to a buffer large enough to engage the
+    /// pool (2¹⁷ scalars ≥ PAR_MIN_ELEMS) and returns the result.
+    #[cfg(feature = "parallel")]
+    fn parallel_workload(n: usize, row_len: usize) -> Vec<C64> {
+        let dim = 1usize << n;
+        let mut buf: Vec<C64> = (0..dim * row_len)
+            .map(|i| C64::new((i % 97) as f64 - 48.0, (i % 89) as f64 / 7.0))
+            .collect();
+        let mut eng = KernelEngine::new();
+        let dense = Matrix::from_fn(4, 4, |i, j| {
+            C64::new((i + 2 * j) as f64 - 3.0, 0.25 * i as f64)
+        });
+        eng.apply_batched(&mut buf, n, row_len, &KernelOp::OneQ(h2()), &[0]);
+        eng.apply_batched(&mut buf, n, row_len, &KernelOp::OneQ(h2()), &[n - 1]);
+        eng.apply_batched(
+            &mut buf,
+            n,
+            row_len,
+            &KernelOp::OneQDiag([C64::ONE, C64::cis(0.3)]),
+            &[2],
+        );
+        eng.apply_batched(&mut buf, n, row_len, &KernelOp::ControlledX, &[1, n - 2]);
+        eng.apply_batched(
+            &mut buf,
+            n,
+            row_len,
+            &KernelOp::ControlledOneQ([C64::ONE, C64::ZERO, C64::ZERO, C64::cis(1.2)]),
+            &[n - 1, 0],
+        );
+        eng.apply_batched(
+            &mut buf,
+            n,
+            row_len,
+            &KernelOp::PhaseAllOnes(C64::cis(0.9)),
+            &[3, n - 3],
+        );
+        eng.apply_batched(&mut buf, n, row_len, &KernelOp::Swap, &[0, n - 1]);
+        static PERM: [usize; 4] = [0, 3, 1, 2];
+        eng.apply_batched(&mut buf, n, row_len, &KernelOp::Permutation(&PERM), &[1, 4]);
+        eng.apply_batched(&mut buf, n, row_len, &KernelOp::Dense(&dense), &[n - 2, 2]);
+        buf
+    }
+
+    #[test]
+    #[cfg(feature = "parallel")]
+    fn parallel_is_bit_identical_at_every_thread_count() {
+        // 2¹⁷ scalars in both layouts: state vector and batched rows.
+        for (n, row_len) in [(17, 1), (11, 64)] {
+            set_max_threads(Some(1));
+            let sequential = parallel_workload(n, row_len);
+            for threads in [2, scoped_pool::Pool::global().capacity()] {
+                set_max_threads(Some(threads));
+                let parallel = parallel_workload(n, row_len);
+                set_max_threads(None);
+                assert!(
+                    sequential == parallel,
+                    "thread count {threads} changed bits (n={n}, row_len={row_len})"
+                );
+            }
         }
     }
 }

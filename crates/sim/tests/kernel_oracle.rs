@@ -85,3 +85,46 @@ fn norm_is_preserved_over_long_random_circuits() {
         assert!((norm - 1.0).abs() < 1e-9, "norm drifted: {norm}");
     }
 }
+
+#[test]
+fn fused_run_matches_per_gate_application() {
+    // `from_circuit` goes through the fusion planner; applying the same
+    // instructions one gate at a time bypasses it entirely.
+    for n in 1..=6 {
+        for seed in 0..6u64 {
+            let c = random_circuit(n, 40, 4000 + seed * 19 + n as u64);
+            let fused = Statevector::from_circuit(&c);
+            let mut unfused = Statevector::zero_state(n);
+            for inst in c.instructions() {
+                unfused.apply_gate(&inst.gate, &inst.qubits);
+            }
+            for (a, b) in fused.amplitudes().iter().zip(unfused.amplitudes()) {
+                assert!(
+                    (*a - *b).norm() < 1e-9,
+                    "fusion changed the state on {n} qubits, seed {seed}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+#[cfg(feature = "parallel")]
+fn parallel_simulation_is_bit_identical_at_every_thread_count() {
+    // 2¹⁷ amplitudes ≥ the kernels' parallel threshold, so the base-index
+    // loops genuinely split. Identical RNG seeding makes runs comparable
+    // bit for bit.
+    let c = random_circuit(17, 24, 99);
+    let max_t = qc_math::max_threads().max(2);
+    qc_math::set_max_threads(Some(1));
+    let sequential = Statevector::from_circuit(&c);
+    for threads in [2, max_t] {
+        qc_math::set_max_threads(Some(threads));
+        let parallel = Statevector::from_circuit(&c);
+        qc_math::set_max_threads(None);
+        assert!(
+            sequential.amplitudes() == parallel.amplitudes(),
+            "thread count {threads} changed simulation bits"
+        );
+    }
+}

@@ -9,7 +9,7 @@
 //! is the *strict* peephole optimization RPO relaxes.
 
 use crate::{Pass, TranspileError};
-use qc_circuit::{circuit_unitary, Circuit, Dag, Instruction};
+use qc_circuit::{Circuit, Dag, Instruction, UnitaryAccumulator};
 use qc_synth::synthesize_two_qubit;
 
 /// Re-synthesizes collected two-qubit blocks when it reduces cost.
@@ -30,11 +30,17 @@ impl Pass for ConsolidateBlocks {
         // node index → (block head, replacement) bookkeeping.
         let mut drop = vec![false; circuit.len()];
         let mut replace_at: Vec<Option<Vec<Instruction>>> = vec![None; circuit.len()];
+        // One engine-backed 4×4 accumulator reused across all blocks: each
+        // block's unitary is extended one gate at a time as the block is
+        // walked, instead of re-running `circuit_unitary` on a rebuilt
+        // local circuit per candidate block.
+        let mut acc = UnitaryAccumulator::new(2);
         for block in &blocks {
             let (a, b) = block.qubits;
             // Build the local 2-qubit circuit (a→0, b→1).
             let mut local = Circuit::new(2);
             let mut cx_before = 0usize;
+            acc.reset();
             for &n in &block.nodes {
                 let inst = &dag.nodes()[n];
                 let qs: Vec<usize> = inst
@@ -45,13 +51,14 @@ impl Pass for ConsolidateBlocks {
                 if inst.qubits.len() == 2 {
                     cx_before += two_qubit_cx_cost(&inst.gate);
                 }
+                acc.push(&inst.gate, &qs);
                 local.push(inst.gate.clone(), &qs);
             }
             if cx_before <= 1 {
                 // Cannot improve a 0- or 1-CNOT block (templates need ≥ 0/1).
                 continue;
             }
-            let u = circuit_unitary(&local);
+            let u = acc.matrix();
             let synth = synthesize_two_qubit(&u);
             let counts_new = synth.gate_counts();
             let counts_old = local.gate_counts();
@@ -109,7 +116,7 @@ fn two_qubit_cx_cost(g: &qc_circuit::Gate) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qc_circuit::Gate;
+    use qc_circuit::{circuit_unitary, Gate};
 
     fn consolidated(c: &Circuit) -> Circuit {
         let mut out = c.clone();

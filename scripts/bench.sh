@@ -5,13 +5,27 @@
 # Usage: scripts/bench.sh [name-filter]
 #   name-filter  optional substring restricting which benchmarks run
 #                (e.g. `scripts/bench.sh circuit_unitary`).
+#
+# Environment:
+#   BENCH_OUT        output path (default BENCH_kernels.json)
+#   BENCH_FEATURES   cargo features for the bench build (default "parallel";
+#                    set empty to benchmark the single-threaded build)
+#   RPO_THREADS      kernel thread cap; the bench itself records the
+#                    effective count as "threads" in the JSON
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 OUT="${BENCH_OUT:-BENCH_kernels.json}"
+FEATURES="${BENCH_FEATURES-parallel}"
 
-CRITERION_JSON_OUT="$PWD/$OUT" cargo bench -p qc-bench --bench kernels -- "${1:-}"
+FEATURE_ARGS=()
+if [[ -n "$FEATURES" ]]; then
+    FEATURE_ARGS=(--features "$FEATURES")
+fi
+
+CRITERION_JSON_OUT="$PWD/$OUT" \
+    cargo bench -p qc-bench "${FEATURE_ARGS[@]}" --bench kernels -- "${1:-}"
 
 echo
 echo "Summary written to $OUT:"

@@ -130,17 +130,25 @@ impl Criterion {
     }
 
     /// Prints the closing summary and writes the JSON report if
-    /// `CRITERION_JSON_OUT` is set.
+    /// `CRITERION_JSON_OUT` is set. When `CRITERION_JSON_META` holds extra
+    /// raw JSON members (e.g. `"threads": 4`), they are appended to every
+    /// record — `scripts/bench.sh` uses this to tag results with the kernel
+    /// thread count.
     pub fn final_summary(&self) {
         if let Ok(path) = std::env::var("CRITERION_JSON_OUT") {
+            let meta = match std::env::var("CRITERION_JSON_META") {
+                Ok(m) if !m.trim().is_empty() => format!(", {}", m.trim()),
+                _ => String::new(),
+            };
             let mut out = String::from("[\n");
             for (i, r) in self.results.iter().enumerate() {
                 out.push_str(&format!(
-                    "  {{\"name\": \"{}\", \"median_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+                    "  {{\"name\": \"{}\", \"median_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}{}}}{}\n",
                     r.name.replace('"', "'"),
                     r.median_ns,
                     r.samples,
                     r.iters_per_sample,
+                    meta,
                     if i + 1 == self.results.len() { "" } else { "," }
                 ));
             }

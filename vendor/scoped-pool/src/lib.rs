@@ -1,0 +1,424 @@
+//! A minimal scoped-thread work splitter — the offline stand-in for rayon.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the one primitive its kernels need: [`Pool::run`], a blocking parallel
+//! for-each over `parts` statically-assigned slices of an index space. The
+//! caller thread participates as executor 0 and the call does not return
+//! until every part has finished, so borrowed closures are sound (the
+//! closure cannot outlive the call — the "scoped" in the name).
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism.** Part assignment is static (`part p` runs the same
+//!    indices regardless of how many OS threads back the pool), so callers
+//!    that make per-part work element-wise independent get bit-identical
+//!    results at any thread count.
+//! 2. **Persistence.** Worker threads are spawned once (lazily, on first
+//!    parallel call) and parked on a condvar between calls — a `run` on a
+//!    warm pool costs two lock round-trips per worker, not a thread spawn.
+//! 3. **No nesting surprises.** A `run` issued from inside a pool worker
+//!    (or from the caller's own share of an outer `run`) executes inline on
+//!    that thread; the pool never deadlocks on itself.
+//!
+//! Thread-count policy: the pool holds `max(2, default_threads()) - 1`
+//! workers (so two-way splitting stays testable on single-core hosts), but
+//! `run` fans out to at most [`max_threads`] executors — by default
+//! [`default_threads`], overridable per-process with [`set_max_threads`]
+//! and at launch with the `RPO_THREADS` environment variable.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::thread;
+
+/// Process-wide override for [`max_threads`]; 0 means "no override".
+static MAX_THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// True on pool workers and on any thread currently running its own
+    /// share of a `run` — nested `run`s from such threads execute inline.
+    static IN_POOL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// The number of executors a parallel region uses with no override in
+/// effect: the `RPO_THREADS` environment variable if set to a positive
+/// integer, otherwise [`std::thread::available_parallelism`].
+pub fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        if let Ok(v) = std::env::var("RPO_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        thread::available_parallelism().map_or(1, |n| n.get())
+    })
+}
+
+/// Sets the process-wide executor cap for subsequent [`Pool::run`] calls
+/// (`None` restores [`default_threads`]). Intended for tests and tools that
+/// compare results across thread counts; not synchronized with in-flight
+/// parallel regions.
+pub fn set_max_threads(n: Option<usize>) {
+    MAX_THREADS_OVERRIDE.store(n.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The current executor cap: the [`set_max_threads`] override when set,
+/// otherwise [`default_threads`], clamped to the global pool's capacity.
+pub fn max_threads() -> usize {
+    let cap = match MAX_THREADS_OVERRIDE.load(Ordering::Relaxed) {
+        0 => default_threads(),
+        n => n,
+    };
+    cap.min(Pool::global().capacity())
+}
+
+/// Splits `0..units` into one contiguous chunk per executor (at most
+/// [`max_threads`], never more than `units`) and runs `body(lo, hi)` for
+/// each chunk via [`Pool::run`] on the global pool — the shared partition
+/// policy for every kernel/panel loop in the workspace. Runs inline when a
+/// single executor is configured. Chunk boundaries vary with the executor
+/// count, so bodies must keep each unit's work element-wise independent of
+/// the split for results to be bit-identical at every thread count.
+pub fn run_chunked<F: Fn(usize, usize) + Sync>(units: usize, body: F) {
+    if units == 0 {
+        return;
+    }
+    let threads = max_threads();
+    if threads <= 1 || units == 1 {
+        body(0, units);
+        return;
+    }
+    let parts = threads.min(units);
+    let chunk = units.div_ceil(parts);
+    Pool::global().run(parts, |p, _| {
+        let lo = p * chunk;
+        let hi = ((p + 1) * chunk).min(units);
+        if lo < hi {
+            body(lo, hi);
+        }
+    });
+}
+
+/// A type-erased `Fn(usize, usize)` shipped to workers by raw pointer. The
+/// pointee outlives its use because `Pool::run` blocks until every
+/// participating worker has decremented `pending`.
+#[derive(Copy, Clone)]
+struct Task {
+    data: *const (),
+    call: unsafe fn(*const (), usize, usize),
+}
+
+// SAFETY: the pointer is only dereferenced through `call` while the
+// submitting thread is blocked in `run`, which keeps the closure alive; the
+// closure itself is required to be `Sync`.
+unsafe impl Send for Task {}
+
+unsafe fn call_thunk<F: Fn(usize, usize) + Sync>(data: *const (), part: usize, parts: usize) {
+    // SAFETY: `data` was erased from an `&F` that `run` keeps alive.
+    unsafe { (*(data as *const F))(part, parts) }
+}
+
+/// One parallel region's bookkeeping, guarded by the pool mutex.
+struct Job {
+    /// Increments once per `run`; workers wake on a change.
+    epoch: u64,
+    /// Executors participating in the current epoch (caller + workers).
+    executors: usize,
+    /// Total parts of the current epoch.
+    parts: usize,
+    /// Workers still running their share of the current epoch.
+    pending: usize,
+    /// The erased closure of the current epoch.
+    task: Option<Task>,
+    /// The first panic payload raised by a worker this epoch; the
+    /// submitting thread resumes it once all executors are done.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// A persistent pool of parked worker threads with a blocking, statically
+/// partitioned broadcast ([`Pool::run`]).
+pub struct Pool {
+    /// Serializes whole parallel regions: the `Job` slot describes exactly
+    /// one in-flight epoch, so a second external submitter must wait for
+    /// the first to finish (nested submitters run inline instead).
+    submit: Mutex<()>,
+    job: Mutex<Job>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    /// Maximum concurrent executors: spawned workers + the calling thread.
+    capacity: usize,
+}
+
+impl Pool {
+    /// The process-wide pool. Workers are spawned on first access; capacity
+    /// is `max(2, default_threads())` so thread-count-sensitive tests can
+    /// always exercise a genuine two-way split.
+    pub fn global() -> &'static Pool {
+        static POOL: OnceLock<Pool> = OnceLock::new();
+        POOL.get_or_init(|| Pool::with_capacity(default_threads().max(2)))
+    }
+
+    /// Builds a pool backed by `capacity - 1` worker threads.
+    fn with_capacity(capacity: usize) -> Pool {
+        Pool {
+            submit: Mutex::new(()),
+            job: Mutex::new(Job {
+                epoch: 0,
+                executors: 0,
+                parts: 0,
+                pending: 0,
+                task: None,
+                panic: None,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Maximum concurrent executors (spawned workers + the caller).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Runs `f(part, parts)` for every `part` in `0..parts`, returning when
+    /// all parts are done. Executor `e` runs parts `e, e + E, e + 2E, …`
+    /// where `E = min(parts, max_threads())` — a static assignment, so the
+    /// mapping of indices to parts is independent of pool backing. Runs
+    /// entirely inline when only one executor is available or the call
+    /// originates inside another parallel region; concurrent external
+    /// submitters serialize (the pool hosts one region at a time). If any
+    /// executor panics, the panic is resumed on the submitting thread after
+    /// every executor has finished (workers survive to serve later
+    /// regions).
+    pub fn run<F: Fn(usize, usize) + Sync>(&'static self, parts: usize, f: F) {
+        if parts == 0 {
+            return;
+        }
+        let executors = parts.min(max_threads());
+        if executors <= 1 || IN_POOL.with(|c| c.get()) {
+            for part in 0..parts {
+                f(part, parts);
+            }
+            return;
+        }
+        self.ensure_workers();
+        // One region at a time: the Job slot describes a single epoch, so a
+        // second external submitter must wait here until the first returns
+        // (which also keeps `f` alive for exactly the workers using it).
+        let _region = self.submit.lock().unwrap_or_else(|e| e.into_inner());
+        let task = Task {
+            data: &f as *const F as *const (),
+            call: call_thunk::<F>,
+        };
+        {
+            let mut job = self.job.lock().unwrap_or_else(|e| e.into_inner());
+            job.epoch += 1;
+            job.executors = executors;
+            job.parts = parts;
+            job.pending = executors - 1;
+            job.task = Some(task);
+            self.work_cv.notify_all();
+        }
+        // The caller is executor 0; mark it in-pool so nested runs inline.
+        // Catch its panics so the workers' borrow of `f` stays alive until
+        // every executor is done, then resume.
+        IN_POOL.with(|c| c.set(true));
+        let caller_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut part = 0;
+            while part < parts {
+                f(part, parts);
+                part += executors;
+            }
+        }));
+        IN_POOL.with(|c| c.set(false));
+        let mut job = self.job.lock().unwrap_or_else(|e| e.into_inner());
+        while job.pending > 0 {
+            job = self.done_cv.wait(job).unwrap_or_else(|e| e.into_inner());
+        }
+        job.task = None;
+        let worker_panic = job.panic.take();
+        drop(job);
+        if let Err(payload) = caller_result {
+            std::panic::resume_unwind(payload);
+        }
+        if let Some(payload) = worker_panic {
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    /// Spawns the worker threads once.
+    fn ensure_workers(&'static self) {
+        static SPAWNED: OnceLock<()> = OnceLock::new();
+        SPAWNED.get_or_init(|| {
+            for w in 1..self.capacity {
+                thread::Builder::new()
+                    .name(format!("rpo-kernel-{w}"))
+                    .spawn(move || self.worker_loop(w))
+                    .expect("failed to spawn pool worker");
+            }
+        });
+    }
+
+    /// A worker's park/claim/execute loop. Worker `w` runs parts
+    /// `w, w + E, …` of every epoch with `executors > w`.
+    fn worker_loop(&self, w: usize) {
+        IN_POOL.with(|c| c.set(true));
+        let mut seen_epoch = 0u64;
+        loop {
+            let (task, parts, executors) = {
+                let mut job = self.job.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    if job.epoch != seen_epoch {
+                        seen_epoch = job.epoch;
+                        if w < job.executors {
+                            break (
+                                job.task.expect("task set for epoch"),
+                                job.parts,
+                                job.executors,
+                            );
+                        }
+                    }
+                    job = self.work_cv.wait(job).unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            // Catch panics so `pending` is always decremented — a panicking
+            // closure must hang neither the submitter nor later regions.
+            // The payload is handed to the submitter, which resumes it.
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut part = w;
+                while part < parts {
+                    // SAFETY: the submitting thread blocks in `run` until
+                    // this worker decrements `pending`, keeping the closure
+                    // alive.
+                    unsafe { (task.call)(task.data, part, parts) };
+                    part += executors;
+                }
+            }));
+            let mut job = self.job.lock().unwrap_or_else(|e| e.into_inner());
+            if let Err(payload) = result {
+                job.panic.get_or_insert(payload);
+            }
+            job.pending -= 1;
+            if job.pending == 0 {
+                self.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    /// Serializes tests that mutate the process-wide thread cap.
+    fn cap_guard() -> std::sync::MutexGuard<'static, ()> {
+        static CAP_LOCK: Mutex<()> = Mutex::new(());
+        CAP_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn runs_every_part_exactly_once() {
+        let hits: Vec<AtomicU64> = (0..37).map(|_| AtomicU64::new(0)).collect();
+        Pool::global().run(hits.len(), |p, parts| {
+            assert_eq!(parts, hits.len());
+            hits[p].fetch_add(1, Ordering::Relaxed);
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn nested_run_executes_inline() {
+        let count = AtomicU64::new(0);
+        Pool::global().run(4, |_, _| {
+            Pool::global().run(3, |_, _| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 12);
+    }
+
+    #[test]
+    fn thread_cap_respected_and_restored() {
+        let _guard = cap_guard();
+        set_max_threads(Some(1));
+        let on_caller = AtomicU64::new(0);
+        let caller = thread::current().id();
+        Pool::global().run(8, |_, _| {
+            if thread::current().id() == caller {
+                on_caller.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(
+            on_caller.load(Ordering::Relaxed),
+            8,
+            "cap 1 must run inline"
+        );
+        set_max_threads(None);
+        assert_eq!(
+            max_threads(),
+            default_threads().min(Pool::global().capacity())
+        );
+    }
+
+    #[test]
+    fn two_way_split_works_even_on_one_core() {
+        let _guard = cap_guard();
+        set_max_threads(Some(2));
+        let sum = AtomicU64::new(0);
+        Pool::global().run(100, |p, _| {
+            sum.fetch_add(p as u64, Ordering::Relaxed);
+        });
+        set_max_threads(None);
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let _guard = cap_guard();
+        set_max_threads(Some(2));
+        let result = std::panic::catch_unwind(|| {
+            Pool::global().run(8, |p, _| {
+                if p == 1 {
+                    panic!("boom"); // part 1 belongs to worker 1
+                }
+            });
+        });
+        assert!(result.is_err(), "the worker's panic must reach the caller");
+        // The worker survived and later regions still complete.
+        let sum = AtomicU64::new(0);
+        Pool::global().run(16, |p, _| {
+            sum.fetch_add(p as u64, Ordering::Relaxed);
+        });
+        set_max_threads(None);
+        assert_eq!(sum.load(Ordering::Relaxed), 120);
+    }
+
+    #[test]
+    fn concurrent_submitters_serialize() {
+        // Multiple external threads submitting regions at once: the submit
+        // lock must keep every region's parts intact (no cross-talk through
+        // the shared Job slot).
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                thread::spawn(|| {
+                    for _ in 0..50 {
+                        let count = AtomicU64::new(0);
+                        Pool::global().run(8, |_, _| {
+                            count.fetch_add(1, Ordering::Relaxed);
+                        });
+                        assert_eq!(count.load(Ordering::Relaxed), 8);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("submitter thread panicked");
+        }
+    }
+}
