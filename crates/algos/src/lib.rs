@@ -15,5 +15,5 @@ pub use adder::ripple_carry_adder;
 pub use bv::{bernstein_vazirani, hidden_string_outcome, OracleStyle};
 pub use grover::{grover, optimal_iterations, McxDesign};
 pub use qpe::{qpe, qpe_expected_outcome};
-pub use qv::quantum_volume;
+pub use qv::{quantum_volume, quantum_volume_with_depth};
 pub use vqe::vqe_ry_ansatz;

@@ -8,15 +8,21 @@
 //! the shared kernel engine: the kernel-based path must beat the retained
 //! embed-then-matmul reference by ≥10×, and the fused + cache-blocked +
 //! (optionally) parallel pipeline must beat the plain per-gate streaming
-//! path, on a random 10-qubit, 100-gate circuit (`scripts/bench.sh` records
+//! path, on a random 10-qubit, 100-gate circuit. The blocked-workload
+//! family (`circuit_unitary_kernel_qv10`, `statevector_qv_chain_20q`,
+//! `statevector_toffoli_chain_14q`) tracks the planner's in-stream k≤3
+//! block consolidation on QV/Toffoli shapes. `scripts/bench.sh` records
 //! all of them, plus the effective kernel thread count, in
-//! `BENCH_kernels.json`).
+//! `BENCH_kernels.json`; `scripts/bench_check.sh` gates CI on >2.5x
+//! regressions against the committed baseline.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use qc_algos::quantum_volume;
+use qc_algos::{quantum_volume, quantum_volume_with_depth};
 use qc_backends::Backend;
 use qc_circuit::testing::random_circuit;
-use qc_circuit::{circuit_unitary, circuit_unitary_reference, circuit_unitary_unfused, Circuit};
+use qc_circuit::{
+    circuit_unitary, circuit_unitary_reference, circuit_unitary_unfused, Circuit, Gate,
+};
 use qc_math::haar_unitary;
 use qc_sim::Statevector;
 use qc_synth::{synthesize_two_qubit, OneQubitEuler, TwoQubitWeyl};
@@ -73,6 +79,22 @@ fn bench_kernels(c: &mut Criterion) {
         b.iter(|| circuit_unitary_reference(&unitary_circuit))
     });
 
+    // QV-shaped workload: back-to-back SU(4) blocks on overlapping pairs —
+    // the shape the planner's same-pair merging and k≤3 growth target.
+    let qv10 = {
+        let raw = quantum_volume_with_depth(10, 10, 5);
+        let mut c = Circuit::new(10);
+        for inst in raw.instructions() {
+            if !matches!(inst.gate, Gate::Measure) {
+                c.push(inst.gate.clone(), &inst.qubits);
+            }
+        }
+        c
+    };
+    c.bench_function("circuit_unitary_kernel_qv10", |b| {
+        b.iter(|| circuit_unitary(&qv10))
+    });
+
     let sv_circuit = random_circuit(12, 120, 7);
     // Fused whole-circuit run vs the per-gate engine path.
     c.bench_function("statevector_12q_random120g", |b| {
@@ -86,6 +108,41 @@ fn bench_kernels(c: &mut Criterion) {
             }
             sv
         })
+    });
+
+    // SU(4) triangle neighborhoods on a wide register: each triangle's
+    // three overlapping 2q blocks (and both layers of them) consolidate
+    // into a single 8×8 sweep. At 2²⁰ amplitudes the vector streams from
+    // beyond L2, which is the regime where trading passes for a wider
+    // dense block pays — the headline workload for k≤3 growth.
+    let qv_chain = {
+        let mut rng = StdRng::seed_from_u64(33);
+        let mut c = Circuit::new(20);
+        for _layer in 0..2 {
+            for t in 0..6 {
+                let (a, b, d) = (3 * t, 3 * t + 1, 3 * t + 2);
+                c.push(Gate::Unitary(haar_unitary(4, &mut rng)), &[a, b]);
+                c.push(Gate::Unitary(haar_unitary(4, &mut rng)), &[b, d]);
+                c.push(Gate::Unitary(haar_unitary(4, &mut rng)), &[a, d]);
+            }
+        }
+        c
+    };
+    c.bench_function("statevector_qv_chain_20q", |b| {
+        b.iter(|| Statevector::from_circuit(&qv_chain))
+    });
+
+    // Toffoli-chain workload with single-qubit dressing on the operands —
+    // the 3q-neighborhood shape that k≤3 dense folding consolidates.
+    let mut toffoli_chain = Circuit::new(14);
+    for i in 0..12 {
+        toffoli_chain.h(i);
+        toffoli_chain.ry(0.3 + 0.1 * i as f64, i + 1);
+        toffoli_chain.ccx(i, i + 1, i + 2);
+        toffoli_chain.t(i + 2);
+    }
+    c.bench_function("statevector_toffoli_chain_14q", |b| {
+        b.iter(|| Statevector::from_circuit(&toffoli_chain))
     });
 
     let mut ghz = Circuit::new(12);

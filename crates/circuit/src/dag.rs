@@ -6,6 +6,7 @@
 //! pass), maximal single-qubit runs (used by `Optimize1qGates`), and
 //! two-qubit block collection (the `Collect2qBlocks` analogue).
 
+use crate::blocks::{Block, BlockTracker, Membership};
 use crate::circuit::{Circuit, Instruction};
 
 /// Dependency DAG over the instructions of a circuit.
@@ -113,115 +114,88 @@ impl Dag {
         runs
     }
 
-    /// Collects maximal two-qubit blocks: contiguous (in wire order) groups
-    /// of gates touching only one pair of qubits, anchored by at least one
-    /// two-qubit gate. Single-qubit gates immediately preceding the block on
-    /// either wire are absorbed.
-    pub fn collect_two_qubit_blocks(&self) -> Vec<TwoQubitBlock> {
-        #[derive(Clone)]
-        struct Open {
-            qubits: (usize, usize),
-            nodes: Vec<usize>,
-            has_two_q: bool,
-        }
-        let mut blocks: Vec<TwoQubitBlock> = Vec::new();
-        let mut open: Vec<Open> = Vec::new();
-        // active[q] = index into `open` of the block currently claiming q.
-        let mut active: Vec<Option<usize>> = vec![None; self.num_qubits];
-        // pending 1q gates per wire, waiting for a 2q anchor.
+    /// Collects maximal blocks of unitary gates confined to at most
+    /// `max_arity` qubits, anchored by at least one multi-qubit gate —
+    /// single-qubit gates preceding a block on its wires are absorbed into
+    /// it. Blocks are returned sorted by first node index.
+    ///
+    /// The membership logic is [`BlockTracker`] — the same machine the
+    /// fusion planner uses to grow dense kernel blocks in-stream — so
+    /// `ConsolidateBlocks`, QPO's block rewrite and the planner all agree
+    /// on what constitutes a foldable neighborhood.
+    pub fn collect_blocks(&self, max_arity: usize) -> Vec<Block> {
+        let mut tracker = BlockTracker::sealing(self.num_qubits, max_arity);
+        // Pending 1q gates per wire, waiting for a multi-qubit anchor.
         let mut pending: Vec<Vec<usize>> = vec![Vec::new(); self.num_qubits];
-
-        let close = |b: Open, blocks: &mut Vec<TwoQubitBlock>| {
-            if b.has_two_q {
-                blocks.push(TwoQubitBlock {
-                    qubits: b.qubits,
-                    nodes: b.nodes,
-                });
-            }
-        };
-
+        // Node lists per tracker block id.
+        let mut nodes_of: Vec<Vec<usize>> = Vec::new();
         for (i, inst) in self.nodes.iter().enumerate() {
             let unitary = inst.gate.is_unitary_gate() && !inst.gate.is_directive();
-            match (inst.qubits.len(), unitary) {
-                (1, true) => {
-                    let q = inst.qubits[0];
-                    match active[q] {
-                        Some(b) => open[b].nodes.push(i),
-                        None => pending[q].push(i),
-                    }
+            if !unitary || inst.qubits.len() > max_arity {
+                // Directive, non-unitary, or too wide: breaks blocks and
+                // pending runs on all touched wires.
+                for &q in &inst.qubits {
+                    pending[q].clear();
                 }
-                (2, true) => {
-                    let (a, b) = (
-                        inst.qubits[0].min(inst.qubits[1]),
-                        inst.qubits[0].max(inst.qubits[1]),
-                    );
-                    let same = match (active[a], active[b]) {
-                        (Some(x), Some(y)) if x == y && open[x].qubits == (a, b) => Some(x),
-                        _ => None,
-                    };
-                    if let Some(x) = same {
-                        open[x].nodes.push(i);
-                        open[x].has_two_q = true;
-                    } else {
-                        // Close anything active on a or b.
-                        for q in [a, b] {
-                            if let Some(x) = active[q].take() {
-                                let blk = open[x].clone();
-                                // Release both wires of that block.
-                                for w in [blk.qubits.0, blk.qubits.1] {
-                                    if active[w] == Some(x) {
-                                        active[w] = None;
-                                    }
-                                }
-                                close(blk, &mut blocks);
-                            }
-                        }
-                        // Open a new block, absorbing pending 1q gates.
-                        let mut nodes = Vec::new();
-                        nodes.append(&mut pending[a]);
-                        nodes.append(&mut pending[b]);
-                        nodes.sort_unstable();
-                        nodes.push(i);
-                        open.push(Open {
-                            qubits: (a, b),
-                            nodes,
-                            has_two_q: true,
-                        });
-                        let id = open.len() - 1;
-                        active[a] = Some(id);
-                        active[b] = Some(id);
+                tracker.touch(&inst.qubits, i);
+                continue;
+            }
+            if inst.qubits.len() == 1 {
+                let q = inst.qubits[0];
+                match tracker.membership(&inst.qubits) {
+                    Membership::Join { block, new_qubits } if new_qubits.is_empty() => {
+                        nodes_of[block].push(i)
                     }
+                    _ => pending[q].push(i),
                 }
-                _ => {
-                    // Directive, non-unitary, or >2 qubits: break blocks and
-                    // pending runs on all touched wires.
+                continue;
+            }
+            match tracker.membership(&inst.qubits) {
+                Membership::Join { block, new_qubits } => {
+                    for &q in &new_qubits {
+                        nodes_of[block].append(&mut pending[q]);
+                    }
+                    tracker.extend(block, &new_qubits);
+                    nodes_of[block].push(i);
+                }
+                Membership::Outside => {
+                    let block = tracker.open(&inst.qubits, i);
+                    let mut nodes = Vec::new();
                     for &q in &inst.qubits {
-                        pending[q].clear();
-                        if let Some(x) = active[q].take() {
-                            let blk = open[x].clone();
-                            for w in [blk.qubits.0, blk.qubits.1] {
-                                if active[w] == Some(x) {
-                                    active[w] = None;
-                                }
-                            }
-                            close(blk, &mut blocks);
-                        }
+                        nodes.append(&mut pending[q]);
                     }
+                    nodes.push(i);
+                    debug_assert_eq!(block, nodes_of.len());
+                    nodes_of.push(nodes);
                 }
             }
         }
-        // Close whatever remains open (deduplicated via active map).
-        let mut closed = vec![false; open.len()];
-        for &slot in active.iter().take(self.num_qubits) {
-            if let Some(x) = slot {
-                if !closed[x] {
-                    closed[x] = true;
-                    close(open[x].clone(), &mut blocks);
+        let mut blocks: Vec<Block> = nodes_of
+            .into_iter()
+            .enumerate()
+            .map(|(id, mut nodes)| {
+                nodes.sort_unstable();
+                Block {
+                    qubits: tracker.block_qubits(id).to_vec(),
+                    nodes,
                 }
-            }
-        }
+            })
+            .collect();
         blocks.sort_by_key(|b| b.nodes[0]);
         blocks
+    }
+
+    /// Collects maximal two-qubit blocks: groups of gates confined to one
+    /// pair of qubits, anchored by at least one two-qubit gate (the
+    /// `Collect2qBlocks` analogue; [`Dag::collect_blocks`] with arity 2).
+    pub fn collect_two_qubit_blocks(&self) -> Vec<TwoQubitBlock> {
+        self.collect_blocks(2)
+            .into_iter()
+            .map(|b| TwoQubitBlock {
+                qubits: (b.qubits[0].min(b.qubits[1]), b.qubits[0].max(b.qubits[1])),
+                nodes: b.nodes,
+            })
+            .collect()
     }
 }
 

@@ -1,5 +1,6 @@
-//! Gate fusion: collapsing 1-qubit runs and folding 1-qubit gates into
-//! adjacent two-qubit blocks before anything touches a 2ⁿ-sized buffer.
+//! Gate fusion: collapsing 1-qubit runs and consolidating neighborhoods of
+//! up to three qubits into dense blocks before anything touches a 2ⁿ-sized
+//! buffer.
 //!
 //! At n ≳ 8 every kernel pass over a state vector or unitary panel is
 //! memory-bound: the cost is the sweep, not the arithmetic. The planner in
@@ -10,20 +11,37 @@
 //!   — no matter what lies between them on *other* qubits — accumulate into
 //!   one 2×2 product ([`qc_math::mul_2x2`]), applied as a single dense-1q
 //!   pass.
-//! * **1q gates fold into 2q blocks.** A pending 1q product is absorbed
-//!   into a following two-qubit gate's 4×4 (the gate matrix
-//!   right-multiplied by the embedded 2×2) unless it can do better:
-//!   products that *commute through* the gate stay pending and keep
-//!   growing (diagonals through phase gates, CX/Cu controls; `αI + βX`
-//!   through CX targets; anything through `Swap`, relayed to the other
-//!   qubit), and runs that must flush right after a dense block on the
-//!   same qubit left-fold into that block's 4×4 — a planner-side 4×4
-//!   product instead of a buffer sweep.
+//! * **1q gates fold into dense blocks.** A pending 1q product is absorbed
+//!   into a following dense block's matrix (right-multiplied, it acts
+//!   first) unless it can do better: products that *commute through* a
+//!   structured gate stay pending and keep growing (diagonals through
+//!   phase gates, CX/Cu controls; `αI + βX` through CX targets; anything
+//!   through `Swap`, relayed to the other qubit), and runs that must flush
+//!   right after a dense block on the same qubit left-fold into that
+//!   block's matrix — a planner-side small product instead of a buffer
+//!   sweep.
+//! * **Blocks consolidate in-stream (k ≤ 3).** An emitted dense block stays
+//!   *open* ([`crate::blocks::BlockTracker`]): a later gate folds into it
+//!   when every shared qubit is unperturbed since the block was emitted and
+//!   every added qubit is untouched since then. Same-pair 2q blocks merge
+//!   into one 4×4 ([`qc_math::mul_4x4`], orientation-swapped when the pair
+//!   is listed in the opposite order); overlapping 2q/1q neighborhoods on
+//!   ≤ 3 distinct qubits grow into one 8×8 served by the register-blocked
+//!   dense-3q kernel; and structured gates confined to an open block's
+//!   qubits (a CZ inside a QV block, say) are absorbed for free instead of
+//!   flushing it.
 //!
-//! Structured two-qubit gates with no stuck pending neighbors pass through
-//! untouched (their specialized kernels beat a dense 4×4); gates on three
-//! or more qubits flush their qubits' non-commuting pending products and
-//! pass through.
+//! Growth is governed by a **cost model** ([`FusionProfile`]): a merge happens
+//! only when the widened dense sweep is cheaper than the sweeps it
+//! replaces, so cheap structured kernels (a bare CX or CZ) keep their
+//! specialized passes instead of inflating a block. On small registers the
+//! dense/structured trade-off inverts; a merge producing a k-qubit dense
+//! sweep therefore requires `n ≥ k + 2` (for n ≤ k+1 the planner behaves
+//! exactly like the pre-consolidation planner).
+//!
+//! Structured gates with no stuck pending neighbors and no absorbing block
+//! pass through untouched; gates on four or more qubits flush their
+//! qubits' non-commuting pending products and pass through.
 //!
 //! Fusion is exactly unitary-preserving in exact arithmetic and agrees with
 //! the unfused stream to rounding (the oracle tests in
@@ -32,8 +50,10 @@
 //! streams fused ops over column panels, and `qc_sim::Statevector` applies
 //! them to its amplitude vector.
 
+use crate::blocks::{BlockTracker, Membership};
 use crate::circuit::Instruction;
-use qc_math::{mul_2x2, KernelOp, Matrix, C64};
+use crate::unitary::embed;
+use qc_math::{mul_2x2, mul_4x4, KernelOp, Matrix, C64};
 
 /// One fused instruction: a kernel op plus the (global) qubits it acts on.
 #[derive(Clone, Debug)]
@@ -84,45 +104,161 @@ fn embed_1q_in_4x4(m: &[C64; 4], bit: usize) -> Matrix {
     out
 }
 
+/// Embeds a 2×2 on local bit `bit` of a k-qubit dense block.
+fn embed_1q_in_dense(m: &[C64; 4], bit: usize, k: usize) -> Matrix {
+    if k == 2 {
+        return embed_1q_in_4x4(m, bit);
+    }
+    let m2 = Matrix::from_rows(&[vec![m[0], m[1]], vec![m[2], m[3]]]);
+    embed(&m2, &[bit], k)
+}
+
+/// Reindexes a 4×4 so the roles of local bits 0 and 1 swap — the
+/// orientation adjustment for merging a same-pair gate whose qubit order is
+/// the reverse of its block's.
+fn swap_2q_orientation(m: &Matrix) -> Matrix {
+    let sw = |x: usize| ((x & 1) << 1) | (x >> 1);
+    Matrix::from_fn(4, 4, |r, c| m[(sw(r), sw(c))])
+}
+
+/// The planner's sweep cost model, in units of one multiply-add per
+/// touched amplitude.
+///
+/// Merges that only trade memory passes for arithmetic (growing two
+/// overlapping 4×4 blocks into one 8×8 keeps the multiply-adds equal) pay
+/// off exactly when a pass is expensive relative to a multiply-add — which
+/// depends on where the buffer lives, i.e. on the *consumer*:
+///
+/// * [`FusionProfile::panels`] — `circuit_unitary` streams the plan over
+///   L2-sized column panels; passes run at cache bandwidth and are cheap,
+///   so only arithmetic-reducing merges (same-pair folds, in-block
+///   absorption, 1q left-folds) pay.
+/// * [`FusionProfile::statevector`] — one 2ⁿ-amplitude vector; once it
+///   outgrows L2 every pass streams from L3/DRAM and saving sweeps is
+///   worth widening blocks to k = 3.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FusionProfile {
+    /// Cost of streaming one full pass over the buffer, per amplitude,
+    /// relative to one multiply-add.
+    pub pass_cost: f64,
+}
+
+/// A statevector no wider than this stays cache-resident (2¹⁶ amplitudes =
+/// 1 MiB of `C64`), making passes cheap; beyond it they stream.
+const CACHE_RESIDENT_QUBITS: usize = 16;
+
+/// Multiply-add efficiency penalty of the 8-way dense mix relative to the
+/// 2-/4-way kernels (64 coefficients exceed the register budget).
+const DENSE3_PENALTY: f64 = 1.4;
+
+impl FusionProfile {
+    /// Cost profile for cache-blocked panel streaming (`circuit_unitary`).
+    pub fn panels() -> Self {
+        FusionProfile { pass_cost: 1.0 }
+    }
+
+    /// Cost profile for applying the plan to one 2ⁿ-amplitude vector.
+    pub fn statevector(n: usize) -> Self {
+        FusionProfile {
+            pass_cost: if n > CACHE_RESIDENT_QUBITS { 6.0 } else { 1.0 },
+        }
+    }
+
+    /// The cost of a dense k-qubit sweep: one pass plus 2ᵏ multiply-adds
+    /// per amplitude (weighted for the 8-way mix's register pressure).
+    fn dense_sweep_cost(&self, k: usize) -> f64 {
+        let weight = if k >= 3 { DENSE3_PENALTY } else { 1.0 };
+        self.pass_cost + weight * (1usize << k) as f64
+    }
+
+    /// Estimated cost of one kernel sweep for `op` on `k` qubits:
+    /// `touched-buffer fraction × (pass cost + multiply-adds per touched
+    /// amplitude)`.
+    fn sweep_cost(&self, op: &KernelOp<'_>, k: usize) -> f64 {
+        let pass = self.pass_cost;
+        match op {
+            KernelOp::OneQ(_) => pass + 2.0,
+            KernelOp::OneQDiag(_) => pass + 1.0,
+            KernelOp::ControlledOneQ(_) => 0.5 * (pass + 2.0),
+            KernelOp::PhaseAllOnes(_) => (pass + 1.0) / (1usize << k) as f64,
+            KernelOp::ControlledX => 2.0 * (pass + 1.0) / (1usize << k) as f64,
+            KernelOp::Swap => 0.5 * (pass + 1.0),
+            KernelOp::Permutation(_) => pass + 1.0,
+            KernelOp::Dense(m) => pass + m.rows() as f64,
+        }
+    }
+
+    /// The flush cost of a stuck pending 1q product.
+    fn flush_cost(&self, diagonal: bool) -> f64 {
+        self.pass_cost + if diagonal { 1.0 } else { 2.0 }
+    }
+}
+
 /// The exact 2×2 identity (what an even run of self-inverse gates collapses
 /// to); flushing it would waste a full sweep.
 fn is_exact_identity(m: &[C64; 4]) -> bool {
     m[0] == C64::ONE && m[1] == C64::ZERO && m[2] == C64::ZERO && m[3] == C64::ONE
 }
 
-/// Fuses a unitary gate stream for `num_qubits` qubits. Directives
-/// (barriers, annotations) are dropped — they carry no unitary action.
+/// Fuses a unitary gate stream for `num_qubits` qubits with the
+/// state-vector cost profile (the plan's natural buffer is one
+/// 2ⁿ-amplitude vector). Directives (barriers, annotations) are dropped —
+/// they carry no unitary action.
 ///
 /// # Panics
 ///
 /// Panics on non-unitary instructions (reset/measure); segment streams at
 /// such boundaries before planning (see `qc_sim::Statevector`).
 pub fn fuse_instructions(insts: &[Instruction], num_qubits: usize) -> Vec<FusedInst<'_>> {
-    Planner::new(num_qubits).plan(insts)
+    fuse_instructions_with(insts, num_qubits, FusionProfile::statevector(num_qubits))
 }
 
-/// Streaming fusion state: per-qubit pending 1q products plus, per qubit,
-/// the index of the most recent emitted dense 2q block it participates in
-/// and nothing has touched since (the left-fold target for flushes).
+/// [`fuse_instructions`] with an explicit cost profile — consumers that
+/// stream the plan over cache-blocked panels ([`crate::circuit_unitary`])
+/// pass [`FusionProfile::panels`].
+pub fn fuse_instructions_with(
+    insts: &[Instruction],
+    num_qubits: usize,
+    profile: FusionProfile,
+) -> Vec<FusedInst<'_>> {
+    Planner::new(num_qubits, profile).plan(insts)
+}
+
+/// Streaming fusion state: per-qubit pending 1q products plus the shared
+/// open-block membership tracker ([`BlockTracker`], per-wire mode) mapping
+/// qubits to the most recent emitted dense block they can still fold into.
+/// Block positions recorded in the tracker are indices into `out`.
 struct Planner<'c> {
+    n: usize,
+    profile: FusionProfile,
     pending: Vec<Option<[C64; 4]>>,
-    last_dense: Vec<Option<usize>>,
+    tracker: BlockTracker,
     out: Vec<FusedInst<'c>>,
 }
 
 impl<'c> Planner<'c> {
-    fn new(num_qubits: usize) -> Self {
+    fn new(num_qubits: usize, profile: FusionProfile) -> Self {
         Planner {
+            n: num_qubits,
+            profile,
             pending: vec![None; num_qubits],
-            last_dense: vec![None; num_qubits],
+            tracker: BlockTracker::new(num_qubits, 3),
             out: Vec::new(),
         }
     }
 
-    /// Emits qubit `q`'s pending product: left-folded into the most recent
-    /// dense block on `q` when one is still foldable, as its own dense-1q
-    /// (or cheaper diagonal) pass otherwise. Exact identities (e.g. X·X)
-    /// are dropped.
+    /// Whether a merge that results in a k-qubit dense block is allowed on
+    /// this register: on n ≤ k+1 qubits the dense/structured trade-off
+    /// inverts (the "block" is most of the buffer), so the planner keeps
+    /// its pre-consolidation behavior there.
+    fn merge_arity_ok(&self, union_k: usize) -> bool {
+        self.n >= union_k + 2
+    }
+
+    /// Emits qubit `q`'s pending product: left-folded into the open dense
+    /// block on `q` when one exists (free — a planner-side product, no
+    /// sweep), as its own dense-1q (or cheaper diagonal) pass otherwise.
+    /// Exact identities (e.g. X·X) are dropped.
     fn flush(&mut self, q: usize) {
         let Some(m) = self.pending[q].take() else {
             return;
@@ -130,14 +266,20 @@ impl<'c> Planner<'c> {
         if is_exact_identity(&m) {
             return;
         }
-        if let Some(idx) = self.last_dense[q] {
+        if let Some(block) = self.tracker.owner(q) {
+            let idx = self.tracker.block_pos(block);
             let target = &mut self.out[idx];
-            let bit = if target.qubits[0] == q { 0 } else { 1 };
-            let FusedKernel::Dense(m4) = &mut target.kernel else {
-                unreachable!("last_dense only indexes Dense ops");
+            let k = target.qubits.len();
+            let bit = target
+                .qubits
+                .iter()
+                .position(|&w| w == q)
+                .expect("owned qubit is in its block");
+            let FusedKernel::Dense(mk) = &mut target.kernel else {
+                unreachable!("the tracker only indexes Dense ops");
             };
             // The run happened *after* the block: left-multiply.
-            *m4 = embed_1q_in_4x4(&m, bit).matmul(m4);
+            *mk = embed_1q_in_dense(&m, bit, k).matmul(mk);
             return;
         }
         let kernel = if is_diagonal(&m) {
@@ -147,6 +289,8 @@ impl<'c> Planner<'c> {
         } else {
             FusedKernel::OneQ(m)
         };
+        let idx = self.out.len();
+        self.tracker.touch(&[q], idx);
         self.out.push(FusedInst {
             qubits: vec![q],
             kernel,
@@ -169,11 +313,7 @@ impl<'c> Planner<'c> {
             let op = inst.gate.kernel().unwrap_or_else(|| {
                 panic!("non-unitary instruction {} in fused gate stream", inst.gate)
             });
-            if inst.qubits.len() == 2 && matches!(op, KernelOp::Dense(_)) {
-                self.fold_dense_2q(inst);
-            } else {
-                self.pass_structured(inst, op);
-            }
+            self.plan_multi(inst, op);
         }
         for q in 0..self.pending.len() {
             self.flush(q);
@@ -181,19 +321,163 @@ impl<'c> Planner<'c> {
         self.out
     }
 
+    /// Plans a multi-qubit gate: merge into an open dense block when the
+    /// cost model approves, else open a fresh dense block (dense gates, and
+    /// structured gates whose stuck pending neighbors make a dense fold
+    /// cheaper), else pass through structured.
+    fn plan_multi(&mut self, inst: &'c Instruction, op: KernelOp<'c>) {
+        if let Membership::Join { block, new_qubits } = self.tracker.membership(&inst.qubits) {
+            let cur_k = self.tracker.block_qubits(block).len();
+            let union_k = cur_k + new_qubits.len();
+            if self.merge_arity_ok(union_k) {
+                let grow_delta =
+                    self.profile.dense_sweep_cost(union_k) - self.profile.dense_sweep_cost(cur_k);
+                if grow_delta < self.unmerged_cost(inst, &op) {
+                    self.merge_into_block(block, &new_qubits, inst);
+                    return;
+                }
+            }
+        }
+        let k = inst.qubits.len();
+        if matches!(op, KernelOp::Dense(_)) && (k == 2 || k == 3) {
+            self.open_dense_block(inst);
+            return;
+        }
+        if k == 3
+            && self.merge_arity_ok(3)
+            && self.profile.dense_sweep_cost(3)
+                < self.profile.sweep_cost(&op, 3) + self.flush_penalty(inst, &op)
+        {
+            // Toffoli-style gate with stuck pending neighbors: one 8×8
+            // dense sweep beats the flushes plus the structured pass.
+            self.open_dense_block(inst);
+            return;
+        }
+        self.pass_structured(inst, op);
+    }
+
+    /// The sweeps a gate would cost if *not* merged into an open block: its
+    /// own kernel pass plus the pending flushes it would force — unless the
+    /// planner would fold gate and pendings into a fresh dense block
+    /// anyway, which caps the cost at that block's sweep.
+    fn unmerged_cost(&self, inst: &Instruction, op: &KernelOp<'_>) -> f64 {
+        let k = inst.qubits.len();
+        let penalty = self.flush_penalty(inst, op);
+        let mut cost = self.profile.sweep_cost(op, k) + penalty;
+        if penalty > 0.0 || matches!(op, KernelOp::Dense(_)) {
+            if k == 2 {
+                cost = cost.min(self.profile.dense_sweep_cost(2));
+            }
+            if k == 3 && self.merge_arity_ok(3) {
+                cost = cost.min(self.profile.dense_sweep_cost(3));
+            }
+        }
+        cost
+    }
+
+    /// The flush cost of the gate's stuck pending neighbors: products that
+    /// can neither left-fold into an open block for free nor commute
+    /// through the gate.
+    fn flush_penalty(&self, inst: &Instruction, op: &KernelOp<'_>) -> f64 {
+        let mut penalty = 0.0;
+        for &q in &inst.qubits {
+            let Some(m) = &self.pending[q] else { continue };
+            if is_exact_identity(m)
+                || self.tracker.owner(q).is_some()
+                || (!matches!(op, KernelOp::Dense(_)) && commutes_through(op, &inst.qubits, q, m))
+            {
+                continue;
+            }
+            penalty += self.profile.flush_cost(is_diagonal(m));
+        }
+        penalty
+    }
+
+    /// Folds `inst` into the open dense block `block` (a
+    /// [`Membership::Join`] the cost model approved): old-wire pendings
+    /// left-fold first, the block matrix widens to the union if the gate
+    /// brings new qubits (new-wire pendings commute with the old block and
+    /// slot in under the gate), and finally the gate's matrix is
+    /// left-multiplied at its bit positions — via [`mul_4x4`] with an
+    /// orientation swap for same-pair merges, via [`embed`] in general. No
+    /// new sweep is emitted.
+    fn merge_into_block(&mut self, block: usize, new_qubits: &[usize], inst: &'c Instruction) {
+        // Pendings on wires the block already owns precede the gate; they
+        // left-fold into the block exactly as a flush would.
+        for &q in &inst.qubits {
+            if self.pending[q].is_some() && self.tracker.owner(q) == Some(block) {
+                self.flush(q);
+            }
+        }
+        let idx = self.tracker.block_pos(block);
+        let cur_k = self.tracker.block_qubits(block).len();
+        let union_k = cur_k + new_qubits.len();
+        if !new_qubits.is_empty() {
+            // Widen the block: old qubits keep their bit positions, new
+            // qubits append. The old matrix embeds as identity ⊗ old.
+            let old_bits: Vec<usize> = (0..cur_k).collect();
+            let target = &mut self.out[idx];
+            let FusedKernel::Dense(mk) = &mut target.kernel else {
+                unreachable!("the tracker only indexes Dense ops");
+            };
+            *mk = embed(mk, &old_bits, union_k);
+            for (i, &q) in new_qubits.iter().enumerate() {
+                target.qubits.push(q);
+                if let Some(p) = self.pending[q].take() {
+                    // Accumulated before the gate, disjoint from the old
+                    // block: left-multiply below the gate.
+                    if !is_exact_identity(&p) {
+                        *mk = embed_1q_in_dense(&p, cur_k + i, union_k).matmul(mk);
+                    }
+                }
+            }
+            self.tracker.extend(block, new_qubits);
+        }
+        let g = inst
+            .gate
+            .matrix()
+            .expect("unitary gate in fused stream has a matrix");
+        let positions: Vec<usize> = inst
+            .qubits
+            .iter()
+            .map(|&q| {
+                self.tracker
+                    .block_qubits(block)
+                    .iter()
+                    .position(|&w| w == q)
+                    .expect("gate qubit is in the merged block")
+            })
+            .collect();
+        let target = &mut self.out[idx];
+        let FusedKernel::Dense(mk) = &mut target.kernel else {
+            unreachable!("the tracker only indexes Dense ops");
+        };
+        if union_k == 2 {
+            let g4 = if positions == [0, 1] {
+                g
+            } else {
+                swap_2q_orientation(&g)
+            };
+            *mk = mul_4x4(&g4, mk);
+        } else {
+            *mk = embed(&g, &positions, union_k).matmul(mk);
+        }
+    }
+
     /// Plans a structured (non-dense) gate of any arity. Pending neighbors
-    /// are, in order of preference: left-folded into an earlier dense block
-    /// (free — a planner-side 4×4 product, no sweep), *commuted through*
-    /// the gate when algebra allows (extending the run), relayed to the
-    /// other qubit for `Swap`, or — for a 2q gate with any product still
-    /// stuck — folded with the gate into one dense 4×4 (one sweep instead
-    /// of a 1q pass plus the structured pass). Only stuck products on 3+
-    /// qubit gates are flushed as their own pass.
+    /// are, in order of preference: left-folded into an open dense block
+    /// (free — a planner-side product, no sweep), *commuted through* the
+    /// gate when algebra allows (extending the run), relayed to the other
+    /// qubit for `Swap`, or — for a 2q gate with any product still stuck —
+    /// folded with the gate into one dense 4×4 (one sweep instead of a 1q
+    /// pass plus the structured pass). Only stuck products on wider gates
+    /// are flushed as their own pass (3q gates reach here only when the
+    /// cost model rejected a dense fold).
     fn pass_structured(&mut self, inst: &'c Instruction, op: KernelOp<'c>) {
-        // Free folds into earlier dense blocks first; a product folded here
+        // Free folds into open dense blocks first; a product folded there
         // no longer needs to commute with this gate.
         for &q in &inst.qubits {
-            if self.pending[q].is_some() && self.last_dense[q].is_some() {
+            if self.pending[q].is_some() && self.tracker.owner(q).is_some() {
                 self.flush(q);
             }
         }
@@ -212,9 +496,9 @@ impl<'c> Planner<'c> {
                 })
                 .collect();
             if inst.qubits.len() == 2 && keep.iter().any(|k| !k) {
-                // Both sides stuck: absorbing them and the gate into one
-                // dense 4×4 beats two 1q passes plus the structured pass.
-                self.fold_dense_2q(inst);
+                // A side is stuck: absorbing it and the gate into one dense
+                // 4×4 beats a 1q pass plus the structured pass.
+                self.open_dense_block(inst);
                 return;
             }
             for (&q, kept) in inst.qubits.iter().zip(&keep) {
@@ -223,38 +507,43 @@ impl<'c> Planner<'c> {
                 }
             }
         }
-        for &q in &inst.qubits {
-            self.last_dense[q] = None;
-        }
+        let idx = self.out.len();
+        self.tracker.touch(&inst.qubits, idx);
         self.out.push(FusedInst {
             qubits: inst.qubits.clone(),
             kernel: FusedKernel::Passthrough(op),
         });
     }
 
-    /// Folds a two-qubit gate and its qubits' pending products into one
-    /// dense 4×4: the gate's matrix right-multiplied by the embedded 2×2s
-    /// (they act first; products on different bits commute). The block is
-    /// recorded as both qubits' left-fold target.
-    fn fold_dense_2q(&mut self, inst: &'c Instruction) {
-        let (a, b) = (inst.qubits[0], inst.qubits[1]);
-        let mut m4 = inst
+    /// Opens a fresh dense block from a 2- or 3-qubit gate, folding the
+    /// qubits' pending products into its matrix (right-multiplied: they act
+    /// first; products on different bits commute). The block is recorded in
+    /// the tracker as every qubit's left-fold/merge target.
+    fn open_dense_block(&mut self, inst: &'c Instruction) {
+        let k = inst.qubits.len();
+        let mut mk = inst
             .gate
             .matrix()
-            .expect("two-qubit unitary gate has a matrix");
-        if let Some(m) = self.pending[a].take() {
-            m4 = m4.matmul(&embed_1q_in_4x4(&m, 0));
-        }
-        if let Some(m) = self.pending[b].take() {
-            m4 = m4.matmul(&embed_1q_in_4x4(&m, 1));
+            .expect("unitary gate in fused stream has a matrix");
+        for (bit, &q) in inst.qubits.iter().enumerate() {
+            if let Some(m) = self.pending[q].take() {
+                if is_exact_identity(&m) {
+                    continue;
+                }
+                let e = embed_1q_in_dense(&m, bit, k);
+                mk = if k == 2 {
+                    mul_4x4(&mk, &e)
+                } else {
+                    mk.matmul(&e)
+                };
+            }
         }
         let idx = self.out.len();
+        self.tracker.open(&inst.qubits, idx);
         self.out.push(FusedInst {
-            qubits: vec![a, b],
-            kernel: FusedKernel::Dense(m4),
+            qubits: inst.qubits.clone(),
+            kernel: FusedKernel::Dense(mk),
         });
-        self.last_dense[a] = Some(idx);
-        self.last_dense[b] = Some(idx);
     }
 }
 
@@ -455,6 +744,154 @@ mod tests {
         assert_eq!(plan.len(), 1, "everything folds into the one 4×4");
         assert!(matches!(plan[0].kernel, FusedKernel::Dense(_)));
         assert!(plan_unitary(&plan, 2).approx_eq(&circuit_unitary_reference(&c), 1e-12));
+    }
+
+    /// A dense SU(4)-like block for merge tests: the unitary of a small
+    /// random 2q circuit.
+    fn dense_2q(seed: u64) -> crate::gate::Gate {
+        use crate::testing::random_circuit;
+        crate::gate::Gate::Unitary(crate::unitary::circuit_unitary(&random_circuit(2, 6, seed)))
+    }
+
+    /// A profile with expensive passes (the streaming state-vector regime),
+    /// which enables pass-saving k=3 growth at any test size.
+    fn streaming() -> FusionProfile {
+        FusionProfile { pass_cost: 6.0 }
+    }
+
+    #[test]
+    fn same_pair_dense_blocks_merge_in_either_orientation() {
+        let mut c = Circuit::new(4);
+        c.push(dense_2q(1), &[0, 1]);
+        c.push(dense_2q(2), &[1, 0]); // reversed pair: orientation-swap path
+        c.push(dense_2q(3), &[0, 1]);
+        let plan = fuse_instructions(c.instructions(), 4);
+        assert_eq!(plan.len(), 1, "same-pair blocks must merge into one 4×4");
+        assert!(matches!(plan[0].kernel, FusedKernel::Dense(_)));
+        assert!(plan_unitary(&plan, 4).approx_eq(&circuit_unitary_reference(&c), 1e-9));
+    }
+
+    #[test]
+    fn structured_gates_absorb_into_open_blocks() {
+        // CZ and CX confined to an open dense block's qubits fold into its
+        // matrix instead of flushing it — no extra sweep.
+        let mut c = Circuit::new(4);
+        c.push(dense_2q(4), &[2, 1]);
+        c.cz(1, 2).cx(2, 1).t(1).cx(1, 2);
+        let plan = fuse_instructions(c.instructions(), 4);
+        assert_eq!(plan.len(), 1, "everything lives on the block's pair");
+        assert!(plan_unitary(&plan, 4).approx_eq(&circuit_unitary_reference(&c), 1e-9));
+    }
+
+    #[test]
+    fn overlapping_dense_blocks_grow_to_8x8_under_streaming_profile() {
+        let mut c = Circuit::new(5);
+        c.push(dense_2q(5), &[0, 1]);
+        c.push(dense_2q(6), &[1, 2]);
+        c.push(dense_2q(7), &[0, 2]); // triangle: all three share ≤3 qubits
+        let plan = fuse_instructions_with(c.instructions(), 5, streaming());
+        assert_eq!(plan.len(), 1, "the triangle must consolidate to one 8×8");
+        assert_eq!(plan[0].qubits.len(), 3);
+        assert!(plan_unitary(&plan, 5).approx_eq(&circuit_unitary_reference(&c), 1e-9));
+    }
+
+    #[test]
+    fn panel_profile_does_not_trade_passes_for_arithmetic() {
+        // Under the panel profile passes are cheap: overlapping dense pairs
+        // keep their 4×4 sweeps (growing to 8×8 would not reduce madds).
+        let mut c = Circuit::new(5);
+        c.push(dense_2q(8), &[0, 1]);
+        c.push(dense_2q(9), &[1, 2]);
+        let plan = fuse_instructions_with(c.instructions(), 5, FusionProfile::panels());
+        assert_eq!(plan.len(), 2);
+        assert!(plan.iter().all(|fi| fi.qubits.len() == 2));
+    }
+
+    #[test]
+    fn small_registers_keep_pre_consolidation_behavior() {
+        // n = 4 ≤ k+1 for k = 3: no growth to 8×8 even under the streaming
+        // profile.
+        let mut c = Circuit::new(4);
+        c.push(dense_2q(10), &[0, 1]);
+        c.push(dense_2q(11), &[1, 2]);
+        let plan = fuse_instructions_with(c.instructions(), 4, streaming());
+        assert_eq!(plan.len(), 2);
+        assert!(plan.iter().all(|fi| fi.qubits.len() == 2));
+        // And n = 3 ≤ k+1 for k = 2: same-pair merging is off too.
+        let mut c = Circuit::new(3);
+        c.push(dense_2q(12), &[0, 1]);
+        c.push(dense_2q(13), &[0, 1]);
+        let plan = fuse_instructions(c.instructions(), 3);
+        assert_eq!(plan.len(), 2);
+    }
+
+    #[test]
+    fn dressed_toffoli_folds_to_dense3_under_streaming_profile() {
+        // Two stuck (non-commuting) 1q neighbors make one 8×8 sweep cheaper
+        // than two flushes plus the structured Toffoli pass.
+        let mut c = Circuit::new(5);
+        c.h(0).h(1).ccx(0, 1, 2);
+        let plan = fuse_instructions_with(c.instructions(), 5, streaming());
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].qubits, vec![0, 1, 2]);
+        assert!(matches!(plan[0].kernel, FusedKernel::Dense(_)));
+        assert!(plan_unitary(&plan, 5).approx_eq(&circuit_unitary_reference(&c), 1e-9));
+        // A bare Toffoli stays structured: its kernel is far cheaper than a
+        // dense 8×8.
+        let mut c = Circuit::new(5);
+        c.ccx(0, 1, 2);
+        let plan = fuse_instructions_with(c.instructions(), 5, streaming());
+        assert!(matches!(plan[0].kernel, FusedKernel::Passthrough(_)));
+    }
+
+    #[test]
+    fn diagonals_still_commute_through_growing_blocks() {
+        // A diagonal run on a CX control passes through and keeps growing
+        // even when dense blocks are being consolidated around it.
+        let mut c = Circuit::new(5);
+        c.push(dense_2q(14), &[0, 1]);
+        c.t(2).cx(2, 3).s(2);
+        c.push(dense_2q(15), &[0, 1]);
+        let plan = fuse_instructions(c.instructions(), 5);
+        // One merged 4×4, the CX passthrough, one merged diagonal run.
+        assert_eq!(plan.len(), 3);
+        assert!(plan_unitary(&plan, 5).approx_eq(&circuit_unitary_reference(&c), 1e-9));
+    }
+
+    #[test]
+    fn fused_plans_preserve_blocked_neighborhood_unitaries() {
+        use crate::testing::blocked_neighborhood_circuit;
+        for n in 2..=6usize {
+            for seed in 0..4u64 {
+                let c = blocked_neighborhood_circuit(n, 24, 5000 + seed * 17 + n as u64);
+                let want = circuit_unitary_reference(&c);
+                for profile in [FusionProfile::panels(), streaming()] {
+                    let plan = fuse_instructions_with(c.instructions(), n, profile);
+                    assert!(
+                        plan_unitary(&plan, n).approx_eq(&want, 1e-9),
+                        "fusion changed a blocked circuit on {n} qubits, seed {seed}, {profile:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_plans_preserve_toffoli_chain_unitaries() {
+        use crate::testing::toffoli_chain;
+        for n in 3..=6usize {
+            for seed in 0..3u64 {
+                let c = toffoli_chain(n, seed);
+                let want = circuit_unitary_reference(&c);
+                for profile in [FusionProfile::panels(), streaming()] {
+                    let plan = fuse_instructions_with(c.instructions(), n, profile);
+                    assert!(
+                        plan_unitary(&plan, n).approx_eq(&want, 1e-9),
+                        "fusion changed a Toffoli chain on {n} qubits, seed {seed}, {profile:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -31,6 +31,7 @@
 //! assert_eq!(bell.depth(), 2);
 //! ```
 
+pub mod blocks;
 pub mod circuit;
 pub mod dag;
 pub mod fusion;
@@ -39,9 +40,10 @@ pub mod qasm;
 pub mod testing;
 pub mod unitary;
 
+pub use blocks::{Block, BlockTracker, Membership};
 pub use circuit::{Circuit, GateCounts, Instruction};
 pub use dag::Dag;
-pub use fusion::{fuse_instructions, FusedInst};
+pub use fusion::{fuse_instructions, fuse_instructions_with, FusedInst, FusionProfile};
 pub use gate::{BasisState, Gate};
 pub use unitary::{
     circuit_unitary, circuit_unitary_reference, circuit_unitary_unfused, circuits_equivalent,

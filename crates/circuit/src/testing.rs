@@ -115,6 +115,87 @@ pub fn random_circuit(num_qubits: usize, num_gates: usize, seed: u64) -> Circuit
     c
 }
 
+/// Builds a Toffoli chain with single-qubit dressing on the operands — the
+/// 3q-neighborhood shape the fusion planner's k≤3 consolidation targets
+/// (and the `statevector_toffoli_chain_14q` bench measures). Deterministic
+/// per seed.
+///
+/// # Panics
+///
+/// Panics if `num_qubits < 3`.
+pub fn toffoli_chain(num_qubits: usize, seed: u64) -> Circuit {
+    assert!(num_qubits >= 3, "a Toffoli chain needs at least 3 qubits");
+    let mut rng = SplitMix64::new(seed);
+    let mut c = Circuit::new(num_qubits);
+    for i in 0..num_qubits - 2 {
+        c.h(i);
+        c.ry(rng.angle(), i + 1);
+        c.ccx(i, i + 1, i + 2);
+        c.t(i + 2);
+    }
+    c
+}
+
+/// Builds a circuit rich in ≤3-qubit dense neighborhoods: dense two-qubit
+/// blocks on overlapping pairs (QV-style), Toffolis, and interleaved
+/// diagonal/1q dressing — the distribution the in-stream block
+/// consolidation rules are exercised on. Deterministic per seed.
+///
+/// # Panics
+///
+/// Panics if `num_qubits < 2`.
+pub fn blocked_neighborhood_circuit(num_qubits: usize, num_gates: usize, seed: u64) -> Circuit {
+    assert!(num_qubits >= 2, "blocked circuits need at least 2 qubits");
+    let mut rng = SplitMix64::new(seed);
+    let mut c = Circuit::new(num_qubits);
+    let mut added = 0;
+    while added < num_gates {
+        match rng.below(8) {
+            // Dense 2q block (a unitary of a random 2q circuit) on a random
+            // pair — overlapping pairs are what grows k≤3 blocks.
+            0..=2 => {
+                let q = rng.distinct_qubits(num_qubits, 2);
+                let u = crate::unitary::circuit_unitary(&random_circuit(2, 6, rng.next_u64()));
+                c.push(Gate::Unitary(u), &q);
+            }
+            3 if num_qubits >= 3 => {
+                let q = rng.distinct_qubits(num_qubits, 3);
+                c.ccx(q[0], q[1], q[2]);
+            }
+            4 => {
+                let q = rng.distinct_qubits(num_qubits, 1)[0];
+                match rng.below(3) {
+                    0 => c.t(q),
+                    1 => c.s(q),
+                    _ => c.rz(rng.angle(), q),
+                };
+            }
+            5 => {
+                let q = rng.distinct_qubits(num_qubits, 1)[0];
+                match rng.below(3) {
+                    0 => c.h(q),
+                    1 => c.ry(rng.angle(), q),
+                    _ => c.x(q),
+                };
+            }
+            6 => {
+                let q = rng.distinct_qubits(num_qubits, 2);
+                match rng.below(3) {
+                    0 => c.cx(q[0], q[1]),
+                    1 => c.cz(q[0], q[1]),
+                    _ => c.swap(q[0], q[1]),
+                };
+            }
+            _ => {
+                let q = rng.distinct_qubits(num_qubits, 2);
+                c.cp(rng.angle(), q[0], q[1]);
+            }
+        }
+        added += 1;
+    }
+    c
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -5,8 +5,11 @@
 //! in three stages:
 //!
 //! 1. **Fusion** ([`crate::fusion`]): 1q runs collapse to single 2×2
-//!    products and 1q gates fold into adjacent 2q blocks, minimizing the
-//!    number of passes over the buffer.
+//!    products, 1q gates fold into adjacent dense blocks, and same-pair /
+//!    in-block gates consolidate into one matrix — planned under the
+//!    *panel* cost profile ([`crate::fusion::FusionProfile::panels`]),
+//!    where passes run at cache bandwidth and only arithmetic-reducing
+//!    merges pay off.
 //! 2. **Cache-blocked panels**: the 2ⁿ columns are processed in panels
 //!    sized to keep each panel (2ⁿ rows × width) inside L2
 //!    ([`PANEL_TARGET_ELEMS`]); the whole fused gate sequence streams over
@@ -33,7 +36,7 @@
 //! is the fast path for larger functional checks (one column, not 2ⁿ).
 
 use crate::circuit::Circuit;
-use crate::fusion::{fuse_instructions, FusedInst};
+use crate::fusion::{fuse_instructions_with, FusedInst, FusionProfile};
 use crate::gate::Gate;
 use qc_math::{KernelEngine, KernelOp, Matrix, C64};
 
@@ -119,7 +122,9 @@ fn panel_width(dim: usize) -> usize {
 /// measure). Directives (barriers, annotations) are skipped.
 pub fn circuit_unitary(circuit: &Circuit) -> Matrix {
     let n = circuit.num_qubits();
-    let plan = fuse_instructions(circuit.instructions(), n);
+    // Panel profile: the plan streams over L2-resident column panels, so
+    // the planner only makes arithmetic-reducing merges (passes are cheap).
+    let plan = fuse_instructions_with(circuit.instructions(), n, FusionProfile::panels());
     unitary_from_plan(&plan, n, panel_width(1usize << n))
 }
 
@@ -129,7 +134,7 @@ pub fn circuit_unitary(circuit: &Circuit) -> Matrix {
 #[doc(hidden)]
 pub fn circuit_unitary_with_panel_width(circuit: &Circuit, width: usize) -> Matrix {
     let n = circuit.num_qubits();
-    let plan = fuse_instructions(circuit.instructions(), n);
+    let plan = fuse_instructions_with(circuit.instructions(), n, FusionProfile::panels());
     unitary_from_plan(&plan, n, width)
 }
 

@@ -7,7 +7,7 @@
 //! the full gate set is strong evidence the kernel engine and the gate
 //! classification are both correct.
 
-use qc_circuit::testing::random_circuit;
+use qc_circuit::testing::{blocked_neighborhood_circuit, random_circuit, toffoli_chain};
 use qc_circuit::unitary::circuit_unitary_with_panel_width;
 use qc_circuit::{
     circuit_unitary, circuit_unitary_reference, circuit_unitary_unfused, Circuit, Gate,
@@ -116,6 +116,70 @@ fn every_gate_kind_alone_matches_reference() {
             fast.approx_eq(&slow, 1e-12),
             "mismatch for {gate} on {qubits:?}"
         );
+    }
+}
+
+#[test]
+fn blocked_neighborhoods_match_unfused_and_reference() {
+    // The consolidation rules (same-pair merges, k≤3 growth, in-block
+    // absorption) against both independent oracles, over the 3q-rich
+    // distribution: QV-style dense pairs, Toffolis, interleaved diagonals.
+    for n in 2..=6usize {
+        for seed in 0..6u64 {
+            let c = blocked_neighborhood_circuit(n, 30, 9000 + seed * 31 + n as u64);
+            let fused = circuit_unitary(&c);
+            assert!(
+                fused.approx_eq(&circuit_unitary_unfused(&c), 1e-9),
+                "fused/unfused mismatch on a blocked circuit, {n} qubits, seed {seed}"
+            );
+            assert!(
+                fused.approx_eq(&circuit_unitary_reference(&c), 1e-9),
+                "fused/reference mismatch on a blocked circuit, {n} qubits, seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn toffoli_chains_match_unfused_and_reference() {
+    for n in 3..=6usize {
+        for seed in 0..4u64 {
+            let c = toffoli_chain(n, seed);
+            let fused = circuit_unitary(&c);
+            assert!(
+                fused.approx_eq(&circuit_unitary_unfused(&c), 1e-9),
+                "fused/unfused mismatch on a Toffoli chain, {n} qubits, seed {seed}"
+            );
+            assert!(
+                fused.approx_eq(&circuit_unitary_reference(&c), 1e-9),
+                "fused/reference mismatch on a Toffoli chain, {n} qubits, seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+#[cfg(feature = "parallel")]
+fn parallel_blocked_neighborhoods_are_bit_identical_at_every_thread_count() {
+    // 8-qubit blocked circuits split across panels: the fused plan (with
+    // merged 4×4 and, under the streaming profile, 8×8 blocks) must be
+    // bit-identical at 1, 2 and max threads.
+    let max_t = qc_math::max_threads().max(2);
+    for (label, c) in [
+        ("blocked", blocked_neighborhood_circuit(8, 40, 77)),
+        ("toffoli-chain", toffoli_chain(8, 7)),
+    ] {
+        qc_math::set_max_threads(Some(1));
+        let sequential = circuit_unitary_with_panel_width(&c, 32);
+        for threads in [2, max_t] {
+            qc_math::set_max_threads(Some(threads));
+            let parallel = circuit_unitary_with_panel_width(&c, 32);
+            qc_math::set_max_threads(None);
+            assert!(
+                sequential == parallel,
+                "thread count {threads} changed bits on a {label} circuit"
+            );
+        }
     }
 }
 

@@ -179,7 +179,9 @@ impl Pass for Qpo {
 /// count.
 fn optimize_blocks(circuit: &mut Circuit) -> Result<(), TranspileError> {
     let dag = Dag::from_circuit(circuit);
-    let blocks = dag.collect_two_qubit_blocks();
+    // Pair detection shared with ConsolidateBlocks and the fusion planner
+    // (`qc_circuit::BlockTracker`).
+    let blocks = dag.collect_blocks(2);
     if blocks.is_empty() {
         return Ok(());
     }
@@ -187,7 +189,7 @@ fn optimize_blocks(circuit: &mut Circuit) -> Result<(), TranspileError> {
     let mut drop = vec![false; circuit.len()];
     let mut replace_at: Vec<Option<Vec<Instruction>>> = vec![None; circuit.len()];
     for block in &blocks {
-        let (a, b) = block.qubits;
+        let (a, b) = (block.qubits[0], block.qubits[1]);
         // Entry state of each wire at its first gate inside the block.
         let first_for = |w: usize| {
             block

@@ -128,6 +128,30 @@ pub fn mul_2x2(a: &[C64; 4], b: &[C64; 4]) -> [C64; 4] {
     ]
 }
 
+/// Multiplies two 4×4 matrices (`a · b`) without the generic matmul's
+/// zero-skip branches — the fusion planner's same-pair block-merge path,
+/// where both operands are small dense products.
+///
+/// # Panics
+///
+/// Panics if either operand is not 4×4.
+pub fn mul_4x4(a: &Matrix, b: &Matrix) -> Matrix {
+    assert!(
+        a.rows() == 4 && a.cols() == 4 && b.rows() == 4 && b.cols() == 4,
+        "mul_4x4 takes 4×4 operands"
+    );
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let mut out = [C64::ZERO; 16];
+    for r in 0..4 {
+        let ar = &av[r * 4..r * 4 + 4];
+        for c in 0..4 {
+            out[r * 4 + c] =
+                ar[0] * bv[c] + ar[1] * bv[4 + c] + ar[2] * bv[8 + c] + ar[3] * bv[12 + c];
+        }
+    }
+    Matrix::from_vec(4, 4, out.to_vec())
+}
+
 /// Inserts a zero bit at each position in `sorted_masks` (single-bit masks in
 /// ascending order), spreading the low bits of `base` across the remaining
 /// positions. This is the base-index enumeration primitive: iterating
@@ -440,6 +464,18 @@ impl KernelEngine {
             apply_dense_2q(buf, row_len, qubits[0], qubits[1], &m4);
             return;
         }
+        if k == 3 {
+            // Register-blocked dense-3q kernel for the planner's k≤3 fused
+            // blocks: the eight participating rows are mixed element-wise —
+            // one read and one write per element instead of the general
+            // path's gather/axpy/scatter round trips.
+            let mut m8 = Box::new([C64::ZERO; 64]);
+            for (i, v) in m8.iter_mut().enumerate() {
+                *v = m[(i >> 3, i & 7)];
+            }
+            apply_dense_3q(buf, row_len, [qubits[0], qubits[1], qubits[2]], &m8);
+            return;
+        }
         self.set_offsets(qubits);
         let masks = self.masks.as_slice();
         let offsets = self.offsets.as_slice();
@@ -630,6 +666,45 @@ fn mix_rows_inner(ri: &mut [C64], rj: &mut [C64], m: &[C64; 4]) {
 }
 simd_dispatch!(mix_rows => mix_rows_inner / mix_rows_avx2 / mix_rows_avx512,
     fn(ri: &mut [C64], rj: &mut [C64], m: &[C64; 4]));
+
+/// Element-wise 8×8 mix of eight equal-length runs (the dense three-qubit
+/// kernel's inner loop): `rₗ ← Σ_c m[l][c]·r_c` per element. One read and
+/// one write per element — no gather scratch.
+#[inline(always)]
+fn mix_rows8_inner(rows: &mut [&mut [C64]; 8], m: &[C64; 64]) {
+    let len = rows[0].len();
+    debug_assert!(rows.iter().all(|r| r.len() == len));
+    // Raw row pointers: eight simultaneously-indexed slices defeat the
+    // bounds-check eliminator, and the checks dominate the 8-way mix.
+    let mut p = [std::ptr::null_mut::<C64>(); 8];
+    for (ptr, row) in p.iter_mut().zip(rows.iter_mut()) {
+        *ptr = row.as_mut_ptr();
+    }
+    for e in 0..len {
+        // SAFETY: e < len == every row's length; the rows are disjoint by
+        // the caller's (kernel) contract.
+        unsafe {
+            let v = [
+                *p[0].add(e),
+                *p[1].add(e),
+                *p[2].add(e),
+                *p[3].add(e),
+                *p[4].add(e),
+                *p[5].add(e),
+                *p[6].add(e),
+                *p[7].add(e),
+            ];
+            for (r, &ptr) in p.iter().enumerate() {
+                let mr = &m[r * 8..r * 8 + 8];
+                let mut acc = mr[0] * v[0];
+                for (&coeff, &x) in mr.iter().zip(&v).skip(1) {
+                    acc += coeff * x;
+                }
+                *ptr.add(e) = acc;
+            }
+        }
+    }
+}
 
 /// Element-wise 4×4 mix of four equal-length runs (the dense two-qubit
 /// kernel's inner loop): `rₗ ← Σ_c m[l][c]·r_c` per element. One read and
@@ -832,6 +907,93 @@ fn apply_dense_2q(buf: &mut [C64], row_len: usize, qa: usize, qb: usize, m: &[C6
         }
     });
 }
+
+/// Dense three-qubit kernel: left-multiplies every base-index octuple by a
+/// row-major 8×8 (local index = bit q₂·4 + bit q₁·2 + bit q₀). Like
+/// [`apply_dense_2q`], the rows are mixed element-wise in place
+/// ([`mix_rows8_inner`]) — one read and one write per element, no gather
+/// scratch —
+/// which is what the planner's k=3 fused neighborhoods ride on.
+fn apply_dense_3q(buf: &mut [C64], row_len: usize, qs: [usize; 3], m: &[C64; 64]) {
+    let raw = [1usize << qs[0], 1usize << qs[1], 1usize << qs[2]];
+    let mut masks = raw;
+    masks.sort_unstable();
+    let mut offs = [0usize; 8];
+    for (l, off) in offs.iter_mut().enumerate() {
+        for (bit, &mask) in raw.iter().enumerate() {
+            if (l >> bit) & 1 == 1 {
+                *off |= mask;
+            }
+        }
+    }
+    let dim = buf.len() / row_len;
+    let nk = dim >> 3;
+    let total = buf.len();
+    let bp = BufPtr::of(buf);
+    par_units(nk, total, move |lo, hi| {
+        // Dispatch once per span, not per octuple: the whole base-index
+        // loop (including the scalar state-vector path) compiles under the
+        // detected target features, like the 1q/2q row kernels.
+        dense3_span(bp, row_len, lo, hi, &masks, &offs, m);
+    });
+}
+
+/// One executor's span of the dense-3q kernel: applies the 8×8 to every
+/// base-index octuple in `[lo, hi)`.
+#[inline(always)]
+fn dense3_span_inner(
+    bp: BufPtr,
+    row_len: usize,
+    lo: usize,
+    hi: usize,
+    masks: &[usize; 3],
+    offs: &[usize; 8],
+    m: &[C64; 64],
+) {
+    if row_len == 1 {
+        for bidx in lo..hi {
+            let base = expand_bits(bidx, masks);
+            // SAFETY: the eight indices are distinct and distinct base
+            // indices give disjoint octuples.
+            unsafe {
+                let mut v = [C64::ZERO; 8];
+                for (x, &off) in v.iter_mut().zip(offs) {
+                    *x = *bp.ptr.add(base + off);
+                }
+                for (r, &off) in offs.iter().enumerate() {
+                    let mr = &m[r * 8..r * 8 + 8];
+                    let mut acc = mr[0] * v[0];
+                    for (&coeff, &x) in mr.iter().zip(&v).skip(1) {
+                        acc += coeff * x;
+                    }
+                    *bp.ptr.add(base + off) = acc;
+                }
+            }
+        }
+        return;
+    }
+    for bidx in lo..hi {
+        let base = expand_bits(bidx, masks);
+        // SAFETY: the eight rows are distinct and distinct base indices
+        // give disjoint octuples.
+        unsafe {
+            let mut rows: [&mut [C64]; 8] = [
+                bp.span((base + offs[0]) * row_len, row_len),
+                bp.span((base + offs[1]) * row_len, row_len),
+                bp.span((base + offs[2]) * row_len, row_len),
+                bp.span((base + offs[3]) * row_len, row_len),
+                bp.span((base + offs[4]) * row_len, row_len),
+                bp.span((base + offs[5]) * row_len, row_len),
+                bp.span((base + offs[6]) * row_len, row_len),
+                bp.span((base + offs[7]) * row_len, row_len),
+            ];
+            mix_rows8_inner(&mut rows, m);
+        }
+    }
+}
+simd_dispatch!(dense3_span => dense3_span_inner / dense3_span_avx2 / dense3_span_avx512,
+    fn(bp: BufPtr, row_len: usize, lo: usize, hi: usize,
+       masks: &[usize; 3], offs: &[usize; 8], m: &[C64; 64]));
 
 #[cfg(test)]
 mod tests {
@@ -1048,6 +1210,38 @@ mod tests {
     }
 
     #[test]
+    fn dense_matches_embed_for_3q() {
+        // A dense 8×8 with no zero entries, on orderings that exercise the
+        // register-blocked three-qubit kernel's offset table.
+        let mm = Matrix::from_fn(8, 8, |i, j| {
+            C64::new(
+                ((i * 8 + j) % 11) as f64 - 5.0,
+                ((i * 3 + j * 5) % 7) as f64 / 3.0,
+            )
+        });
+        for qs in [[0, 1, 2], [2, 0, 1], [3, 1, 0], [1, 3, 2]] {
+            check_op(
+                &KernelOp::Dense(&mm),
+                &mm,
+                &qs,
+                4,
+                (qs[0] * 23 + qs[1] * 5 + qs[2]) as u64,
+            );
+        }
+    }
+
+    #[test]
+    fn mul_4x4_matches_generic_matmul() {
+        let a = Matrix::from_fn(4, 4, |i, j| {
+            C64::new((i + 2 * j) as f64, (i * j) as f64 - 1.0)
+        });
+        let b = Matrix::from_fn(4, 4, |i, j| {
+            C64::new((3 * i) as f64 - j as f64, 0.5 * j as f64)
+        });
+        assert!(mul_4x4(&a, &b).approx_eq(&a.matmul(&b), 1e-12));
+    }
+
+    #[test]
     fn permutation_kernel_applies_mapping() {
         // SwapZ's permutation: l → perm[l].
         static PERM: [usize; 4] = [0, 3, 1, 2];
@@ -1146,6 +1340,16 @@ mod tests {
         static PERM: [usize; 4] = [0, 3, 1, 2];
         eng.apply_batched(&mut buf, n, row_len, &KernelOp::Permutation(&PERM), &[1, 4]);
         eng.apply_batched(&mut buf, n, row_len, &KernelOp::Dense(&dense), &[n - 2, 2]);
+        let dense3 = Matrix::from_fn(8, 8, |i, j| {
+            C64::new((i % 3) as f64 - (j % 5) as f64, 0.125 * (i + j) as f64)
+        });
+        eng.apply_batched(
+            &mut buf,
+            n,
+            row_len,
+            &KernelOp::Dense(&dense3),
+            &[n - 1, 0, 3],
+        );
         buf
     }
 

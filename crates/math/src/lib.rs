@@ -35,7 +35,9 @@ pub mod real;
 pub mod svd;
 
 pub use complex::C64;
-pub use kernel::{apply_2x2, expand_bits, kernel_threads, mul_2x2, KernelEngine, KernelOp};
+pub use kernel::{
+    apply_2x2, expand_bits, kernel_threads, mul_2x2, mul_4x4, KernelEngine, KernelOp,
+};
 #[cfg(feature = "parallel")]
 pub use kernel::{default_threads, max_threads, set_max_threads};
 pub use matrix::Matrix;

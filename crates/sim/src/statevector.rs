@@ -12,11 +12,16 @@
 //!
 //! Whole-circuit runs ([`Statevector::from_circuit`]) go through the gate
 //! **fusion planner** ([`qc_circuit::fuse_instructions`]): runs of 1q gates
-//! collapse into one 2×2 and 1q gates fold into neighboring 2q blocks, so
-//! deep circuits sweep the amplitude vector far fewer times. Under the
-//! `parallel` cargo feature the kernels additionally split large amplitude
-//! vectors (≥ 2¹⁶ amplitudes) across the vendored scoped-thread pool, with
-//! bit-identical results at any thread count.
+//! collapse into one 2×2, 1q gates fold into neighboring dense blocks, and
+//! — under the planner's state-vector cost profile — neighborhoods of up
+//! to three qubits consolidate in-stream: same-pair dense blocks merge
+//! into one 4×4, and once the vector outgrows the cache-resident budget
+//! (2¹⁶ amplitudes, where passes stream from beyond L2) overlapping 2q/1q
+//! neighborhoods grow into single 8×8 sweeps. Deep circuits therefore
+//! sweep the amplitude vector far fewer times. Under the `parallel` cargo
+//! feature the kernels additionally split large amplitude vectors (≥ 2¹⁶
+//! amplitudes) across the vendored scoped-thread pool, with bit-identical
+//! results at any thread count.
 //!
 //! Sampling uses a cumulative-distribution table with binary search:
 //! O(2ⁿ + shots·n) instead of the O(shots·2ⁿ) per-shot linear scan.

@@ -4,7 +4,7 @@
 //! engine; the oracle column comes from `circuit_unitary_reference` — the
 //! retained embed-then-matmul path that never touches the kernel engine.
 
-use qc_circuit::testing::random_circuit;
+use qc_circuit::testing::{blocked_neighborhood_circuit, random_circuit, toffoli_chain};
 use qc_circuit::{circuit_unitary_reference, Circuit, Gate};
 use qc_sim::Statevector;
 
@@ -104,6 +104,66 @@ fn fused_run_matches_per_gate_application() {
                     "fusion changed the state on {n} qubits, seed {seed}"
                 );
             }
+        }
+    }
+}
+
+#[test]
+fn blocked_neighborhoods_match_reference_column() {
+    // The planner's consolidation rules through the simulator: QV-style
+    // dense pairs, Toffolis and interleaved diagonals vs the
+    // embed-then-matmul oracle.
+    for n in 2..=6 {
+        for seed in 0..6u64 {
+            let c = blocked_neighborhood_circuit(n, 30, 600 + seed * 13 + n as u64);
+            assert_matches_reference_column(&c, &format!("blocked, {n} qubits, seed {seed}"));
+        }
+    }
+    for n in 3..=6 {
+        let c = toffoli_chain(n, n as u64);
+        assert_matches_reference_column(&c, &format!("toffoli chain, {n} qubits"));
+    }
+}
+
+#[test]
+fn streaming_regime_consolidation_matches_per_gate_application() {
+    // At 2¹⁷ amplitudes the planner uses the streaming profile and grows
+    // k=3 dense blocks; the result must still match the plain per-gate
+    // engine path.
+    let c = blocked_neighborhood_circuit(17, 30, 4242);
+    let fused = Statevector::from_circuit(&c);
+    let mut per_gate = Statevector::zero_state(17);
+    for inst in c.instructions() {
+        per_gate.apply_gate(&inst.gate, &inst.qubits);
+    }
+    for (a, b) in fused.amplitudes().iter().zip(per_gate.amplitudes()) {
+        assert!(
+            (*a - *b).norm() < 1e-9,
+            "k≤3 consolidation changed the state"
+        );
+    }
+}
+
+#[test]
+#[cfg(feature = "parallel")]
+fn parallel_blocked_simulation_is_bit_identical_at_every_thread_count() {
+    // Toffoli-chain and QV-blocked shapes at 2¹⁷ amplitudes: the streaming
+    // profile grows 8×8 blocks, whose kernel loops genuinely split.
+    let max_t = qc_math::max_threads().max(2);
+    for (label, c) in [
+        ("blocked", blocked_neighborhood_circuit(17, 24, 2121)),
+        ("toffoli-chain", toffoli_chain(17, 3)),
+    ] {
+        qc_math::set_max_threads(Some(1));
+        let sequential = Statevector::from_circuit(&c);
+        for threads in [2, max_t] {
+            qc_math::set_max_threads(Some(threads));
+            let parallel = Statevector::from_circuit(&c);
+            qc_math::set_max_threads(None);
+            assert!(
+                sequential.amplitudes() == parallel.amplitudes(),
+                "thread count {threads} changed simulation bits on a {label} circuit"
+            );
         }
     }
 }

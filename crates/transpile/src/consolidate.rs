@@ -23,7 +23,10 @@ impl Pass for ConsolidateBlocks {
 
     fn run(&self, circuit: &mut Circuit) -> Result<(), TranspileError> {
         let dag = Dag::from_circuit(circuit);
-        let blocks = dag.collect_two_qubit_blocks();
+        // Pair detection shared with QPO's block rewrite and the fusion
+        // planner (`qc_circuit::BlockTracker`): one membership machine
+        // decides what counts as a foldable neighborhood everywhere.
+        let blocks = dag.collect_blocks(2);
         if blocks.is_empty() {
             return Ok(());
         }
@@ -36,7 +39,7 @@ impl Pass for ConsolidateBlocks {
         // local circuit per candidate block.
         let mut acc = UnitaryAccumulator::new(2);
         for block in &blocks {
-            let (a, b) = block.qubits;
+            let (a, b) = (block.qubits[0], block.qubits[1]);
             // Build the local 2-qubit circuit (a→0, b→1).
             let mut local = Circuit::new(2);
             let mut cx_before = 0usize;

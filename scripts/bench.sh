@@ -7,11 +7,16 @@
 #                (e.g. `scripts/bench.sh circuit_unitary`).
 #
 # Environment:
-#   BENCH_OUT        output path (default BENCH_kernels.json)
+#   BENCH_OUT        output path, relative to the repo root unless absolute
+#                    (default BENCH_kernels.json)
 #   BENCH_FEATURES   cargo features for the bench build (default "parallel";
 #                    set empty to benchmark the single-threaded build)
 #   RPO_THREADS      kernel thread cap; the bench itself records the
 #                    effective count as "threads" in the JSON
+#
+# The bench writes to a temporary file that is moved into place only when
+# the bench binary exits 0, so a crashed or interrupted run can never
+# clobber the committed summary with a truncated JSON.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -19,14 +24,24 @@ cd "$(dirname "$0")/.."
 OUT="${BENCH_OUT:-BENCH_kernels.json}"
 FEATURES="${BENCH_FEATURES-parallel}"
 
+case "$OUT" in
+    /*) ABS_OUT="$OUT" ;;
+    *) ABS_OUT="$PWD/$OUT" ;;
+esac
+mkdir -p "$(dirname "$ABS_OUT")"
+TMP="${ABS_OUT}.tmp.$$"
+trap 'rm -f "$TMP"' EXIT
+
 FEATURE_ARGS=()
 if [[ -n "$FEATURES" ]]; then
     FEATURE_ARGS=(--features "$FEATURES")
 fi
 
-CRITERION_JSON_OUT="$PWD/$OUT" \
+CRITERION_JSON_OUT="$TMP" \
     cargo bench -p qc-bench "${FEATURE_ARGS[@]}" --bench kernels -- "${1:-}"
+
+mv "$TMP" "$ABS_OUT"
 
 echo
 echo "Summary written to $OUT:"
-cat "$OUT"
+cat "$ABS_OUT"
