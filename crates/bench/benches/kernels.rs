@@ -166,6 +166,30 @@ fn bench_kernels(c: &mut Criterion) {
     c.bench_function("stochastic_route_qv8_melbourne", |b| {
         b.iter(|| route(&qv, &backend, 3, 5).unwrap())
     });
+
+    // Whole-pipeline benches: a 20-qubit quantum-volume model circuit
+    // transpiled for the 20-qubit almaden grid at level 3, and through the
+    // RPO-extended pipeline. These track the pass-manager architecture
+    // (conversion consolidation, cached analyses, change-driven fixed
+    // point), not any single kernel.
+    let almaden = Backend::almaden();
+    let qv20 = quantum_volume_with_depth(20, 10, 5);
+    c.bench_function("transpile_level3_qv20", |b| {
+        b.iter(|| {
+            qc_transpile::transpile(
+                &qv20,
+                &almaden,
+                &qc_transpile::TranspileOptions::level(3).with_seed(7),
+            )
+            .unwrap()
+        })
+    });
+    c.bench_function("transpile_rpo_qv20", |b| {
+        b.iter(|| {
+            rpo_core::transpile_rpo(&qv20, &almaden, &rpo_core::RpoOptions::new().with_seed(7))
+                .unwrap()
+        })
+    });
 }
 
 criterion_group!(benches, bench_kernels);

@@ -55,6 +55,30 @@ pub struct GateCounts {
     pub total: usize,
 }
 
+/// [`Circuit::gate_counts`] over a raw instruction slice — shared with the
+/// DAG IR so both report identical statistics.
+pub fn gate_counts_of(instructions: &[Instruction]) -> GateCounts {
+    let mut c = GateCounts::default();
+    for inst in instructions {
+        if inst.gate.is_directive() || matches!(inst.gate, Gate::Reset | Gate::Measure) {
+            continue;
+        }
+        c.total += 1;
+        match inst.gate.num_qubits() {
+            1 => c.single_qubit += 1,
+            2 => {
+                if matches!(inst.gate, Gate::Cx) {
+                    c.cx += 1;
+                } else {
+                    c.other_two_qubit += 1;
+                }
+            }
+            _ => c.multi_qubit += 1,
+        }
+    }
+    c
+}
+
 /// A quantum circuit: an ordered list of [`Instruction`]s over `n` qubits.
 ///
 /// The instruction list is a valid topological order of the circuit DAG by
@@ -190,25 +214,7 @@ impl Circuit {
 
     /// Gate statistics (excluding directives, resets and measures).
     pub fn gate_counts(&self) -> GateCounts {
-        let mut c = GateCounts::default();
-        for inst in &self.instructions {
-            if inst.gate.is_directive() || matches!(inst.gate, Gate::Reset | Gate::Measure) {
-                continue;
-            }
-            c.total += 1;
-            match inst.gate.num_qubits() {
-                1 => c.single_qubit += 1,
-                2 => {
-                    if matches!(inst.gate, Gate::Cx) {
-                        c.cx += 1;
-                    } else {
-                        c.other_two_qubit += 1;
-                    }
-                }
-                _ => c.multi_qubit += 1,
-            }
-        }
-        c
+        gate_counts_of(&self.instructions)
     }
 
     /// Number of occurrences of gates with the given name.
@@ -250,6 +256,11 @@ impl Circuit {
     /// Replaces the instruction list wholesale (used by transpiler passes).
     pub fn set_instructions(&mut self, instructions: Vec<Instruction>) {
         self.instructions = instructions;
+    }
+
+    /// Consumes the circuit, returning its instruction list.
+    pub fn into_instructions(self) -> Vec<Instruction> {
+        self.instructions
     }
 
     /// Grows the circuit to at least `n` qubits.

@@ -1,21 +1,199 @@
-//! A lightweight dependency-DAG view of a circuit.
+//! The transpiler's shared mutable IR: a dependency-DAG view of a circuit.
 //!
 //! The instruction list of a [`Circuit`] is already a topological order;
 //! [`Dag`] adds the wire structure on top of it: per-node predecessors and
 //! successors along qubit wires, a ready-set scheduler (used by the routing
 //! pass), maximal single-qubit runs (used by `Optimize1qGates`), and
 //! two-qubit block collection (the `Collect2qBlocks` analogue).
+//!
+//! Since the DAG-native pass-manager refactor the `Dag` is also *mutable*:
+//! passes batch their rewrites into a [`DagEdit`] (node removal,
+//! replacement by an expansion, whole-stream reconstruction) and
+//! [`Dag::apply`] splices them in, renumbering nodes to keep the
+//! `node index == program position` invariant. Every mutation bumps a
+//! monotone generation counter and stamps the **wires** the edit touched
+//! ([`Dag::wire_gen`]), which is what lets cached analyses (block
+//! membership, per-wire state automata) invalidate only the wires a pass
+//! actually rewrote. The [`ChangeReport`] returned by `apply` is the
+//! currency of the change-driven fixed-point loop: a pass that reports no
+//! rewrites is skipped until another pass dirties a wire.
+//!
+//! [`Dag::from_circuit`] and [`Dag::to_circuit`] are the *only* sanctioned
+//! Circuit↔Dag boundary and each bumps a thread-local conversion counter
+//! ([`conversion_counts`]) so tests can assert a pipeline converts exactly
+//! once in each direction.
 
 use crate::blocks::{Block, BlockTracker, Membership};
-use crate::circuit::{Circuit, Instruction};
+use crate::circuit::{Circuit, GateCounts, Instruction};
+use std::cell::Cell;
 
-/// Dependency DAG over the instructions of a circuit.
+thread_local! {
+    static CIRCUIT_TO_DAG: Cell<usize> = const { Cell::new(0) };
+    static DAG_TO_CIRCUIT: Cell<usize> = const { Cell::new(0) };
+}
+
+/// `(circuit→dag, dag→circuit)` conversion counts for the current thread
+/// since the last [`reset_conversion_counts`].
+pub fn conversion_counts() -> (usize, usize) {
+    (CIRCUIT_TO_DAG.get(), DAG_TO_CIRCUIT.get())
+}
+
+/// Zeroes the thread-local conversion counters.
+pub fn reset_conversion_counts() {
+    CIRCUIT_TO_DAG.set(0);
+    DAG_TO_CIRCUIT.set(0);
+}
+
+/// A set of wires (qubit indices), the unit of analysis invalidation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireSet {
+    bits: Vec<bool>,
+}
+
+impl WireSet {
+    /// The empty set over `num_qubits` wires.
+    pub fn empty(num_qubits: usize) -> Self {
+        WireSet {
+            bits: vec![false; num_qubits],
+        }
+    }
+
+    /// The full set over `num_qubits` wires.
+    pub fn full(num_qubits: usize) -> Self {
+        WireSet {
+            bits: vec![true; num_qubits],
+        }
+    }
+
+    /// Number of wires the set ranges over.
+    pub fn num_qubits(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Adds a wire.
+    pub fn insert(&mut self, q: usize) {
+        if q >= self.bits.len() {
+            self.bits.resize(q + 1, false);
+        }
+        self.bits[q] = true;
+    }
+
+    /// Whether the set contains `q`.
+    pub fn contains(&self, q: usize) -> bool {
+        self.bits.get(q).copied().unwrap_or(false)
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        !self.bits.iter().any(|&b| b)
+    }
+
+    /// Removes every wire.
+    pub fn clear(&mut self) {
+        self.bits.iter_mut().for_each(|b| *b = false);
+    }
+
+    /// Adds every wire of `other`.
+    pub fn union(&mut self, other: &WireSet) {
+        if other.bits.len() > self.bits.len() {
+            self.bits.resize(other.bits.len(), false);
+        }
+        for (q, &b) in other.bits.iter().enumerate() {
+            if b {
+                self.bits[q] = true;
+            }
+        }
+    }
+
+    /// The contained wires, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.bits
+            .iter()
+            .enumerate()
+            .filter_map(|(q, &b)| b.then_some(q))
+    }
+}
+
+/// What a pass did to the DAG: how many nodes it rewrote and which wires
+/// those rewrites touched. The fixed-point driver unions reports into the
+/// other passes' dirty sets; a report with zero rewrites dirties nothing.
+#[derive(Clone, Debug)]
+pub struct ChangeReport {
+    /// Number of edit operations applied (removals + replacements).
+    pub rewrites: usize,
+    /// Wires touched by the rewrites (old and new instructions' qubits).
+    pub touched: WireSet,
+}
+
+impl ChangeReport {
+    /// A report of no changes.
+    pub fn none(num_qubits: usize) -> Self {
+        ChangeReport {
+            rewrites: 0,
+            touched: WireSet::empty(num_qubits),
+        }
+    }
+
+    /// Whether anything changed.
+    pub fn changed(&self) -> bool {
+        self.rewrites > 0
+    }
+
+    /// Accumulates `other` into this report.
+    pub fn merge(&mut self, other: &ChangeReport) {
+        self.rewrites += other.rewrites;
+        self.touched.union(&other.touched);
+    }
+}
+
+/// One batched mutation of a [`Dag`]: node removals and replacements
+/// (splice-in of decompositions), applied in one renumbering pass by
+/// [`Dag::apply`].
+#[derive(Clone, Debug, Default)]
+pub struct DagEdit {
+    ops: Vec<(usize, Option<Vec<Instruction>>)>,
+}
+
+impl DagEdit {
+    /// An empty edit.
+    pub fn new() -> Self {
+        DagEdit::default()
+    }
+
+    /// Removes node `node`.
+    pub fn remove(&mut self, node: usize) {
+        self.ops.push((node, None));
+    }
+
+    /// Replaces node `node` with `insts` (empty = removal) spliced in at
+    /// its position.
+    pub fn replace(&mut self, node: usize, insts: Vec<Instruction>) {
+        self.ops.push((node, Some(insts)));
+    }
+
+    /// Whether the edit contains no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of edit operations recorded.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+}
+
+/// Dependency DAG over the instructions of a circuit — the transpiler's
+/// shared mutable IR (see the module docs).
 #[derive(Clone, Debug)]
 pub struct Dag {
     num_qubits: usize,
     nodes: Vec<Instruction>,
     preds: Vec<Vec<usize>>,
     succs: Vec<Vec<usize>>,
+    /// Monotone mutation counter; bumped by every non-empty [`Dag::apply`].
+    generation: u64,
+    /// Per-wire stamp of the generation that last touched the wire.
+    wire_gen: Vec<u64>,
 }
 
 /// A collected two-qubit block: a maximal run of gates that act only on one
@@ -28,36 +206,152 @@ pub struct TwoQubitBlock {
     pub nodes: Vec<usize>,
 }
 
-impl Dag {
-    /// Builds the DAG from a circuit.
-    pub fn from_circuit(circuit: &Circuit) -> Self {
-        let nodes: Vec<Instruction> = circuit.instructions().to_vec();
-        let n = nodes.len();
-        let mut preds = vec![Vec::new(); n];
-        let mut succs = vec![Vec::new(); n];
-        let mut last_on_wire: Vec<Option<usize>> = vec![None; circuit.num_qubits()];
-        for (i, inst) in nodes.iter().enumerate() {
-            for &q in &inst.qubits {
-                if let Some(p) = last_on_wire[q] {
-                    if !preds[i].contains(&p) {
-                        preds[i].push(p);
-                        succs[p].push(i);
-                    }
+/// Wire predecessor/successor lists for a node sequence.
+fn build_links(nodes: &[Instruction], num_qubits: usize) -> (Vec<Vec<usize>>, Vec<Vec<usize>>) {
+    let n = nodes.len();
+    let mut preds = vec![Vec::new(); n];
+    let mut succs = vec![Vec::new(); n];
+    let mut last_on_wire: Vec<Option<usize>> = vec![None; num_qubits];
+    for (i, inst) in nodes.iter().enumerate() {
+        for &q in &inst.qubits {
+            if let Some(p) = last_on_wire[q] {
+                if !preds[i].contains(&p) {
+                    preds[i].push(p);
+                    succs[p].push(i);
                 }
-                last_on_wire[q] = Some(i);
             }
+            last_on_wire[q] = Some(i);
         }
+    }
+    (preds, succs)
+}
+
+impl Dag {
+    /// Builds the DAG from a circuit, bumping the thread-local
+    /// circuit→dag conversion counter.
+    pub fn from_circuit(circuit: &Circuit) -> Self {
+        CIRCUIT_TO_DAG.set(CIRCUIT_TO_DAG.get() + 1);
+        let nodes: Vec<Instruction> = circuit.instructions().to_vec();
+        let (preds, succs) = build_links(&nodes, circuit.num_qubits());
         Dag {
             num_qubits: circuit.num_qubits(),
             nodes,
             preds,
             succs,
+            generation: 1,
+            wire_gen: vec![1; circuit.num_qubits()],
         }
+    }
+
+    /// Flattens the DAG back into a circuit (the nodes already are a
+    /// topological order), bumping the thread-local dag→circuit conversion
+    /// counter.
+    pub fn to_circuit(&self) -> Circuit {
+        DAG_TO_CIRCUIT.set(DAG_TO_CIRCUIT.get() + 1);
+        let mut c = Circuit::new(self.num_qubits);
+        c.set_instructions(self.nodes.clone());
+        c
     }
 
     /// Number of qubits of the underlying circuit.
     pub fn num_qubits(&self) -> usize {
         self.num_qubits
+    }
+
+    /// The monotone mutation counter (1 at construction).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The generation that last touched wire `q` — the key cached analyses
+    /// compare against to invalidate per wire.
+    pub fn wire_gen(&self, q: usize) -> u64 {
+        self.wire_gen[q]
+    }
+
+    /// Gate statistics over the current nodes (same accounting as
+    /// [`Circuit::gate_counts`]).
+    pub fn gate_counts(&self) -> GateCounts {
+        crate::circuit::gate_counts_of(&self.nodes)
+    }
+
+    /// Applies a batched edit: removals and replacements splice in at
+    /// their node's position, nodes renumber to the new program order, and
+    /// the wires of every removed, replaced or inserted instruction are
+    /// stamped with a fresh generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edit references a node twice or out of range, or if a
+    /// replacement instruction uses an out-of-range qubit.
+    pub fn apply(&mut self, edit: DagEdit) -> ChangeReport {
+        if edit.is_empty() {
+            return ChangeReport::none(self.num_qubits);
+        }
+        let mut by_node: Vec<Option<Option<Vec<Instruction>>>> = vec![None; self.nodes.len()];
+        let rewrites = edit.ops.len();
+        for (node, op) in edit.ops {
+            assert!(
+                node < self.nodes.len(),
+                "edit references node {node} out of range"
+            );
+            assert!(
+                by_node[node].is_none(),
+                "node {node} edited twice in one batch"
+            );
+            by_node[node] = Some(op);
+        }
+        let mut touched = WireSet::empty(self.num_qubits);
+        let mut new_nodes: Vec<Instruction> = Vec::with_capacity(self.nodes.len());
+        for (i, inst) in self.nodes.drain(..).enumerate() {
+            match by_node[i].take() {
+                None => new_nodes.push(inst),
+                Some(op) => {
+                    for &q in &inst.qubits {
+                        touched.insert(q);
+                    }
+                    for ni in op.into_iter().flatten() {
+                        for &q in &ni.qubits {
+                            assert!(
+                                q < self.num_qubits,
+                                "replacement qubit {q} out of range for {}-qubit dag",
+                                self.num_qubits
+                            );
+                            touched.insert(q);
+                        }
+                        new_nodes.push(ni);
+                    }
+                }
+            }
+        }
+        self.nodes = new_nodes;
+        let (preds, succs) = build_links(&self.nodes, self.num_qubits);
+        self.preds = preds;
+        self.succs = succs;
+        self.generation += 1;
+        for q in touched.iter() {
+            self.wire_gen[q] = self.generation;
+        }
+        ChangeReport { rewrites, touched }
+    }
+
+    /// Replaces the whole node stream (and possibly the width) — the tool
+    /// of structural passes like layout application and routing that
+    /// reconstruct the circuit rather than rewrite nodes in place. Touches
+    /// every wire.
+    pub fn replace_all(&mut self, num_qubits: usize, nodes: Vec<Instruction>) -> ChangeReport {
+        let rewrites = self.nodes.len().max(nodes.len()).max(1);
+        self.num_qubits = num_qubits;
+        self.nodes = nodes;
+        let (preds, succs) = build_links(&self.nodes, self.num_qubits);
+        self.preds = preds;
+        self.succs = succs;
+        self.generation += 1;
+        self.wire_gen = vec![self.generation; num_qubits];
+        ChangeReport {
+            rewrites,
+            touched: WireSet::full(num_qubits),
+        }
     }
 
     /// The instructions, indexed by node id (instruction order).
@@ -349,5 +643,90 @@ mod tests {
         c.h(0).h(1);
         let dag = Dag::from_circuit(&c);
         assert!(dag.collect_two_qubit_blocks().is_empty());
+    }
+
+    #[test]
+    fn apply_removes_and_replaces_nodes() {
+        use crate::gate::Gate;
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).t(1).cx(1, 2);
+        let mut dag = Dag::from_circuit(&c);
+        let mut edit = DagEdit::new();
+        edit.remove(2); // drop the t
+        edit.replace(
+            1,
+            vec![
+                Instruction::new(Gate::H, vec![1]),
+                Instruction::new(Gate::Cz, vec![0, 1]),
+                Instruction::new(Gate::H, vec![1]),
+            ],
+        );
+        let report = dag.apply(edit);
+        assert_eq!(report.rewrites, 2);
+        assert!(report.touched.contains(0) && report.touched.contains(1));
+        assert!(!report.touched.contains(2));
+        let names: Vec<&str> = dag.nodes().iter().map(|i| i.gate.name()).collect();
+        assert_eq!(names, vec!["h", "h", "cz", "h", "cx"]);
+        // Links rebuilt: the final cx depends on the last h (wire 1).
+        assert_eq!(dag.preds(4), &[3]);
+    }
+
+    #[test]
+    fn wire_generations_track_touched_wires_only() {
+        let mut c = Circuit::new(4);
+        c.h(0).cx(2, 3);
+        let mut dag = Dag::from_circuit(&c);
+        assert_eq!(dag.generation(), 1);
+        let mut edit = DagEdit::new();
+        edit.remove(1);
+        dag.apply(edit);
+        assert_eq!(dag.generation(), 2);
+        assert_eq!(dag.wire_gen(0), 1);
+        assert_eq!(dag.wire_gen(1), 1);
+        assert_eq!(dag.wire_gen(2), 2);
+        assert_eq!(dag.wire_gen(3), 2);
+        // An empty edit is a no-op at generation level.
+        let report = dag.apply(DagEdit::new());
+        assert!(!report.changed());
+        assert_eq!(dag.generation(), 2);
+    }
+
+    #[test]
+    fn replace_all_rewrites_stream_and_width() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let mut dag = Dag::from_circuit(&c);
+        let report = dag.replace_all(
+            3,
+            vec![
+                Instruction::new(crate::gate::Gate::X, vec![2]),
+                Instruction::new(crate::gate::Gate::Cx, vec![2, 0]),
+            ],
+        );
+        assert!(report.changed());
+        assert_eq!(dag.num_qubits(), 3);
+        assert_eq!(dag.nodes().len(), 2);
+        assert_eq!(dag.wire_gen(1), dag.generation());
+    }
+
+    #[test]
+    fn conversion_counters_count_both_directions() {
+        reset_conversion_counts();
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let dag = Dag::from_circuit(&c);
+        let back = dag.to_circuit();
+        assert_eq!(back, c);
+        assert_eq!(conversion_counts(), (1, 1));
+        reset_conversion_counts();
+        assert_eq!(conversion_counts(), (0, 0));
+    }
+
+    #[test]
+    fn gate_counts_match_circuit() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cz(1, 2).ccx(0, 1, 2).measure_all();
+        let dag = Dag::from_circuit(&c);
+        assert_eq!(dag.gate_counts(), c.gate_counts());
     }
 }

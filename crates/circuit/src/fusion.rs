@@ -151,17 +151,37 @@ const CACHE_RESIDENT_QUBITS: usize = 16;
 /// 2-/4-way kernels (64 coefficients exceed the register budget).
 const DENSE3_PENALTY: f64 = 1.4;
 
+/// The no-measurement fallback pass costs: cache-resident and streaming,
+/// the pre-calibration two-point model.
+const FALLBACK_CHEAP_PASS: f64 = 1.0;
+const FALLBACK_STREAMING_PASS: f64 = 6.0;
+
 impl FusionProfile {
     /// Cost profile for cache-blocked panel streaming (`circuit_unitary`).
+    /// Panels are sized to stay L2-resident by construction, so the
+    /// cache-resident constant applies regardless of calibration.
     pub fn panels() -> Self {
-        FusionProfile { pass_cost: 1.0 }
+        FusionProfile {
+            pass_cost: FALLBACK_CHEAP_PASS,
+        }
     }
 
     /// Cost profile for applying the plan to one 2ⁿ-amplitude vector.
+    ///
+    /// The two operating points (cache-resident below 2¹⁶ amplitudes,
+    /// streaming above) come from a one-time per-process microcalibration
+    /// ([`qc_math::calibrated_cheap_pass_cost`] /
+    /// [`qc_math::calibrated_streaming_pass_cost`], each measured lazily
+    /// on first use) of this host's pass-per-madd ratios; when the
+    /// measurement is unavailable or disabled (`RPO_CALIBRATE=0`) the
+    /// historical constants (1 and 6) apply.
     pub fn statevector(n: usize) -> Self {
-        FusionProfile {
-            pass_cost: if n > CACHE_RESIDENT_QUBITS { 6.0 } else { 1.0 },
-        }
+        let pass_cost = if n > CACHE_RESIDENT_QUBITS {
+            qc_math::calibrated_streaming_pass_cost().unwrap_or(FALLBACK_STREAMING_PASS)
+        } else {
+            qc_math::calibrated_cheap_pass_cost().unwrap_or(FALLBACK_CHEAP_PASS)
+        };
+        FusionProfile { pass_cost }
     }
 
     /// The cost of a dense k-qubit sweep: one pass plus 2ᵏ multiply-adds

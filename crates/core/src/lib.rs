@@ -40,12 +40,16 @@
 //! assert_eq!(c.gate_counts().cx, 0);
 //! ```
 
+pub mod analysis;
 pub mod pipeline;
 pub mod qbo;
 pub mod qpo;
 pub mod state;
 
-pub use pipeline::{transpile_rpo, RpoOptions};
+pub use analysis::WireStateCache;
+pub use pipeline::{
+    transpile_rpo, transpile_rpo_instrumented, transpile_rpo_reference, RpoOptions,
+};
 pub use qbo::Qbo;
 pub use qpo::Qpo;
 pub use state::{BasisTracked, PureTracked, StateAnalysis};

@@ -20,11 +20,14 @@
 use crate::qbo::Qbo;
 use crate::qpo::Qpo;
 use qc_backends::Backend;
-use qc_circuit::Circuit;
+use qc_circuit::{Circuit, Dag};
+use qc_transpile::manager::{run_named, FixedPointLoop, PassStats, PropertySet};
+use qc_transpile::optimize_1q::Optimize1qGates;
 use qc_transpile::preset::{
-    stage_fixpoint_loop, stage_layout, stage_optimize_1q, stage_route, stage_unroll_device,
-    stage_unroll_extended, Transpiled,
+    dag_stage_layout, dag_stage_route, fixpoint_passes, stage_fixpoint_loop, stage_layout,
+    stage_optimize_1q, stage_route, stage_unroll_device, stage_unroll_extended, Transpiled,
 };
+use qc_transpile::unroll::Unroller;
 use qc_transpile::{Pass, TranspileError, TranspileOptions};
 
 /// Options for the RPO pipeline.
@@ -117,6 +120,121 @@ impl RpoOptions {
 /// assert_eq!(out.circuit.gate_counts().cx, 0);
 /// ```
 pub fn transpile_rpo(
+    circuit: &Circuit,
+    backend: &Backend,
+    opts: &RpoOptions,
+) -> Result<Transpiled, TranspileError> {
+    transpile_rpo_instrumented(circuit, backend, opts).map(|(t, _)| t)
+}
+
+/// [`transpile_rpo`] with per-pass execution statistics, DAG-native: one
+/// circuit→dag conversion, every Fig. 8 stage mutating the shared IR in
+/// place (QBO/QPO included), the change-driven fixed-point loop, and one
+/// dag→circuit conversion at the end.
+///
+/// # Errors
+///
+/// Same failure modes as [`transpile_rpo`].
+pub fn transpile_rpo_instrumented(
+    circuit: &Circuit,
+    backend: &Backend,
+    opts: &RpoOptions,
+) -> Result<(Transpiled, Vec<PassStats>), TranspileError> {
+    let qbo = if opts.phase_relaxed {
+        Qbo::phase_relaxed()
+    } else if opts.extended_rules {
+        Qbo::with_extended_rules()
+    } else {
+        Qbo::new()
+    };
+    let qpo = if opts.enable_block_qpo {
+        Qpo::new()
+    } else {
+        Qpo::without_block_optimization()
+    };
+    // The single circuit→dag conversion of the pipeline.
+    let mut dag = Dag::from_circuit(circuit);
+    let mut props = PropertySet::new();
+    let mut stats: Vec<PassStats> = Vec::new();
+    // 1: early QBO on the abstract circuit (sees ccx/mcx/cswap intact).
+    if opts.enable_qbo && opts.early_qbo {
+        run_named("QBO(early)", &qbo, &mut dag, &mut props, &mut stats)?;
+    }
+    // 2: unroll to the device basis.
+    run_named(
+        "Unroller(device)",
+        &Unroller::to_device_basis(),
+        &mut dag,
+        &mut props,
+        &mut stats,
+    )?;
+    // 3: layout (dense, as in level 3).
+    let layout = dag_stage_layout(&mut dag, backend, 3)?;
+    // 4: routing (inserts SWAP gates).
+    let wire_map = dag_stage_route(&mut dag, backend, opts.base.seed, opts.base.routing_trials)?;
+    // 5: QBO again — the inserted SWAPs meet ancilla/ground-state wires.
+    if opts.enable_qbo {
+        run_named("QBO(post-route)", &qbo, &mut dag, &mut props, &mut stats)?;
+    }
+    // 6: unroll keeping swap/swapz visible to QPO.
+    run_named(
+        "Unroller(extended)",
+        &Unroller::to_extended_basis(),
+        &mut dag,
+        &mut props,
+        &mut stats,
+    )?;
+    // 7: merge single-qubit runs so QPO sees clean u-gates.
+    run_named(
+        "Optimize1qGates",
+        &Optimize1qGates,
+        &mut dag,
+        &mut props,
+        &mut stats,
+    )?;
+    // 8: QPO.
+    if opts.enable_qpo {
+        run_named("QPO", &qpo, &mut dag, &mut props, &mut stats)?;
+    }
+    // 9: the level-3 fixed-point loop (consolidation included), after
+    // lowering any remaining swap/swapz to CNOTs.
+    run_named(
+        "Unroller(device)",
+        &Unroller::to_device_basis(),
+        &mut dag,
+        &mut props,
+        &mut stats,
+    )?;
+    run_named(
+        "Optimize1qGates",
+        &Optimize1qGates,
+        &mut dag,
+        &mut props,
+        &mut stats,
+    )?;
+    let mut fp = FixedPointLoop::new(fixpoint_passes(true), dag.num_qubits());
+    fp.run(&mut dag, &mut props, 10)?;
+    stats.extend(fp.stats);
+    let final_map = layout.iter().map(|&w| wire_map[w]).collect();
+    // The single dag→circuit conversion of the pipeline.
+    let c = dag.to_circuit();
+    Ok((
+        Transpiled {
+            circuit: c,
+            final_map,
+        },
+        stats,
+    ))
+}
+
+/// The pre-refactor [`transpile_rpo`]: circuit-cloning stages and the
+/// unconditional fixed-point loop, retained verbatim as the property-test
+/// oracle for the DAG-native pipeline.
+///
+/// # Errors
+///
+/// Same failure modes as [`transpile_rpo`].
+pub fn transpile_rpo_reference(
     circuit: &Circuit,
     backend: &Backend,
     opts: &RpoOptions,

@@ -330,18 +330,29 @@ fn make_mcz(qubits: &[usize]) -> Option<Instruction> {
     }
 }
 
-impl Pass for Qbo {
-    fn name(&self) -> &'static str {
-        "QBO"
-    }
-
-    fn run(&self, circuit: &mut Circuit) -> Result<(), TranspileError> {
-        let mut st = StateAnalysis::new(circuit.num_qubits());
-        let mut out: Vec<Instruction> = Vec::with_capacity(circuit.len());
-        for inst in circuit.instructions() {
+impl Qbo {
+    /// Runs the analysis-driven rewrite over an instruction stream,
+    /// returning the final expansion of each input instruction — `None`
+    /// when the instruction is kept untouched, `Some(insts)` (possibly
+    /// empty) when a rewrite chain fired. The shared core of the
+    /// circuit-level and DAG-native drivers.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a rewrite chain does not terminate (a bug).
+    fn expand_stream(
+        &self,
+        insts: &[Instruction],
+        num_qubits: usize,
+    ) -> Result<Vec<Option<Vec<Instruction>>>, TranspileError> {
+        let mut st = StateAnalysis::new(num_qubits);
+        let mut out: Vec<Option<Vec<Instruction>>> = Vec::with_capacity(insts.len());
+        for inst in insts {
             let mut queue: VecDeque<Instruction> = VecDeque::new();
             queue.push_back(inst.clone());
-            let mut budget = 64 + 4 * circuit.num_qubits();
+            let mut budget = 64 + 4 * num_qubits;
+            let mut kept: Vec<Instruction> = Vec::new();
+            let mut rewritten = false;
             while let Some(cur) = queue.pop_front() {
                 if budget == 0 {
                     return Err(TranspileError::Internal(
@@ -351,19 +362,60 @@ impl Pass for Qbo {
                 budget -= 1;
                 match self.rewrite(&cur, &st) {
                     Some(replacement) => {
+                        rewritten = true;
                         for r in replacement.into_iter().rev() {
                             queue.push_front(r);
                         }
                     }
                     None => {
                         st.transition(&cur.gate, &cur.qubits);
-                        out.push(cur);
+                        kept.push(cur);
                     }
                 }
+            }
+            out.push(rewritten.then_some(kept));
+        }
+        Ok(out)
+    }
+}
+
+impl Pass for Qbo {
+    fn name(&self) -> &'static str {
+        "QBO"
+    }
+
+    fn run(&self, circuit: &mut Circuit) -> Result<(), TranspileError> {
+        let expansions = self.expand_stream(circuit.instructions(), circuit.num_qubits())?;
+        let mut out: Vec<Instruction> = Vec::with_capacity(circuit.len());
+        for (inst, exp) in circuit.instructions().iter().zip(expansions) {
+            match exp {
+                None => out.push(inst.clone()),
+                Some(kept) => out.extend(kept),
             }
         }
         circuit.set_instructions(out);
         Ok(())
+    }
+}
+
+impl qc_transpile::DagPass for Qbo {
+    fn name(&self) -> &'static str {
+        "QBO"
+    }
+
+    fn run_on_dag(
+        &self,
+        dag: &mut qc_circuit::Dag,
+        _props: &mut qc_transpile::PropertySet,
+    ) -> Result<qc_circuit::ChangeReport, TranspileError> {
+        let expansions = self.expand_stream(dag.nodes(), dag.num_qubits())?;
+        let mut edit = qc_circuit::DagEdit::new();
+        for (i, exp) in expansions.into_iter().enumerate() {
+            if let Some(kept) = exp {
+                edit.replace(i, kept);
+            }
+        }
+        Ok(dag.apply(edit))
     }
 }
 

@@ -17,6 +17,7 @@
 //!   replaced by an *un-preparation* of the inputs plus a state-preparation
 //!   circuit for `|φ⟩` (one CNOT via the Schmidt decomposition, Fig. 4).
 
+use crate::analysis::{WireStateCache, WIRE_STATES_KEY};
 use crate::state::{vector_to_bloch, PureTracked, StateAnalysis};
 use qc_circuit::gate::u3_matrix;
 use qc_circuit::{circuit_unitary, Circuit, Dag, Gate, Instruction};
@@ -140,6 +141,31 @@ fn dressed_swapz(theta: f64, phi: f64, pq: usize, other: usize) -> Vec<Instructi
     insts
 }
 
+/// Phase 1 over an instruction stream: the final expansion of each input
+/// instruction (`None` = kept untouched), plus the running analysis. The
+/// shared core of the circuit-level and DAG-native drivers.
+fn expand_stream(insts: &[Instruction], num_qubits: usize) -> Vec<Option<Vec<Instruction>>> {
+    let mut st = StateAnalysis::new(num_qubits);
+    let mut out: Vec<Option<Vec<Instruction>>> = Vec::with_capacity(insts.len());
+    for inst in insts {
+        match rewrite(inst, &st) {
+            Some(replacement) => {
+                // Rewrites produce already-final gates; no re-queueing
+                // needed (they are 1q gates, SWAPZ or controlled-U).
+                for r in &replacement {
+                    st.transition(&r.gate, &r.qubits);
+                }
+                out.push(Some(replacement));
+            }
+            None => {
+                st.transition(&inst.gate, &inst.qubits);
+                out.push(None);
+            }
+        }
+    }
+    out
+}
+
 impl Pass for Qpo {
     fn name(&self) -> &'static str {
         "QPO"
@@ -147,22 +173,12 @@ impl Pass for Qpo {
 
     fn run(&self, circuit: &mut Circuit) -> Result<(), TranspileError> {
         // Phase 1: per-instruction rewrites driven by the running analysis.
-        let mut st = StateAnalysis::new(circuit.num_qubits());
+        let expansions = expand_stream(circuit.instructions(), circuit.num_qubits());
         let mut out: Vec<Instruction> = Vec::with_capacity(circuit.len());
-        for inst in circuit.instructions() {
-            match rewrite(inst, &st) {
-                Some(replacement) => {
-                    // Rewrites produce already-final gates; no re-queueing
-                    // needed (they are 1q gates, SWAPZ or controlled-U).
-                    for r in replacement {
-                        st.transition(&r.gate, &r.qubits);
-                        out.push(r);
-                    }
-                }
-                None => {
-                    st.transition(&inst.gate, &inst.qubits);
-                    out.push(inst.clone());
-                }
+        for (inst, exp) in circuit.instructions().iter().zip(expansions) {
+            match exp {
+                None => out.push(inst.clone()),
+                Some(kept) => out.extend(kept),
             }
         }
         circuit.set_instructions(out);
@@ -171,6 +187,81 @@ impl Pass for Qpo {
             optimize_blocks(circuit)?;
         }
         Ok(())
+    }
+}
+
+impl qc_transpile::DagPass for Qpo {
+    fn name(&self) -> &'static str {
+        "QPO"
+    }
+
+    fn run_on_dag(
+        &self,
+        dag: &mut qc_circuit::Dag,
+        props: &mut qc_transpile::PropertySet,
+    ) -> Result<qc_circuit::ChangeReport, TranspileError> {
+        // Phase 1.
+        let expansions = expand_stream(dag.nodes(), dag.num_qubits());
+        let mut edit = qc_circuit::DagEdit::new();
+        for (i, exp) in expansions.into_iter().enumerate() {
+            if let Some(kept) = exp {
+                edit.replace(i, kept);
+            }
+        }
+        let mut total = dag.apply(edit);
+        if !self.optimize_blocks {
+            return Ok(total);
+        }
+        // Phase 2, on the cached analyses: block membership from the
+        // shared BlocksAnalysis, entry states from the per-wire
+        // WireStateCache — recomputed only when a *block* wire (or a
+        // swap-coupled dependency) was dirtied since the cached run.
+        let (drop, replace_at) = {
+            let blocks = qc_transpile::BlocksAnalysis::get(props, dag, 2).to_vec();
+            if blocks.is_empty() {
+                return Ok(total);
+            }
+            let block_wires: Vec<usize> = blocks.iter().flat_map(|b| b.qubits.clone()).collect();
+            let cache_ok = props
+                .get::<WireStateCache>(WIRE_STATES_KEY)
+                .is_some_and(|c| c.valid_for(dag, block_wires.iter().copied()));
+            if !cache_ok {
+                props.insert(WIRE_STATES_KEY, WireStateCache::compute(dag));
+            }
+            let cache = props
+                .get::<WireStateCache>(WIRE_STATES_KEY)
+                .expect("just ensured");
+            // Wire-local position of every node's qubits, so block-entry
+            // states can be looked up in the per-wire trajectories.
+            let mut next_k = vec![0usize; dag.num_qubits()];
+            let mut wire_pos: Vec<Vec<(usize, usize)>> = Vec::with_capacity(dag.nodes().len());
+            for inst in dag.nodes() {
+                let mut ks = Vec::with_capacity(inst.qubits.len());
+                for &q in &inst.qubits {
+                    ks.push((q, next_k[q]));
+                    next_k[q] += 1;
+                }
+                wire_pos.push(ks);
+            }
+            let entry_pure = |w: usize, node: usize| -> PureTracked {
+                let &(_, k) = wire_pos[node]
+                    .iter()
+                    .find(|&&(q, _)| q == w)
+                    .expect("node touches the wire");
+                cache.entry(w, k).1
+            };
+            plan_block_rewrites(dag.nodes(), &blocks, &entry_pure)
+        };
+        let mut edit = qc_circuit::DagEdit::new();
+        for (i, r) in replace_at.into_iter().enumerate() {
+            if let Some(mapped) = r {
+                edit.replace(i, mapped);
+            } else if drop[i] {
+                edit.remove(i);
+            }
+        }
+        total.merge(&dag.apply(edit));
+        Ok(total)
     }
 }
 
@@ -186,9 +277,32 @@ fn optimize_blocks(circuit: &mut Circuit) -> Result<(), TranspileError> {
         return Ok(());
     }
     let (entries, _) = StateAnalysis::entry_states(circuit);
-    let mut drop = vec![false; circuit.len()];
-    let mut replace_at: Vec<Option<Vec<Instruction>>> = vec![None; circuit.len()];
-    for block in &blocks {
+    let entry_pure = |w: usize, node: usize| entries[node].pure_state(w);
+    let (drop, mut replace_at) = plan_block_rewrites(dag.nodes(), &blocks, &entry_pure);
+    let mut out = Vec::with_capacity(circuit.len());
+    for (i, inst) in circuit.instructions().iter().enumerate() {
+        if let Some(mapped) = replace_at[i].take() {
+            out.extend(mapped);
+        } else if !drop[i] {
+            out.push(inst.clone());
+        }
+    }
+    circuit.set_instructions(out);
+    Ok(())
+}
+
+/// The block-rewrite plan over a node sequence, its collected blocks and an
+/// entry-state oracle (`entry_pure(wire, node)` = the pure-domain state of
+/// `wire` just before `node`). Shared by the circuit-level and DAG-native
+/// drivers.
+fn plan_block_rewrites(
+    nodes: &[Instruction],
+    blocks: &[qc_circuit::Block],
+    entry_pure: &dyn Fn(usize, usize) -> PureTracked,
+) -> (Vec<bool>, Vec<Option<Vec<Instruction>>>) {
+    let mut drop = vec![false; nodes.len()];
+    let mut replace_at: Vec<Option<Vec<Instruction>>> = vec![None; nodes.len()];
+    for block in blocks {
         let (a, b) = (block.qubits[0], block.qubits[1]);
         // Entry state of each wire at its first gate inside the block.
         let first_for = |w: usize| {
@@ -196,12 +310,12 @@ fn optimize_blocks(circuit: &mut Circuit) -> Result<(), TranspileError> {
                 .nodes
                 .iter()
                 .copied()
-                .find(|&n| dag.nodes()[n].qubits.contains(&w))
+                .find(|&n| nodes[n].qubits.contains(&w))
         };
         let (Some(na), Some(nb)) = (first_for(a), first_for(b)) else {
             continue;
         };
-        let (sa, sb) = (entries[na].pure_state(a), entries[nb].pure_state(b));
+        let (sa, sb) = (entry_pure(a, na), entry_pure(b, nb));
         let (Some(va), Some(vb)) = (sa.state_vector(), sb.state_vector()) else {
             continue;
         };
@@ -209,7 +323,7 @@ fn optimize_blocks(circuit: &mut Circuit) -> Result<(), TranspileError> {
         let mut local = Circuit::new(2);
         let mut cx_before = 0usize;
         for &n in &block.nodes {
-            let inst = &dag.nodes()[n];
+            let inst = &nodes[n];
             let qs: Vec<usize> = inst
                 .qubits
                 .iter()
@@ -270,16 +384,7 @@ fn optimize_blocks(circuit: &mut Circuit) -> Result<(), TranspileError> {
         }
         replace_at[*block.nodes.last().expect("non-empty")] = Some(mapped);
     }
-    let mut out = Vec::with_capacity(circuit.len());
-    for (i, inst) in circuit.instructions().iter().enumerate() {
-        if let Some(mapped) = replace_at[i].take() {
-            out.extend(mapped);
-        } else if !drop[i] {
-            out.push(inst.clone());
-        }
-    }
-    circuit.set_instructions(out);
-    Ok(())
+    (drop, replace_at)
 }
 
 #[cfg(test)]

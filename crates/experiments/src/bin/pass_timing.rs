@@ -1,0 +1,57 @@
+//! Per-pass timing table for the DAG-native pipelines — the CI artifact
+//! that makes the change-driven fixed point observable: for each pass it
+//! reports how often it ran, how often the change tracking skipped it as
+//! clean, how many node rewrites it performed, and its wall time.
+//!
+//! Emits a markdown table to stdout for two workloads: a 20-qubit
+//! quantum-volume circuit through preset level 3 and through the
+//! RPO-extended pipeline (the same circuits as the `transpile_level3_qv20`
+//! / `transpile_rpo_qv20` benches).
+
+use qc_algos::quantum_volume_with_depth;
+use qc_backends::Backend;
+use qc_transpile::manager::PassStats;
+use qc_transpile::preset::transpile_instrumented;
+use qc_transpile::TranspileOptions;
+use rpo_core::{transpile_rpo_instrumented, RpoOptions};
+
+fn print_table(title: &str, stats: &[PassStats]) {
+    println!("## {title}\n");
+    println!("| pass | runs | skipped (clean) | rewrites | wall time |");
+    println!("|---|---:|---:|---:|---:|");
+    let mut total = std::time::Duration::ZERO;
+    for s in stats {
+        println!(
+            "| {} | {} | {} | {} | {:.3} ms |",
+            s.name,
+            s.runs,
+            s.skipped,
+            s.rewrites,
+            s.wall.as_secs_f64() * 1e3
+        );
+        total += s.wall;
+    }
+    println!(
+        "| **total** | {} | {} | {} | **{:.3} ms** |\n",
+        stats.iter().map(|s| s.runs).sum::<usize>(),
+        stats.iter().map(|s| s.skipped).sum::<usize>(),
+        stats.iter().map(|s| s.rewrites).sum::<usize>(),
+        total.as_secs_f64() * 1e3
+    );
+}
+
+fn main() {
+    let backend = Backend::almaden();
+    let qv20 = quantum_volume_with_depth(20, 10, 5);
+
+    println!("# Pipeline pass timing (qv20 on {})\n", backend.name());
+
+    let (_, stats) =
+        transpile_instrumented(&qv20, &backend, &TranspileOptions::level(3).with_seed(7))
+            .expect("level-3 transpile");
+    print_table("Preset level 3", &stats);
+
+    let (_, stats) = transpile_rpo_instrumented(&qv20, &backend, &RpoOptions::new().with_seed(7))
+        .expect("RPO transpile");
+    print_table("RPO pipeline (Fig. 8)", &stats);
+}

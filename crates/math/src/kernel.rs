@@ -82,6 +82,91 @@ pub fn kernel_threads() -> usize {
     }
 }
 
+/// One-time (per process, per point) microcalibration of the fusion
+/// planner's sweep cost model: the cost of one full memory pass over an
+/// amplitude buffer, in units of one dense multiply-add per amplitude, at
+/// the model's cache-resident operating point (2¹³ scalars, 128 KiB).
+///
+/// Each point times two structured kernels — a diagonal 1q sweep
+/// (`pass + 1 madd`) and a dense 1q sweep (`pass + 2 madds`) — and solves
+/// the two-equation system: the madd cost is the *difference* of the two
+/// timings, the pass cost the remainder. Results are clamped (here to
+/// `[0.25, 8]` madds). Returns `None` — and callers fall back to their
+/// built-in constants — when the measurement is degenerate (timer too
+/// coarse, non-positive difference) or disabled via `RPO_CALIBRATE=0`.
+///
+/// The two points are measured lazily and independently, so a process
+/// that only ever simulates cache-resident registers never pays the
+/// 16 MiB streaming probe (and vice versa). Note the measured value is
+/// frozen per process: fusion plans — and therefore output-amplitude
+/// rounding — can differ *between* processes on a noisy host; set
+/// `RPO_CALIBRATE=0` when cross-run bit reproducibility matters.
+pub fn calibrated_cheap_pass_cost() -> Option<f64> {
+    use std::sync::OnceLock;
+    static CAL: OnceLock<Option<f64>> = OnceLock::new();
+    *CAL.get_or_init(|| {
+        if !calibration_enabled() {
+            return None;
+        }
+        Some(measure_pass_cost(13, 16)?.clamp(0.25, 8.0))
+    })
+}
+
+/// [`calibrated_cheap_pass_cost`]'s streaming counterpart: the pass cost
+/// over a beyond-cache buffer (2²⁰ scalars, 16 MiB), clamped to `[1, 24]`
+/// madds.
+pub fn calibrated_streaming_pass_cost() -> Option<f64> {
+    use std::sync::OnceLock;
+    static CAL: OnceLock<Option<f64>> = OnceLock::new();
+    *CAL.get_or_init(|| {
+        if !calibration_enabled() {
+            return None;
+        }
+        Some(measure_pass_cost(20, 1)?.clamp(1.0, 24.0))
+    })
+}
+
+fn calibration_enabled() -> bool {
+    std::env::var("RPO_CALIBRATE").as_deref() != Ok("0")
+}
+
+/// Measures the pass-per-madd ratio on a 2ⁿ-scalar buffer, applying each
+/// probe kernel `inner` times per timing sample (small buffers need the
+/// batching to rise above timer noise).
+fn measure_pass_cost(n: usize, inner: usize) -> Option<f64> {
+    use std::time::Instant;
+    let mut buf = vec![C64::new(0.6, 0.8); 1 << n];
+    let mut engine = KernelEngine::new();
+    let diag = KernelOp::OneQDiag([C64::new(0.8, 0.6), C64::new(0.6, -0.8)]);
+    let dense = KernelOp::OneQ([
+        C64::new(0.8, 0.0),
+        C64::new(0.0, 0.6),
+        C64::new(0.0, 0.6),
+        C64::new(0.8, 0.0),
+    ]);
+    let mut time_op = |op: &KernelOp<'_>| -> f64 {
+        // Warm up once (page faults, table growth), then keep the best of
+        // three samples to shed scheduler noise.
+        engine.apply(&mut buf, n, op, &[0]);
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            for _ in 0..inner {
+                engine.apply(&mut buf, n, op, &[0]);
+            }
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let t_diag = time_op(&diag);
+    let t_dense = time_op(&dense);
+    let madd = t_dense - t_diag;
+    if madd <= 0.0 || t_diag <= madd {
+        return None; // degenerate measurement: keep the fallback constants
+    }
+    Some((t_diag - madd) / madd)
+}
+
 /// A gate's action in *local* (gate-qubit) terms, classified for kernel
 /// dispatch. Obtained from `qc_circuit::Gate::kernel()`; constructing one
 /// never heap-allocates (the dense fallback borrows).
@@ -219,7 +304,7 @@ impl BufPtr {
 /// Bodies must make each unit's work element-wise independent of the split
 /// so results are bit-identical at every thread count.
 #[inline]
-fn par_units<F: Fn(usize, usize) + Sync>(units: usize, total_elems: usize, body: F) {
+pub fn par_units<F: Fn(usize, usize) + Sync>(units: usize, total_elems: usize, body: F) {
     #[cfg(feature = "parallel")]
     if total_elems >= PAR_MIN_ELEMS {
         return scoped_pool::run_chunked(units, body);

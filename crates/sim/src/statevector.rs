@@ -31,9 +31,43 @@
 //! operator is required (all 2ⁿ columns, O(4ⁿ) memory).
 
 use qc_circuit::{fuse_instructions, Circuit, Gate, Instruction};
-use qc_math::{expand_bits, KernelEngine, Matrix, C64};
+use qc_math::{expand_bits, par_units, KernelEngine, Matrix, C64};
 use rand::Rng;
 use std::collections::HashMap;
+
+/// A raw mutable pointer shipped into `par_units` bodies for disjoint
+/// element-wise writes (the same aliasing discipline as the kernel
+/// engine's buffer spans: each split chunk touches its own indices only).
+struct SyncPtr<T>(*mut T);
+unsafe impl<T> Send for SyncPtr<T> {}
+unsafe impl<T> Sync for SyncPtr<T> {}
+
+impl<T> SyncPtr<T> {
+    /// # Safety
+    ///
+    /// `i` must be in bounds and not concurrently written by another chunk.
+    #[inline]
+    unsafe fn write(&self, i: usize, v: T) {
+        unsafe { *self.0.add(i) = v }
+    }
+}
+
+/// Register size from which the auxiliary sweeps (`probabilities`, the
+/// `sample` CDF build, `reset` collapse) split across the kernel pool:
+/// n ≥ 20 qubits, where the vector streams from far beyond cache and the
+/// sweeps are bandwidth-bound. Below it the sequential loop wins.
+const PAR_MIN_SWEEP_AMPS: usize = 1 << 20;
+
+/// `total_elems` value handed to [`par_units`]: saturating for registers
+/// past [`PAR_MIN_SWEEP_AMPS`] (split across the pool), zero otherwise
+/// (run sequentially regardless of the kernel threshold).
+fn sweep_par_elems(amps: usize) -> usize {
+    if amps >= PAR_MIN_SWEEP_AMPS {
+        usize::MAX
+    } else {
+        0
+    }
+}
 
 /// An n-qubit pure state as 2ⁿ complex amplitudes (little-endian basis
 /// indexing: bit q of the index is the value of qubit q).
@@ -185,9 +219,21 @@ impl Statevector {
             .apply_dense(&mut self.amps, self.num_qubits, m, qubits);
     }
 
-    /// Measurement probabilities for each basis state.
+    /// Measurement probabilities for each basis state. The element-wise
+    /// map splits across the kernel thread pool for large registers
+    /// (each index computed independently — bit-identical at any thread
+    /// count).
     pub fn probabilities(&self) -> Vec<f64> {
-        self.amps.iter().map(|z| z.norm_sqr()).collect()
+        let mut out = vec![0.0f64; self.amps.len()];
+        let src = &self.amps;
+        let dst = SyncPtr(out.as_mut_ptr());
+        par_units(src.len(), sweep_par_elems(src.len()), move |lo, hi| {
+            for (i, z) in src.iter().enumerate().take(hi).skip(lo) {
+                // SAFETY: chunks cover disjoint index ranges.
+                unsafe { dst.write(i, z.norm_sqr()) };
+            }
+        });
+        out
     }
 
     /// Probability of measuring the exact basis state `bits` (little-endian
@@ -216,11 +262,14 @@ impl Statevector {
     /// shot — O(2ⁿ + shots·n) instead of the O(shots·2ⁿ) per-shot linear
     /// scan. One uniform draw per shot, as before.
     pub fn sample(&self, shots: usize, rng: &mut impl Rng) -> HashMap<usize, usize> {
-        let mut cdf = Vec::with_capacity(self.amps.len());
+        // The |z|² map is computed in parallel (`probabilities`); the
+        // running sum stays sequential so every CDF entry is the same
+        // left-to-right float accumulation at any thread count.
+        let mut cdf = self.probabilities();
         let mut acc = 0.0f64;
-        for z in &self.amps {
-            acc += z.norm_sqr();
-            cdf.push(acc);
+        for p in cdf.iter_mut() {
+            acc += *p;
+            *p = acc;
         }
         let total = acc; // ≈ 1, up to rounding and the norm tolerance
         let mut counts = HashMap::new();
@@ -246,17 +295,22 @@ impl Statevector {
         let scale = 1.0 / keep_p.sqrt();
         let mask = [1usize << q];
         let half = self.amps.len() >> 1;
-        for b in 0..half {
-            let i0 = expand_bits(b, &mask);
-            let i1 = i0 | mask[0];
-            if outcome_one {
-                // Keep the |1⟩ branch and map it back to |0⟩ in one step.
-                self.amps[i0] = self.amps[i1].scale(scale);
-            } else {
-                self.amps[i0] = self.amps[i0].scale(scale);
+        // Every base-index pair is collapsed independently, so the sweep
+        // splits across the kernel thread pool bit-identically.
+        let amps = SyncPtr(self.amps.as_mut_ptr());
+        par_units(half, sweep_par_elems(2 * half), move |lo, hi| {
+            for b in lo..hi {
+                let i0 = expand_bits(b, &mask);
+                let i1 = i0 | mask[0];
+                // SAFETY: distinct b → distinct (i0, i1) pairs; chunks
+                // cover disjoint b ranges.
+                unsafe {
+                    let src = if outcome_one { i1 } else { i0 };
+                    amps.write(i0, (*amps.0.add(src)).scale(scale));
+                    amps.write(i1, C64::ZERO);
+                }
             }
-            self.amps[i1] = C64::ZERO;
-        }
+        });
     }
 }
 

@@ -170,6 +170,57 @@ fn parallel_blocked_simulation_is_bit_identical_at_every_thread_count() {
 
 #[test]
 #[cfg(feature = "parallel")]
+fn parallel_auxiliary_sweeps_are_bit_identical_at_every_thread_count() {
+    // probabilities / sample / reset split across the pool from 2²⁰
+    // amplitudes; every per-element result and the CDF's sequential
+    // accumulation must be bit-identical at any thread count.
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut c = Circuit::new(20);
+    c.h(0);
+    for q in 0..19 {
+        c.cx(q, q + 1);
+    }
+    for q in (0..20).step_by(3) {
+        c.push(Gate::Ry(0.21 + q as f64 * 0.07), &[q]);
+    }
+    let max_t = qc_math::max_threads().max(2);
+    qc_math::set_max_threads(Some(1));
+    let base_sv = Statevector::from_circuit(&c);
+    let base_probs = base_sv.probabilities();
+    let base_sample = base_sv.sample(512, &mut StdRng::seed_from_u64(5));
+    let base_reset = {
+        let mut sv = base_sv.clone();
+        sv.reset(7, &mut StdRng::seed_from_u64(9));
+        sv
+    };
+    for threads in [2, max_t] {
+        qc_math::set_max_threads(Some(threads));
+        let probs = base_sv.probabilities();
+        let sample = base_sv.sample(512, &mut StdRng::seed_from_u64(5));
+        let reset = {
+            let mut sv = base_sv.clone();
+            sv.reset(7, &mut StdRng::seed_from_u64(9));
+            sv
+        };
+        qc_math::set_max_threads(None);
+        assert!(
+            probs == base_probs,
+            "probabilities differ at {threads} threads"
+        );
+        assert!(
+            sample == base_sample,
+            "sample counts differ at {threads} threads"
+        );
+        assert!(
+            reset.amplitudes() == base_reset.amplitudes(),
+            "reset collapse differs at {threads} threads"
+        );
+    }
+}
+
+#[test]
+#[cfg(feature = "parallel")]
 fn parallel_simulation_is_bit_identical_at_every_thread_count() {
     // 2¹⁷ amplitudes ≥ the kernels' parallel threshold, so the base-index
     // loops genuinely split. Identical RNG seeding makes runs comparable

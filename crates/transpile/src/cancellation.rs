@@ -14,15 +14,6 @@ use qc_circuit::{Circuit, Dag, Gate, Instruction};
 #[derive(Default)]
 pub struct CxCancellation;
 
-/// Returns `true` when the gate is diagonal in the Z basis (commutes with a
-/// CNOT control on the same wire).
-fn is_z_diagonal(g: &Gate) -> bool {
-    matches!(
-        g,
-        Gate::Z | Gate::S | Gate::Sdg | Gate::T | Gate::Tdg | Gate::Rz(_) | Gate::U1(_)
-    )
-}
-
 fn is_self_inverse_1q(g: &Gate) -> bool {
     matches!(g, Gate::X | Gate::Y | Gate::Z | Gate::H)
 }
@@ -43,12 +34,48 @@ impl Pass for CxCancellation {
     }
 }
 
-/// One cancellation sweep; returns whether anything changed.
-fn cancel_once(circuit: &mut Circuit) -> bool {
-    let dag = Dag::from_circuit(circuit);
+impl crate::manager::DagPass for CxCancellation {
+    fn name(&self) -> &'static str {
+        "CxCancellation"
+    }
+
+    fn run_on_dag(
+        &self,
+        dag: &mut qc_circuit::Dag,
+        props: &mut crate::manager::PropertySet,
+    ) -> Result<qc_circuit::ChangeReport, TranspileError> {
+        let mut total = qc_circuit::ChangeReport::none(dag.num_qubits());
+        // Same sweep-to-fixpoint as the circuit-level pass, on the shared
+        // IR: each sweep plans over the cached per-node commutation
+        // classes and batches its removals into one edit.
+        for _ in 0..64 {
+            let removed = {
+                let classes = crate::manager::CommutationAnalysis::get(props, dag);
+                plan_cancellations(dag, classes)
+            };
+            let mut edit = qc_circuit::DagEdit::new();
+            for (i, r) in removed.iter().enumerate() {
+                if *r {
+                    edit.remove(i);
+                }
+            }
+            if edit.is_empty() {
+                break;
+            }
+            total.merge(&dag.apply(edit));
+        }
+        Ok(total)
+    }
+}
+
+/// One cancellation sweep over a DAG: `removed[i]` marks nodes to delete.
+/// `classes` gives each node's commutation family (1-qubit Z-diagonal
+/// gates are looked through on CNOT control wires). Shared by the
+/// circuit-level and DAG-native drivers.
+fn plan_cancellations(dag: &Dag, classes: &[crate::manager::CommClass]) -> Vec<bool> {
+    use crate::manager::CommClass;
     let nodes = dag.nodes();
     let mut removed = vec![false; nodes.len()];
-    let mut changed = false;
 
     // Helper: the next non-removed successor of `node` along wire `q` that
     // is not a Z-diagonal 1q gate when `skip_diagonal` (used to look through
@@ -62,8 +89,7 @@ fn cancel_once(circuit: &mut Circuit) -> bool {
                         cur = s;
                         continue 'outer;
                     }
-                    if skip_diagonal && nodes[s].qubits.len() == 1 && is_z_diagonal(&nodes[s].gate)
-                    {
+                    if skip_diagonal && classes[s] == CommClass::ZDiagonal {
                         cur = s;
                         continue 'outer;
                     }
@@ -93,7 +119,6 @@ fn cancel_once(circuit: &mut Circuit) -> bool {
                     {
                         removed[i] = true;
                         removed[sc] = true;
-                        changed = true;
                     }
                 }
             }
@@ -103,25 +128,42 @@ fn cancel_once(circuit: &mut Circuit) -> bool {
                     if nodes[s].gate == *g && nodes[s].qubits.len() == 1 {
                         removed[i] = true;
                         removed[s] = true;
-                        changed = true;
                     }
                 }
             }
             _ => {}
         }
     }
+    removed
+}
 
-    if changed {
-        let out: Vec<Instruction> = circuit
-            .instructions()
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| !removed[*i])
-            .map(|(_, inst)| inst.clone())
-            .collect();
-        circuit.set_instructions(out);
+/// One cancellation sweep; returns whether anything changed.
+fn cancel_once(circuit: &mut Circuit) -> bool {
+    let dag = Dag::from_circuit(circuit);
+    let classes: Vec<crate::manager::CommClass> = dag
+        .nodes()
+        .iter()
+        .map(|inst| {
+            if inst.qubits.len() == 1 {
+                crate::manager::comm_class(&inst.gate)
+            } else {
+                crate::manager::CommClass::Other
+            }
+        })
+        .collect();
+    let removed = plan_cancellations(&dag, &classes);
+    if !removed.iter().any(|&r| r) {
+        return false;
     }
-    changed
+    let out: Vec<Instruction> = circuit
+        .instructions()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !removed[*i])
+        .map(|(_, inst)| inst.clone())
+        .collect();
+    circuit.set_instructions(out);
+    true
 }
 
 #[cfg(test)]

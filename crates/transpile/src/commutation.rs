@@ -43,6 +43,104 @@ fn family(g: &Gate) -> Family {
 #[derive(Default)]
 pub struct CommutativeCancellation;
 
+/// The merge plan over an instruction stream — shared by the circuit-level
+/// and DAG-native drivers. `plan[i]`: `None` = keep instruction `i`;
+/// `Some(None)` = drop it; `Some(Some(g))` = replace it with `g` on the
+/// same qubits.
+fn plan_merges(insts: &[Instruction], n: usize) -> Vec<Option<Option<Gate>>> {
+    // For every wire, accumulate the active commuting run: the family,
+    // the summed angle, and the index of the first gate in the run.
+    #[derive(Clone, Copy)]
+    struct Run {
+        kind: u8, // 0 = z, 1 = x
+        angle: f64,
+        head: usize,
+    }
+    let mut runs: Vec<Option<Run>> = vec![None; n];
+    // replacement[i]: None = keep; Some(None) = drop; Some(Some(g)) = emit g.
+    let mut replacement: Vec<Option<Option<Gate>>> = vec![None; insts.len()];
+
+    let flush =
+        |runs: &mut Vec<Option<Run>>, replacement: &mut Vec<Option<Option<Gate>>>, q: usize| {
+            if let Some(run) = runs[q].take() {
+                let angle = normalize_angle(run.angle);
+                let merged = if angle.abs() < 1e-12 {
+                    None
+                } else if run.kind == 0 {
+                    Some(Gate::U1(angle))
+                } else {
+                    Some(Gate::Rx(angle))
+                };
+                replacement[run.head] = Some(merged);
+            }
+        };
+
+    for (i, inst) in insts.iter().enumerate() {
+        match (&inst.gate, inst.qubits.len()) {
+            (Gate::Cx, 2) => {
+                // Z-runs pass through the control; X-runs through the
+                // target; the crossing runs flush.
+                let (c, t) = (inst.qubits[0], inst.qubits[1]);
+                if let Some(run) = runs[c] {
+                    if run.kind != 0 {
+                        flush(&mut runs, &mut replacement, c);
+                    }
+                }
+                if let Some(run) = runs[t] {
+                    if run.kind != 1 {
+                        flush(&mut runs, &mut replacement, t);
+                    }
+                }
+            }
+            (g, 1) if g.is_unitary_gate() => {
+                let q = inst.qubits[0];
+                match family(g) {
+                    Family::ZPhase(a) => match &mut runs[q] {
+                        Some(run) if run.kind == 0 => {
+                            run.angle += a;
+                            replacement[i] = Some(None);
+                        }
+                        _ => {
+                            flush(&mut runs, &mut replacement, q);
+                            runs[q] = Some(Run {
+                                kind: 0,
+                                angle: a,
+                                head: i,
+                            });
+                            replacement[i] = Some(None); // head re-emitted at flush
+                        }
+                    },
+                    Family::XRotation(a) => match &mut runs[q] {
+                        Some(run) if run.kind == 1 => {
+                            run.angle += a;
+                            replacement[i] = Some(None);
+                        }
+                        _ => {
+                            flush(&mut runs, &mut replacement, q);
+                            runs[q] = Some(Run {
+                                kind: 1,
+                                angle: a,
+                                head: i,
+                            });
+                            replacement[i] = Some(None);
+                        }
+                    },
+                    Family::Other => flush(&mut runs, &mut replacement, q),
+                }
+            }
+            _ => {
+                for &q in &inst.qubits {
+                    flush(&mut runs, &mut replacement, q);
+                }
+            }
+        }
+    }
+    for q in 0..n {
+        flush(&mut runs, &mut replacement, q);
+    }
+    replacement
+}
+
 impl Pass for CommutativeCancellation {
     fn name(&self) -> &'static str {
         "CommutativeCancellation"
@@ -51,97 +149,7 @@ impl Pass for CommutativeCancellation {
     fn run(&self, circuit: &mut Circuit) -> Result<(), TranspileError> {
         let n = circuit.num_qubits();
         let insts = circuit.instructions().to_vec();
-        // For every wire, accumulate the active commuting run: the family,
-        // the summed angle, and the index of the first gate in the run.
-        #[derive(Clone, Copy)]
-        struct Run {
-            kind: u8, // 0 = z, 1 = x
-            angle: f64,
-            head: usize,
-        }
-        let mut runs: Vec<Option<Run>> = vec![None; n];
-        // replacement[i]: None = keep; Some(None) = drop; Some(Some(g)) = emit g.
-        let mut replacement: Vec<Option<Option<Gate>>> = vec![None; insts.len()];
-
-        let flush =
-            |runs: &mut Vec<Option<Run>>, replacement: &mut Vec<Option<Option<Gate>>>, q: usize| {
-                if let Some(run) = runs[q].take() {
-                    let angle = normalize_angle(run.angle);
-                    let merged = if angle.abs() < 1e-12 {
-                        None
-                    } else if run.kind == 0 {
-                        Some(Gate::U1(angle))
-                    } else {
-                        Some(Gate::Rx(angle))
-                    };
-                    replacement[run.head] = Some(merged);
-                }
-            };
-
-        for (i, inst) in insts.iter().enumerate() {
-            match (&inst.gate, inst.qubits.len()) {
-                (Gate::Cx, 2) => {
-                    // Z-runs pass through the control; X-runs through the
-                    // target; the crossing runs flush.
-                    let (c, t) = (inst.qubits[0], inst.qubits[1]);
-                    if let Some(run) = runs[c] {
-                        if run.kind != 0 {
-                            flush(&mut runs, &mut replacement, c);
-                        }
-                    }
-                    if let Some(run) = runs[t] {
-                        if run.kind != 1 {
-                            flush(&mut runs, &mut replacement, t);
-                        }
-                    }
-                }
-                (g, 1) if g.is_unitary_gate() => {
-                    let q = inst.qubits[0];
-                    match family(g) {
-                        Family::ZPhase(a) => match &mut runs[q] {
-                            Some(run) if run.kind == 0 => {
-                                run.angle += a;
-                                replacement[i] = Some(None);
-                            }
-                            _ => {
-                                flush(&mut runs, &mut replacement, q);
-                                runs[q] = Some(Run {
-                                    kind: 0,
-                                    angle: a,
-                                    head: i,
-                                });
-                                replacement[i] = Some(None); // head re-emitted at flush
-                            }
-                        },
-                        Family::XRotation(a) => match &mut runs[q] {
-                            Some(run) if run.kind == 1 => {
-                                run.angle += a;
-                                replacement[i] = Some(None);
-                            }
-                            _ => {
-                                flush(&mut runs, &mut replacement, q);
-                                runs[q] = Some(Run {
-                                    kind: 1,
-                                    angle: a,
-                                    head: i,
-                                });
-                                replacement[i] = Some(None);
-                            }
-                        },
-                        Family::Other => flush(&mut runs, &mut replacement, q),
-                    }
-                }
-                _ => {
-                    for &q in &inst.qubits {
-                        flush(&mut runs, &mut replacement, q);
-                    }
-                }
-            }
-        }
-        for q in 0..n {
-            flush(&mut runs, &mut replacement, q);
-        }
-
+        let mut replacement = plan_merges(&insts, n);
         let mut out: Vec<Instruction> = Vec::with_capacity(insts.len());
         for (i, inst) in insts.into_iter().enumerate() {
             match replacement[i].take() {
@@ -152,6 +160,36 @@ impl Pass for CommutativeCancellation {
         }
         circuit.set_instructions(out);
         Ok(())
+    }
+}
+
+impl crate::manager::DagPass for CommutativeCancellation {
+    fn name(&self) -> &'static str {
+        "CommutativeCancellation"
+    }
+
+    fn run_on_dag(
+        &self,
+        dag: &mut qc_circuit::Dag,
+        _props: &mut crate::manager::PropertySet,
+    ) -> Result<qc_circuit::ChangeReport, TranspileError> {
+        let replacement = plan_merges(dag.nodes(), dag.num_qubits());
+        let mut edit = qc_circuit::DagEdit::new();
+        for (i, r) in replacement.into_iter().enumerate() {
+            match r {
+                None => {}
+                Some(None) => edit.remove(i),
+                // Re-emitting the identical gate (a lone run flushing back
+                // to itself) is not a rewrite: suppressing it keeps the
+                // stream byte-identical and the change report honest.
+                Some(Some(g)) if g == dag.nodes()[i].gate => {}
+                Some(Some(g)) => {
+                    let qs = dag.nodes()[i].qubits.clone();
+                    edit.replace(i, vec![Instruction::new(g, qs)]);
+                }
+            }
+        }
+        Ok(dag.apply(edit))
     }
 }
 

@@ -16,6 +16,74 @@ use qc_synth::synthesize_two_qubit;
 #[derive(Default)]
 pub struct ConsolidateBlocks;
 
+/// The re-synthesis plan over a node sequence and its collected blocks:
+/// `drop[i]` marks block members to delete, `replace_at[i]` holds the
+/// synthesized replacement spliced at the block's last node. Shared by the
+/// circuit-level and DAG-native drivers.
+fn plan_consolidation(
+    nodes: &[Instruction],
+    blocks: &[qc_circuit::Block],
+) -> (Vec<bool>, Vec<Option<Vec<Instruction>>>) {
+    let mut drop = vec![false; nodes.len()];
+    let mut replace_at: Vec<Option<Vec<Instruction>>> = vec![None; nodes.len()];
+    // One engine-backed 4×4 accumulator reused across all blocks: each
+    // block's unitary is extended one gate at a time as the block is
+    // walked, instead of re-running `circuit_unitary` on a rebuilt
+    // local circuit per candidate block.
+    let mut acc = UnitaryAccumulator::new(2);
+    for block in blocks {
+        let (a, b) = (block.qubits[0], block.qubits[1]);
+        // Build the local 2-qubit circuit (a→0, b→1).
+        let mut local = Circuit::new(2);
+        let mut cx_before = 0usize;
+        acc.reset();
+        for &n in &block.nodes {
+            let inst = &nodes[n];
+            let qs: Vec<usize> = inst
+                .qubits
+                .iter()
+                .map(|&q| if q == a { 0 } else { 1 })
+                .collect();
+            if inst.qubits.len() == 2 {
+                cx_before += two_qubit_cx_cost(&inst.gate);
+            }
+            acc.push(&inst.gate, &qs);
+            local.push(inst.gate.clone(), &qs);
+        }
+        if cx_before <= 1 {
+            // Cannot improve a 0- or 1-CNOT block (templates need ≥ 0/1).
+            continue;
+        }
+        let u = acc.matrix();
+        let synth = synthesize_two_qubit(&u);
+        let counts_new = synth.gate_counts();
+        let counts_old = local.gate_counts();
+        let better = counts_new.cx < cx_before
+            || (counts_new.cx == cx_before && counts_new.total < counts_old.total);
+        if !better {
+            continue;
+        }
+        // Map the synthesized circuit back onto (a, b).
+        let mapped: Vec<Instruction> = synth
+            .instructions()
+            .iter()
+            .map(|inst| {
+                let qs: Vec<usize> = inst
+                    .qubits
+                    .iter()
+                    .map(|&q| if q == 0 { a } else { b })
+                    .collect();
+                Instruction::new(inst.gate.clone(), qs)
+            })
+            .collect();
+        for &n in &block.nodes {
+            drop[n] = true;
+        }
+        replace_at[*block.nodes.last().expect("non-empty block")] = Some(mapped);
+    }
+    (drop, replace_at)
+}
+
 impl Pass for ConsolidateBlocks {
     fn name(&self) -> &'static str {
         "ConsolidateBlocks"
@@ -30,64 +98,7 @@ impl Pass for ConsolidateBlocks {
         if blocks.is_empty() {
             return Ok(());
         }
-        // node index → (block head, replacement) bookkeeping.
-        let mut drop = vec![false; circuit.len()];
-        let mut replace_at: Vec<Option<Vec<Instruction>>> = vec![None; circuit.len()];
-        // One engine-backed 4×4 accumulator reused across all blocks: each
-        // block's unitary is extended one gate at a time as the block is
-        // walked, instead of re-running `circuit_unitary` on a rebuilt
-        // local circuit per candidate block.
-        let mut acc = UnitaryAccumulator::new(2);
-        for block in &blocks {
-            let (a, b) = (block.qubits[0], block.qubits[1]);
-            // Build the local 2-qubit circuit (a→0, b→1).
-            let mut local = Circuit::new(2);
-            let mut cx_before = 0usize;
-            acc.reset();
-            for &n in &block.nodes {
-                let inst = &dag.nodes()[n];
-                let qs: Vec<usize> = inst
-                    .qubits
-                    .iter()
-                    .map(|&q| if q == a { 0 } else { 1 })
-                    .collect();
-                if inst.qubits.len() == 2 {
-                    cx_before += two_qubit_cx_cost(&inst.gate);
-                }
-                acc.push(&inst.gate, &qs);
-                local.push(inst.gate.clone(), &qs);
-            }
-            if cx_before <= 1 {
-                // Cannot improve a 0- or 1-CNOT block (templates need ≥ 0/1).
-                continue;
-            }
-            let u = acc.matrix();
-            let synth = synthesize_two_qubit(&u);
-            let counts_new = synth.gate_counts();
-            let counts_old = local.gate_counts();
-            let better = counts_new.cx < cx_before
-                || (counts_new.cx == cx_before && counts_new.total < counts_old.total);
-            if !better {
-                continue;
-            }
-            // Map the synthesized circuit back onto (a, b).
-            let mapped: Vec<Instruction> = synth
-                .instructions()
-                .iter()
-                .map(|inst| {
-                    let qs: Vec<usize> = inst
-                        .qubits
-                        .iter()
-                        .map(|&q| if q == 0 { a } else { b })
-                        .collect();
-                    Instruction::new(inst.gate.clone(), qs)
-                })
-                .collect();
-            for &n in &block.nodes {
-                drop[n] = true;
-            }
-            replace_at[*block.nodes.last().expect("non-empty block")] = Some(mapped);
-        }
+        let (drop, mut replace_at) = plan_consolidation(dag.nodes(), &blocks);
         let mut out = Vec::with_capacity(circuit.len());
         for (i, inst) in circuit.instructions().iter().enumerate() {
             if let Some(mapped) = replace_at[i].take() {
@@ -98,6 +109,37 @@ impl Pass for ConsolidateBlocks {
         }
         circuit.set_instructions(out);
         Ok(())
+    }
+}
+
+impl crate::manager::DagPass for ConsolidateBlocks {
+    fn name(&self) -> &'static str {
+        "ConsolidateBlocks"
+    }
+
+    fn run_on_dag(
+        &self,
+        dag: &mut qc_circuit::Dag,
+        props: &mut crate::manager::PropertySet,
+    ) -> Result<qc_circuit::ChangeReport, TranspileError> {
+        let (drop, replace_at) = {
+            // Block membership from the shared analysis cache — QPO's block
+            // rewrite and any clean re-run reuse the same collection.
+            let blocks = crate::manager::BlocksAnalysis::get(props, dag, 2);
+            if blocks.is_empty() {
+                return Ok(qc_circuit::ChangeReport::none(dag.num_qubits()));
+            }
+            plan_consolidation(dag.nodes(), blocks)
+        };
+        let mut edit = qc_circuit::DagEdit::new();
+        for (i, r) in replace_at.into_iter().enumerate() {
+            if let Some(mapped) = r {
+                edit.replace(i, mapped);
+            } else if drop[i] {
+                edit.remove(i);
+            }
+        }
+        Ok(dag.apply(edit))
     }
 }
 

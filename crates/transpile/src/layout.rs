@@ -23,7 +23,21 @@ pub fn trivial_layout(num_logical: usize) -> Vec<usize> {
 ///
 /// Returns [`TranspileError::TooManyQubits`] when the circuit does not fit.
 pub fn dense_layout(circuit: &Circuit, backend: &Backend) -> Result<Vec<usize>, TranspileError> {
-    let n = circuit.num_qubits();
+    dense_layout_insts(circuit.instructions(), circuit.num_qubits(), backend)
+}
+
+/// [`dense_layout`] over a raw instruction stream — the entry the
+/// DAG-native pipeline uses (no intermediate [`Circuit`]).
+///
+/// # Errors
+///
+/// Returns [`TranspileError::TooManyQubits`] when the circuit does not fit.
+pub fn dense_layout_insts(
+    instructions: &[Instruction],
+    num_qubits: usize,
+    backend: &Backend,
+) -> Result<Vec<usize>, TranspileError> {
+    let n = num_qubits;
     let m = backend.num_qubits();
     if n > m {
         return Err(TranspileError::TooManyQubits {
@@ -80,7 +94,7 @@ pub fn dense_layout(circuit: &Circuit, backend: &Backend) -> Result<Vec<usize>, 
     // Rank logical qubits by 2-qubit interaction count, physical by degree
     // within the subset, and pair them off.
     let mut logical_weight = vec![0usize; n];
-    for inst in circuit.instructions() {
+    for inst in instructions {
         if inst.qubits.len() == 2 && inst.gate.is_unitary_gate() {
             for &q in &inst.qubits {
                 logical_weight[q] += 1;
@@ -141,6 +155,36 @@ pub fn apply_layout(
         out.push_instruction(Instruction::new(inst.gate.clone(), qs));
     }
     Ok(out)
+}
+
+/// [`apply_layout`] on the shared DAG IR: rewrites every node onto physical
+/// wires and widens the DAG to `backend_width` in one structural edit.
+///
+/// # Errors
+///
+/// Returns [`TranspileError::TooManyQubits`] when the layout does not cover
+/// the circuit.
+pub fn apply_layout_dag(
+    dag: &mut qc_circuit::Dag,
+    layout: &[usize],
+    backend_width: usize,
+) -> Result<(), TranspileError> {
+    if layout.len() < dag.num_qubits() {
+        return Err(TranspileError::TooManyQubits {
+            circuit: dag.num_qubits(),
+            backend: layout.len(),
+        });
+    }
+    let mapped: Vec<Instruction> = dag
+        .nodes()
+        .iter()
+        .map(|inst| {
+            let qs: Vec<usize> = inst.qubits.iter().map(|&q| layout[q]).collect();
+            Instruction::new(inst.gate.clone(), qs)
+        })
+        .collect();
+    dag.replace_all(backend_width, mapped);
+    Ok(())
 }
 
 #[cfg(test)]

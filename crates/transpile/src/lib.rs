@@ -40,11 +40,16 @@ pub mod cancellation;
 pub mod commutation;
 pub mod consolidate;
 pub mod layout;
+pub mod manager;
 pub mod optimize_1q;
 pub mod preset;
+pub mod reference;
 pub mod routing;
 pub mod unroll;
 
+pub use manager::{
+    BlocksAnalysis, CommutationAnalysis, DagPass, FixedPointLoop, PassStats, PropertySet,
+};
 pub use preset::{transpile, TranspileOptions};
 
 use qc_circuit::Circuit;
@@ -83,8 +88,15 @@ impl fmt::Display for TranspileError {
 
 impl std::error::Error for TranspileError {}
 
-/// A circuit-to-circuit transformation, the unit the preset pipelines are
-/// composed from.
+/// A circuit-to-circuit transformation — the *circuit-level* pass
+/// abstraction.
+///
+/// The preset pipelines themselves are DAG-native ([`DagPass`] over the
+/// shared [`qc_circuit::Dag`] IR); this trait remains for standalone use
+/// of a single pass on a [`Circuit`] and for the retained pre-refactor
+/// reference pipeline ([`reference`]) that the property tests use as the
+/// gate-for-gate oracle. Every pass implements both traits through one
+/// shared rewrite core, so the two views cannot drift apart.
 pub trait Pass {
     /// Short pass name for logging and diagnostics.
     fn name(&self) -> &'static str;

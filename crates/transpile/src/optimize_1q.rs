@@ -13,6 +13,42 @@ use qc_synth::euler::OneQubitEuler;
 #[derive(Default)]
 pub struct Optimize1qGates;
 
+/// The merge plan over a DAG: `plan[i]`: `None` = keep node `i`;
+/// `Some(None)` = drop it; `Some(Some(g))` = replace it with `g`. Shared
+/// by the circuit-level and DAG-native drivers.
+fn plan_runs(dag: &Dag) -> Result<Vec<Option<Option<Gate>>>, TranspileError> {
+    let runs = dag.single_qubit_runs();
+    let mut replacement: Vec<Option<Option<Gate>>> = vec![None; dag.nodes().len()];
+    for run in runs {
+        // Multiply matrices in time order (later gates on the left),
+        // accumulating on the stack; one heap matrix per run, not per
+        // gate.
+        let mut m = [
+            qc_math::C64::ONE,
+            qc_math::C64::ZERO,
+            qc_math::C64::ZERO,
+            qc_math::C64::ONE,
+        ];
+        for &node in &run {
+            let g = &dag.nodes()[node].gate;
+            let gm = g.matrix2x2().ok_or_else(|| {
+                TranspileError::Internal(format!("non-unitary gate {g} in 1q run"))
+            })?;
+            m = qc_math::mul_2x2(&gm, &m);
+        }
+        let merged =
+            OneQubitEuler::from_matrix(&qc_math::Matrix::from_vec(2, 2, m.to_vec())).to_gate();
+        let head = run[0];
+        for &node in &run {
+            replacement[node] = Some(None);
+        }
+        if !matches!(merged, Gate::I) {
+            replacement[head] = Some(Some(merged));
+        }
+    }
+    Ok(replacement)
+}
+
 impl Pass for Optimize1qGates {
     fn name(&self) -> &'static str {
         "Optimize1qGates"
@@ -20,47 +56,46 @@ impl Pass for Optimize1qGates {
 
     fn run(&self, circuit: &mut Circuit) -> Result<(), TranspileError> {
         let dag = Dag::from_circuit(circuit);
-        let runs = dag.single_qubit_runs();
-        // replacement[i] = Some(gate) for the run head, None = keep as is;
-        // drop[i] marks members to delete.
-        let mut replacement: Vec<Option<Option<Gate>>> = vec![None; circuit.len()];
-        for run in runs {
-            // Multiply matrices in time order (later gates on the left),
-            // accumulating on the stack; one heap matrix per run, not per
-            // gate.
-            let mut m = [
-                qc_math::C64::ONE,
-                qc_math::C64::ZERO,
-                qc_math::C64::ZERO,
-                qc_math::C64::ONE,
-            ];
-            for &node in &run {
-                let g = &dag.nodes()[node].gate;
-                let gm = g.matrix2x2().ok_or_else(|| {
-                    TranspileError::Internal(format!("non-unitary gate {g} in 1q run"))
-                })?;
-                m = qc_math::mul_2x2(&gm, &m);
-            }
-            let merged =
-                OneQubitEuler::from_matrix(&qc_math::Matrix::from_vec(2, 2, m.to_vec())).to_gate();
-            let head = run[0];
-            for &node in &run {
-                replacement[node] = Some(None);
-            }
-            if !matches!(merged, Gate::I) {
-                replacement[head] = Some(Some(merged));
-            }
-        }
+        let mut replacement = plan_runs(&dag)?;
         let mut out: Vec<Instruction> = Vec::with_capacity(circuit.len());
         for (i, inst) in circuit.instructions().iter().enumerate() {
-            match &replacement[i] {
+            match replacement[i].take() {
                 None => out.push(inst.clone()),
                 Some(None) => {}
-                Some(Some(g)) => out.push(Instruction::new(g.clone(), inst.qubits.clone())),
+                Some(Some(g)) => out.push(Instruction::new(g, inst.qubits.clone())),
             }
         }
         circuit.set_instructions(out);
         Ok(())
+    }
+}
+
+impl crate::manager::DagPass for Optimize1qGates {
+    fn name(&self) -> &'static str {
+        "Optimize1qGates"
+    }
+
+    fn run_on_dag(
+        &self,
+        dag: &mut qc_circuit::Dag,
+        _props: &mut crate::manager::PropertySet,
+    ) -> Result<qc_circuit::ChangeReport, TranspileError> {
+        let replacement = plan_runs(dag)?;
+        let mut edit = qc_circuit::DagEdit::new();
+        for (i, r) in replacement.into_iter().enumerate() {
+            match r {
+                None => {}
+                Some(None) => edit.remove(i),
+                // A single-gate run that merges back to the identical gate
+                // is not a rewrite.
+                Some(Some(g)) if g == dag.nodes()[i].gate => {}
+                Some(Some(g)) => {
+                    let qs = dag.nodes()[i].qubits.clone();
+                    edit.replace(i, vec![Instruction::new(g, qs)]);
+                }
+            }
+        }
+        Ok(dag.apply(edit))
     }
 }
 

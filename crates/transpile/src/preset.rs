@@ -5,17 +5,25 @@
 //! level 2 adds cancellation loops; level 3 adds two-qubit block
 //! re-synthesis. The individual stages are public so the RPO pipeline
 //! (crate `rpo-core`) can interleave its QBO/QPO passes per Fig. 8.
+//!
+//! [`transpile`] is DAG-native: the input circuit converts to the shared
+//! [`Dag`] IR exactly once, every pass mutates it in place, the level-2/3
+//! loop is the change-driven [`FixedPointLoop`], and the result converts
+//! back exactly once. The circuit-based `stage_*` helpers remain for the
+//! retained pre-refactor path ([`crate::reference::transpile_reference`]),
+//! which the property tests use as the gate-for-gate oracle.
 
 use crate::cancellation::CxCancellation;
 use crate::commutation::CommutativeCancellation;
 use crate::consolidate::ConsolidateBlocks;
-use crate::layout::{apply_layout, dense_layout, trivial_layout};
+use crate::layout::{apply_layout, apply_layout_dag, dense_layout, trivial_layout};
+use crate::manager::{run_named, DagPass, FixedPointLoop, PassStats, PropertySet};
 use crate::optimize_1q::Optimize1qGates;
-use crate::routing::route;
+use crate::routing::{route, route_dag};
 use crate::unroll::Unroller;
 use crate::{Pass, TranspileError};
 use qc_backends::Backend;
-use qc_circuit::Circuit;
+use qc_circuit::{Circuit, Dag};
 
 /// Options controlling transpilation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -158,31 +166,143 @@ pub fn transpile(
     backend: &Backend,
     opts: &TranspileOptions,
 ) -> Result<Transpiled, TranspileError> {
-    let mut c = circuit.clone();
-    stage_unroll_device(&mut c)?;
-    let layout = stage_layout(&mut c, backend, opts.level)?;
-    let wire_map = stage_route(&mut c, backend, opts.seed, opts.routing_trials)?;
-    stage_unroll_device(&mut c)?; // decompose routing SWAPs
+    transpile_instrumented(circuit, backend, opts).map(|(t, _)| t)
+}
+
+/// The pass sequence of the level-2/3 fixed-point loop (`consolidate`
+/// appends the level-3 tail), as boxed DAG passes for [`FixedPointLoop`].
+pub fn fixpoint_passes(consolidate: bool) -> Vec<Box<dyn DagPass>> {
+    let mut passes: Vec<Box<dyn DagPass>> = vec![
+        Box::new(CommutativeCancellation),
+        Box::new(CxCancellation),
+        Box::new(Optimize1qGates),
+    ];
+    if consolidate {
+        passes.push(Box::new(ConsolidateBlocks));
+        passes.push(Box::new(Unroller::to_device_basis()));
+        passes.push(Box::new(Optimize1qGates));
+        passes.push(Box::new(CxCancellation));
+    }
+    passes
+}
+
+/// Layout selection on the shared DAG (trivial below level 2, dense
+/// otherwise), rewriting the nodes onto physical wires. Returns the layout.
+///
+/// # Errors
+///
+/// Returns [`TranspileError::TooManyQubits`] when the circuit does not fit.
+pub fn dag_stage_layout(
+    dag: &mut Dag,
+    backend: &Backend,
+    level: u8,
+) -> Result<Vec<usize>, TranspileError> {
+    let layout = if level >= 2 {
+        crate::layout::dense_layout_insts(dag.nodes(), dag.num_qubits(), backend)?
+    } else {
+        if dag.num_qubits() > backend.num_qubits() {
+            return Err(TranspileError::TooManyQubits {
+                circuit: dag.num_qubits(),
+                backend: backend.num_qubits(),
+            });
+        }
+        trivial_layout(dag.num_qubits())
+    };
+    apply_layout_dag(dag, &layout, backend.num_qubits())?;
+    Ok(layout)
+}
+
+/// Routing on the shared DAG: inserts SWAPs, installs the routed stream,
+/// and returns the end-of-circuit wire map.
+///
+/// # Errors
+///
+/// Same failure modes as [`crate::routing::route`].
+pub fn dag_stage_route(
+    dag: &mut Dag,
+    backend: &Backend,
+    seed: u64,
+    trials: usize,
+) -> Result<Vec<usize>, TranspileError> {
+    let routed = route_dag(dag, backend, seed, trials)?;
+    dag.replace_all(backend.num_qubits(), routed.circuit.into_instructions());
+    Ok(routed.wire_map)
+}
+
+/// [`transpile`] with per-pass execution statistics: the prefix stages and
+/// every fixed-point pass report name, runs, change-tracking skips,
+/// rewrites and wall time (the CI timing-table artifact's data source).
+///
+/// # Errors
+///
+/// Same failure modes as [`transpile`].
+pub fn transpile_instrumented(
+    circuit: &Circuit,
+    backend: &Backend,
+    opts: &TranspileOptions,
+) -> Result<(Transpiled, Vec<PassStats>), TranspileError> {
+    // The single circuit→dag conversion of the pipeline.
+    let mut dag = Dag::from_circuit(circuit);
+    let mut props = PropertySet::new();
+    let mut stats: Vec<PassStats> = Vec::new();
+    run_named(
+        "Unroller(device)",
+        &Unroller::to_device_basis(),
+        &mut dag,
+        &mut props,
+        &mut stats,
+    )?;
+    let layout = dag_stage_layout(&mut dag, backend, opts.level)?;
+    let wire_map = dag_stage_route(&mut dag, backend, opts.seed, opts.routing_trials)?;
+    // Decompose routing SWAPs.
+    run_named(
+        "Unroller(device)",
+        &Unroller::to_device_basis(),
+        &mut dag,
+        &mut props,
+        &mut stats,
+    )?;
     match opts.level {
         0 => {}
         1 => {
-            stage_optimize_1q(&mut c)?;
-            CxCancellation.run(&mut c)?;
+            run_named(
+                "Optimize1qGates",
+                &Optimize1qGates,
+                &mut dag,
+                &mut props,
+                &mut stats,
+            )?;
+            run_named(
+                "CxCancellation",
+                &CxCancellation,
+                &mut dag,
+                &mut props,
+                &mut stats,
+            )?;
         }
-        2 => {
-            stage_optimize_1q(&mut c)?;
-            stage_fixpoint_loop(&mut c, false)?;
-        }
-        _ => {
-            stage_optimize_1q(&mut c)?;
-            stage_fixpoint_loop(&mut c, true)?;
+        level => {
+            run_named(
+                "Optimize1qGates",
+                &Optimize1qGates,
+                &mut dag,
+                &mut props,
+                &mut stats,
+            )?;
+            let mut fp = FixedPointLoop::new(fixpoint_passes(level >= 3), dag.num_qubits());
+            fp.run(&mut dag, &mut props, 10)?;
+            stats.extend(fp.stats);
         }
     }
     let final_map = layout.iter().map(|&w| wire_map[w]).collect();
-    Ok(Transpiled {
-        circuit: c,
-        final_map,
-    })
+    // The single dag→circuit conversion of the pipeline.
+    let c = dag.to_circuit();
+    Ok((
+        Transpiled {
+            circuit: c,
+            final_map,
+        },
+        stats,
+    ))
 }
 
 #[cfg(test)]

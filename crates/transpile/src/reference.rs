@@ -1,0 +1,55 @@
+//! The pre-refactor, circuit-roundtrip transpile pipeline, retained
+//! verbatim as the oracle for the DAG-native pipeline's property tests.
+//!
+//! Every stage here clones the [`Circuit`], rebuilds a `Dag` internally,
+//! and flattens back — the conversion churn the DAG-native
+//! [`crate::transpile`] eliminates. The property tests assert the two
+//! produce gate-for-gate identical output on random circuit families; do
+//! not "optimize" this module, its value is being the old behavior.
+
+use crate::cancellation::CxCancellation;
+use crate::preset::{
+    stage_fixpoint_loop, stage_layout, stage_optimize_1q, stage_route, stage_unroll_device,
+    TranspileOptions, Transpiled,
+};
+use crate::{Pass, TranspileError};
+use qc_backends::Backend;
+use qc_circuit::Circuit;
+
+/// The pre-refactor [`crate::transpile`]: one pass pipeline over cloned
+/// circuits with the unconditional fixed-point loop.
+///
+/// # Errors
+///
+/// Same failure modes as [`crate::transpile`].
+pub fn transpile_reference(
+    circuit: &Circuit,
+    backend: &Backend,
+    opts: &TranspileOptions,
+) -> Result<Transpiled, TranspileError> {
+    let mut c = circuit.clone();
+    stage_unroll_device(&mut c)?;
+    let layout = stage_layout(&mut c, backend, opts.level)?;
+    let wire_map = stage_route(&mut c, backend, opts.seed, opts.routing_trials)?;
+    stage_unroll_device(&mut c)?; // decompose routing SWAPs
+    match opts.level {
+        0 => {}
+        1 => {
+            stage_optimize_1q(&mut c)?;
+            CxCancellation.run(&mut c)?;
+        }
+        2 => {
+            stage_optimize_1q(&mut c)?;
+            stage_fixpoint_loop(&mut c, false)?;
+        }
+        _ => {
+            stage_optimize_1q(&mut c)?;
+            stage_fixpoint_loop(&mut c, true)?;
+        }
+    }
+    let final_map = layout.iter().map(|&w| wire_map[w]).collect();
+    Ok(Transpiled {
+        circuit: c,
+        final_map,
+    })
+}

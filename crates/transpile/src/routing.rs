@@ -43,16 +43,32 @@ pub fn route(
     seed: u64,
     trials: usize,
 ) -> Result<Routed, TranspileError> {
-    if circuit.num_qubits() > backend.num_qubits() {
+    let dag = Dag::from_circuit(circuit);
+    route_dag(&dag, backend, seed, trials)
+}
+
+/// [`route`] over an existing DAG — the entry the DAG-native pipeline uses
+/// so routing triggers no Circuit↔Dag conversion of its own.
+///
+/// # Errors
+///
+/// Same failure modes as [`route`].
+pub fn route_dag(
+    dag: &Dag,
+    backend: &Backend,
+    seed: u64,
+    trials: usize,
+) -> Result<Routed, TranspileError> {
+    if dag.num_qubits() > backend.num_qubits() {
         return Err(TranspileError::TooManyQubits {
-            circuit: circuit.num_qubits(),
+            circuit: dag.num_qubits(),
             backend: backend.num_qubits(),
         });
     }
     let dist = backend.distance_matrix();
     let mut best: Option<Routed> = None;
     for t in 0..trials.max(1) {
-        let r = route_once(circuit, backend, &dist, seed.wrapping_add(t as u64))?;
+        let r = route_once(dag, backend, &dist, seed.wrapping_add(t as u64))?;
         if best
             .as_ref()
             .map(|b| r.swaps_added < b.swaps_added)
@@ -65,14 +81,13 @@ pub fn route(
 }
 
 fn route_once(
-    circuit: &Circuit,
+    dag: &Dag,
     backend: &Backend,
     dist: &[Vec<usize>],
     seed: u64,
 ) -> Result<Routed, TranspileError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let n = backend.num_qubits();
-    let dag = Dag::from_circuit(circuit);
     let mut sched = dag.scheduler();
     let mut out = Circuit::new(n);
     // perm[w] = physical qubit currently holding wire w.
@@ -82,7 +97,7 @@ fn route_once(
     let mut pending_measures: Vec<usize> = Vec::new();
     let mut swaps_added = 0usize;
     let mut stall = 0usize;
-    let stall_limit = 4 * (circuit.len() + n) * n.max(4);
+    let stall_limit = 4 * (dag.nodes().len() + n) * n.max(4);
 
     while !sched.is_done() {
         // Execute everything executable.

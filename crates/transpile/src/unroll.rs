@@ -48,6 +48,23 @@ impl Unroller {
         Unroller::new(extended_basis())
     }
 
+    /// Decomposes one instruction into basis gates, or `None` when it is
+    /// already in the basis (or non-unitary). The shared core of both the
+    /// circuit-level pass and the DAG-native pass.
+    pub fn expand(&self, inst: &Instruction) -> Result<Option<Vec<Instruction>>, TranspileError> {
+        // Non-unitary instructions and directives always pass through.
+        if matches!(
+            inst.gate,
+            Gate::Reset | Gate::Measure | Gate::Barrier(_) | Gate::Annot(_, _)
+        ) || self.basis.contains(inst.gate.name())
+        {
+            return Ok(None);
+        }
+        let mut out = Vec::new();
+        self.rewrite(inst, &mut out)?;
+        Ok(Some(out))
+    }
+
     fn rewrite(
         &self,
         inst: &Instruction,
@@ -157,6 +174,36 @@ impl Pass for Unroller {
             if !changed {
                 return Ok(());
             }
+        }
+        Err(TranspileError::Internal(
+            "unroller failed to reach a fixpoint".into(),
+        ))
+    }
+}
+
+impl crate::manager::DagPass for Unroller {
+    fn name(&self) -> &'static str {
+        "Unroller"
+    }
+
+    fn run_on_dag(
+        &self,
+        dag: &mut qc_circuit::Dag,
+        _props: &mut crate::manager::PropertySet,
+    ) -> Result<qc_circuit::ChangeReport, TranspileError> {
+        let mut total = qc_circuit::ChangeReport::none(dag.num_qubits());
+        // Same fixpoint sweep as the circuit-level pass, batched per sweep.
+        for _ in 0..16 {
+            let mut edit = qc_circuit::DagEdit::new();
+            for (i, inst) in dag.nodes().iter().enumerate() {
+                if let Some(expansion) = self.expand(inst)? {
+                    edit.replace(i, expansion);
+                }
+            }
+            if edit.is_empty() {
+                return Ok(total);
+            }
+            total.merge(&dag.apply(edit));
         }
         Err(TranspileError::Internal(
             "unroller failed to reach a fixpoint".into(),

@@ -1,0 +1,106 @@
+//! Property tests for the DAG-native pipeline: the new single-conversion,
+//! change-driven `transpile` must produce **gate-for-gate identical**
+//! output to the retained pre-refactor circuit-roundtrip pipeline
+//! (`reference::transpile_reference`) on the shared circuit families, and
+//! must convert Circuit↔Dag exactly once in each direction.
+
+use qc_backends::Backend;
+use qc_circuit::testing::{blocked_neighborhood_circuit, random_circuit, toffoli_chain};
+use qc_circuit::{conversion_counts, reset_conversion_counts, Circuit, Dag};
+use qc_transpile::preset::fixpoint_passes;
+use qc_transpile::reference::transpile_reference;
+use qc_transpile::{transpile, FixedPointLoop, PropertySet, TranspileOptions};
+
+fn assert_pipelines_agree(c: &Circuit, label: &str) {
+    let backend = Backend::melbourne();
+    for level in 0..=3u8 {
+        for seed in [1u64, 9] {
+            let opts = TranspileOptions::level(level).with_seed(seed);
+            let new = transpile(c, &backend, &opts).expect("dag-native transpile");
+            let old = transpile_reference(c, &backend, &opts).expect("reference transpile");
+            assert_eq!(
+                new.circuit, old.circuit,
+                "{label}: level {level} seed {seed} diverged from the reference pipeline"
+            );
+            assert_eq!(
+                new.final_map, old.final_map,
+                "{label}: level {level} seed {seed} final map diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn random_circuits_match_reference_pipeline() {
+    for (n, g, seed) in [(3, 25, 11), (4, 40, 5), (5, 60, 77), (6, 50, 2)] {
+        let c = random_circuit(n, g, seed);
+        assert_pipelines_agree(&c, &format!("random_circuit({n},{g},{seed})"));
+    }
+}
+
+#[test]
+fn blocked_neighborhood_circuits_match_reference_pipeline() {
+    for (n, g, seed) in [(3, 15, 3), (4, 20, 8), (5, 25, 21)] {
+        let c = blocked_neighborhood_circuit(n, g, seed);
+        assert_pipelines_agree(&c, &format!("blocked_neighborhood_circuit({n},{g},{seed})"));
+    }
+}
+
+#[test]
+fn toffoli_chains_match_reference_pipeline() {
+    for (n, seed) in [(3, 1), (5, 4), (7, 13)] {
+        let c = toffoli_chain(n, seed);
+        assert_pipelines_agree(&c, &format!("toffoli_chain({n},{seed})"));
+    }
+}
+
+#[test]
+fn measured_circuits_match_reference_pipeline() {
+    let mut c = random_circuit(4, 30, 19);
+    c.measure_all();
+    assert_pipelines_agree(&c, "random_circuit(4,30,19)+measure_all");
+}
+
+#[test]
+fn transpile_converts_exactly_once_each_way() {
+    let backend = Backend::melbourne();
+    for level in 0..=3u8 {
+        let c = random_circuit(5, 40, 31);
+        reset_conversion_counts();
+        transpile(&c, &backend, &TranspileOptions::level(level)).unwrap();
+        assert_eq!(
+            conversion_counts(),
+            (1, 1),
+            "level {level} pipeline must convert Circuit→Dag and Dag→Circuit exactly once"
+        );
+    }
+}
+
+#[test]
+fn fixed_point_loop_runs_zero_rewriting_passes_on_optimized_circuit() {
+    // A stream that is exactly fixed under every loop pass: CNOTs only, no
+    // adjacent cancelling pair, no consolidatable block.
+    let mut c = Circuit::new(3);
+    c.cx(0, 1).cx(1, 2).cx(0, 1);
+    let mut dag = Dag::from_circuit(&c);
+    let mut props = PropertySet::new();
+    let mut fp = FixedPointLoop::new(fixpoint_passes(true), 3);
+    fp.run(&mut dag, &mut props, 10).unwrap();
+    // Iteration 1 runs every pass (all start dirty) and rewrites nothing,
+    // so the change tracking never schedules a second iteration: the
+    // second loop iteration runs 0 rewriting passes.
+    assert_eq!(
+        fp.executed_per_iteration.len(),
+        1,
+        "loop must settle after one iteration"
+    );
+    for s in &fp.stats {
+        assert_eq!(
+            s.rewrites, 0,
+            "pass {} rewrote an optimized circuit",
+            s.name
+        );
+        assert_eq!(s.runs, 1);
+    }
+    assert_eq!(dag.to_circuit(), c);
+}
