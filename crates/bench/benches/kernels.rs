@@ -190,6 +190,42 @@ fn bench_kernels(c: &mut Criterion) {
                 .unwrap()
         })
     });
+
+    // Wide/shallow workload: a 1000-gate mostly-local chain on a 24-qubit
+    // line. Per-gate optimization opportunities are sparse (one
+    // cancellable cx pair per segment), so this bench tracks the
+    // *asymptotic* pass-manager costs — O(edit) splice relinks and
+    // interest-filtered scheduling — rather than synthesis throughput: a
+    // driver whose edits or dirty tracking scale with circuit size instead
+    // of change size regresses here first.
+    let line24 = Backend::linear(24);
+    let chain1k = {
+        let mut c = Circuit::new(24);
+        let mut g = 0usize;
+        'outer: loop {
+            for i in 0..23 {
+                c.h(i);
+                c.cx(i, i + 1);
+                c.t(i + 1);
+                c.cx(i, i + 1); // t on the target blocks the cancellation
+                if g >= 996 {
+                    break 'outer;
+                }
+                g += 4;
+            }
+        }
+        c
+    };
+    c.bench_function("transpile_level3_chain24q1k", |b| {
+        b.iter(|| {
+            qc_transpile::transpile(
+                &chain1k,
+                &line24,
+                &qc_transpile::TranspileOptions::level(3).with_seed(7),
+            )
+            .unwrap()
+        })
+    });
 }
 
 criterion_group!(benches, bench_kernels);

@@ -58,6 +58,12 @@ pub struct GateCounts {
 /// [`Circuit::gate_counts`] over a raw instruction slice — shared with the
 /// DAG IR so both report identical statistics.
 pub fn gate_counts_of(instructions: &[Instruction]) -> GateCounts {
+    gate_counts_over(instructions)
+}
+
+/// [`gate_counts_of`] over any instruction iterator (the DAG IR counts its
+/// slab without materializing a slice).
+pub fn gate_counts_over<'a>(instructions: impl IntoIterator<Item = &'a Instruction>) -> GateCounts {
     let mut c = GateCounts::default();
     for inst in instructions {
         if inst.gate.is_directive() || matches!(inst.gate, Gate::Reset | Gate::Measure) {

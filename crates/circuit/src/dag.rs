@@ -6,17 +6,39 @@
 //! pass), maximal single-qubit runs (used by `Optimize1qGates`), and
 //! two-qubit block collection (the `Collect2qBlocks` analogue).
 //!
-//! Since the DAG-native pass-manager refactor the `Dag` is also *mutable*:
+//! # O(edit) mutations
+//!
+//! Since the DAG-native pass-manager refactor the `Dag` is *mutable*:
 //! passes batch their rewrites into a [`DagEdit`] (node removal,
 //! replacement by an expansion, whole-stream reconstruction) and
-//! [`Dag::apply`] splices them in, renumbering nodes to keep the
-//! `node index == program position` invariant. Every mutation bumps a
-//! monotone generation counter and stamps the **wires** the edit touched
-//! ([`Dag::wire_gen`]), which is what lets cached analyses (block
-//! membership, per-wire state automata) invalidate only the wires a pass
-//! actually rewrote. The [`ChangeReport`] returned by `apply` is the
-//! currency of the change-driven fixed-point loop: a pass that reports no
-//! rewrites is skipped until another pass dirties a wire.
+//! [`Dag::apply`] splices them in. The representation is built for edits
+//! whose cost scales with the **size of the edit, not the circuit**:
+//!
+//! * Nodes live in a slab indexed by a stable *node id*; removed ids are
+//!   recycled through a free list instead of renumbering the stream.
+//! * Program order is a doubly-linked list over the slab, so a splice
+//!   relinks only its two order neighbours.
+//! * Wire structure is stored per node as `(pred, succ)` id pairs aligned
+//!   with the node's qubits; a splice patches only the chains of the wires
+//!   it touches (falling back to a local order-list walk for a replacement
+//!   wire the removed node did not carry).
+//!
+//! Every mutation bumps a monotone generation counter and stamps the
+//! **wires** the edit touched ([`Dag::wire_gen`]), which is what lets
+//! cached analyses (block membership, per-wire state automata) invalidate
+//! only the wires a pass actually rewrote. The [`ChangeReport`] returned by
+//! `apply` is the currency of the change-driven fixed-point loop: a pass
+//! that reports no rewrites is skipped until another pass dirties a wire;
+//! its `relink_nodes` field counts the nodes whose links the splice patched
+//! (the observable for the O(edit) claim).
+//!
+//! The `Dag` additionally maintains a per-wire census of the
+//! [gate classes](gate_class) of the nodes currently on each wire
+//! (incremented/decremented per splice, O(edit)). The census backs the
+//! pass manager's *interest filtering*: a pass can declare which gate
+//! classes it rewrites, and the fixed-point driver consults
+//! [`Dag::wire_class_mask`] to skip the pass when no dirty wire carries
+//! relevant content.
 //!
 //! [`Dag::from_circuit`] and [`Dag::to_circuit`] are the *only* sanctioned
 //! Circuit↔Dag boundary and each bumps a thread-local conversion counter
@@ -24,8 +46,10 @@
 //! once in each direction.
 
 use crate::blocks::{Block, BlockTracker, Membership};
-use crate::circuit::{Circuit, GateCounts, Instruction};
+use crate::circuit::{gate_counts_over, Circuit, GateCounts, Instruction};
+use crate::gate::Gate;
 use std::cell::Cell;
+use std::collections::HashSet;
 
 thread_local! {
     static CIRCUIT_TO_DAG: Cell<usize> = const { Cell::new(0) };
@@ -42,6 +66,103 @@ pub fn conversion_counts() -> (usize, usize) {
 pub fn reset_conversion_counts() {
     CIRCUIT_TO_DAG.set(0);
     DAG_TO_CIRCUIT.set(0);
+}
+
+/// The absent-link sentinel of the intrusive lists.
+const NONE: usize = usize::MAX;
+
+/// Gate-class bits of the per-wire node census ([`Dag::wire_class_mask`]),
+/// the vocabulary passes use to declare their rewrite interest.
+///
+/// A class may over-approximate ("this wire carries *some* CX") but never
+/// under-approximate: interest filtering skips a pass only when no dirty
+/// wire carries a class the pass declared, so a missing bit would change
+/// pipeline output.
+pub mod gate_class {
+    /// Any single-qubit unitary gate.
+    pub const ONE_Q: u16 = 1 << 0;
+    /// Z-diagonal single-qubit gates (`z,s,sdg,t,tdg,rz,u1,id`) — the
+    /// phase family `CommutativeCancellation` merges and `CxCancellation`
+    /// looks through on control wires.
+    pub const ONE_Q_DIAG: u16 = 1 << 1;
+    /// X-axis rotations (`x`, `rx`) — the family that commutes through
+    /// CNOT targets.
+    pub const ONE_Q_X: u16 = 1 << 2;
+    /// Self-inverse single-qubit gates (`x,y,z,h`) whose adjacent pairs
+    /// `CxCancellation` removes.
+    pub const SELF_INVERSE: u16 = 1 << 3;
+    /// A `cx` gate.
+    pub const CX: u16 = 1 << 4;
+    /// Any two-qubit unitary gate (`cx` included).
+    pub const TWO_Q: u16 = 1 << 5;
+    /// Unitary gates on three or more qubits.
+    pub const MULTI_Q: u16 = 1 << 6;
+    /// The swap family (`swap`, `swapz`, `cswap`) — the gates that move
+    /// analysis state between wires.
+    pub const SWAP_FAMILY: u16 = 1 << 7;
+    /// Unitary gates outside the device basis `{u1,u2,u3,id,cx}`.
+    pub const NON_DEVICE: u16 = 1 << 8;
+    /// Unitary gates outside the extended basis (device ∪ `{swap,swapz}`).
+    pub const NON_EXTENDED: u16 = 1 << 9;
+    /// Non-unitary instructions (measure, reset, barriers, annotations).
+    pub const NON_UNITARY: u16 = 1 << 10;
+    /// Number of class bits.
+    pub const COUNT: usize = 11;
+}
+
+/// The [`gate_class`] bits of one instruction.
+pub fn instruction_classes(inst: &Instruction) -> u16 {
+    use gate_class::*;
+    let g = &inst.gate;
+    if !g.is_unitary_gate() {
+        return NON_UNITARY;
+    }
+    let mut m = 0u16;
+    match inst.qubits.len() {
+        1 => {
+            m |= ONE_Q;
+            if matches!(
+                g,
+                Gate::Z
+                    | Gate::S
+                    | Gate::Sdg
+                    | Gate::T
+                    | Gate::Tdg
+                    | Gate::Rz(_)
+                    | Gate::U1(_)
+                    | Gate::I
+            ) {
+                m |= ONE_Q_DIAG;
+            }
+            if matches!(g, Gate::X | Gate::Rx(_)) {
+                m |= ONE_Q_X;
+            }
+            if matches!(g, Gate::X | Gate::Y | Gate::Z | Gate::H) {
+                m |= SELF_INVERSE;
+            }
+        }
+        2 => {
+            m |= TWO_Q;
+            if matches!(g, Gate::Cx) {
+                m |= CX;
+            }
+        }
+        _ => m |= MULTI_Q,
+    }
+    if matches!(g, Gate::Swap | Gate::SwapZ | Gate::Cswap) {
+        m |= SWAP_FAMILY;
+    }
+    let device = matches!(
+        g,
+        Gate::I | Gate::U1(_) | Gate::U2(..) | Gate::U3(..) | Gate::Cx
+    );
+    if !device {
+        m |= NON_DEVICE;
+        if !matches!(g, Gate::Swap | Gate::SwapZ) {
+            m |= NON_EXTENDED;
+        }
+    }
+    m
 }
 
 /// A set of wires (qubit indices), the unit of analysis invalidation.
@@ -123,6 +244,10 @@ pub struct ChangeReport {
     pub rewrites: usize,
     /// Wires touched by the rewrites (old and new instructions' qubits).
     pub touched: WireSet,
+    /// Nodes whose link fields the splice-local relink rewrote (removed
+    /// nodes, inserted nodes, and the chain neighbours patched around
+    /// them) — the per-edit work measure of the O(edit) relink.
+    pub relink_nodes: usize,
 }
 
 impl ChangeReport {
@@ -131,6 +256,7 @@ impl ChangeReport {
         ChangeReport {
             rewrites: 0,
             touched: WireSet::empty(num_qubits),
+            relink_nodes: 0,
         }
     }
 
@@ -143,12 +269,12 @@ impl ChangeReport {
     pub fn merge(&mut self, other: &ChangeReport) {
         self.rewrites += other.rewrites;
         self.touched.union(&other.touched);
+        self.relink_nodes += other.relink_nodes;
     }
 }
 
 /// One batched mutation of a [`Dag`]: node removals and replacements
-/// (splice-in of decompositions), applied in one renumbering pass by
-/// [`Dag::apply`].
+/// (splice-in of decompositions), applied splice-locally by [`Dag::apply`].
 #[derive(Clone, Debug, Default)]
 pub struct DagEdit {
     ops: Vec<(usize, Option<Vec<Instruction>>)>,
@@ -182,18 +308,40 @@ impl DagEdit {
     }
 }
 
+/// One slab entry: the instruction plus its intrusive links — program-order
+/// neighbours and, per qubit of the instruction, the previous/next node on
+/// that wire.
+#[derive(Clone, Debug)]
+struct Node {
+    inst: Instruction,
+    order_prev: usize,
+    order_next: usize,
+    /// `(pred, succ)` node ids per wire, aligned with `inst.qubits`.
+    wires: Vec<(usize, usize)>,
+}
+
 /// Dependency DAG over the instructions of a circuit — the transpiler's
 /// shared mutable IR (see the module docs).
+///
+/// Nodes are addressed by stable *node ids* (slab indices): an id stays
+/// valid until the node is removed by an edit, and removed ids are recycled
+/// for later insertions. Ids carry **no order meaning** — program order is
+/// [`Dag::iter`]'s iteration order.
 #[derive(Clone, Debug)]
 pub struct Dag {
     num_qubits: usize,
-    nodes: Vec<Instruction>,
-    preds: Vec<Vec<usize>>,
-    succs: Vec<Vec<usize>>,
+    slots: Vec<Option<Node>>,
+    free: Vec<usize>,
+    len: usize,
+    head: usize,
+    tail: usize,
     /// Monotone mutation counter; bumped by every non-empty [`Dag::apply`].
     generation: u64,
     /// Per-wire stamp of the generation that last touched the wire.
     wire_gen: Vec<u64>,
+    /// Per-wire census: how many nodes on the wire carry each
+    /// [`gate_class`] bit. Maintained incrementally per splice.
+    wire_classes: Vec<[u32; gate_class::COUNT]>,
 }
 
 /// A collected two-qubit block: a maximal run of gates that act only on one
@@ -202,28 +350,8 @@ pub struct Dag {
 pub struct TwoQubitBlock {
     /// The two qubits spanned by the block (unordered; stored ascending).
     pub qubits: (usize, usize),
-    /// Node indices in instruction order. At least one two-qubit gate.
+    /// Node ids in program order. At least one two-qubit gate.
     pub nodes: Vec<usize>,
-}
-
-/// Wire predecessor/successor lists for a node sequence.
-fn build_links(nodes: &[Instruction], num_qubits: usize) -> (Vec<Vec<usize>>, Vec<Vec<usize>>) {
-    let n = nodes.len();
-    let mut preds = vec![Vec::new(); n];
-    let mut succs = vec![Vec::new(); n];
-    let mut last_on_wire: Vec<Option<usize>> = vec![None; num_qubits];
-    for (i, inst) in nodes.iter().enumerate() {
-        for &q in &inst.qubits {
-            if let Some(p) = last_on_wire[q] {
-                if !preds[i].contains(&p) {
-                    preds[i].push(p);
-                    succs[p].push(i);
-                }
-            }
-            last_on_wire[q] = Some(i);
-        }
-    }
-    (preds, succs)
 }
 
 impl Dag {
@@ -231,31 +359,99 @@ impl Dag {
     /// circuit→dag conversion counter.
     pub fn from_circuit(circuit: &Circuit) -> Self {
         CIRCUIT_TO_DAG.set(CIRCUIT_TO_DAG.get() + 1);
-        let nodes: Vec<Instruction> = circuit.instructions().to_vec();
-        let (preds, succs) = build_links(&nodes, circuit.num_qubits());
-        Dag {
+        let mut dag = Dag {
             num_qubits: circuit.num_qubits(),
-            nodes,
-            preds,
-            succs,
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+            head: NONE,
+            tail: NONE,
             generation: 1,
             wire_gen: vec![1; circuit.num_qubits()],
+            wire_classes: vec![[0; gate_class::COUNT]; circuit.num_qubits()],
+        };
+        dag.rebuild(circuit.instructions().to_vec());
+        dag
+    }
+
+    /// Dense slab construction from an instruction stream: id `i` is the
+    /// `i`-th instruction. Resets the free list and the wire census; does
+    /// not touch generations.
+    fn rebuild(&mut self, insts: Vec<Instruction>) {
+        let n = insts.len();
+        self.free.clear();
+        self.len = n;
+        self.head = if n == 0 { NONE } else { 0 };
+        self.tail = if n == 0 { NONE } else { n - 1 };
+        self.wire_classes = vec![[0; gate_class::COUNT]; self.num_qubits];
+        self.slots = insts
+            .into_iter()
+            .enumerate()
+            .map(|(i, inst)| {
+                let wires = vec![(NONE, NONE); inst.qubits.len()];
+                Some(Node {
+                    inst,
+                    order_prev: if i == 0 { NONE } else { i - 1 },
+                    order_next: if i + 1 == n { NONE } else { i + 1 },
+                    wires,
+                })
+            })
+            .collect();
+        let mut last_on_wire = vec![NONE; self.num_qubits];
+        for i in 0..n {
+            let (before, rest) = self.slots.split_at_mut(i);
+            let node = rest[0].as_mut().expect("dense build");
+            for j in 0..node.inst.qubits.len() {
+                let q = node.inst.qubits[j];
+                let p = last_on_wire[q];
+                node.wires[j].0 = p;
+                if p != NONE {
+                    let pn = before[p].as_mut().expect("dense build");
+                    let slot = pn
+                        .inst
+                        .qubits
+                        .iter()
+                        .position(|&x| x == q)
+                        .expect("pred carries the wire");
+                    pn.wires[slot].1 = i;
+                }
+                last_on_wire[q] = i;
+            }
+            let classes = instruction_classes(&node.inst);
+            for &q in &node.inst.qubits {
+                bump_classes(&mut self.wire_classes[q], classes, 1);
+            }
         }
     }
 
-    /// Flattens the DAG back into a circuit (the nodes already are a
-    /// topological order), bumping the thread-local dag→circuit conversion
-    /// counter.
+    /// Flattens the DAG back into a circuit (program order), bumping the
+    /// thread-local dag→circuit conversion counter.
     pub fn to_circuit(&self) -> Circuit {
         DAG_TO_CIRCUIT.set(DAG_TO_CIRCUIT.get() + 1);
         let mut c = Circuit::new(self.num_qubits);
-        c.set_instructions(self.nodes.clone());
+        c.set_instructions(self.iter().map(|(_, inst)| inst.clone()).collect());
         c
     }
 
     /// Number of qubits of the underlying circuit.
     pub fn num_qubits(&self) -> usize {
         self.num_qubits
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the DAG holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Slab size: one more than the largest node id ever live. The right
+    /// length for id-indexed scratch tables (`vec![...; dag.capacity()]`).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
     }
 
     /// The monotone mutation counter (1 at construction).
@@ -269,70 +465,295 @@ impl Dag {
         self.wire_gen[q]
     }
 
-    /// Gate statistics over the current nodes (same accounting as
-    /// [`Circuit::gate_counts`]).
-    pub fn gate_counts(&self) -> GateCounts {
-        crate::circuit::gate_counts_of(&self.nodes)
+    /// The [`gate_class`] bits present on wire `q`: the union of the
+    /// classes of every node currently touching the wire. Maintained
+    /// incrementally (O(edit) per splice); exact, not an over-approximation.
+    pub fn wire_class_mask(&self, q: usize) -> u16 {
+        let mut m = 0u16;
+        for (bit, &count) in self.wire_classes[q].iter().enumerate() {
+            if count > 0 {
+                m |= 1 << bit;
+            }
+        }
+        m
     }
 
-    /// Applies a batched edit: removals and replacements splice in at
-    /// their node's position, nodes renumber to the new program order, and
-    /// the wires of every removed, replaced or inserted instruction are
-    /// stamped with a fresh generation.
+    /// The instruction of node `id`.
     ///
     /// # Panics
     ///
-    /// Panics if an edit references a node twice or out of range, or if a
-    /// replacement instruction uses an out-of-range qubit.
+    /// Panics when `id` is not a live node.
+    pub fn inst(&self, id: usize) -> &Instruction {
+        &self.node(id).inst
+    }
+
+    /// Live nodes in program order, as `(node id, instruction)` pairs.
+    pub fn iter(&self) -> DagIter<'_> {
+        DagIter {
+            dag: self,
+            cur: self.head,
+        }
+    }
+
+    /// The previous node on wire `q` before node `id`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is not live or does not carry wire `q`.
+    pub fn wire_pred(&self, id: usize, q: usize) -> Option<usize> {
+        let node = self.node(id);
+        let slot = wire_slot(node, q);
+        let p = node.wires[slot].0;
+        (p != NONE).then_some(p)
+    }
+
+    /// The next node on wire `q` after node `id`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is not live or does not carry wire `q`.
+    pub fn wire_succ(&self, id: usize, q: usize) -> Option<usize> {
+        let node = self.node(id);
+        let slot = wire_slot(node, q);
+        let s = node.wires[slot].1;
+        (s != NONE).then_some(s)
+    }
+
+    fn node(&self, id: usize) -> &Node {
+        self.slots[id].as_ref().expect("live node id")
+    }
+
+    fn node_mut(&mut self, id: usize) -> &mut Node {
+        self.slots[id].as_mut().expect("live node id")
+    }
+
+    fn set_wire_pred(&mut self, id: usize, q: usize, v: usize) {
+        let node = self.node_mut(id);
+        let slot = wire_slot(node, q);
+        node.wires[slot].0 = v;
+    }
+
+    fn set_wire_succ(&mut self, id: usize, q: usize, v: usize) {
+        let node = self.node_mut(id);
+        let slot = wire_slot(node, q);
+        node.wires[slot].1 = v;
+    }
+
+    /// The nearest node at or before `start` (in program order) carrying
+    /// wire `q`; `NONE` when the wire is untouched up to there.
+    fn scan_wire_back(&self, start: usize, q: usize) -> usize {
+        let mut cur = start;
+        while cur != NONE {
+            let node = self.node(cur);
+            if node.inst.qubits.contains(&q) {
+                return cur;
+            }
+            cur = node.order_prev;
+        }
+        NONE
+    }
+
+    /// The nearest node at or after `start` carrying wire `q`.
+    fn scan_wire_fwd(&self, start: usize, q: usize) -> usize {
+        let mut cur = start;
+        while cur != NONE {
+            let node = self.node(cur);
+            if node.inst.qubits.contains(&q) {
+                return cur;
+            }
+            cur = node.order_next;
+        }
+        NONE
+    }
+
+    fn alloc(&mut self, inst: Instruction) -> usize {
+        let wires = vec![(NONE, NONE); inst.qubits.len()];
+        let node = Node {
+            inst,
+            order_prev: NONE,
+            order_next: NONE,
+            wires,
+        };
+        match self.free.pop() {
+            Some(id) => {
+                self.slots[id] = Some(node);
+                id
+            }
+            None => {
+                self.slots.push(Some(node));
+                self.slots.len() - 1
+            }
+        }
+    }
+
+    /// Gate statistics over the current nodes (same accounting as
+    /// [`Circuit::gate_counts`]).
+    pub fn gate_counts(&self) -> GateCounts {
+        gate_counts_over(self.slots.iter().flatten().map(|n| &n.inst))
+    }
+
+    /// Applies a batched edit: removals and replacements splice in at
+    /// their node's position, patching only the order links and wire
+    /// chains around each splice (O(edit) amortized). The wires of every
+    /// removed, replaced or inserted instruction are stamped with a fresh
+    /// generation; freed node ids are recycled for later insertions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edit references a node twice or a dead/out-of-range id,
+    /// or if a replacement instruction uses an out-of-range qubit.
     pub fn apply(&mut self, edit: DagEdit) -> ChangeReport {
         if edit.is_empty() {
             return ChangeReport::none(self.num_qubits);
         }
-        let mut by_node: Vec<Option<Option<Vec<Instruction>>>> = vec![None; self.nodes.len()];
         let rewrites = edit.ops.len();
+        let mut touched = WireSet::empty(self.num_qubits);
+        let mut relink_nodes = 0usize;
+        let mut edited: HashSet<usize> = HashSet::with_capacity(rewrites);
         for (node, op) in edit.ops {
             assert!(
-                node < self.nodes.len(),
+                node < self.slots.len() && self.slots[node].is_some() || edited.contains(&node),
                 "edit references node {node} out of range"
             );
             assert!(
-                by_node[node].is_none(),
+                edited.insert(node) && self.slots[node].is_some(),
                 "node {node} edited twice in one batch"
             );
-            by_node[node] = Some(op);
+            relink_nodes += self.splice(node, op.unwrap_or_default(), &mut touched);
         }
-        let mut touched = WireSet::empty(self.num_qubits);
-        let mut new_nodes: Vec<Instruction> = Vec::with_capacity(self.nodes.len());
-        for (i, inst) in self.nodes.drain(..).enumerate() {
-            match by_node[i].take() {
-                None => new_nodes.push(inst),
-                Some(op) => {
-                    for &q in &inst.qubits {
-                        touched.insert(q);
-                    }
-                    for ni in op.into_iter().flatten() {
-                        for &q in &ni.qubits {
-                            assert!(
-                                q < self.num_qubits,
-                                "replacement qubit {q} out of range for {}-qubit dag",
-                                self.num_qubits
-                            );
-                            touched.insert(q);
-                        }
-                        new_nodes.push(ni);
-                    }
-                }
-            }
-        }
-        self.nodes = new_nodes;
-        let (preds, succs) = build_links(&self.nodes, self.num_qubits);
-        self.preds = preds;
-        self.succs = succs;
         self.generation += 1;
         for q in touched.iter() {
             self.wire_gen[q] = self.generation;
         }
-        ChangeReport { rewrites, touched }
+        ChangeReport {
+            rewrites,
+            touched,
+            relink_nodes,
+        }
+    }
+
+    /// Replaces node `node_id` with `insts` (possibly empty), patching the
+    /// order list and the wire chains locally. Returns the number of nodes
+    /// whose links were rewritten.
+    fn splice(&mut self, node_id: usize, insts: Vec<Instruction>, touched: &mut WireSet) -> usize {
+        let removed = self.slots[node_id].take().expect("live node id");
+        self.len -= 1;
+        self.free.push(node_id);
+        let mut relinked = 1usize;
+        let removed_classes = instruction_classes(&removed.inst);
+        for &q in &removed.inst.qubits {
+            touched.insert(q);
+            bump_classes(&mut self.wire_classes[q], removed_classes, -1);
+        }
+        let (left, right) = (removed.order_prev, removed.order_next);
+        // Unlink from the order list.
+        if left != NONE {
+            self.node_mut(left).order_next = right;
+        } else {
+            self.head = right;
+        }
+        if right != NONE {
+            self.node_mut(right).order_prev = left;
+        } else {
+            self.tail = left;
+        }
+        // `(wire, pred, succ)` triples of the removed node.
+        let removed_wires: Vec<(usize, usize, usize)> = removed
+            .inst
+            .qubits
+            .iter()
+            .zip(&removed.wires)
+            .map(|(&q, &(p, s))| (q, p, s))
+            .collect();
+
+        // Allocate the replacements and thread them into the order list.
+        let mut new_ids = Vec::with_capacity(insts.len());
+        let mut cursor = left;
+        for inst in insts {
+            for &q in &inst.qubits {
+                assert!(
+                    q < self.num_qubits,
+                    "replacement qubit {q} out of range for {}-qubit dag",
+                    self.num_qubits
+                );
+                touched.insert(q);
+            }
+            let classes = instruction_classes(&inst);
+            for &q in &inst.qubits {
+                bump_classes(&mut self.wire_classes[q], classes, 1);
+            }
+            let id = self.alloc(inst);
+            self.len += 1;
+            {
+                let node = self.node_mut(id);
+                node.order_prev = cursor;
+                node.order_next = right;
+            }
+            if cursor != NONE {
+                self.node_mut(cursor).order_next = id;
+            } else {
+                self.head = id;
+            }
+            if right != NONE {
+                self.node_mut(right).order_prev = id;
+            } else {
+                self.tail = id;
+            }
+            cursor = id;
+            new_ids.push(id);
+        }
+        relinked += new_ids.len();
+
+        // Wire-link the inserted run: chain same-wire neighbours among the
+        // new nodes, tracking each wire's first/last inserted node.
+        let mut runs: Vec<(usize, usize, usize)> = Vec::new();
+        for &id in &new_ids {
+            for j in 0..self.node(id).inst.qubits.len() {
+                let q = self.node(id).inst.qubits[j];
+                if let Some(run) = runs.iter_mut().find(|r| r.0 == q) {
+                    let last = run.2;
+                    run.2 = id;
+                    self.set_wire_succ(last, q, id);
+                    self.set_wire_pred(id, q, last);
+                } else {
+                    runs.push((q, id, id));
+                }
+            }
+        }
+        // Connect each inserted run to the surrounding chain: through the
+        // removed node's captured neighbours when it carried the wire,
+        // else by a local order-list walk from the splice point.
+        for &(q, first, last) in &runs {
+            let (wp, wn) = match removed_wires.iter().find(|r| r.0 == q) {
+                Some(&(_, p, s)) => (p, s),
+                None => (self.scan_wire_back(left, q), self.scan_wire_fwd(right, q)),
+            };
+            if wp != NONE {
+                self.set_wire_succ(wp, q, first);
+                relinked += 1;
+            }
+            self.set_wire_pred(first, q, wp);
+            if wn != NONE {
+                self.set_wire_pred(wn, q, last);
+                relinked += 1;
+            }
+            self.set_wire_succ(last, q, wn);
+        }
+        // Removed wires no replacement re-uses: bridge pred to succ.
+        for &(q, wp, wn) in &removed_wires {
+            if runs.iter().any(|r| r.0 == q) {
+                continue;
+            }
+            if wp != NONE {
+                self.set_wire_succ(wp, q, wn);
+                relinked += 1;
+            }
+            if wn != NONE {
+                self.set_wire_pred(wn, q, wp);
+                relinked += 1;
+            }
+        }
+        relinked
     }
 
     /// Replaces the whole node stream (and possibly the width) — the tool
@@ -340,62 +761,61 @@ impl Dag {
     /// reconstruct the circuit rather than rewrite nodes in place. Touches
     /// every wire.
     pub fn replace_all(&mut self, num_qubits: usize, nodes: Vec<Instruction>) -> ChangeReport {
-        let rewrites = self.nodes.len().max(nodes.len()).max(1);
+        let rewrites = self.len.max(nodes.len()).max(1);
+        let relink_nodes = nodes.len();
         self.num_qubits = num_qubits;
-        self.nodes = nodes;
-        let (preds, succs) = build_links(&self.nodes, self.num_qubits);
-        self.preds = preds;
-        self.succs = succs;
+        self.rebuild(nodes);
         self.generation += 1;
         self.wire_gen = vec![self.generation; num_qubits];
         ChangeReport {
             rewrites,
             touched: WireSet::full(num_qubits),
+            relink_nodes,
         }
-    }
-
-    /// The instructions, indexed by node id (instruction order).
-    pub fn nodes(&self) -> &[Instruction] {
-        &self.nodes
-    }
-
-    /// Wire predecessors of a node.
-    pub fn preds(&self, node: usize) -> &[usize] {
-        &self.preds[node]
-    }
-
-    /// Wire successors of a node.
-    pub fn succs(&self, node: usize) -> &[usize] {
-        &self.succs[node]
     }
 
     /// Creates a scheduler whose ready set starts at the DAG's sources.
     pub fn scheduler(&self) -> Scheduler<'_> {
-        let remaining_preds: Vec<usize> = self.preds.iter().map(|p| p.len()).collect();
-        let ready: Vec<usize> = (0..self.nodes.len())
-            .filter(|&i| remaining_preds[i] == 0)
-            .collect();
+        let cap = self.capacity();
+        let mut pos = vec![NONE; cap];
+        let mut remaining_preds = vec![0usize; cap];
+        let mut ready = Vec::new();
+        for (p, (id, _)) in self.iter().enumerate() {
+            pos[id] = p;
+            let node = self.node(id);
+            let mut distinct = 0usize;
+            for (j, &(wp, _)) in node.wires.iter().enumerate() {
+                if wp != NONE && !node.wires[..j].iter().any(|&(x, _)| x == wp) {
+                    distinct += 1;
+                }
+            }
+            remaining_preds[id] = distinct;
+            if distinct == 0 {
+                ready.push(id);
+            }
+        }
         Scheduler {
             dag: self,
+            pos,
             remaining_preds,
             ready,
         }
     }
 
     /// Maximal runs of consecutive single-qubit *unitary* gates on the same
-    /// wire. Directives, resets and measures break runs, as does any
-    /// multi-qubit gate.
+    /// wire, as node ids in program order. Directives, resets and measures
+    /// break runs, as does any multi-qubit gate.
     pub fn single_qubit_runs(&self) -> Vec<Vec<usize>> {
         let mut runs: Vec<Vec<usize>> = Vec::new();
         let mut open: Vec<Option<usize>> = vec![None; self.num_qubits]; // run index per wire
-        for (i, inst) in self.nodes.iter().enumerate() {
+        for (id, inst) in self.iter() {
             let one_q_unitary = inst.qubits.len() == 1 && inst.gate.is_unitary_gate();
             if one_q_unitary {
                 let q = inst.qubits[0];
                 match open[q] {
-                    Some(r) => runs[r].push(i),
+                    Some(r) => runs[r].push(id),
                     None => {
-                        runs.push(vec![i]);
+                        runs.push(vec![id]);
                         open[q] = Some(runs.len() - 1);
                     }
                 }
@@ -411,7 +831,8 @@ impl Dag {
     /// Collects maximal blocks of unitary gates confined to at most
     /// `max_arity` qubits, anchored by at least one multi-qubit gate —
     /// single-qubit gates preceding a block on its wires are absorbed into
-    /// it. Blocks are returned sorted by first node index.
+    /// it. Blocks are returned sorted by program position, each block's
+    /// node ids in program order.
     ///
     /// The membership logic is [`BlockTracker`] — the same machine the
     /// fusion planner uses to grow dense kernel blocks in-stream — so
@@ -423,7 +844,10 @@ impl Dag {
         let mut pending: Vec<Vec<usize>> = vec![Vec::new(); self.num_qubits];
         // Node lists per tracker block id.
         let mut nodes_of: Vec<Vec<usize>> = Vec::new();
-        for (i, inst) in self.nodes.iter().enumerate() {
+        // Program position per node id (ids carry no order meaning).
+        let mut pos_of = vec![0usize; self.capacity()];
+        for (pos, (id, inst)) in self.iter().enumerate() {
+            pos_of[id] = pos;
             let unitary = inst.gate.is_unitary_gate() && !inst.gate.is_directive();
             if !unitary || inst.qubits.len() > max_arity {
                 // Directive, non-unitary, or too wide: breaks blocks and
@@ -431,16 +855,16 @@ impl Dag {
                 for &q in &inst.qubits {
                     pending[q].clear();
                 }
-                tracker.touch(&inst.qubits, i);
+                tracker.touch(&inst.qubits, pos);
                 continue;
             }
             if inst.qubits.len() == 1 {
                 let q = inst.qubits[0];
                 match tracker.membership(&inst.qubits) {
                     Membership::Join { block, new_qubits } if new_qubits.is_empty() => {
-                        nodes_of[block].push(i)
+                        nodes_of[block].push(id)
                     }
-                    _ => pending[q].push(i),
+                    _ => pending[q].push(id),
                 }
                 continue;
             }
@@ -450,15 +874,15 @@ impl Dag {
                         nodes_of[block].append(&mut pending[q]);
                     }
                     tracker.extend(block, &new_qubits);
-                    nodes_of[block].push(i);
+                    nodes_of[block].push(id);
                 }
                 Membership::Outside => {
-                    let block = tracker.open(&inst.qubits, i);
+                    let block = tracker.open(&inst.qubits, pos);
                     let mut nodes = Vec::new();
                     for &q in &inst.qubits {
                         nodes.append(&mut pending[q]);
                     }
-                    nodes.push(i);
+                    nodes.push(id);
                     debug_assert_eq!(block, nodes_of.len());
                     nodes_of.push(nodes);
                 }
@@ -467,15 +891,15 @@ impl Dag {
         let mut blocks: Vec<Block> = nodes_of
             .into_iter()
             .enumerate()
-            .map(|(id, mut nodes)| {
-                nodes.sort_unstable();
+            .map(|(block_id, mut nodes)| {
+                nodes.sort_unstable_by_key(|&id| pos_of[id]);
                 Block {
-                    qubits: tracker.block_qubits(id).to_vec(),
+                    qubits: tracker.block_qubits(block_id).to_vec(),
                     nodes,
                 }
             })
             .collect();
-        blocks.sort_by_key(|b| b.nodes[0]);
+        blocks.sort_by_key(|b| pos_of[b.nodes[0]]);
         blocks
     }
 
@@ -493,17 +917,60 @@ impl Dag {
     }
 }
 
+fn bump_classes(counts: &mut [u32; gate_class::COUNT], classes: u16, delta: i32) {
+    for (bit, count) in counts.iter_mut().enumerate() {
+        if classes & (1 << bit) != 0 {
+            *count = count
+                .checked_add_signed(delta)
+                .expect("class census underflow");
+        }
+    }
+}
+
+fn wire_slot(node: &Node, q: usize) -> usize {
+    node.inst
+        .qubits
+        .iter()
+        .position(|&x| x == q)
+        .expect("node carries the wire")
+}
+
+/// Program-order iterator over a [`Dag`]'s live nodes.
+pub struct DagIter<'a> {
+    dag: &'a Dag,
+    cur: usize,
+}
+
+impl<'a> Iterator for DagIter<'a> {
+    type Item = (usize, &'a Instruction);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cur == NONE {
+            return None;
+        }
+        let id = self.cur;
+        let node = self.dag.node(id);
+        self.cur = node.order_next;
+        Some((id, &node.inst))
+    }
+}
+
 /// Incremental topological scheduler over a [`Dag`], used by routing: nodes
-/// become ready once all their wire predecessors have been executed.
+/// become ready once all their wire predecessors have been executed. Ready
+/// promotion follows program order (position, not node id), so scheduling
+/// is identical for a freshly built and an edit-spliced DAG of the same
+/// stream.
 #[derive(Clone, Debug)]
 pub struct Scheduler<'a> {
     dag: &'a Dag,
+    /// Program position per node id at scheduler creation.
+    pos: Vec<usize>,
     remaining_preds: Vec<usize>,
     ready: Vec<usize>,
 }
 
 impl<'a> Scheduler<'a> {
-    /// Nodes whose predecessors have all executed.
+    /// Node ids whose predecessors have all executed.
     pub fn ready(&self) -> &[usize] {
         &self.ready
     }
@@ -514,7 +981,7 @@ impl<'a> Scheduler<'a> {
     }
 
     /// Marks `node` executed, removing it from the ready set and promoting
-    /// any successors that become ready.
+    /// any successors that become ready (in program order).
     ///
     /// # Panics
     ///
@@ -526,7 +993,15 @@ impl<'a> Scheduler<'a> {
             .position(|&n| n == node)
             .expect("node must be ready to execute");
         self.ready.swap_remove(pos);
-        for &s in self.dag.succs(node) {
+        let n = self.dag.node(node);
+        let mut succs: Vec<usize> = Vec::with_capacity(n.wires.len());
+        for &(_, ws) in &n.wires {
+            if ws != NONE && !succs.contains(&ws) {
+                succs.push(ws);
+            }
+        }
+        succs.sort_unstable_by_key(|&s| self.pos[s]);
+        for s in succs {
             self.remaining_preds[s] -= 1;
             if self.remaining_preds[s] == 0 {
                 self.ready.push(s);
@@ -540,25 +1015,31 @@ mod tests {
     use super::*;
     use crate::circuit::Circuit;
 
+    /// Node ids in program order.
+    fn order(dag: &Dag) -> Vec<usize> {
+        dag.iter().map(|(id, _)| id).collect()
+    }
+
     #[test]
     fn wire_structure() {
         let mut c = Circuit::new(3);
         c.h(0).cx(0, 1).cx(1, 2).h(2);
         let dag = Dag::from_circuit(&c);
-        assert_eq!(dag.preds(0), &[] as &[usize]);
-        assert_eq!(dag.preds(1), &[0]);
-        assert_eq!(dag.preds(2), &[1]);
-        assert_eq!(dag.preds(3), &[2]);
-        assert_eq!(dag.succs(0), &[1]);
+        assert_eq!(dag.wire_pred(0, 0), None);
+        assert_eq!(dag.wire_pred(1, 0), Some(0));
+        assert_eq!(dag.wire_pred(2, 1), Some(1));
+        assert_eq!(dag.wire_pred(3, 2), Some(2));
+        assert_eq!(dag.wire_succ(0, 0), Some(1));
     }
 
     #[test]
-    fn multi_wire_pred_deduplicated() {
+    fn multi_wire_links_per_wire() {
         let mut c = Circuit::new(2);
         c.cx(0, 1).cx(0, 1);
         let dag = Dag::from_circuit(&c);
-        // Second cx depends on first through both wires but only once.
-        assert_eq!(dag.preds(1), &[0]);
+        // Second cx depends on first through both wires.
+        assert_eq!(dag.wire_pred(1, 0), Some(0));
+        assert_eq!(dag.wire_pred(1, 1), Some(0));
     }
 
     #[test]
@@ -663,12 +1144,75 @@ mod tests {
         );
         let report = dag.apply(edit);
         assert_eq!(report.rewrites, 2);
+        assert!(report.relink_nodes >= 5); // 2 removed + 3 inserted
         assert!(report.touched.contains(0) && report.touched.contains(1));
         assert!(!report.touched.contains(2));
-        let names: Vec<&str> = dag.nodes().iter().map(|i| i.gate.name()).collect();
+        let names: Vec<&str> = dag.iter().map(|(_, i)| i.gate.name()).collect();
         assert_eq!(names, vec!["h", "h", "cz", "h", "cx"]);
-        // Links rebuilt: the final cx depends on the last h (wire 1).
-        assert_eq!(dag.preds(4), &[3]);
+        // Links patched: the final cx depends on the last h through wire 1.
+        let ids = order(&dag);
+        assert_eq!(dag.wire_pred(ids[4], 1), Some(ids[3]));
+        assert_eq!(dag.wire_succ(ids[3], 1), Some(ids[4]));
+    }
+
+    #[test]
+    fn incremental_relink_matches_fresh_build() {
+        use crate::gate::Gate;
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 1).t(1).cx(1, 2).cx(2, 3).h(3);
+        let mut dag = Dag::from_circuit(&c);
+        let mut edit = DagEdit::new();
+        edit.replace(
+            3,
+            vec![
+                Instruction::new(Gate::H, vec![2]),
+                Instruction::new(Gate::Cz, vec![1, 2]),
+            ],
+        );
+        edit.remove(0);
+        dag.apply(edit);
+        let fresh = Dag::from_circuit(&dag.to_circuit());
+        assert_links_match_fresh(&dag, &fresh);
+    }
+
+    /// Asserts `dag`'s order and wire links equal a freshly built DAG of
+    /// the same stream, position by position.
+    fn assert_links_match_fresh(dag: &Dag, fresh: &Dag) {
+        let ids = order(dag);
+        assert_eq!(ids.len(), fresh.len());
+        let pos_of = |id: usize| ids.iter().position(|&x| x == id);
+        for (p, &id) in ids.iter().enumerate() {
+            assert_eq!(dag.inst(id), fresh.inst(p), "instruction at position {p}");
+            for &q in &dag.inst(id).qubits {
+                assert_eq!(
+                    dag.wire_pred(id, q).and_then(pos_of),
+                    fresh.wire_pred(p, q),
+                    "wire {q} pred of position {p}"
+                );
+                assert_eq!(
+                    dag.wire_succ(id, q).and_then(pos_of),
+                    fresh.wire_succ(p, q),
+                    "wire {q} succ of position {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn freed_ids_are_recycled() {
+        let mut c = Circuit::new(2);
+        c.h(0).h(1).cx(0, 1);
+        let mut dag = Dag::from_circuit(&c);
+        assert_eq!(dag.capacity(), 3);
+        let mut edit = DagEdit::new();
+        edit.remove(0);
+        dag.apply(edit);
+        let mut edit = DagEdit::new();
+        edit.replace(1, vec![Instruction::new(crate::gate::Gate::X, vec![1])]);
+        dag.apply(edit);
+        // The freed slots were reused: no slab growth.
+        assert_eq!(dag.capacity(), 3);
+        assert_eq!(dag.len(), 2);
     }
 
     #[test]
@@ -692,6 +1236,57 @@ mod tests {
     }
 
     #[test]
+    fn wire_class_census_tracks_edits() {
+        use gate_class::*;
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).t(1);
+        let mut dag = Dag::from_circuit(&c);
+        assert_ne!(dag.wire_class_mask(0) & SELF_INVERSE, 0);
+        assert_ne!(dag.wire_class_mask(0) & CX, 0);
+        assert_ne!(dag.wire_class_mask(1) & ONE_Q_DIAG, 0);
+        // Remove the t: wire 1 keeps the cx, loses the diagonal class.
+        let mut edit = DagEdit::new();
+        edit.remove(2);
+        dag.apply(edit);
+        assert_eq!(dag.wire_class_mask(1) & ONE_Q_DIAG, 0);
+        assert_ne!(dag.wire_class_mask(1) & CX, 0);
+        // Replace the h with a u2: the self-inverse class leaves wire 0.
+        let mut edit = DagEdit::new();
+        edit.replace(
+            0,
+            vec![Instruction::new(
+                Gate::U2(0.0, std::f64::consts::PI),
+                vec![0],
+            )],
+        );
+        dag.apply(edit);
+        assert_eq!(dag.wire_class_mask(0) & SELF_INVERSE, 0);
+        assert_ne!(dag.wire_class_mask(0) & ONE_Q, 0);
+    }
+
+    #[test]
+    fn instruction_class_bits() {
+        use gate_class::*;
+        let classes =
+            |g: Gate, qs: &[usize]| instruction_classes(&Instruction::new(g, qs.to_vec()));
+        assert_eq!(
+            classes(Gate::T, &[0]),
+            ONE_Q | ONE_Q_DIAG | NON_DEVICE | NON_EXTENDED
+        );
+        assert_eq!(classes(Gate::Cx, &[0, 1]), CX | TWO_Q);
+        assert_eq!(
+            classes(Gate::Swap, &[0, 1]),
+            TWO_Q | SWAP_FAMILY | NON_DEVICE
+        );
+        assert_eq!(classes(Gate::U3(0.1, 0.2, 0.3), &[0]), ONE_Q);
+        assert_eq!(
+            classes(Gate::Ccx, &[0, 1, 2]),
+            MULTI_Q | NON_DEVICE | NON_EXTENDED
+        );
+        assert_eq!(classes(Gate::Measure, &[0]), NON_UNITARY);
+    }
+
+    #[test]
     fn replace_all_rewrites_stream_and_width() {
         let mut c = Circuit::new(2);
         c.h(0).cx(0, 1);
@@ -705,7 +1300,7 @@ mod tests {
         );
         assert!(report.changed());
         assert_eq!(dag.num_qubits(), 3);
-        assert_eq!(dag.nodes().len(), 2);
+        assert_eq!(dag.len(), 2);
         assert_eq!(dag.wire_gen(1), dag.generation());
     }
 

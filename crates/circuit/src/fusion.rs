@@ -141,15 +141,26 @@ pub struct FusionProfile {
     /// Cost of streaming one full pass over the buffer, per amplitude,
     /// relative to one multiply-add.
     pub pass_cost: f64,
+    /// Multiply-add efficiency penalty of the 8-way dense mix relative to
+    /// the 2-/4-way kernels (64 coefficients exceed the register budget).
+    pub dense3_weight: f64,
 }
 
 /// A statevector no wider than this stays cache-resident (2¹⁶ amplitudes =
 /// 1 MiB of `C64`), making passes cheap; beyond it they stream.
 const CACHE_RESIDENT_QUBITS: usize = 16;
 
-/// Multiply-add efficiency penalty of the 8-way dense mix relative to the
-/// 2-/4-way kernels (64 coefficients exceed the register budget).
+/// Fallback multiply-add efficiency penalty of the 8-way dense mix
+/// relative to the 2-/4-way kernels (64 coefficients exceed the register
+/// budget), used when the microcalibration is unavailable or disabled.
 const DENSE3_PENALTY: f64 = 1.4;
+
+/// The dense-3q register-pressure weight: measured once per process on
+/// this host ([`qc_math::calibrated_dense3_penalty`]), the hand-set
+/// constant when calibration is disabled (`RPO_CALIBRATE=0`) or degenerate.
+fn dense3_penalty() -> f64 {
+    qc_math::calibrated_dense3_penalty().unwrap_or(DENSE3_PENALTY)
+}
 
 /// The no-measurement fallback pass costs: cache-resident and streaming,
 /// the pre-calibration two-point model.
@@ -161,8 +172,12 @@ impl FusionProfile {
     /// Panels are sized to stay L2-resident by construction, so the
     /// cache-resident constant applies regardless of calibration.
     pub fn panels() -> Self {
+        // Panels keep the constant weight: k = 3 growth is never
+        // profitable in L2-resident panels by design (see ROADMAP), and a
+        // host-measured weight must not be able to flip that.
         FusionProfile {
             pass_cost: FALLBACK_CHEAP_PASS,
+            dense3_weight: DENSE3_PENALTY,
         }
     }
 
@@ -181,13 +196,16 @@ impl FusionProfile {
         } else {
             qc_math::calibrated_cheap_pass_cost().unwrap_or(FALLBACK_CHEAP_PASS)
         };
-        FusionProfile { pass_cost }
+        FusionProfile {
+            pass_cost,
+            dense3_weight: dense3_penalty(),
+        }
     }
 
     /// The cost of a dense k-qubit sweep: one pass plus 2ᵏ multiply-adds
     /// per amplitude (weighted for the 8-way mix's register pressure).
     fn dense_sweep_cost(&self, k: usize) -> f64 {
-        let weight = if k >= 3 { DENSE3_PENALTY } else { 1.0 };
+        let weight = if k >= 3 { self.dense3_weight } else { 1.0 };
         self.pass_cost + weight * (1usize << k) as f64
     }
 
@@ -776,7 +794,12 @@ mod tests {
     /// A profile with expensive passes (the streaming state-vector regime),
     /// which enables pass-saving k=3 growth at any test size.
     fn streaming() -> FusionProfile {
-        FusionProfile { pass_cost: 6.0 }
+        // Pinned costs: planner-shape assertions must not depend on this
+        // host's microcalibration.
+        FusionProfile {
+            pass_cost: 6.0,
+            dense3_weight: DENSE3_PENALTY,
+        }
     }
 
     #[test]

@@ -42,7 +42,10 @@ pub mod unitary;
 
 pub use blocks::{Block, BlockTracker, Membership};
 pub use circuit::{Circuit, GateCounts, Instruction};
-pub use dag::{conversion_counts, reset_conversion_counts, ChangeReport, Dag, DagEdit, WireSet};
+pub use dag::{
+    conversion_counts, gate_class, instruction_classes, reset_conversion_counts, ChangeReport, Dag,
+    DagEdit, WireSet,
+};
 pub use fusion::{fuse_instructions, fuse_instructions_with, FusedInst, FusionProfile};
 pub use gate::{BasisState, Gate};
 pub use unitary::{

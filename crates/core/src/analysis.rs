@@ -52,7 +52,7 @@ impl WireStateCache {
             })
             .collect();
         let mut traj: Vec<Vec<(BasisTracked, PureTracked)>> = vec![Vec::new(); n];
-        for inst in dag.nodes() {
+        for (_, inst) in dag.iter() {
             for &q in &inst.qubits {
                 traj[q].push((st.basis(q), st.pure_state(q)));
             }

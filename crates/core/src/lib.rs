@@ -47,9 +47,9 @@ pub mod qpo;
 pub mod state;
 
 pub use analysis::WireStateCache;
-pub use pipeline::{
-    transpile_rpo, transpile_rpo_instrumented, transpile_rpo_reference, RpoOptions,
-};
+#[cfg(any(test, feature = "reference-oracles"))]
+pub use pipeline::transpile_rpo_reference;
+pub use pipeline::{transpile_rpo, transpile_rpo_instrumented, RpoOptions};
 pub use qbo::Qbo;
 pub use qpo::Qpo;
 pub use state::{BasisTracked, PureTracked, StateAnalysis};

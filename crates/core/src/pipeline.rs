@@ -23,12 +23,16 @@ use qc_backends::Backend;
 use qc_circuit::{Circuit, Dag};
 use qc_transpile::manager::{run_named, FixedPointLoop, PassStats, PropertySet};
 use qc_transpile::optimize_1q::Optimize1qGates;
+use qc_transpile::preset::{dag_stage_layout, dag_stage_route, fixpoint_passes, Transpiled};
+#[cfg(any(test, feature = "reference-oracles"))]
 use qc_transpile::preset::{
-    dag_stage_layout, dag_stage_route, fixpoint_passes, stage_fixpoint_loop, stage_layout,
-    stage_optimize_1q, stage_route, stage_unroll_device, stage_unroll_extended, Transpiled,
+    stage_fixpoint_loop, stage_layout, stage_optimize_1q, stage_route, stage_unroll_device,
+    stage_unroll_extended,
 };
 use qc_transpile::unroll::Unroller;
-use qc_transpile::{Pass, TranspileError, TranspileOptions};
+#[cfg(any(test, feature = "reference-oracles"))]
+use qc_transpile::Pass;
+use qc_transpile::{TranspileError, TranspileOptions};
 
 /// Options for the RPO pipeline.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -213,6 +217,9 @@ pub fn transpile_rpo_instrumented(
         &mut stats,
     )?;
     let mut fp = FixedPointLoop::new(fixpoint_passes(true), dag.num_qubits());
+    if !opts.base.interest_filtering {
+        fp = fp.without_interest_filtering();
+    }
     fp.run(&mut dag, &mut props, 10)?;
     stats.extend(fp.stats);
     let final_map = layout.iter().map(|&w| wire_map[w]).collect();
@@ -229,11 +236,13 @@ pub fn transpile_rpo_instrumented(
 
 /// The pre-refactor [`transpile_rpo`]: circuit-cloning stages and the
 /// unconditional fixed-point loop, retained verbatim as the property-test
-/// oracle for the DAG-native pipeline.
+/// oracle for the DAG-native pipeline. Compiled only for tests and under
+/// the `reference-oracles` feature, so release builds skip it.
 ///
 /// # Errors
 ///
 /// Same failure modes as [`transpile_rpo`].
+#[cfg(any(test, feature = "reference-oracles"))]
 pub fn transpile_rpo_reference(
     circuit: &Circuit,
     backend: &Backend,

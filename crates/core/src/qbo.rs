@@ -340,13 +340,13 @@ impl Qbo {
     /// # Errors
     ///
     /// Fails when a rewrite chain does not terminate (a bug).
-    fn expand_stream(
+    fn expand_stream<'a>(
         &self,
-        insts: &[Instruction],
+        insts: impl Iterator<Item = &'a Instruction>,
         num_qubits: usize,
     ) -> Result<Vec<Option<Vec<Instruction>>>, TranspileError> {
         let mut st = StateAnalysis::new(num_qubits);
-        let mut out: Vec<Option<Vec<Instruction>>> = Vec::with_capacity(insts.len());
+        let mut out: Vec<Option<Vec<Instruction>>> = Vec::new();
         for inst in insts {
             let mut queue: VecDeque<Instruction> = VecDeque::new();
             queue.push_back(inst.clone());
@@ -385,7 +385,7 @@ impl Pass for Qbo {
     }
 
     fn run(&self, circuit: &mut Circuit) -> Result<(), TranspileError> {
-        let expansions = self.expand_stream(circuit.instructions(), circuit.num_qubits())?;
+        let expansions = self.expand_stream(circuit.instructions().iter(), circuit.num_qubits())?;
         let mut out: Vec<Instruction> = Vec::with_capacity(circuit.len());
         for (inst, exp) in circuit.instructions().iter().zip(expansions) {
             match exp {
@@ -403,16 +403,26 @@ impl qc_transpile::DagPass for Qbo {
         "QBO"
     }
 
+    fn interest(&self) -> qc_transpile::PassInterest {
+        // QBO's rewrites depend on the basis-state analysis, which flows
+        // along wires (and across them through the swap family): a gate
+        // far upstream of the rewrite site enables or disables a rule, so
+        // the pass must over-approximate to every wire (see the
+        // PassInterest contract).
+        qc_transpile::PassInterest::all_wires()
+    }
+
     fn run_on_dag(
         &self,
         dag: &mut qc_circuit::Dag,
         _props: &mut qc_transpile::PropertySet,
     ) -> Result<qc_circuit::ChangeReport, TranspileError> {
-        let expansions = self.expand_stream(dag.nodes(), dag.num_qubits())?;
+        let ids: Vec<usize> = dag.iter().map(|(id, _)| id).collect();
+        let expansions = self.expand_stream(dag.iter().map(|(_, i)| i), dag.num_qubits())?;
         let mut edit = qc_circuit::DagEdit::new();
-        for (i, exp) in expansions.into_iter().enumerate() {
+        for (id, exp) in ids.into_iter().zip(expansions) {
             if let Some(kept) = exp {
-                edit.replace(i, kept);
+                edit.replace(id, kept);
             }
         }
         Ok(dag.apply(edit))

@@ -144,9 +144,12 @@ fn dressed_swapz(theta: f64, phi: f64, pq: usize, other: usize) -> Vec<Instructi
 /// Phase 1 over an instruction stream: the final expansion of each input
 /// instruction (`None` = kept untouched), plus the running analysis. The
 /// shared core of the circuit-level and DAG-native drivers.
-fn expand_stream(insts: &[Instruction], num_qubits: usize) -> Vec<Option<Vec<Instruction>>> {
+fn expand_stream<'a>(
+    insts: impl Iterator<Item = &'a Instruction>,
+    num_qubits: usize,
+) -> Vec<Option<Vec<Instruction>>> {
     let mut st = StateAnalysis::new(num_qubits);
-    let mut out: Vec<Option<Vec<Instruction>>> = Vec::with_capacity(insts.len());
+    let mut out: Vec<Option<Vec<Instruction>>> = Vec::new();
     for inst in insts {
         match rewrite(inst, &st) {
             Some(replacement) => {
@@ -173,7 +176,7 @@ impl Pass for Qpo {
 
     fn run(&self, circuit: &mut Circuit) -> Result<(), TranspileError> {
         // Phase 1: per-instruction rewrites driven by the running analysis.
-        let expansions = expand_stream(circuit.instructions(), circuit.num_qubits());
+        let expansions = expand_stream(circuit.instructions().iter(), circuit.num_qubits());
         let mut out: Vec<Instruction> = Vec::with_capacity(circuit.len());
         for (inst, exp) in circuit.instructions().iter().zip(expansions) {
             match exp {
@@ -195,17 +198,26 @@ impl qc_transpile::DagPass for Qpo {
         "QPO"
     }
 
+    fn interest(&self) -> qc_transpile::PassInterest {
+        // Like QBO, QPO rewrites where the *flowing* pure-state analysis
+        // proves a known state — upstream gates on any wire (coupled
+        // across wires by the swap family) enable rules, so the pass
+        // over-approximates to every wire.
+        qc_transpile::PassInterest::all_wires()
+    }
+
     fn run_on_dag(
         &self,
         dag: &mut qc_circuit::Dag,
         props: &mut qc_transpile::PropertySet,
     ) -> Result<qc_circuit::ChangeReport, TranspileError> {
         // Phase 1.
-        let expansions = expand_stream(dag.nodes(), dag.num_qubits());
+        let ids: Vec<usize> = dag.iter().map(|(id, _)| id).collect();
+        let expansions = expand_stream(dag.iter().map(|(_, i)| i), dag.num_qubits());
         let mut edit = qc_circuit::DagEdit::new();
-        for (i, exp) in expansions.into_iter().enumerate() {
+        for (id, exp) in ids.into_iter().zip(expansions) {
             if let Some(kept) = exp {
-                edit.replace(i, kept);
+                edit.replace(id, kept);
             }
         }
         let mut total = dag.apply(edit);
@@ -231,17 +243,18 @@ impl qc_transpile::DagPass for Qpo {
             let cache = props
                 .get::<WireStateCache>(WIRE_STATES_KEY)
                 .expect("just ensured");
-            // Wire-local position of every node's qubits, so block-entry
-            // states can be looked up in the per-wire trajectories.
+            // Wire-local position of every node's qubits (indexed by node
+            // id), so block-entry states can be looked up in the per-wire
+            // trajectories.
             let mut next_k = vec![0usize; dag.num_qubits()];
-            let mut wire_pos: Vec<Vec<(usize, usize)>> = Vec::with_capacity(dag.nodes().len());
-            for inst in dag.nodes() {
+            let mut wire_pos: Vec<Vec<(usize, usize)>> = vec![Vec::new(); dag.capacity()];
+            for (id, inst) in dag.iter() {
                 let mut ks = Vec::with_capacity(inst.qubits.len());
                 for &q in &inst.qubits {
                     ks.push((q, next_k[q]));
                     next_k[q] += 1;
                 }
-                wire_pos.push(ks);
+                wire_pos[id] = ks;
             }
             let entry_pure = |w: usize, node: usize| -> PureTracked {
                 let &(_, k) = wire_pos[node]
@@ -250,7 +263,7 @@ impl qc_transpile::DagPass for Qpo {
                     .expect("node touches the wire");
                 cache.entry(w, k).1
             };
-            plan_block_rewrites(dag.nodes(), &blocks, &entry_pure)
+            plan_block_rewrites(dag, &blocks, &entry_pure)
         };
         let mut edit = qc_circuit::DagEdit::new();
         for (i, r) in replace_at.into_iter().enumerate() {
@@ -276,9 +289,11 @@ fn optimize_blocks(circuit: &mut Circuit) -> Result<(), TranspileError> {
     if blocks.is_empty() {
         return Ok(());
     }
+    // A freshly built DAG numbers ids densely in program order, so ids
+    // index the entry-state table (and the instruction list) directly.
     let (entries, _) = StateAnalysis::entry_states(circuit);
     let entry_pure = |w: usize, node: usize| entries[node].pure_state(w);
-    let (drop, mut replace_at) = plan_block_rewrites(dag.nodes(), &blocks, &entry_pure);
+    let (drop, mut replace_at) = plan_block_rewrites(&dag, &blocks, &entry_pure);
     let mut out = Vec::with_capacity(circuit.len());
     for (i, inst) in circuit.instructions().iter().enumerate() {
         if let Some(mapped) = replace_at[i].take() {
@@ -291,17 +306,17 @@ fn optimize_blocks(circuit: &mut Circuit) -> Result<(), TranspileError> {
     Ok(())
 }
 
-/// The block-rewrite plan over a node sequence, its collected blocks and an
+/// The block-rewrite plan over a DAG, its collected blocks and an
 /// entry-state oracle (`entry_pure(wire, node)` = the pure-domain state of
-/// `wire` just before `node`). Shared by the circuit-level and DAG-native
-/// drivers.
+/// `wire` just before node id `node`), indexed by node id. Shared by the
+/// circuit-level and DAG-native drivers.
 fn plan_block_rewrites(
-    nodes: &[Instruction],
+    dag: &Dag,
     blocks: &[qc_circuit::Block],
     entry_pure: &dyn Fn(usize, usize) -> PureTracked,
 ) -> (Vec<bool>, Vec<Option<Vec<Instruction>>>) {
-    let mut drop = vec![false; nodes.len()];
-    let mut replace_at: Vec<Option<Vec<Instruction>>> = vec![None; nodes.len()];
+    let mut drop = vec![false; dag.capacity()];
+    let mut replace_at: Vec<Option<Vec<Instruction>>> = vec![None; dag.capacity()];
     for block in blocks {
         let (a, b) = (block.qubits[0], block.qubits[1]);
         // Entry state of each wire at its first gate inside the block.
@@ -310,7 +325,7 @@ fn plan_block_rewrites(
                 .nodes
                 .iter()
                 .copied()
-                .find(|&n| nodes[n].qubits.contains(&w))
+                .find(|&n| dag.inst(n).qubits.contains(&w))
         };
         let (Some(na), Some(nb)) = (first_for(a), first_for(b)) else {
             continue;
@@ -323,7 +338,7 @@ fn plan_block_rewrites(
         let mut local = Circuit::new(2);
         let mut cx_before = 0usize;
         for &n in &block.nodes {
-            let inst = &nodes[n];
+            let inst = dag.inst(n);
             let qs: Vec<usize> = inst
                 .qubits
                 .iter()

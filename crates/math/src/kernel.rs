@@ -126,6 +126,73 @@ pub fn calibrated_streaming_pass_cost() -> Option<f64> {
     })
 }
 
+/// One-time microcalibration of the dense-3q register-pressure weight: the
+/// multiply-add efficiency penalty of the 8-way dense mix relative to the
+/// 2-way kernels (64 coefficients exceed the register budget, so each
+/// 8×8-block madd runs slower than a 2×2-block one).
+///
+/// Measured at the cache-resident point (2¹³ scalars) so the ratio
+/// isolates arithmetic throughput from memory bandwidth: with
+/// `madd = t(dense1q) − t(diag)` and `pass = t(diag) − madd`, the weight
+/// is `(t(dense3q) − pass) / (8·madd)`, clamped to `[1, 3]`. Returns
+/// `None` — callers fall back to their built-in constant — when disabled
+/// via `RPO_CALIBRATE=0` or the measurement is degenerate. Frozen per
+/// process, like the pass costs.
+pub fn calibrated_dense3_penalty() -> Option<f64> {
+    use std::sync::OnceLock;
+    static CAL: OnceLock<Option<f64>> = OnceLock::new();
+    *CAL.get_or_init(|| {
+        if !calibration_enabled() {
+            return None;
+        }
+        Some(measure_dense3_penalty(13, 16)?.clamp(1.0, 3.0))
+    })
+}
+
+/// Measures the dense-3q penalty on a 2ⁿ-scalar buffer (see
+/// [`calibrated_dense3_penalty`]); `inner` batches kernel applications per
+/// timing sample to rise above timer noise.
+fn measure_dense3_penalty(n: usize, inner: usize) -> Option<f64> {
+    use std::time::Instant;
+    let mut buf = vec![C64::new(0.6, 0.8); 1 << n];
+    let mut engine = KernelEngine::new();
+    let diag = KernelOp::OneQDiag([C64::new(0.8, 0.6), C64::new(0.6, -0.8)]);
+    let dense = KernelOp::OneQ([
+        C64::new(0.8, 0.0),
+        C64::new(0.0, 0.6),
+        C64::new(0.0, 0.6),
+        C64::new(0.8, 0.0),
+    ]);
+    // A unitary-ish dense 8×8 probe (exact unitarity is irrelevant to the
+    // timing; the buffer is scratch).
+    let m3 = Matrix::from_fn(8, 8, |r, c| {
+        let s = if r == c { 0.9 } else { 0.1 };
+        C64::new(s * (1.0 + (r as f64) * 0.01), s * (0.5 - (c as f64) * 0.01))
+    });
+    let mut time_op = |op: &KernelOp<'_>, qubits: &[usize]| -> f64 {
+        engine.apply(&mut buf, n, op, qubits);
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            for _ in 0..inner {
+                engine.apply(&mut buf, n, op, qubits);
+            }
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let t_diag = time_op(&diag, &[0]);
+    let t_dense = time_op(&dense, &[0]);
+    let t_dense3 = time_op(&KernelOp::Dense(&m3), &[0, 1, 2]);
+    let madd = t_dense - t_diag;
+    if madd <= 0.0 || t_diag <= madd {
+        return None; // degenerate measurement: keep the fallback constant
+    }
+    let pass = t_diag - madd;
+    let weight = (t_dense3 - pass) / (8.0 * madd);
+    (weight > 0.0).then_some(weight)
+}
+
 fn calibration_enabled() -> bool {
     std::env::var("RPO_CALIBRATE").as_deref() != Ok("0")
 }

@@ -36,8 +36,9 @@ pub mod svd;
 
 pub use complex::C64;
 pub use kernel::{
-    apply_2x2, calibrated_cheap_pass_cost, calibrated_streaming_pass_cost, expand_bits,
-    kernel_threads, mul_2x2, mul_4x4, par_units, KernelEngine, KernelOp,
+    apply_2x2, calibrated_cheap_pass_cost, calibrated_dense3_penalty,
+    calibrated_streaming_pass_cost, expand_bits, kernel_threads, mul_2x2, mul_4x4, par_units,
+    KernelEngine, KernelOp,
 };
 #[cfg(feature = "parallel")]
 pub use kernel::{default_threads, max_threads, set_max_threads};

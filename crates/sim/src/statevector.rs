@@ -32,7 +32,8 @@
 
 use qc_circuit::{fuse_instructions, Circuit, Gate, Instruction};
 use qc_math::{expand_bits, par_units, KernelEngine, Matrix, C64};
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 /// A raw mutable pointer shipped into `par_units` bodies for disjoint
@@ -260,7 +261,12 @@ impl Statevector {
     ///
     /// Builds the cumulative distribution once and binary-searches it per
     /// shot — O(2ⁿ + shots·n) instead of the O(shots·2ⁿ) per-shot linear
-    /// scan. One uniform draw per shot, as before.
+    /// scan. The caller's `rng` seeds a base value, and each shot draws
+    /// from its own counter-derived stream (`StdRng` seeded with
+    /// `base + shot`), so the independent binary searches split across the
+    /// kernel thread pool: shot `i`'s outcome depends only on `(base, i)`,
+    /// making the counts **bit-identical to the sequential order at any
+    /// thread count**.
     pub fn sample(&self, shots: usize, rng: &mut impl Rng) -> HashMap<usize, usize> {
         // The |z|² map is computed in parallel (`probabilities`); the
         // running sum stays sequential so every CDF entry is the same
@@ -272,10 +278,32 @@ impl Statevector {
             *p = acc;
         }
         let total = acc; // ≈ 1, up to rounding and the norm tolerance
+                         // One draw from the caller's stream derives every per-shot seed.
+                         // The seeding SplitMix64 decorrelates consecutive counters, and
+                         // the vendored StdRng seeds in four SplitMix64 steps — per-shot
+                         // stream setup costs nanoseconds, not a key expansion.
+        let base: u64 = rng.next_u64();
+        let mut outcomes = vec![0usize; shots];
+        let last = cdf.len() - 1;
+        {
+            let cdf = &cdf;
+            let dst = SyncPtr(outcomes.as_mut_ptr());
+            // Each shot costs one n-deep binary search; weight the
+            // parallel threshold by that depth rather than the shot count
+            // alone.
+            let elems = shots.saturating_mul(self.num_qubits.max(1));
+            par_units(shots, elems, move |lo, hi| {
+                for s in lo..hi {
+                    let mut shot_rng = StdRng::seed_from_u64(base.wrapping_add(s as u64));
+                    let r: f64 = shot_rng.gen::<f64>() * total;
+                    let outcome = cdf.partition_point(|&c| c <= r).min(last);
+                    // SAFETY: chunks cover disjoint shot ranges.
+                    unsafe { dst.write(s, outcome) };
+                }
+            });
+        }
         let mut counts = HashMap::new();
-        for _ in 0..shots {
-            let r: f64 = rng.gen::<f64>() * total;
-            let outcome = cdf.partition_point(|&c| c <= r).min(cdf.len() - 1);
+        for outcome in outcomes {
             *counts.entry(outcome).or_insert(0) += 1;
         }
         counts

@@ -31,18 +31,28 @@ use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
 
 const TOL: f64 = 1e-9;
 
-/// The magic (Bell) basis change matrix.
-fn magic_basis() -> Matrix {
-    let r = std::f64::consts::FRAC_1_SQRT_2;
-    let z = C64::ZERO;
-    let one = C64::real(r);
-    let i = C64::new(0.0, r);
-    Matrix::from_rows(&[
-        vec![one, z, z, i],
-        vec![z, i, one, z],
-        vec![z, i, -one, z],
-        vec![one, z, z, -i],
-    ])
+/// The magic (Bell) basis change matrix, built once per process — the
+/// decomposition multiplies by it (and its adjoint) on every call.
+fn magic_basis() -> &'static Matrix {
+    static M: std::sync::OnceLock<Matrix> = std::sync::OnceLock::new();
+    M.get_or_init(|| {
+        let r = std::f64::consts::FRAC_1_SQRT_2;
+        let z = C64::ZERO;
+        let one = C64::real(r);
+        let i = C64::new(0.0, r);
+        Matrix::from_rows(&[
+            vec![one, z, z, i],
+            vec![z, i, one, z],
+            vec![z, i, -one, z],
+            vec![one, z, z, -i],
+        ])
+    })
+}
+
+/// The magic basis' adjoint, cached like [`magic_basis`].
+fn magic_basis_dag() -> &'static Matrix {
+    static M: std::sync::OnceLock<Matrix> = std::sync::OnceLock::new();
+    M.get_or_init(|| magic_basis().adjoint())
 }
 
 fn pauli(which: usize) -> Matrix {
@@ -53,11 +63,65 @@ fn pauli(which: usize) -> Matrix {
     }
 }
 
+/// `P ⊗ P` for the three Paulis, cached — the canonicalization shifts fold
+/// one into K2 per π/2 step.
+fn pauli_kron(which: usize) -> &'static Matrix {
+    static M: std::sync::OnceLock<[Matrix; 3]> = std::sync::OnceLock::new();
+    &M.get_or_init(|| {
+        [
+            pauli(0).kron(&pauli(0)),
+            pauli(1).kron(&pauli(1)),
+            pauli(2).kron(&pauli(2)),
+        ]
+    })[which]
+}
+
+/// The cached `V ⊗ V` Clifford conjugator (and its adjoint) that swaps
+/// Weyl coordinates `lo` and `hi` — built per canonicalization step before,
+/// now once per process.
+fn swap_conjugator(lo: usize, hi: usize) -> (&'static Matrix, &'static Matrix) {
+    static M: std::sync::OnceLock<[(Matrix, Matrix); 3]> = std::sync::OnceLock::new();
+    let all = M.get_or_init(|| {
+        let build = |v: Matrix| {
+            let cc = v.kron(&v);
+            let dag = cc.adjoint();
+            (cc, dag)
+        };
+        [
+            build(Gate::S.matrix().expect("s")),
+            build(Gate::H.matrix().expect("h")),
+            build(Gate::Rx(FRAC_PI_2).matrix().expect("rx")),
+        ]
+    });
+    let (cc, dag) = match (lo, hi) {
+        (0, 1) => &all[0],
+        (0, 2) => &all[1],
+        _ => &all[2],
+    };
+    (cc, dag)
+}
+
+/// The cached `P ⊗ I` conjugator (and adjoint) flipping the two coordinates
+/// other than `keep`.
+fn flip_conjugator(keep: usize) -> (&'static Matrix, &'static Matrix) {
+    static M: std::sync::OnceLock<[(Matrix, Matrix); 3]> = std::sync::OnceLock::new();
+    let all = M.get_or_init(|| {
+        let build = |which: usize| {
+            let c = pauli(which).kron(&Matrix::identity(2));
+            let dag = c.adjoint();
+            (c, dag)
+        };
+        [build(0), build(1), build(2)]
+    });
+    let (c, dag) = &all[keep];
+    (c, dag)
+}
+
 /// The canonical gate `exp(i(a·XX + b·YY + c·ZZ))`.
 pub fn canonical_matrix(a: f64, b: f64, c: f64) -> Matrix {
     let mut m = Matrix::identity(4);
     for (angle, p) in [(a, 0), (b, 1), (c, 2)] {
-        let pp = pauli(p).kron(&pauli(p));
+        let pp = pauli_kron(p);
         // exp(iθ·PP) = cosθ·I + i·sinθ·PP for a Pauli product PP.
         let term = &Matrix::identity(4).scale(C64::real(angle.cos()))
             + &pp.scale(C64::new(0.0, angle.sin()));
@@ -92,23 +156,29 @@ pub struct TwoQubitWeyl {
 }
 
 impl TwoQubitWeyl {
-    /// Decomposes a 4×4 unitary.
+    /// Decomposes a 4×4 unitary. The input **must** be unitary: debug
+    /// builds panic on non-unitary input, release builds skip the check
+    /// (it costs an adjoint + matmul per call on the synthesis hot path)
+    /// and return meaningless factors for garbage input.
     ///
     /// # Panics
     ///
-    /// Panics if `u` is not a 4×4 unitary, or (numerically) if the internal
-    /// reconstruction check fails — which would indicate a bug rather than a
-    /// user error.
+    /// Panics if `u` is not 4×4 (any build), if `u` is not unitary (debug
+    /// builds), or (numerically) if the internal reconstruction check
+    /// fails — which would indicate a bug rather than a user error.
     pub fn decompose(u: &Matrix) -> Self {
         assert_eq!((u.rows(), u.cols()), (4, 4), "expected a 4x4 matrix");
-        assert!(u.is_unitary(1e-8), "matrix must be unitary");
+        // Unitarity is an internal invariant of every call site (gate
+        // matrices and accumulated block products); the adjoint+matmul
+        // check is debug-only so release synthesis skips it.
+        debug_assert!(u.is_unitary(1e-8), "matrix must be unitary");
         // Normalize to SU(4).
         let det = u.det();
         let alpha0 = det.arg() / 4.0;
         let up = u.scale(C64::cis(-alpha0));
         let m = magic_basis();
-        let m_dag = m.adjoint();
-        let um = m_dag.matmul(&up).matmul(&m);
+        let m_dag = magic_basis_dag();
+        let um = m_dag.matmul(&up).matmul(m);
         // Γ = Umᵀ·Um is complex symmetric unitary: Γ = X + iY with X, Y real
         // symmetric, commuting (X² + Y² = I, XY = YX).
         let gamma = um.transpose().matmul(&um);
@@ -146,8 +216,8 @@ impl TwoQubitWeyl {
         ]);
         let k1m = um.matmul(&pc).matmul(&d_inv_half);
         // Map back out of the magic basis.
-        let k1 = m.matmul(&k1m).matmul(&m_dag);
-        let k2 = m.matmul(&pc.transpose()).matmul(&m_dag);
+        let k1 = m.matmul(&k1m).matmul(m_dag);
+        let k2 = m.matmul(&pc.transpose()).matmul(m_dag);
         // Coordinates from the magic-basis eigenphases:
         //   θ₀ = a−b+c, θ₁ = a+b−c, θ₂ = −a−b−c, θ₃ = −a+b+c.
         let a = (thetas[0] + thetas[1]) / 2.0;
@@ -246,8 +316,7 @@ impl CanonState {
         self.coords[i] -= k as f64 * FRAC_PI_2;
         self.phase += k as f64 * FRAC_PI_2;
         if k.rem_euclid(2) == 1 {
-            let pp = pauli(i).kron(&pauli(i));
-            self.k2 = pp.matmul(&self.k2);
+            self.k2 = pauli_kron(i).matmul(&self.k2);
         }
     }
 
@@ -258,14 +327,9 @@ impl CanonState {
             return;
         }
         let (lo, hi) = (i.min(j), i.max(j));
-        let v = match (lo, hi) {
-            (0, 1) => Gate::S.matrix().expect("s"),
-            (0, 2) => Gate::H.matrix().expect("h"),
-            _ => Gate::Rx(FRAC_PI_2).matrix().expect("rx"),
-        };
-        let cc = v.kron(&v);
+        let (cc, cc_dag) = swap_conjugator(lo, hi);
         self.coords.swap(i, j);
-        self.k1 = self.k1.matmul(&cc.adjoint());
+        self.k1 = self.k1.matmul(cc_dag);
         self.k2 = cc.matmul(&self.k2);
     }
 
@@ -274,10 +338,10 @@ impl CanonState {
     fn flip(&mut self, i: usize, j: usize) {
         // The Pauli that *commutes* with the untouched coordinate axis.
         let keep = 3 - i - j;
-        let c = pauli(keep).kron(&Matrix::identity(2));
+        let (c, c_dag) = flip_conjugator(keep);
         self.coords[i] = -self.coords[i];
         self.coords[j] = -self.coords[j];
-        self.k1 = self.k1.matmul(&c.adjoint());
+        self.k1 = self.k1.matmul(c_dag);
         self.k2 = c.matmul(&self.k2);
     }
 

@@ -39,6 +39,14 @@ impl crate::manager::DagPass for CxCancellation {
         "CxCancellation"
     }
 
+    fn interest(&self) -> crate::manager::PassInterest {
+        // Cancellations pair cx gates (connected along the cx's own wires)
+        // or adjacent self-inverse 1q gates; a change on a wire carrying
+        // neither cannot create one.
+        use qc_circuit::gate_class::{CX, SELF_INVERSE};
+        crate::manager::PassInterest::gate_classes(CX | SELF_INVERSE)
+    }
+
     fn run_on_dag(
         &self,
         dag: &mut qc_circuit::Dag,
@@ -54,9 +62,9 @@ impl crate::manager::DagPass for CxCancellation {
                 plan_cancellations(dag, classes)
             };
             let mut edit = qc_circuit::DagEdit::new();
-            for (i, r) in removed.iter().enumerate() {
+            for (id, r) in removed.iter().enumerate() {
                 if *r {
-                    edit.remove(i);
+                    edit.remove(id);
                 }
             }
             if edit.is_empty() {
@@ -68,45 +76,36 @@ impl crate::manager::DagPass for CxCancellation {
     }
 }
 
-/// One cancellation sweep over a DAG: `removed[i]` marks nodes to delete.
-/// `classes` gives each node's commutation family (1-qubit Z-diagonal
-/// gates are looked through on CNOT control wires). Shared by the
-/// circuit-level and DAG-native drivers.
+/// One cancellation sweep over a DAG: `removed[id]` marks node ids to
+/// delete. `classes` gives each node id's commutation family (1-qubit
+/// Z-diagonal gates are looked through on CNOT control wires). Shared by
+/// the circuit-level and DAG-native drivers.
 fn plan_cancellations(dag: &Dag, classes: &[crate::manager::CommClass]) -> Vec<bool> {
     use crate::manager::CommClass;
-    let nodes = dag.nodes();
-    let mut removed = vec![false; nodes.len()];
+    let mut removed = vec![false; dag.capacity()];
 
     // Helper: the next non-removed successor of `node` along wire `q` that
     // is not a Z-diagonal 1q gate when `skip_diagonal` (used to look through
     // phase gates sitting on a CNOT control).
     let next_on_wire = |node: usize, q: usize, removed: &[bool], skip_diagonal: bool| {
-        let mut cur = node;
-        'outer: loop {
-            for &s in dag.succs(cur) {
-                if nodes[s].qubits.contains(&q) {
-                    if removed[s] {
-                        cur = s;
-                        continue 'outer;
-                    }
-                    if skip_diagonal && classes[s] == CommClass::ZDiagonal {
-                        cur = s;
-                        continue 'outer;
-                    }
-                    return Some(s);
-                }
+        let mut cur = dag.wire_succ(node, q);
+        while let Some(s) = cur {
+            if removed[s] || (skip_diagonal && classes[s] == CommClass::ZDiagonal) {
+                cur = dag.wire_succ(s, q);
+                continue;
             }
-            return None;
+            return Some(s);
         }
+        None
     };
 
-    for i in 0..nodes.len() {
+    for (i, inst) in dag.iter() {
         if removed[i] {
             continue;
         }
-        match &nodes[i].gate {
+        match &inst.gate {
             Gate::Cx => {
-                let (c, t) = (nodes[i].qubits[0], nodes[i].qubits[1]);
+                let (c, t) = (inst.qubits[0], inst.qubits[1]);
                 // Successor through the control wire may skip Z-diagonal
                 // gates (they commute with the control); the target wire
                 // must connect directly.
@@ -114,18 +113,18 @@ fn plan_cancellations(dag: &Dag, classes: &[crate::manager::CommClass]) -> Vec<b
                 let st = next_on_wire(i, t, &removed, false);
                 if let (Some(sc), Some(st)) = (sc, st) {
                     if sc == st
-                        && matches!(nodes[sc].gate, Gate::Cx)
-                        && nodes[sc].qubits == vec![c, t]
+                        && matches!(dag.inst(sc).gate, Gate::Cx)
+                        && dag.inst(sc).qubits == vec![c, t]
                     {
                         removed[i] = true;
                         removed[sc] = true;
                     }
                 }
             }
-            g if nodes[i].qubits.len() == 1 && is_self_inverse_1q(g) => {
-                let q = nodes[i].qubits[0];
+            g if inst.qubits.len() == 1 && is_self_inverse_1q(g) => {
+                let q = inst.qubits[0];
                 if let Some(s) = next_on_wire(i, q, &removed, false) {
-                    if nodes[s].gate == *g && nodes[s].qubits.len() == 1 {
+                    if dag.inst(s).gate == *g && dag.inst(s).qubits.len() == 1 {
                         removed[i] = true;
                         removed[s] = true;
                     }
@@ -141,9 +140,8 @@ fn plan_cancellations(dag: &Dag, classes: &[crate::manager::CommClass]) -> Vec<b
 fn cancel_once(circuit: &mut Circuit) -> bool {
     let dag = Dag::from_circuit(circuit);
     let classes: Vec<crate::manager::CommClass> = dag
-        .nodes()
         .iter()
-        .map(|inst| {
+        .map(|(_, inst)| {
             if inst.qubits.len() == 1 {
                 crate::manager::comm_class(&inst.gate)
             } else {
@@ -155,6 +153,8 @@ fn cancel_once(circuit: &mut Circuit) -> bool {
     if !removed.iter().any(|&r| r) {
         return false;
     }
+    // A freshly built DAG numbers ids densely in program order, so ids
+    // index the instruction list directly.
     let out: Vec<Instruction> = circuit
         .instructions()
         .iter()

@@ -44,10 +44,16 @@ fn family(g: &Gate) -> Family {
 pub struct CommutativeCancellation;
 
 /// The merge plan over an instruction stream — shared by the circuit-level
-/// and DAG-native drivers. `plan[i]`: `None` = keep instruction `i`;
-/// `Some(None)` = drop it; `Some(Some(g))` = replace it with `g` on the
-/// same qubits.
-fn plan_merges(insts: &[Instruction], n: usize) -> Vec<Option<Option<Gate>>> {
+/// and DAG-native drivers. `insts` yields `(key, instruction)` pairs in
+/// program order (instruction positions for the circuit driver, node ids
+/// for the DAG driver); `cap` bounds the keys. `plan[key]`: `None` = keep
+/// the instruction; `Some(None)` = drop it; `Some(Some(g))` = replace it
+/// with `g` on the same qubits.
+fn plan_merges<'a>(
+    insts: impl Iterator<Item = (usize, &'a Instruction)>,
+    n: usize,
+    cap: usize,
+) -> Vec<Option<Option<Gate>>> {
     // For every wire, accumulate the active commuting run: the family,
     // the summed angle, and the index of the first gate in the run.
     #[derive(Clone, Copy)]
@@ -57,8 +63,8 @@ fn plan_merges(insts: &[Instruction], n: usize) -> Vec<Option<Option<Gate>>> {
         head: usize,
     }
     let mut runs: Vec<Option<Run>> = vec![None; n];
-    // replacement[i]: None = keep; Some(None) = drop; Some(Some(g)) = emit g.
-    let mut replacement: Vec<Option<Option<Gate>>> = vec![None; insts.len()];
+    // replacement[key]: None = keep; Some(None) = drop; Some(Some(g)) = emit g.
+    let mut replacement: Vec<Option<Option<Gate>>> = vec![None; cap];
 
     let flush =
         |runs: &mut Vec<Option<Run>>, replacement: &mut Vec<Option<Option<Gate>>>, q: usize| {
@@ -75,7 +81,7 @@ fn plan_merges(insts: &[Instruction], n: usize) -> Vec<Option<Option<Gate>>> {
             }
         };
 
-    for (i, inst) in insts.iter().enumerate() {
+    for (i, inst) in insts {
         match (&inst.gate, inst.qubits.len()) {
             (Gate::Cx, 2) => {
                 // Z-runs pass through the control; X-runs through the
@@ -149,7 +155,7 @@ impl Pass for CommutativeCancellation {
     fn run(&self, circuit: &mut Circuit) -> Result<(), TranspileError> {
         let n = circuit.num_qubits();
         let insts = circuit.instructions().to_vec();
-        let mut replacement = plan_merges(&insts, n);
+        let mut replacement = plan_merges(insts.iter().enumerate(), n, insts.len());
         let mut out: Vec<Instruction> = Vec::with_capacity(insts.len());
         for (i, inst) in insts.into_iter().enumerate() {
             match replacement[i].take() {
@@ -168,12 +174,20 @@ impl crate::manager::DagPass for CommutativeCancellation {
         "CommutativeCancellation"
     }
 
+    fn interest(&self) -> crate::manager::PassInterest {
+        // Runs are per-wire sequences of Z-phase / X-rotation family
+        // gates; a change on a wire carrying neither family cannot create
+        // or connect one.
+        use qc_circuit::gate_class::{ONE_Q_DIAG, ONE_Q_X};
+        crate::manager::PassInterest::gate_classes(ONE_Q_DIAG | ONE_Q_X)
+    }
+
     fn run_on_dag(
         &self,
         dag: &mut qc_circuit::Dag,
         _props: &mut crate::manager::PropertySet,
     ) -> Result<qc_circuit::ChangeReport, TranspileError> {
-        let replacement = plan_merges(dag.nodes(), dag.num_qubits());
+        let replacement = plan_merges(dag.iter(), dag.num_qubits(), dag.capacity());
         let mut edit = qc_circuit::DagEdit::new();
         for (i, r) in replacement.into_iter().enumerate() {
             match r {
@@ -182,9 +196,9 @@ impl crate::manager::DagPass for CommutativeCancellation {
                 // Re-emitting the identical gate (a lone run flushing back
                 // to itself) is not a rewrite: suppressing it keeps the
                 // stream byte-identical and the change report honest.
-                Some(Some(g)) if g == dag.nodes()[i].gate => {}
+                Some(Some(g)) if g == dag.inst(i).gate => {}
                 Some(Some(g)) => {
-                    let qs = dag.nodes()[i].qubits.clone();
+                    let qs = dag.inst(i).qubits.clone();
                     edit.replace(i, vec![Instruction::new(g, qs)]);
                 }
             }

@@ -11,21 +11,41 @@
 use crate::{Pass, TranspileError};
 use qc_circuit::{Circuit, Dag, Instruction, UnitaryAccumulator};
 use qc_synth::synthesize_two_qubit;
+use std::collections::HashMap;
 
 /// Re-synthesizes collected two-qubit blocks when it reduces cost.
 #[derive(Default)]
 pub struct ConsolidateBlocks;
 
-/// The re-synthesis plan over a node sequence and its collected blocks:
-/// `drop[i]` marks block members to delete, `replace_at[i]` holds the
-/// synthesized replacement spliced at the block's last node. Shared by the
-/// circuit-level and DAG-native drivers.
+/// Generation-keyed memory of qubit pairs whose blocks the pass *declined*
+/// to rewrite: `pairs[(a,b)]` holds both wires' generation stamps at the
+/// decline. A pair whose stamps are unchanged carries the exact same
+/// sub-stream (every gate of, or breaking, a block on `(a,b)` lives on
+/// wire `a` or `b`), so the deterministic decision is still "declined" and
+/// the KAK re-synthesis can be skipped outright. Pairs where any block was
+/// rewritten are evicted — their wires get fresh stamps anyway.
+#[derive(Default)]
+pub struct ConsolidateDeclined {
+    pairs: HashMap<(usize, usize), (u64, u64)>,
+}
+
+/// [`crate::manager::PropertySet`] key of [`ConsolidateDeclined`].
+pub const CONSOLIDATE_DECLINED_KEY: &str = "consolidate_declined";
+
+/// The re-synthesis plan over a DAG and its collected blocks, indexed by
+/// node id: `drop[id]` marks block members to delete, `replace_at[id]`
+/// holds the synthesized replacement spliced at the block's last node.
+/// Shared by the circuit-level and DAG-native drivers; the DAG driver
+/// passes its [`ConsolidateDeclined`] cache, the circuit driver `None`.
 fn plan_consolidation(
-    nodes: &[Instruction],
+    dag: &Dag,
     blocks: &[qc_circuit::Block],
+    declined: Option<&mut ConsolidateDeclined>,
 ) -> (Vec<bool>, Vec<Option<Vec<Instruction>>>) {
-    let mut drop = vec![false; nodes.len()];
-    let mut replace_at: Vec<Option<Vec<Instruction>>> = vec![None; nodes.len()];
+    let mut drop = vec![false; dag.capacity()];
+    let mut replace_at: Vec<Option<Vec<Instruction>>> = vec![None; dag.capacity()];
+    // Per pair: whether every block seen this run was declined.
+    let mut fresh: HashMap<(usize, usize), bool> = HashMap::new();
     // One engine-backed 4×4 accumulator reused across all blocks: each
     // block's unitary is extended one gate at a time as the block is
     // walked, instead of re-running `circuit_unitary` on a rebuilt
@@ -33,12 +53,22 @@ fn plan_consolidation(
     let mut acc = UnitaryAccumulator::new(2);
     for block in blocks {
         let (a, b) = (block.qubits[0], block.qubits[1]);
+        let key = (a.min(b), a.max(b));
+        let gens = (dag.wire_gen(key.0), dag.wire_gen(key.1));
+        if let Some(cache) = declined.as_deref() {
+            if cache.pairs.get(&key) == Some(&gens) {
+                // Declined last run and both wires untouched since: the
+                // block is bit-identical, the decision still holds.
+                fresh.entry(key).or_insert(true);
+                continue;
+            }
+        }
         // Build the local 2-qubit circuit (a→0, b→1).
         let mut local = Circuit::new(2);
         let mut cx_before = 0usize;
         acc.reset();
         for &n in &block.nodes {
-            let inst = &nodes[n];
+            let inst = dag.inst(n);
             let qs: Vec<usize> = inst
                 .qubits
                 .iter()
@@ -52,6 +82,7 @@ fn plan_consolidation(
         }
         if cx_before <= 1 {
             // Cannot improve a 0- or 1-CNOT block (templates need ≥ 0/1).
+            fresh.entry(key).or_insert(true);
             continue;
         }
         let u = acc.matrix();
@@ -61,8 +92,10 @@ fn plan_consolidation(
         let better = counts_new.cx < cx_before
             || (counts_new.cx == cx_before && counts_new.total < counts_old.total);
         if !better {
+            fresh.entry(key).or_insert(true);
             continue;
         }
+        *fresh.entry(key).or_insert(true) = false;
         // Map the synthesized circuit back onto (a, b).
         let mapped: Vec<Instruction> = synth
             .instructions()
@@ -81,6 +114,19 @@ fn plan_consolidation(
         }
         replace_at[*block.nodes.last().expect("non-empty block")] = Some(mapped);
     }
+    if let Some(cache) = declined {
+        for (key, all_declined) in fresh {
+            if all_declined {
+                cache
+                    .pairs
+                    .insert(key, (dag.wire_gen(key.0), dag.wire_gen(key.1)));
+            } else {
+                // The pair was rewritten; its wires get fresh stamps from
+                // the apply, so any stale entry must go.
+                cache.pairs.remove(&key);
+            }
+        }
+    }
     (drop, replace_at)
 }
 
@@ -98,7 +144,9 @@ impl Pass for ConsolidateBlocks {
         if blocks.is_empty() {
             return Ok(());
         }
-        let (drop, mut replace_at) = plan_consolidation(dag.nodes(), &blocks);
+        // A freshly built DAG numbers ids densely in program order, so the
+        // id-indexed plan applies positionally to the instruction list.
+        let (drop, mut replace_at) = plan_consolidation(&dag, &blocks, None);
         let mut out = Vec::with_capacity(circuit.len());
         for (i, inst) in circuit.instructions().iter().enumerate() {
             if let Some(mapped) = replace_at[i].take() {
@@ -117,20 +165,34 @@ impl crate::manager::DagPass for ConsolidateBlocks {
         "ConsolidateBlocks"
     }
 
+    fn interest(&self) -> crate::manager::PassInterest {
+        // Blocks are anchored by two-qubit unitary gates on their wires; a
+        // wire carrying no 2q unitary belongs to no block.
+        crate::manager::PassInterest::gate_classes(qc_circuit::gate_class::TWO_Q)
+    }
+
     fn run_on_dag(
         &self,
         dag: &mut qc_circuit::Dag,
         props: &mut crate::manager::PropertySet,
     ) -> Result<qc_circuit::ChangeReport, TranspileError> {
+        // The declined-pair memory turns clean re-runs from "KAK every
+        // block again" into a per-pair generation compare. Moved out of
+        // the PropertySet for the plan so the cached block slice can stay
+        // borrowed (no per-run clone of the collection).
+        let mut declined: ConsolidateDeclined =
+            std::mem::take(props.entry_mut(CONSOLIDATE_DECLINED_KEY));
         let (drop, replace_at) = {
             // Block membership from the shared analysis cache — QPO's block
             // rewrite and any clean re-run reuse the same collection.
             let blocks = crate::manager::BlocksAnalysis::get(props, dag, 2);
             if blocks.is_empty() {
+                props.insert(CONSOLIDATE_DECLINED_KEY, declined);
                 return Ok(qc_circuit::ChangeReport::none(dag.num_qubits()));
             }
-            plan_consolidation(dag.nodes(), blocks)
+            plan_consolidation(dag, blocks, Some(&mut declined))
         };
+        props.insert(CONSOLIDATE_DECLINED_KEY, declined);
         let mut edit = qc_circuit::DagEdit::new();
         for (i, r) in replace_at.into_iter().enumerate() {
             if let Some(mapped) = r {

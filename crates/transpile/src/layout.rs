@@ -32,8 +32,8 @@ pub fn dense_layout(circuit: &Circuit, backend: &Backend) -> Result<Vec<usize>, 
 /// # Errors
 ///
 /// Returns [`TranspileError::TooManyQubits`] when the circuit does not fit.
-pub fn dense_layout_insts(
-    instructions: &[Instruction],
+pub fn dense_layout_insts<'a>(
+    instructions: impl IntoIterator<Item = &'a Instruction>,
     num_qubits: usize,
     backend: &Backend,
 ) -> Result<Vec<usize>, TranspileError> {
@@ -48,10 +48,14 @@ pub fn dense_layout_insts(
     if n == 0 {
         return Ok(Vec::new());
     }
+    // O(1) adjacency bitmap: the greedy growth below queries adjacency in
+    // its innermost loops, where the backend's edge-list scan dominates.
+    let adj = adjacency_bitmap(backend);
+    let adjacent = |a: usize, b: usize| adj[a * m + b];
     // Greedy densest-subgraph: grow from each seed, keeping the subset that
     // accumulates the most internal edges.
     let mut best_subset: Vec<usize> = (0..n).collect();
-    let mut best_edges = internal_edges(&best_subset, backend);
+    let mut best_edges = internal_edges(&best_subset, &adjacent);
     for seed in 0..m {
         let mut subset = vec![seed];
         while subset.len() < n {
@@ -61,10 +65,7 @@ pub fn dense_layout_insts(
                 if subset.contains(&q) {
                     continue;
                 }
-                let links = subset
-                    .iter()
-                    .filter(|&&s| backend.are_adjacent(s, q))
-                    .count();
+                let links = subset.iter().filter(|&&s| adjacent(s, q)).count();
                 if links == 0 && !subset.is_empty() {
                     continue;
                 }
@@ -85,7 +86,7 @@ pub fn dense_layout_insts(
             }
             q += 1;
         }
-        let e = internal_edges(&subset, backend);
+        let e = internal_edges(&subset, &adjacent);
         if e > best_edges {
             best_edges = e;
             best_subset = subset;
@@ -105,12 +106,7 @@ pub fn dense_layout_insts(
     logical_order.sort_by_key(|&q| std::cmp::Reverse(logical_weight[q]));
     let mut physical_order = best_subset.clone();
     physical_order.sort_by_key(|&p| {
-        std::cmp::Reverse(
-            best_subset
-                .iter()
-                .filter(|&&s| backend.are_adjacent(s, p))
-                .count(),
-        )
+        std::cmp::Reverse(best_subset.iter().filter(|&&s| adjacent(s, p)).count())
     });
     let mut layout = vec![0usize; n];
     for (l, p) in logical_order.into_iter().zip(physical_order) {
@@ -119,16 +115,28 @@ pub fn dense_layout_insts(
     Ok(layout)
 }
 
-fn internal_edges(subset: &[usize], backend: &Backend) -> usize {
+fn internal_edges(subset: &[usize], adjacent: &impl Fn(usize, usize) -> bool) -> usize {
     let mut count = 0;
     for (i, &a) in subset.iter().enumerate() {
         for &b in &subset[i + 1..] {
-            if backend.are_adjacent(a, b) {
+            if adjacent(a, b) {
                 count += 1;
             }
         }
     }
     count
+}
+
+/// Row-major `num_qubits × num_qubits` adjacency bitmap of a backend's
+/// coupling map.
+fn adjacency_bitmap(backend: &Backend) -> Vec<bool> {
+    let m = backend.num_qubits();
+    let mut adj = vec![false; m * m];
+    for &(a, b) in backend.coupling() {
+        adj[a * m + b] = true;
+        adj[b * m + a] = true;
+    }
+    adj
 }
 
 /// Rewrites a circuit onto physical wires: logical qubit `i` becomes wire
@@ -176,9 +184,8 @@ pub fn apply_layout_dag(
         });
     }
     let mapped: Vec<Instruction> = dag
-        .nodes()
         .iter()
-        .map(|inst| {
+        .map(|(_, inst)| {
             let qs: Vec<usize> = inst.qubits.iter().map(|&q| layout[q]).collect();
             Instruction::new(inst.gate.clone(), qs)
         })

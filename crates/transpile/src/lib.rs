@@ -43,12 +43,17 @@ pub mod layout;
 pub mod manager;
 pub mod optimize_1q;
 pub mod preset;
+/// The retained pre-refactor circuit-roundtrip pipeline — the property-test
+/// oracle. Compiled only for tests and under the `reference-oracles`
+/// feature, so release builds skip it entirely.
+#[cfg(any(test, feature = "reference-oracles"))]
 pub mod reference;
 pub mod routing;
 pub mod unroll;
 
 pub use manager::{
-    BlocksAnalysis, CommutationAnalysis, DagPass, FixedPointLoop, PassStats, PropertySet,
+    BlocksAnalysis, CommutationAnalysis, DagPass, FixedPointLoop, PassInterest, PassStats,
+    PropertySet,
 };
 pub use preset::{transpile, TranspileOptions};
 

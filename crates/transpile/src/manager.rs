@@ -1,12 +1,14 @@
 //! The DAG-native pass manager: shared-IR passes, cached analyses, and the
-//! change-driven fixed-point driver.
+//! change-driven, interest-filtered fixed-point driver.
 //!
 //! Three pieces replace the old "every pass clones a [`Circuit`], rebuilds
 //! a [`Dag`], flattens back" pipeline:
 //!
 //! * [`DagPass`] — a pass mutates the shared [`Dag`] in place (via
 //!   [`qc_circuit::DagEdit`] batches) and returns a [`ChangeReport`]
-//!   saying how many nodes it rewrote and on which wires.
+//!   saying how many nodes it rewrote and on which wires. A pass may also
+//!   declare a [`PassInterest`]: the gate classes it rewrites, so the
+//!   driver can prove a re-run pointless without executing it.
 //! * [`PropertySet`] — a keyed store of cached analyses. Each analysis
 //!   snapshots the DAG's per-wire generation stamps when computed and
 //!   revalidates against them, so a pass that only touched wires `{2, 3}`
@@ -15,17 +17,20 @@
 //!   [`CommutationAnalysis`] live here; the per-wire state automata cache
 //!   lives with the analyses themselves in `rpo-core`.
 //! * [`FixedPointLoop`] — the paper's Fig. 8 line 9 loop, driven by change
-//!   reports instead of unconditional re-execution: a pass whose dirty
-//!   wire set is empty is *skipped* (its last run made no rewrites and
-//!   nothing touched the DAG since, so re-running it would provably be a
-//!   no-op), and the loop exits as soon as an iteration executes nothing.
-//!   The classic gate-count termination rule is kept as well, so the loop
-//!   visits exactly the same rewriting pass executions as the
-//!   pre-refactor driver — output is gate-for-gate identical, just
-//!   without the wasted clean re-runs.
+//!   reports instead of unconditional re-execution. A pass is *skipped*
+//!   when its dirty wire set is empty (its last run made no rewrites and
+//!   nothing touched the DAG since), and — new with interest filtering —
+//!   when every dirty wire fails the pass's [`PassInterest`] (everything
+//!   that changed lives on wires that carry no gate class the pass acts
+//!   on, so the pass provably has nothing to do). The loop exits as soon
+//!   as an iteration executes nothing. The classic gate-count termination
+//!   rule is kept as well, so the loop visits exactly the same rewriting
+//!   pass executions as the pre-refactor driver — output is gate-for-gate
+//!   identical, just without the wasted clean re-runs.
 //!
-//! Per-pass execution statistics ([`PassStats`]: runs, skips, rewrites,
-//! wall time) are collected by the driver and surfaced through
+//! Per-pass execution statistics ([`PassStats`]: runs, change-tracking
+//! skips, interest skips, rewrites, relinked nodes, wall time) are
+//! collected by the driver and surfaced through
 //! [`crate::preset::transpile_instrumented`] for the CI timing artifact.
 
 use crate::TranspileError;
@@ -34,11 +39,74 @@ use std::any::Any;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
+/// A pass's declared rewrite interest: which wires could possibly give it
+/// work, expressed over the DAG's per-wire gate-class census
+/// ([`qc_circuit::gate_class`], [`Dag::wire_class_mask`]).
+///
+/// # Contract
+///
+/// The declaration must be **sound**: whenever the pass would rewrite
+/// anything, at least one wire it rewrites (or whose content enabled the
+/// rewrite) must satisfy the predicate. Over-approximating (declaring more
+/// classes, or [`PassInterest::all_wires`]) costs only wasted re-runs;
+/// under-approximating changes pipeline output. Passes whose rewrites
+/// depend on state that *flows along* wires (QBO/QPO: a gate far upstream
+/// changes the reachable state at the rewrite site, and the swap family
+/// carries state across wires) must over-approximate with
+/// [`PassInterest::all_wires`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PassInterest {
+    /// `None` = every wire is interesting regardless of content;
+    /// `Some(mask)` = a wire is interesting iff its class census
+    /// intersects `mask`.
+    classes: Option<u16>,
+}
+
+impl PassInterest {
+    /// Interest in every wire — the sound default for passes whose
+    /// rewrites cannot be localized by gate content.
+    pub fn all_wires() -> Self {
+        PassInterest { classes: None }
+    }
+
+    /// Interest in wires whose node census intersects `mask`
+    /// ([`qc_circuit::gate_class`] bits).
+    pub fn gate_classes(mask: u16) -> Self {
+        PassInterest {
+            classes: Some(mask),
+        }
+    }
+
+    /// Whether wire `q` of `dag` currently satisfies the predicate.
+    pub fn wire_interesting(&self, dag: &Dag, q: usize) -> bool {
+        match self.classes {
+            None => true,
+            Some(mask) => dag.wire_class_mask(q) & mask != 0,
+        }
+    }
+
+    /// Whether any wire of `dirty` satisfies the predicate.
+    pub fn any_interesting(&self, dag: &Dag, dirty: &WireSet) -> bool {
+        match self.classes {
+            None => !dirty.is_empty(),
+            Some(mask) => dirty.iter().any(|q| dag.wire_class_mask(q) & mask != 0),
+        }
+    }
+}
+
 /// A transformation of the shared DAG IR — the unit the DAG-native
 /// pipelines are composed from.
 pub trait DagPass {
     /// Short pass name for logging, statistics and diagnostics.
     fn name(&self) -> &'static str;
+
+    /// The wires this pass could possibly rewrite, by gate-class content.
+    /// Defaults to every wire (always sound); override with a
+    /// [`PassInterest::gate_classes`] mask when the pass only acts on
+    /// specific gate classes (see the [`PassInterest`] contract).
+    fn interest(&self) -> PassInterest {
+        PassInterest::all_wires()
+    }
 
     /// Mutates the DAG in place, reporting what changed.
     ///
@@ -98,28 +166,31 @@ impl PropertySet {
     }
 }
 
-/// Snapshot of the DAG's per-wire generation stamps, the validity key every
-/// cached analysis stores alongside its value.
+/// Snapshot of the DAG's mutation state (global generation + per-wire
+/// stamps), the validity key every cached analysis stores alongside its
+/// value.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct GenSnapshot {
+    gen: u64,
     gens: Vec<u64>,
 }
 
 impl GenSnapshot {
-    /// Captures the current per-wire generations.
+    /// Captures the current generation and per-wire stamps.
     pub fn of(dag: &Dag) -> Self {
         GenSnapshot {
+            gen: dag.generation(),
             gens: (0..dag.num_qubits()).map(|q| dag.wire_gen(q)).collect(),
         }
     }
 
-    /// Whether no wire changed since the snapshot.
+    /// Whether nothing mutated the DAG since the snapshot.
     pub fn fresh(&self, dag: &Dag) -> bool {
-        self.gens.len() == dag.num_qubits()
-            && (0..dag.num_qubits()).all(|q| self.gens[q] == dag.wire_gen(q))
+        self.gen == dag.generation() && self.gens.len() == dag.num_qubits()
     }
 
-    /// Whether none of `wires` changed since the snapshot.
+    /// Whether none of `wires` changed since the snapshot (other wires may
+    /// have).
     pub fn fresh_for(&self, dag: &Dag, wires: impl IntoIterator<Item = usize>) -> bool {
         self.gens.len() == dag.num_qubits()
             && wires
@@ -141,7 +212,7 @@ pub struct BlocksAnalysis {
 pub const BLOCKS_KEY: &str = "blocks";
 
 impl BlocksAnalysis {
-    /// The blocks of `dag` at `max_arity`, recomputed only when a wire
+    /// The blocks of `dag` at `max_arity`, recomputed only when the DAG
     /// changed since the cached collection.
     pub fn get<'p>(props: &'p mut PropertySet, dag: &Dag, max_arity: usize) -> &'p [Block] {
         let this: &mut BlocksAnalysis = props.entry_mut(BLOCKS_KEY);
@@ -178,7 +249,7 @@ pub fn comm_class(g: &Gate) -> CommClass {
     }
 }
 
-/// Cached per-node commutation classes, aligned with the DAG's node order.
+/// Cached per-node commutation classes, indexed by node id (slab index).
 /// `CxCancellation` consults this when deciding whether a gate sitting on a
 /// CNOT control can be commuted through.
 #[derive(Default)]
@@ -191,23 +262,19 @@ pub struct CommutationAnalysis {
 pub const COMMUTATION_KEY: &str = "commutation";
 
 impl CommutationAnalysis {
-    /// Per-node commutation classes for `dag`, recomputed only when the
-    /// DAG changed since the cached classification.
+    /// Per-node-id commutation classes for `dag`, recomputed only when the
+    /// DAG changed since the cached classification. Dead slab slots hold
+    /// [`CommClass::Other`].
     pub fn get<'p>(props: &'p mut PropertySet, dag: &Dag) -> &'p [CommClass] {
         let this: &mut CommutationAnalysis = props.entry_mut(COMMUTATION_KEY);
-        if !this.snapshot.fresh(dag) || this.classes.len() != dag.nodes().len() {
+        if !this.snapshot.fresh(dag) || this.classes.len() != dag.capacity() {
             this.snapshot = GenSnapshot::of(dag);
-            this.classes = dag
-                .nodes()
-                .iter()
-                .map(|inst| {
-                    if inst.qubits.len() == 1 {
-                        comm_class(&inst.gate)
-                    } else {
-                        CommClass::Other
-                    }
-                })
-                .collect();
+            this.classes = vec![CommClass::Other; dag.capacity()];
+            for (id, inst) in dag.iter() {
+                if inst.qubits.len() == 1 {
+                    this.classes[id] = comm_class(&inst.gate);
+                }
+            }
         }
         &this.classes
     }
@@ -220,10 +287,17 @@ pub struct PassStats {
     pub name: &'static str,
     /// Times the pass actually executed.
     pub runs: usize,
-    /// Times the change-tracking driver skipped the pass as clean.
+    /// Times the change-tracking driver skipped the pass as clean (empty
+    /// dirty set).
     pub skipped: usize,
+    /// Times the driver skipped the pass because no dirty wire satisfied
+    /// its [`PassInterest`].
+    pub skipped_interest: usize,
     /// Total node rewrites across all runs.
     pub rewrites: usize,
+    /// Total nodes relinked by the pass's splices (the O(edit) work
+    /// measure; see [`ChangeReport::relink_nodes`]).
+    pub relink_nodes: usize,
     /// Wall time spent inside the pass.
     pub wall: Duration,
 }
@@ -239,7 +313,9 @@ impl PassStats {
             name,
             runs: 0,
             skipped: 0,
+            skipped_interest: 0,
             rewrites: 0,
+            relink_nodes: 0,
             wall: Duration::ZERO,
         }
     }
@@ -257,6 +333,7 @@ pub fn run_timed(
     stats.wall += t0.elapsed();
     stats.runs += 1;
     stats.rewrites += report.rewrites;
+    stats.relink_nodes += report.relink_nodes;
     Ok(report)
 }
 
@@ -282,15 +359,22 @@ pub fn run_named(
 /// Every pass starts dirty. Each iteration runs the dirty passes in order;
 /// a pass's report (when it rewrote anything) re-dirties *every* pass —
 /// including itself — because any rewrite may expose new opportunities
-/// anywhere downstream. A pass with an empty dirty set is skipped: its
-/// previous run made no rewrites and nothing has touched the DAG since, so
-/// (passes being deterministic) re-running it would change nothing.
+/// anywhere downstream. A pass is skipped when its dirty set is empty (its
+/// previous run made no rewrites and nothing has touched the DAG since),
+/// or when no dirty wire satisfies its [`PassInterest`] (everything that
+/// changed lives on wires carrying no gate class the pass rewrites, so —
+/// passes being deterministic — running it would change nothing). The
+/// second filter can be disabled with
+/// [`FixedPointLoop::without_interest_filtering`], which the equivalence
+/// tests use to assert filtering never changes output.
 ///
 /// Termination mirrors the pre-refactor driver exactly: stop after
 /// `max_iters` iterations, when an iteration performs no rewrites, or when
 /// an iteration fails to improve the CNOT count or total gate count.
 pub struct FixedPointLoop {
     passes: Vec<Box<dyn DagPass>>,
+    interests: Vec<PassInterest>,
+    interest_enabled: bool,
     dirty: Vec<WireSet>,
     /// Per-pass statistics, index-aligned with the pass sequence.
     pub stats: Vec<PassStats>,
@@ -301,16 +385,28 @@ pub struct FixedPointLoop {
 }
 
 impl FixedPointLoop {
-    /// A driver over the given pass sequence, all passes initially dirty.
+    /// A driver over the given pass sequence, all passes initially dirty,
+    /// interest filtering enabled.
     pub fn new(passes: Vec<Box<dyn DagPass>>, num_qubits: usize) -> Self {
         let dirty = passes.iter().map(|_| WireSet::full(num_qubits)).collect();
         let stats = passes.iter().map(|p| PassStats::new(p.name())).collect();
+        let interests = passes.iter().map(|p| p.interest()).collect();
         FixedPointLoop {
             passes,
+            interests,
+            interest_enabled: true,
             dirty,
             stats,
             executed_per_iteration: Vec::new(),
         }
+    }
+
+    /// Disables [`PassInterest`] filtering: dirty passes always run, as in
+    /// the pre-interest driver. The interest-equivalence property tests
+    /// compare this mode against the default.
+    pub fn without_interest_filtering(mut self) -> Self {
+        self.interest_enabled = false;
+        self
     }
 
     /// Runs the loop to its fixed point (or `max_iters`).
@@ -331,6 +427,15 @@ impl FixedPointLoop {
             for i in 0..self.passes.len() {
                 if self.dirty[i].is_empty() {
                     self.stats[i].skipped += 1;
+                    continue;
+                }
+                if self.interest_enabled && !self.interests[i].any_interesting(dag, &self.dirty[i])
+                {
+                    // Every dirty wire lacks the pass's gate classes: the
+                    // pass provably has nothing to rewrite. Treat it as
+                    // clean (a later relevant change re-dirties it).
+                    self.stats[i].skipped_interest += 1;
+                    self.dirty[i].clear();
                     continue;
                 }
                 self.dirty[i].clear();
@@ -359,7 +464,7 @@ impl FixedPointLoop {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qc_circuit::{Circuit, DagEdit, Instruction};
+    use qc_circuit::{gate_class, Circuit, DagEdit, Instruction};
 
     /// A pass that removes one `x` gate per run, if any remains.
     struct DropOneX;
@@ -367,12 +472,18 @@ mod tests {
         fn name(&self) -> &'static str {
             "DropOneX"
         }
+        fn interest(&self) -> PassInterest {
+            PassInterest::gate_classes(gate_class::ONE_Q_X)
+        }
         fn run_on_dag(
             &self,
             dag: &mut Dag,
             _props: &mut PropertySet,
         ) -> Result<ChangeReport, TranspileError> {
-            let target = dag.nodes().iter().position(|i| matches!(i.gate, Gate::X));
+            let target = dag
+                .iter()
+                .find(|(_, i)| matches!(i.gate, Gate::X))
+                .map(|(id, _)| id);
             let mut edit = DagEdit::new();
             if let Some(t) = target {
                 edit.remove(t);
@@ -419,11 +530,14 @@ mod tests {
         let mut props = PropertySet::new();
         let mut fp = FixedPointLoop::new(vec![Box::new(DropOneX), Box::new(Inert)], 1);
         fp.run(&mut dag, &mut props, 10).unwrap();
-        // Iterations: [drop x, inert], [drop x, inert], [no-op run], done.
-        assert!(dag.nodes().is_empty());
+        // Iterations: [drop x, inert], [drop x, inert], [both skipped].
+        assert!(dag.is_empty());
         assert!(fp.stats[0].runs >= 2);
-        // The final iteration executed passes but rewrote nothing.
-        assert!(*fp.executed_per_iteration.last().unwrap() > 0);
+        // Once the last x is gone the wire loses its ONE_Q_X census entry,
+        // so the final iteration proves the re-dirtied DropOneX pointless
+        // and executes nothing at all.
+        assert_eq!(*fp.executed_per_iteration.last().unwrap(), 0);
+        assert!(fp.stats[0].skipped_interest >= 1);
     }
 
     #[test]
@@ -437,9 +551,53 @@ mod tests {
         let mut fp = FixedPointLoop::new(vec![Box::new(Inert), Box::new(DropOneX)], 1);
         fp.run(&mut dag, &mut props, 10).unwrap();
         // Iter 1: inert runs (dirty init), drop rewrites → both re-dirty.
-        // Iter 2: inert runs, drop runs, nothing rewritten → break.
-        assert_eq!(fp.stats[0].runs + fp.stats[0].skipped, fp.stats[1].runs);
-        assert!(dag.nodes().is_empty());
+        // Iter 2: inert runs, drop runs... but once the x is gone the wire
+        // loses the ONE_Q_X class and interest filtering skips DropOneX.
+        assert!(dag.is_empty());
+        assert!(fp.stats[1].runs + fp.stats[1].skipped_interest >= 2);
+    }
+
+    #[test]
+    fn interest_filter_skips_pass_without_relevant_wires() {
+        // The stream carries no x gates at all: DropOneX is interest-
+        // filtered from the very first iteration (its dirty set is full
+        // but no wire carries ONE_Q_X content).
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).t(1);
+        let mut dag = Dag::from_circuit(&c);
+        let mut props = PropertySet::new();
+        let mut fp = FixedPointLoop::new(vec![Box::new(DropOneX)], 2);
+        fp.run(&mut dag, &mut props, 10).unwrap();
+        assert_eq!(fp.stats[0].runs, 0);
+        assert_eq!(fp.stats[0].skipped_interest, 1);
+        assert_eq!(dag.len(), 3);
+    }
+
+    #[test]
+    fn interest_filter_can_be_disabled() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).t(1);
+        let mut dag = Dag::from_circuit(&c);
+        let mut props = PropertySet::new();
+        let mut fp = FixedPointLoop::new(vec![Box::new(DropOneX)], 2).without_interest_filtering();
+        fp.run(&mut dag, &mut props, 10).unwrap();
+        assert_eq!(fp.stats[0].runs, 1);
+        assert_eq!(fp.stats[0].skipped_interest, 0);
+    }
+
+    #[test]
+    fn interest_filter_fires_once_content_appears() {
+        // x gates present: the pass runs (and keeps running) until the
+        // wire's ONE_Q_X census drains, then interest filters it.
+        let mut c = Circuit::new(1);
+        c.x(0).x(0);
+        let mut dag = Dag::from_circuit(&c);
+        let mut props = PropertySet::new();
+        let mut fp = FixedPointLoop::new(vec![Box::new(DropOneX)], 1);
+        fp.run(&mut dag, &mut props, 10).unwrap();
+        assert!(dag.is_empty());
+        assert!(fp.stats[0].runs >= 2);
+        assert!(fp.stats[0].skipped_interest >= 1);
     }
 
     #[test]

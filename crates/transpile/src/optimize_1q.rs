@@ -13,12 +13,12 @@ use qc_synth::euler::OneQubitEuler;
 #[derive(Default)]
 pub struct Optimize1qGates;
 
-/// The merge plan over a DAG: `plan[i]`: `None` = keep node `i`;
-/// `Some(None)` = drop it; `Some(Some(g))` = replace it with `g`. Shared
-/// by the circuit-level and DAG-native drivers.
+/// The merge plan over a DAG, indexed by node id: `plan[id]`: `None` =
+/// keep node `id`; `Some(None)` = drop it; `Some(Some(g))` = replace it
+/// with `g`. Shared by the circuit-level and DAG-native drivers.
 fn plan_runs(dag: &Dag) -> Result<Vec<Option<Option<Gate>>>, TranspileError> {
     let runs = dag.single_qubit_runs();
-    let mut replacement: Vec<Option<Option<Gate>>> = vec![None; dag.nodes().len()];
+    let mut replacement: Vec<Option<Option<Gate>>> = vec![None; dag.capacity()];
     for run in runs {
         // Multiply matrices in time order (later gates on the left),
         // accumulating on the stack; one heap matrix per run, not per
@@ -30,7 +30,7 @@ fn plan_runs(dag: &Dag) -> Result<Vec<Option<Option<Gate>>>, TranspileError> {
             qc_math::C64::ONE,
         ];
         for &node in &run {
-            let g = &dag.nodes()[node].gate;
+            let g = &dag.inst(node).gate;
             let gm = g.matrix2x2().ok_or_else(|| {
                 TranspileError::Internal(format!("non-unitary gate {g} in 1q run"))
             })?;
@@ -75,6 +75,14 @@ impl crate::manager::DagPass for Optimize1qGates {
         "Optimize1qGates"
     }
 
+    fn interest(&self) -> crate::manager::PassInterest {
+        // Any wire carrying a 1q unitary is interesting — even a singleton
+        // run rewrites when its gate is not already in the Euler-canonical
+        // u-form, so the pass deliberately over-approximates past "≥ 2
+        // adjacent 1q nodes" (see the PassInterest contract).
+        crate::manager::PassInterest::gate_classes(qc_circuit::gate_class::ONE_Q)
+    }
+
     fn run_on_dag(
         &self,
         dag: &mut qc_circuit::Dag,
@@ -88,9 +96,9 @@ impl crate::manager::DagPass for Optimize1qGates {
                 Some(None) => edit.remove(i),
                 // A single-gate run that merges back to the identical gate
                 // is not a rewrite.
-                Some(Some(g)) if g == dag.nodes()[i].gate => {}
+                Some(Some(g)) if g == dag.inst(i).gate => {}
                 Some(Some(g)) => {
-                    let qs = dag.nodes()[i].qubits.clone();
+                    let qs = dag.inst(i).qubits.clone();
                     edit.replace(i, vec![Instruction::new(g, qs)]);
                 }
             }

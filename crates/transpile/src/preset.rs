@@ -34,6 +34,11 @@ pub struct TranspileOptions {
     pub seed: u64,
     /// Number of seeded routing trials; the cheapest is kept.
     pub routing_trials: usize,
+    /// Whether the fixed-point loop filters dirty passes by their declared
+    /// [`crate::manager::PassInterest`] (on by default). Filtering never
+    /// changes output — the off switch exists for the equivalence property
+    /// tests and for A/B timing.
+    pub interest_filtering: bool,
 }
 
 impl TranspileOptions {
@@ -44,6 +49,7 @@ impl TranspileOptions {
             level,
             seed: 0,
             routing_trials: 5,
+            interest_filtering: true,
         }
     }
 
@@ -56,6 +62,13 @@ impl TranspileOptions {
     /// Sets the routing trial count.
     pub fn with_routing_trials(mut self, trials: usize) -> Self {
         self.routing_trials = trials;
+        self
+    }
+
+    /// Disables [`crate::manager::PassInterest`] filtering in the
+    /// fixed-point loop.
+    pub fn without_interest_filtering(mut self) -> Self {
+        self.interest_filtering = false;
         self
     }
 }
@@ -198,7 +211,11 @@ pub fn dag_stage_layout(
     level: u8,
 ) -> Result<Vec<usize>, TranspileError> {
     let layout = if level >= 2 {
-        crate::layout::dense_layout_insts(dag.nodes(), dag.num_qubits(), backend)?
+        crate::layout::dense_layout_insts(
+            dag.iter().map(|(_, inst)| inst),
+            dag.num_qubits(),
+            backend,
+        )?
     } else {
         if dag.num_qubits() > backend.num_qubits() {
             return Err(TranspileError::TooManyQubits {
@@ -289,6 +306,9 @@ pub fn transpile_instrumented(
                 &mut stats,
             )?;
             let mut fp = FixedPointLoop::new(fixpoint_passes(level >= 3), dag.num_qubits());
+            if !opts.interest_filtering {
+                fp = fp.without_interest_filtering();
+            }
             fp.run(&mut dag, &mut props, 10)?;
             stats.extend(fp.stats);
         }

@@ -97,7 +97,7 @@ fn route_once(
     let mut pending_measures: Vec<usize> = Vec::new();
     let mut swaps_added = 0usize;
     let mut stall = 0usize;
-    let stall_limit = 4 * (dag.nodes().len() + n) * n.max(4);
+    let stall_limit = 4 * (dag.len() + n) * n.max(4);
 
     while !sched.is_done() {
         // Execute everything executable.
@@ -106,14 +106,16 @@ fn route_once(
             let ready: Vec<usize> = sched.ready().to_vec();
             let mut fired = false;
             for node in ready {
-                let inst = &dag.nodes()[node];
+                let inst = dag.inst(node);
                 let mapped: Vec<usize> = inst.qubits.iter().map(|&q| perm[q]).collect();
                 let executable = match mapped.len() {
                     0 | 1 => true,
                     2 => {
+                        // `dist == 1` ⟺ coupled: O(1) against the BFS
+                        // matrix instead of the backend's edge-list scan.
                         !inst.gate.is_unitary_gate()
                             || inst.gate.is_directive()
-                            || backend.are_adjacent(mapped[0], mapped[1])
+                            || dist[mapped[0]][mapped[1]] == 1
                     }
                     _ => {
                         // Multi-qubit unitary gates must be unrolled before
@@ -156,7 +158,7 @@ fn route_once(
             .ready()
             .iter()
             .map(|&node| {
-                let q = &dag.nodes()[node].qubits;
+                let q = &dag.inst(node).qubits;
                 (perm[q[0]], perm[q[1]])
             })
             .collect();

@@ -186,6 +186,20 @@ impl crate::manager::DagPass for Unroller {
         "Unroller"
     }
 
+    fn interest(&self) -> crate::manager::PassInterest {
+        use qc_circuit::gate_class::{NON_DEVICE, NON_EXTENDED};
+        // The unroller rewrites exactly the unitary gates outside its
+        // basis; the class census tracks the two stock bases. A custom
+        // basis over-approximates to every wire.
+        if self.basis == device_basis() {
+            crate::manager::PassInterest::gate_classes(NON_DEVICE)
+        } else if self.basis == extended_basis() {
+            crate::manager::PassInterest::gate_classes(NON_EXTENDED)
+        } else {
+            crate::manager::PassInterest::all_wires()
+        }
+    }
+
     fn run_on_dag(
         &self,
         dag: &mut qc_circuit::Dag,
@@ -195,7 +209,7 @@ impl crate::manager::DagPass for Unroller {
         // Same fixpoint sweep as the circuit-level pass, batched per sweep.
         for _ in 0..16 {
             let mut edit = qc_circuit::DagEdit::new();
-            for (i, inst) in dag.nodes().iter().enumerate() {
+            for (i, inst) in dag.iter() {
                 if let Some(expansion) = self.expand(inst)? {
                     edit.replace(i, expansion);
                 }

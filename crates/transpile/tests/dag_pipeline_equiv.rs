@@ -62,6 +62,38 @@ fn measured_circuits_match_reference_pipeline() {
 }
 
 #[test]
+fn interest_filtering_never_changes_output() {
+    // The PassInterest filter may only skip provably no-op executions:
+    // filtered and unfiltered pipelines must agree gate-for-gate on every
+    // family × level × seed.
+    let backend = Backend::melbourne();
+    let circuits = [
+        random_circuit(4, 40, 5),
+        random_circuit(6, 50, 2),
+        blocked_neighborhood_circuit(5, 25, 21),
+        toffoli_chain(5, 4),
+    ];
+    for (ci, c) in circuits.iter().enumerate() {
+        for level in 0..=3u8 {
+            for seed in [1u64, 9] {
+                let opts = TranspileOptions::level(level).with_seed(seed);
+                let filtered = transpile(c, &backend, &opts).expect("filtered transpile");
+                let unfiltered = transpile(c, &backend, &opts.without_interest_filtering())
+                    .expect("unfiltered transpile");
+                assert_eq!(
+                    filtered.circuit, unfiltered.circuit,
+                    "circuit {ci}: level {level} seed {seed}: interest filtering changed output"
+                );
+                assert_eq!(
+                    filtered.final_map, unfiltered.final_map,
+                    "circuit {ci}: level {level} seed {seed}: final map diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn transpile_converts_exactly_once_each_way() {
     let backend = Backend::melbourne();
     for level in 0..=3u8 {
@@ -86,9 +118,11 @@ fn fixed_point_loop_runs_zero_rewriting_passes_on_optimized_circuit() {
     let mut props = PropertySet::new();
     let mut fp = FixedPointLoop::new(fixpoint_passes(true), 3);
     fp.run(&mut dag, &mut props, 10).unwrap();
-    // Iteration 1 runs every pass (all start dirty) and rewrites nothing,
-    // so the change tracking never schedules a second iteration: the
-    // second loop iteration runs 0 rewriting passes.
+    // Iteration 1 visits every pass (all start dirty) and rewrites
+    // nothing, so the change tracking never schedules a second iteration.
+    // Passes whose interest classes are absent from the cx-only stream
+    // (the 1q passes, the device-basis unroller) are proven pointless
+    // without executing at all.
     assert_eq!(
         fp.executed_per_iteration.len(),
         1,
@@ -100,7 +134,16 @@ fn fixed_point_loop_runs_zero_rewriting_passes_on_optimized_circuit() {
             "pass {} rewrote an optimized circuit",
             s.name
         );
-        assert_eq!(s.runs, 1);
+        assert_eq!(
+            s.runs + s.skipped_interest,
+            1,
+            "pass {} must run or be interest-skipped exactly once",
+            s.name
+        );
     }
+    assert!(
+        fp.stats.iter().any(|s| s.skipped_interest > 0),
+        "a cx-only stream must interest-skip the 1q passes"
+    );
     assert_eq!(dag.to_circuit(), c);
 }
