@@ -487,6 +487,120 @@ impl Dag {
         &self.node(id).inst
     }
 
+    /// Full structural self-check: program-order links, per-wire links,
+    /// free-list/slab agreement, and the incremental wire census against a
+    /// from-scratch recount. Returns a description of the first violation.
+    ///
+    /// This is the post-pass validator's structural half — a corrupted
+    /// splice (or a pass that panicked halfway through a mutation) shows up
+    /// here before it can poison downstream passes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        // Slab / free-list agreement.
+        let live = self.slots.iter().filter(|s| s.is_some()).count();
+        if live != self.len {
+            return Err(format!("len {} but {live} live slots", self.len));
+        }
+        let mut free_seen = vec![false; self.slots.len()];
+        for &f in &self.free {
+            if f >= self.slots.len() || self.slots[f].is_some() {
+                return Err(format!("free list holds live or out-of-range id {f}"));
+            }
+            if free_seen[f] {
+                return Err(format!("free list holds id {f} twice"));
+            }
+            free_seen[f] = true;
+        }
+        if self.free.len() + live != self.slots.len() {
+            return Err("dead slot missing from the free list".into());
+        }
+        // Program-order chain: walk head→tail, checking back-links.
+        let mut count = 0usize;
+        let mut prev = NONE;
+        let mut cur = self.head;
+        let mut order = Vec::with_capacity(self.len);
+        while cur != NONE {
+            let node = match self.slots.get(cur).and_then(|s| s.as_ref()) {
+                Some(n) => n,
+                None => return Err(format!("order chain reaches dead id {cur}")),
+            };
+            if node.order_prev != prev {
+                return Err(format!(
+                    "node {cur}: order_prev {} ≠ walk predecessor {prev}",
+                    node.order_prev
+                ));
+            }
+            if node.inst.qubits.len() != node.wires.len() {
+                return Err(format!("node {cur}: wires misaligned with qubits"));
+            }
+            for &q in &node.inst.qubits {
+                if q >= self.num_qubits {
+                    return Err(format!("node {cur}: qubit {q} out of range"));
+                }
+            }
+            order.push(cur);
+            count += 1;
+            if count > self.len {
+                return Err("order chain longer than len (cycle?)".into());
+            }
+            prev = cur;
+            cur = node.order_next;
+        }
+        if count != self.len {
+            return Err(format!("order chain visits {count} of {} nodes", self.len));
+        }
+        if self.tail != prev {
+            return Err(format!("tail {} ≠ last walked node {prev}", self.tail));
+        }
+        // Per-wire links must thread the program-order restriction of each
+        // wire, and the incremental census must match a recount.
+        let mut last_on_wire = vec![NONE; self.num_qubits];
+        let mut census = vec![[0u32; gate_class::COUNT]; self.num_qubits];
+        for &id in &order {
+            let node = self.slots[id].as_ref().expect("walked above");
+            let classes = instruction_classes(&node.inst);
+            for (j, &q) in node.inst.qubits.iter().enumerate() {
+                let expect_pred = last_on_wire[q];
+                if node.wires[j].0 != expect_pred {
+                    return Err(format!(
+                        "node {id} wire {q}: pred {} ≠ program-order pred {expect_pred}",
+                        node.wires[j].0
+                    ));
+                }
+                if expect_pred != NONE {
+                    let pn = self.slots[expect_pred].as_ref().expect("walked above");
+                    if pn.wires[wire_slot(pn, q)].1 != id {
+                        return Err(format!(
+                            "node {expect_pred} wire {q}: succ does not return to {id}"
+                        ));
+                    }
+                }
+                last_on_wire[q] = id;
+                bump_classes(&mut census[q], classes, 1);
+            }
+        }
+        for (q, &last) in last_on_wire.iter().enumerate() {
+            if last != NONE {
+                let node = self.slots[last].as_ref().expect("walked above");
+                if node.wires[wire_slot(node, q)].1 != NONE {
+                    return Err(format!("node {last} wire {q}: dangling succ at wire end"));
+                }
+            }
+        }
+        for (q, counted) in census.iter().enumerate().take(self.num_qubits) {
+            if *counted != self.wire_classes[q] {
+                return Err(format!(
+                    "wire {q}: census {:?} ≠ recount {:?}",
+                    self.wire_classes[q], counted
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Live nodes in program order, as `(node id, instruction)` pairs.
     pub fn iter(&self) -> DagIter<'_> {
         DagIter {

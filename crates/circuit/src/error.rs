@@ -1,0 +1,138 @@
+//! The shared typed error taxonomy of the transpile stack.
+//!
+//! Every library-path failure in the circuit IR, the synthesis kernels,
+//! the transpiler passes and the RPO pipeline surfaces as an [`RpoError`]
+//! instead of a panic, so a caller embedding the stack (the planned
+//! `qc-serve` compile server in particular) can map failures to responses
+//! without ever losing the process. The variants separate the four
+//! fundamentally different audiences a failure has:
+//!
+//! * [`RpoError::InvalidInput`] — the caller's request is malformed
+//!   (oversized circuit, unsupported gate, non-finite angle). Fix the
+//!   request.
+//! * [`RpoError::PassFailed`] — a named pass failed or panicked and could
+//!   not be contained. Report a bug; the input may still be compilable
+//!   with the pass quarantined.
+//! * [`RpoError::BudgetExceeded`] — a hard resource ceiling was hit.
+//!   Raise the budget or shrink the circuit.
+//! * [`RpoError::Numeric`] — a numerical kernel detected a non-unitary or
+//!   non-finite matrix where a unitary was required.
+//! * [`RpoError::Internal`] — an invariant of the stack itself was
+//!   violated (a bug, not a user error).
+
+use std::fmt;
+
+/// The budget dimension a [`RpoError::BudgetExceeded`] ran out of.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BudgetKind {
+    /// The wall-clock deadline elapsed.
+    Deadline,
+    /// The fixed-point iteration ceiling was reached.
+    MaxIterations,
+    /// The gate-count ceiling was exceeded.
+    MaxGates,
+    /// The qubit-count ceiling was exceeded.
+    MaxQubits,
+}
+
+impl fmt::Display for BudgetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BudgetKind::Deadline => "wall-clock deadline",
+            BudgetKind::MaxIterations => "fixed-point iteration limit",
+            BudgetKind::MaxGates => "gate-count limit",
+            BudgetKind::MaxQubits => "qubit-count limit",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A typed failure anywhere in the transpile stack.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RpoError {
+    /// The input circuit or request is malformed: oversized for the
+    /// backend, carries a gate with no decomposition rule, or contains
+    /// non-finite parameters.
+    InvalidInput(String),
+    /// A pass failed (or panicked) in a way the quarantine machinery could
+    /// not absorb; `pass` names the stage, `cause` the underlying failure.
+    PassFailed {
+        /// Name of the failing pass or stage.
+        pass: String,
+        /// Human-readable cause (panic payload or inner error).
+        cause: String,
+    },
+    /// A hard resource budget ([`BudgetKind`]) was exceeded.
+    BudgetExceeded {
+        /// Which budget dimension ran out.
+        kind: BudgetKind,
+    },
+    /// A numerical kernel received or produced a matrix that is not a
+    /// finite unitary; `context` names the kernel.
+    Numeric {
+        /// Where the numerical check failed.
+        context: String,
+    },
+    /// An internal invariant was violated (a bug, not a user error).
+    Internal(String),
+}
+
+impl RpoError {
+    /// The canonical oversized-circuit error.
+    pub fn too_many_qubits(circuit: usize, backend: usize) -> Self {
+        RpoError::InvalidInput(format!(
+            "circuit needs {circuit} qubits but the backend has {backend}"
+        ))
+    }
+
+    /// The canonical no-decomposition-rule error.
+    pub fn unsupported_gate(name: impl fmt::Display) -> Self {
+        RpoError::InvalidInput(format!("no decomposition rule for gate '{name}'"))
+    }
+}
+
+impl fmt::Display for RpoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpoError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            RpoError::PassFailed { pass, cause } => {
+                write!(f, "pass '{pass}' failed: {cause}")
+            }
+            RpoError::BudgetExceeded { kind } => {
+                write!(f, "transpile budget exceeded: {kind}")
+            }
+            RpoError::Numeric { context } => {
+                write!(f, "numerical failure in {context}")
+            }
+            RpoError::Internal(msg) => write!(f, "internal transpiler error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RpoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_context() {
+        assert!(RpoError::too_many_qubits(20, 15).to_string().contains("20"));
+        assert!(RpoError::unsupported_gate("foo")
+            .to_string()
+            .contains("foo"));
+        let e = RpoError::PassFailed {
+            pass: "QBO".into(),
+            cause: "boom".into(),
+        };
+        assert!(e.to_string().contains("QBO") && e.to_string().contains("boom"));
+        let e = RpoError::BudgetExceeded {
+            kind: BudgetKind::Deadline,
+        };
+        assert!(e.to_string().contains("deadline"));
+        let e = RpoError::Numeric {
+            context: "weyl".into(),
+        };
+        assert!(e.to_string().contains("weyl"));
+    }
+}

@@ -34,6 +34,7 @@
 pub mod blocks;
 pub mod circuit;
 pub mod dag;
+pub mod error;
 pub mod fusion;
 pub mod gate;
 pub mod qasm;
@@ -46,6 +47,7 @@ pub use dag::{
     conversion_counts, gate_class, instruction_classes, reset_conversion_counts, ChangeReport, Dag,
     DagEdit, WireSet,
 };
+pub use error::{BudgetKind, RpoError};
 pub use fusion::{fuse_instructions, fuse_instructions_with, FusedInst, FusionProfile};
 pub use gate::{BasisState, Gate};
 pub use unitary::{

@@ -21,9 +21,12 @@ use crate::qbo::Qbo;
 use crate::qpo::Qpo;
 use qc_backends::Backend;
 use qc_circuit::{Circuit, Dag};
-use qc_transpile::manager::{run_named, FixedPointLoop, PassStats, PropertySet};
+use qc_transpile::guard::{catch_stage, run_stage, PassGuard};
+use qc_transpile::manager::{FixedPointLoop, PassStats, PropertySet};
 use qc_transpile::optimize_1q::Optimize1qGates;
-use qc_transpile::preset::{dag_stage_layout, dag_stage_route, fixpoint_passes, Transpiled};
+use qc_transpile::preset::{
+    dag_stage_layout, dag_stage_route_budgeted, fixpoint_passes, Transpiled,
+};
 #[cfg(any(test, feature = "reference-oracles"))]
 use qc_transpile::preset::{
     stage_fixpoint_loop, stage_layout, stage_optimize_1q, stage_route, stage_unroll_device,
@@ -156,72 +159,126 @@ pub fn transpile_rpo_instrumented(
     } else {
         Qpo::without_block_optimization()
     };
+    let mut guard = PassGuard::new(opts.base.budget);
+    guard.check_qubits(circuit.num_qubits())?;
+    qc_transpile::preset::validate_input(circuit)?;
     // The single circuit→dag conversion of the pipeline.
     let mut dag = Dag::from_circuit(circuit);
+    guard.check_gates(&dag)?;
     let mut props = PropertySet::new();
     let mut stats: Vec<PassStats> = Vec::new();
     // 1: early QBO on the abstract circuit (sees ccx/mcx/cswap intact).
+    // QBO/QPO are optional optimization stages: skipped past the deadline,
+    // quarantined on failure — the rest of the pipeline still produces a
+    // device-ready circuit.
     if opts.enable_qbo && opts.early_qbo {
-        run_named("QBO(early)", &qbo, &mut dag, &mut props, &mut stats)?;
+        run_stage(
+            &mut guard,
+            "QBO(early)",
+            &qbo,
+            &mut dag,
+            &mut props,
+            &mut stats,
+            true,
+        )?;
     }
-    // 2: unroll to the device basis.
-    run_named(
+    // 2: unroll to the device basis (mandatory).
+    run_stage(
+        &mut guard,
         "Unroller(device)",
         &Unroller::to_device_basis(),
         &mut dag,
         &mut props,
         &mut stats,
+        false,
     )?;
     // 3: layout (dense, as in level 3).
-    let layout = dag_stage_layout(&mut dag, backend, 3)?;
-    // 4: routing (inserts SWAP gates).
-    let wire_map = dag_stage_route(&mut dag, backend, opts.base.seed, opts.base.routing_trials)?;
+    let layout = catch_stage("layout", || dag_stage_layout(&mut dag, backend, 3))?;
+    // 4: routing (inserts SWAP gates; extra trials skipped past deadline).
+    let snapshot = guard.snapshot();
+    let (wire_map, trials_run) = catch_stage("routing", || {
+        dag_stage_route_budgeted(
+            &mut dag,
+            backend,
+            opts.base.seed,
+            opts.base.routing_trials,
+            snapshot,
+        )
+    })?;
+    if trials_run < opts.base.routing_trials.max(1) {
+        guard.note_deadline("routing trials");
+    }
+    guard.check_gates(&dag)?;
     // 5: QBO again — the inserted SWAPs meet ancilla/ground-state wires.
     if opts.enable_qbo {
-        run_named("QBO(post-route)", &qbo, &mut dag, &mut props, &mut stats)?;
+        run_stage(
+            &mut guard,
+            "QBO(post-route)",
+            &qbo,
+            &mut dag,
+            &mut props,
+            &mut stats,
+            true,
+        )?;
     }
-    // 6: unroll keeping swap/swapz visible to QPO.
-    run_named(
+    // 6: unroll keeping swap/swapz visible to QPO (mandatory: swaps must
+    // not survive to the device).
+    run_stage(
+        &mut guard,
         "Unroller(extended)",
         &Unroller::to_extended_basis(),
         &mut dag,
         &mut props,
         &mut stats,
+        false,
     )?;
     // 7: merge single-qubit runs so QPO sees clean u-gates.
-    run_named(
+    run_stage(
+        &mut guard,
         "Optimize1qGates",
         &Optimize1qGates,
         &mut dag,
         &mut props,
         &mut stats,
+        true,
     )?;
     // 8: QPO.
     if opts.enable_qpo {
-        run_named("QPO", &qpo, &mut dag, &mut props, &mut stats)?;
+        run_stage(
+            &mut guard, "QPO", &qpo, &mut dag, &mut props, &mut stats, true,
+        )?;
     }
     // 9: the level-3 fixed-point loop (consolidation included), after
-    // lowering any remaining swap/swapz to CNOTs.
-    run_named(
+    // lowering any remaining swap/swapz to CNOTs (mandatory).
+    run_stage(
+        &mut guard,
         "Unroller(device)",
         &Unroller::to_device_basis(),
         &mut dag,
         &mut props,
         &mut stats,
+        false,
     )?;
-    run_named(
+    run_stage(
+        &mut guard,
         "Optimize1qGates",
         &Optimize1qGates,
         &mut dag,
         &mut props,
         &mut stats,
+        true,
     )?;
     let mut fp = FixedPointLoop::new(fixpoint_passes(true), dag.num_qubits());
     if !opts.base.interest_filtering {
         fp = fp.without_interest_filtering();
     }
-    fp.run(&mut dag, &mut props, 10)?;
+    fp.run_guarded(&mut dag, &mut props, 10, &mut guard)?;
     stats.extend(fp.stats);
+    if guard.deadline_exceeded() {
+        // Record the overrun even when no pass was individually skipped
+        // (e.g. the last pass itself blew the deadline).
+        guard.note_deadline("pipeline end");
+    }
     let final_map = layout.iter().map(|&w| wire_map[w]).collect();
     // The single dag→circuit conversion of the pipeline.
     let c = dag.to_circuit();
@@ -229,6 +286,7 @@ pub fn transpile_rpo_instrumented(
         Transpiled {
             circuit: c,
             final_map,
+            degradation: guard.into_report(),
         },
         stats,
     ))
@@ -292,6 +350,7 @@ pub fn transpile_rpo_reference(
     Ok(Transpiled {
         circuit: c,
         final_map,
+        degradation: qc_transpile::DegradationReport::default(),
     })
 }
 

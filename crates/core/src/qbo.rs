@@ -403,6 +403,13 @@ impl qc_transpile::DagPass for Qbo {
         "QBO"
     }
 
+    fn preserves_unitary(&self) -> bool {
+        // Relaxed peephole rewrites: the unitary changes, only behavior
+        // from the prepared initial state is preserved — the guard must
+        // not spot-check QBO's matrix.
+        false
+    }
+
     fn interest(&self) -> qc_transpile::PassInterest {
         // QBO's rewrites depend on the basis-state analysis, which flows
         // along wires (and across them through the swap family): a gate

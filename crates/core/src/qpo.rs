@@ -198,6 +198,12 @@ impl qc_transpile::DagPass for Qpo {
         "QPO"
     }
 
+    fn preserves_unitary(&self) -> bool {
+        // Relaxed rewrites (like QBO): unitary equivalence is deliberately
+        // given up, so the guard's spot check does not apply.
+        false
+    }
+
     fn interest(&self) -> qc_transpile::PassInterest {
         // Like QBO, QPO rewrites where the *flowing* pure-state analysis
         // proves a known state — upstream gates on any wire (coupled

@@ -18,17 +18,19 @@ use rpo_core::{transpile_rpo_instrumented, RpoOptions};
 fn print_table(title: &str, stats: &[PassStats]) {
     println!("## {title}\n");
     println!(
-        "| pass | runs | skipped (clean) | skipped (interest) | rewrites | relink nodes | wall time |"
+        "| pass | runs | skipped (clean) | skipped (interest) | quarantined | budget skips | rewrites | relink nodes | wall time |"
     );
-    println!("|---|---:|---:|---:|---:|---:|---:|");
+    println!("|---|---:|---:|---:|---:|---:|---:|---:|---:|");
     let mut total = std::time::Duration::ZERO;
     for s in stats {
         println!(
-            "| {} | {} | {} | {} | {} | {} | {:.3} ms |",
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {:.3} ms |",
             s.name,
             s.runs,
             s.skipped,
             s.skipped_interest,
+            s.quarantined,
+            s.budget_skips,
             s.rewrites,
             s.relink_nodes,
             s.wall.as_secs_f64() * 1e3
@@ -36,10 +38,12 @@ fn print_table(title: &str, stats: &[PassStats]) {
         total += s.wall;
     }
     println!(
-        "| **total** | {} | {} | {} | {} | {} | **{:.3} ms** |\n",
+        "| **total** | {} | {} | {} | {} | {} | {} | {} | **{:.3} ms** |\n",
         stats.iter().map(|s| s.runs).sum::<usize>(),
         stats.iter().map(|s| s.skipped).sum::<usize>(),
         stats.iter().map(|s| s.skipped_interest).sum::<usize>(),
+        stats.iter().map(|s| s.quarantined).sum::<usize>(),
+        stats.iter().map(|s| s.budget_skips).sum::<usize>(),
         stats.iter().map(|s| s.rewrites).sum::<usize>(),
         stats.iter().map(|s| s.relink_nodes).sum::<usize>(),
         total.as_secs_f64() * 1e3

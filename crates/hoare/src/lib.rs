@@ -267,6 +267,7 @@ pub fn transpile_hoare(
     Ok(Transpiled {
         circuit: c,
         final_map,
+        degradation: qc_transpile::DegradationReport::default(),
     })
 }
 

@@ -29,4 +29,4 @@ pub use controlled::{controlled_u_circuit, fredkin_circuit, toffoli_circuit};
 pub use euler::{matrix_to_u3_gate, OneQubitEuler};
 pub use multi_control::{mcp_circuit, mcx_no_ancilla, mcx_vchain, mcz_circuit};
 pub use state_prep::{prepare_one_qubit, prepare_two_qubit};
-pub use weyl::{canonical_matrix, synthesize_two_qubit, TwoQubitWeyl};
+pub use weyl::{canonical_matrix, synthesize_two_qubit, try_synthesize_two_qubit, TwoQubitWeyl};

@@ -25,7 +25,7 @@
 //! a circuit worse. See `DESIGN.md` for the bound discussion.
 
 use crate::euler::matrix_to_u3_gate;
-use qc_circuit::{circuit_unitary, Circuit, Gate};
+use qc_circuit::{circuit_unitary, Circuit, Gate, RpoError};
 use qc_math::{Matrix, RealMatrix, C64};
 use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
 
@@ -156,22 +156,56 @@ pub struct TwoQubitWeyl {
 }
 
 impl TwoQubitWeyl {
-    /// Decomposes a 4×4 unitary. The input **must** be unitary: debug
-    /// builds panic on non-unitary input, release builds skip the check
-    /// (it costs an adjoint + matmul per call on the synthesis hot path)
-    /// and return meaningless factors for garbage input.
+    /// Decomposes a 4×4 unitary, panicking on invalid input — the
+    /// infallible wrapper around [`TwoQubitWeyl::try_decompose`] for call
+    /// sites that construct the matrix themselves.
     ///
     /// # Panics
     ///
-    /// Panics if `u` is not 4×4 (any build), if `u` is not unitary (debug
-    /// builds), or (numerically) if the internal reconstruction check
-    /// fails — which would indicate a bug rather than a user error.
+    /// Panics if `u` is not a finite 4×4 unitary.
     pub fn decompose(u: &Matrix) -> Self {
-        assert_eq!((u.rows(), u.cols()), (4, 4), "expected a 4x4 matrix");
-        // Unitarity is an internal invariant of every call site (gate
-        // matrices and accumulated block products); the adjoint+matmul
-        // check is debug-only so release synthesis skips it.
-        debug_assert!(u.is_unitary(1e-8), "matrix must be unitary");
+        match Self::try_decompose(u) {
+            Ok(w) => w,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Decomposes a 4×4 unitary, returning a typed error on bad input.
+    ///
+    /// Unlike the old debug-only assertion, the unitarity check runs in
+    /// **every** build: a non-unitary or non-finite input used to sail
+    /// through release synthesis and come out as silent NaN factors. The
+    /// check is one adjoint + 4×4 matmul — noise next to the simultaneous
+    /// diagonalization that follows it.
+    ///
+    /// # Errors
+    ///
+    /// [`RpoError::InvalidInput`] when `u` is not 4×4;
+    /// [`RpoError::Numeric`] when `u` is not finite, not unitary, or a
+    /// local factor fails to split as a tensor product.
+    pub fn try_decompose(u: &Matrix) -> Result<Self, RpoError> {
+        if (u.rows(), u.cols()) != (4, 4) {
+            return Err(RpoError::InvalidInput(format!(
+                "weyl decomposition expects a 4x4 matrix, got {}x{}",
+                u.rows(),
+                u.cols()
+            )));
+        }
+        for i in 0..4 {
+            for j in 0..4 {
+                let v = u[(i, j)];
+                if !v.re.is_finite() || !v.im.is_finite() {
+                    return Err(RpoError::Numeric {
+                        context: format!("weyl input has non-finite entry at ({i},{j})"),
+                    });
+                }
+            }
+        }
+        if !u.is_unitary(1e-8) {
+            return Err(RpoError::Numeric {
+                context: "weyl input matrix is not unitary".into(),
+            });
+        }
         // Normalize to SU(4).
         let det = u.det();
         let alpha0 = det.arg() / 4.0;
@@ -236,10 +270,14 @@ impl TwoQubitWeyl {
         // Split locals into Kronecker factors.
         let (s1, k1_q1, k1_q0) = k1
             .kron_factor(2, 2, 1e-6)
-            .expect("left local factor must be a tensor product");
+            .ok_or_else(|| RpoError::Numeric {
+                context: "weyl left local factor is not a tensor product".into(),
+            })?;
         let (s2, k2_q1, k2_q0) = k2
             .kron_factor(2, 2, 1e-6)
-            .expect("right local factor must be a tensor product");
+            .ok_or_else(|| RpoError::Numeric {
+                context: "weyl right local factor is not a tensor product".into(),
+            })?;
         debug_assert!((s1.norm() - 1.0).abs() < 1e-6, "scalar must be a phase");
         debug_assert!((s2.norm() - 1.0).abs() < 1e-6, "scalar must be a phase");
         phase += s1.arg() + s2.arg();
@@ -259,7 +297,7 @@ impl TwoQubitWeyl {
             "weyl reconstruction failed for\n{u:?}\ngot\n{:?}",
             result.reconstruct()
         );
-        result
+        Ok(result)
     }
 
     /// Rebuilds the unitary from the stored factors (used for verification).
@@ -453,7 +491,21 @@ fn push_canonical(circ: &mut Circuit, a: f64, b: f64, c: f64) {
 ///
 /// Panics if `u` is not a 4×4 unitary.
 pub fn synthesize_two_qubit(u: &Matrix) -> Circuit {
-    let w = TwoQubitWeyl::decompose(u);
+    match try_synthesize_two_qubit(u) {
+        Ok(c) => c,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`synthesize_two_qubit`] with a typed error instead of a panic on bad
+/// input — what `ConsolidateBlocks` calls so a corrupted block unitary
+/// degrades into "decline the block" rather than killing the pipeline.
+///
+/// # Errors
+///
+/// Same failure modes as [`TwoQubitWeyl::try_decompose`].
+pub fn try_synthesize_two_qubit(u: &Matrix) -> Result<Circuit, RpoError> {
+    let w = TwoQubitWeyl::try_decompose(u)?;
     let mut circ = Circuit::new(2);
     push_local(&mut circ, &w.k2_q0, 0);
     push_local(&mut circ, &w.k2_q1, 1);
@@ -467,7 +519,7 @@ pub fn synthesize_two_qubit(u: &Matrix) -> Circuit {
         w.b,
         w.c
     );
-    circ
+    Ok(circ)
 }
 
 #[cfg(test)]
@@ -476,6 +528,46 @@ mod tests {
     use qc_math::haar_unitary;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn non_unitary_input_yields_numeric_error() {
+        // All-ones is far from unitary; the old release build decomposed
+        // it into NaN factors silently.
+        let bad = Matrix::from_fn(4, 4, |_, _| C64::real(1.0));
+        assert!(matches!(
+            TwoQubitWeyl::try_decompose(&bad),
+            Err(RpoError::Numeric { .. })
+        ));
+        assert!(matches!(
+            try_synthesize_two_qubit(&bad),
+            Err(RpoError::Numeric { .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_input_yields_numeric_error() {
+        let mut m = Matrix::identity(4);
+        m[(0, 0)] = C64::real(f64::NAN);
+        assert!(matches!(
+            TwoQubitWeyl::try_decompose(&m),
+            Err(RpoError::Numeric { .. })
+        ));
+        let mut m = Matrix::identity(4);
+        m[(2, 3)] = C64::real(f64::INFINITY);
+        assert!(matches!(
+            TwoQubitWeyl::try_decompose(&m),
+            Err(RpoError::Numeric { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_shape_yields_invalid_input() {
+        let m = Matrix::identity(2);
+        assert!(matches!(
+            TwoQubitWeyl::try_decompose(&m),
+            Err(RpoError::InvalidInput(_))
+        ));
+    }
 
     fn check_decompose(u: &Matrix) -> TwoQubitWeyl {
         let w = TwoQubitWeyl::decompose(u);

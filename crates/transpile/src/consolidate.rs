@@ -8,9 +8,10 @@
 //! this pass preserves the unitary matrix exactly (up to global phase); it
 //! is the *strict* peephole optimization RPO relaxes.
 
+use crate::guard::{BudgetSnapshot, BUDGET_KEY};
 use crate::{Pass, TranspileError};
 use qc_circuit::{Circuit, Dag, Instruction, UnitaryAccumulator};
-use qc_synth::synthesize_two_qubit;
+use qc_synth::try_synthesize_two_qubit;
 use std::collections::HashMap;
 
 /// Re-synthesizes collected two-qubit blocks when it reduces cost.
@@ -41,6 +42,7 @@ fn plan_consolidation(
     dag: &Dag,
     blocks: &[qc_circuit::Block],
     declined: Option<&mut ConsolidateDeclined>,
+    budget: BudgetSnapshot,
 ) -> (Vec<bool>, Vec<Option<Vec<Instruction>>>) {
     let mut drop = vec![false; dag.capacity()];
     let mut replace_at: Vec<Option<Vec<Instruction>>> = vec![None; dag.capacity()];
@@ -52,6 +54,11 @@ fn plan_consolidation(
     // local circuit per candidate block.
     let mut acc = UnitaryAccumulator::new(2);
     for block in blocks {
+        if budget.exceeded() {
+            // Deadline passed mid-synthesis: keep what is planned so far,
+            // leave the remaining blocks as they are (best-effort).
+            break;
+        }
         let (a, b) = (block.qubits[0], block.qubits[1]);
         let key = (a.min(b), a.max(b));
         let gens = (dag.wire_gen(key.0), dag.wire_gen(key.1));
@@ -86,7 +93,12 @@ fn plan_consolidation(
             continue;
         }
         let u = acc.matrix();
-        let synth = synthesize_two_qubit(&u);
+        // A failed KAK (numerically degenerate accumulated unitary) simply
+        // declines the block — the original gates are already valid.
+        let Ok(synth) = try_synthesize_two_qubit(&u) else {
+            fresh.entry(key).or_insert(true);
+            continue;
+        };
         let counts_new = synth.gate_counts();
         let counts_old = local.gate_counts();
         let better = counts_new.cx < cx_before
@@ -146,7 +158,8 @@ impl Pass for ConsolidateBlocks {
         }
         // A freshly built DAG numbers ids densely in program order, so the
         // id-indexed plan applies positionally to the instruction list.
-        let (drop, mut replace_at) = plan_consolidation(&dag, &blocks, None);
+        let (drop, mut replace_at) =
+            plan_consolidation(&dag, &blocks, None, BudgetSnapshot::unlimited());
         let mut out = Vec::with_capacity(circuit.len());
         for (i, inst) in circuit.instructions().iter().enumerate() {
             if let Some(mapped) = replace_at[i].take() {
@@ -180,6 +193,10 @@ impl crate::manager::DagPass for ConsolidateBlocks {
         // block again" into a per-pair generation compare. Moved out of
         // the PropertySet for the plan so the cached block slice can stay
         // borrowed (no per-run clone of the collection).
+        let budget = props
+            .get::<BudgetSnapshot>(BUDGET_KEY)
+            .copied()
+            .unwrap_or_else(BudgetSnapshot::unlimited);
         let mut declined: ConsolidateDeclined =
             std::mem::take(props.entry_mut(CONSOLIDATE_DECLINED_KEY));
         let (drop, replace_at) = {
@@ -190,7 +207,7 @@ impl crate::manager::DagPass for ConsolidateBlocks {
                 props.insert(CONSOLIDATE_DECLINED_KEY, declined);
                 return Ok(qc_circuit::ChangeReport::none(dag.num_qubits()));
             }
-            plan_consolidation(dag, blocks, Some(&mut declined))
+            plan_consolidation(dag, blocks, Some(&mut declined), budget)
         };
         props.insert(CONSOLIDATE_DECLINED_KEY, declined);
         let mut edit = qc_circuit::DagEdit::new();

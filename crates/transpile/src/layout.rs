@@ -40,10 +40,7 @@ pub fn dense_layout_insts<'a>(
     let n = num_qubits;
     let m = backend.num_qubits();
     if n > m {
-        return Err(TranspileError::TooManyQubits {
-            circuit: n,
-            backend: m,
-        });
+        return Err(TranspileError::too_many_qubits(n, m));
     }
     if n == 0 {
         return Ok(Vec::new());
@@ -152,10 +149,10 @@ pub fn apply_layout(
     backend_width: usize,
 ) -> Result<Circuit, TranspileError> {
     if layout.len() < circuit.num_qubits() {
-        return Err(TranspileError::TooManyQubits {
-            circuit: circuit.num_qubits(),
-            backend: layout.len(),
-        });
+        return Err(TranspileError::too_many_qubits(
+            circuit.num_qubits(),
+            layout.len(),
+        ));
     }
     let mut out = Circuit::new(backend_width);
     for inst in circuit.instructions() {
@@ -178,10 +175,10 @@ pub fn apply_layout_dag(
     backend_width: usize,
 ) -> Result<(), TranspileError> {
     if layout.len() < dag.num_qubits() {
-        return Err(TranspileError::TooManyQubits {
-            circuit: dag.num_qubits(),
-            backend: layout.len(),
-        });
+        return Err(TranspileError::too_many_qubits(
+            dag.num_qubits(),
+            layout.len(),
+        ));
     }
     let mapped: Vec<Instruction> = dag
         .iter()
@@ -233,7 +230,7 @@ mod tests {
         let c = Circuit::new(5);
         assert!(matches!(
             dense_layout(&c, &backend),
-            Err(TranspileError::TooManyQubits { .. })
+            Err(TranspileError::InvalidInput(_))
         ));
     }
 

@@ -39,6 +39,9 @@
 pub mod cancellation;
 pub mod commutation;
 pub mod consolidate;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
+pub mod guard;
 pub mod layout;
 pub mod manager;
 pub mod optimize_1q;
@@ -51,6 +54,10 @@ pub mod reference;
 pub mod routing;
 pub mod unroll;
 
+pub use guard::{
+    catch_stage, BudgetHit, BudgetSnapshot, DegradationReport, GuardedRun, PassGuard,
+    QuarantineRecord, TranspileBudget, ValidationMode, BUDGET_KEY,
+};
 pub use manager::{
     BlocksAnalysis, CommutationAnalysis, DagPass, FixedPointLoop, PassInterest, PassStats,
     PropertySet,
@@ -58,40 +65,15 @@ pub use manager::{
 pub use preset::{transpile, TranspileOptions};
 
 use qc_circuit::Circuit;
-use std::fmt;
 
-/// Errors produced by transpilation.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum TranspileError {
-    /// The circuit has more qubits than the backend.
-    TooManyQubits {
-        /// Qubits required by the circuit.
-        circuit: usize,
-        /// Qubits available on the backend.
-        backend: usize,
-    },
-    /// A gate that no decomposition rule covers reached the unroller.
-    UnsupportedGate(String),
-    /// An internal invariant was violated (a bug, not a user error).
-    Internal(String),
-}
+/// The shared typed error taxonomy (defined in `qc_circuit`, used by
+/// every layer of the stack).
+pub use qc_circuit::{BudgetKind, RpoError};
 
-impl fmt::Display for TranspileError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            TranspileError::TooManyQubits { circuit, backend } => write!(
-                f,
-                "circuit needs {circuit} qubits but the backend has {backend}"
-            ),
-            TranspileError::UnsupportedGate(name) => {
-                write!(f, "no decomposition rule for gate '{name}'")
-            }
-            TranspileError::Internal(msg) => write!(f, "internal transpiler error: {msg}"),
-        }
-    }
-}
-
-impl std::error::Error for TranspileError {}
+/// Errors produced by transpilation — an alias for the shared [`RpoError`]
+/// taxonomy, kept so the crate's historical `Result<_, TranspileError>`
+/// signatures stay stable.
+pub type TranspileError = RpoError;
 
 /// A circuit-to-circuit transformation — the *circuit-level* pass
 /// abstraction.
@@ -181,12 +163,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = TranspileError::TooManyQubits {
-            circuit: 20,
-            backend: 15,
-        };
+        let e = TranspileError::too_many_qubits(20, 15);
         assert!(e.to_string().contains("20"));
-        let e = TranspileError::UnsupportedGate("foo".into());
+        let e = TranspileError::unsupported_gate("foo");
         assert!(e.to_string().contains("foo"));
     }
 }

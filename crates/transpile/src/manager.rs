@@ -33,6 +33,7 @@
 //! collected by the driver and surfaced through
 //! [`crate::preset::transpile_instrumented`] for the CI timing artifact.
 
+use crate::guard::{GuardedRun, PassGuard};
 use crate::TranspileError;
 use qc_circuit::{Block, ChangeReport, Dag, Gate, WireSet};
 use std::any::Any;
@@ -119,6 +120,15 @@ pub trait DagPass {
         dag: &mut Dag,
         props: &mut PropertySet,
     ) -> Result<ChangeReport, TranspileError>;
+
+    /// Whether the pass preserves the circuit's unitary up to global
+    /// phase. The guard's post-pass unitary spot check only applies to
+    /// passes answering `true`; passes performing *relaxed* rewrites
+    /// (QBO/QPO change the unitary while preserving the observable
+    /// behavior from the prepared initial state) must override to `false`.
+    fn preserves_unitary(&self) -> bool {
+        true
+    }
 }
 
 /// A keyed store of cached analyses shared by the passes of one pipeline.
@@ -300,6 +310,12 @@ pub struct PassStats {
     pub relink_nodes: usize,
     /// Wall time spent inside the pass.
     pub wall: Duration,
+    /// Times the guard skipped the pass because an earlier failure
+    /// quarantined it (see [`crate::guard::PassGuard`]).
+    pub quarantined: usize,
+    /// Times the guard skipped the pass because the transpile budget's
+    /// deadline had passed.
+    pub budget_skips: usize,
 }
 
 impl PassStats {
@@ -317,6 +333,8 @@ impl PassStats {
             rewrites: 0,
             relink_nodes: 0,
             wall: Duration::ZERO,
+            quarantined: 0,
+            budget_skips: 0,
         }
     }
 }
@@ -456,6 +474,89 @@ impl FixedPointLoop {
             if after.cx >= before.cx && after.total >= before.total {
                 break;
             }
+        }
+        Ok(())
+    }
+
+    /// Runs the loop to its fixed point under a [`PassGuard`]: every pass
+    /// executes with panic containment, checkpoint/rollback and
+    /// quarantine; the loop stops early (keeping the best circuit so far)
+    /// when the budget's deadline passes, and caps its iterations at the
+    /// budget's `max_fixpoint_iters`.
+    ///
+    /// With an unlimited budget and no failing passes this visits exactly
+    /// the same pass executions as [`FixedPointLoop::run`].
+    ///
+    /// # Errors
+    ///
+    /// Only hard budget violations ([`qc_circuit::RpoError::BudgetExceeded`])
+    /// — pass failures are contained and recorded on the guard's
+    /// [`crate::guard::DegradationReport`].
+    pub fn run_guarded(
+        &mut self,
+        dag: &mut Dag,
+        props: &mut PropertySet,
+        max_iters: usize,
+        guard: &mut PassGuard,
+    ) -> Result<(), TranspileError> {
+        let capped = guard
+            .budget()
+            .max_fixpoint_iters
+            .map_or(max_iters, |m| m.min(max_iters));
+        for _ in 0..capped {
+            if guard.deadline_exceeded() {
+                guard.note_deadline("fixed-point loop");
+                return Ok(());
+            }
+            let before = dag.gate_counts();
+            let mut executed = 0usize;
+            let mut any_rewrites = false;
+            for i in 0..self.passes.len() {
+                if self.dirty[i].is_empty() {
+                    self.stats[i].skipped += 1;
+                    continue;
+                }
+                if self.interest_enabled && !self.interests[i].any_interesting(dag, &self.dirty[i])
+                {
+                    self.stats[i].skipped_interest += 1;
+                    self.dirty[i].clear();
+                    continue;
+                }
+                self.dirty[i].clear();
+                let name = self.passes[i].name();
+                match guard.run_pass(
+                    name,
+                    self.passes[i].as_ref(),
+                    dag,
+                    props,
+                    &mut self.stats[i],
+                    true,
+                )? {
+                    GuardedRun::Ran(report) => {
+                        executed += 1;
+                        if report.changed() {
+                            any_rewrites = true;
+                            for d in self.dirty.iter_mut() {
+                                d.union(&report.touched);
+                            }
+                        }
+                    }
+                    GuardedRun::Skipped => {}
+                }
+            }
+            self.executed_per_iteration.push(executed);
+            if executed == 0 || !any_rewrites {
+                return Ok(());
+            }
+            let after = dag.gate_counts();
+            if after.cx >= before.cx && after.total >= before.total {
+                return Ok(());
+            }
+        }
+        if capped < max_iters {
+            // The budget's iteration ceiling stopped the loop before it
+            // reached the fixed point the uncapped loop would have.
+            guard.note_max_iterations("fixed-point loop");
         }
         Ok(())
     }

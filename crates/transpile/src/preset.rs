@@ -16,10 +16,13 @@
 use crate::cancellation::CxCancellation;
 use crate::commutation::CommutativeCancellation;
 use crate::consolidate::ConsolidateBlocks;
+use crate::guard::{
+    catch_stage, input_issue, run_stage, DegradationReport, PassGuard, TranspileBudget,
+};
 use crate::layout::{apply_layout, apply_layout_dag, dense_layout, trivial_layout};
-use crate::manager::{run_named, DagPass, FixedPointLoop, PassStats, PropertySet};
+use crate::manager::{DagPass, FixedPointLoop, PassStats, PropertySet};
 use crate::optimize_1q::Optimize1qGates;
-use crate::routing::{route, route_dag};
+use crate::routing::{route, route_dag, route_dag_budgeted};
 use crate::unroll::Unroller;
 use crate::{Pass, TranspileError};
 use qc_backends::Backend;
@@ -39,6 +42,11 @@ pub struct TranspileOptions {
     /// changes output — the off switch exists for the equivalence property
     /// tests and for A/B timing.
     pub interest_filtering: bool,
+    /// Resource ceilings for the run (unlimited by default). Deadline and
+    /// iteration ceilings degrade gracefully (optional passes are skipped,
+    /// the best circuit so far is returned); gate/qubit ceilings are hard
+    /// [`crate::RpoError::BudgetExceeded`] errors.
+    pub budget: TranspileBudget,
 }
 
 impl TranspileOptions {
@@ -50,7 +58,14 @@ impl TranspileOptions {
             seed: 0,
             routing_trials: 5,
             interest_filtering: true,
+            budget: TranspileBudget::unlimited(),
         }
+    }
+
+    /// Sets the resource budget.
+    pub fn with_budget(mut self, budget: TranspileBudget) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// Sets the seed.
@@ -82,6 +97,10 @@ pub struct Transpiled {
     /// `final_map[q]` = physical qubit where logical qubit `q` is measured
     /// (or ends up).
     pub final_map: Vec<usize>,
+    /// What the guard contained during the run: quarantined passes and
+    /// budget ceilings hit. [`DegradationReport::is_clean`] on a healthy
+    /// run.
+    pub degradation: DegradationReport,
 }
 
 /// Unrolls into the device basis `{u1, u2, u3, id, cx}`.
@@ -105,10 +124,10 @@ pub fn stage_layout(
         dense_layout(c, backend)?
     } else {
         if c.num_qubits() > backend.num_qubits() {
-            return Err(TranspileError::TooManyQubits {
-                circuit: c.num_qubits(),
-                backend: backend.num_qubits(),
-            });
+            return Err(TranspileError::too_many_qubits(
+                c.num_qubits(),
+                backend.num_qubits(),
+            ));
         }
         trivial_layout(c.num_qubits())
     };
@@ -218,10 +237,10 @@ pub fn dag_stage_layout(
         )?
     } else {
         if dag.num_qubits() > backend.num_qubits() {
-            return Err(TranspileError::TooManyQubits {
-                circuit: dag.num_qubits(),
-                backend: backend.num_qubits(),
-            });
+            return Err(TranspileError::too_many_qubits(
+                dag.num_qubits(),
+                backend.num_qubits(),
+            ));
         }
         trivial_layout(dag.num_qubits())
     };
@@ -258,60 +277,88 @@ pub fn transpile_instrumented(
     backend: &Backend,
     opts: &TranspileOptions,
 ) -> Result<(Transpiled, Vec<PassStats>), TranspileError> {
+    let mut guard = PassGuard::new(opts.budget);
+    guard.check_qubits(circuit.num_qubits())?;
+    validate_input(circuit)?;
     // The single circuit→dag conversion of the pipeline.
     let mut dag = Dag::from_circuit(circuit);
+    guard.check_gates(&dag)?;
     let mut props = PropertySet::new();
     let mut stats: Vec<PassStats> = Vec::new();
-    run_named(
+    // Mandatory stages (unrolling, layout, routing) run even past the
+    // deadline: without them there is no hardware-valid circuit at all.
+    run_stage(
+        &mut guard,
         "Unroller(device)",
         &Unroller::to_device_basis(),
         &mut dag,
         &mut props,
         &mut stats,
+        false,
     )?;
-    let layout = dag_stage_layout(&mut dag, backend, opts.level)?;
-    let wire_map = dag_stage_route(&mut dag, backend, opts.seed, opts.routing_trials)?;
+    let layout = catch_stage("layout", || dag_stage_layout(&mut dag, backend, opts.level))?;
+    let snapshot = guard.snapshot();
+    let (wire_map, trials_run) = catch_stage("routing", || {
+        dag_stage_route_budgeted(&mut dag, backend, opts.seed, opts.routing_trials, snapshot)
+    })?;
+    if trials_run < opts.routing_trials.max(1) {
+        guard.note_deadline("routing trials");
+    }
+    guard.check_gates(&dag)?;
     // Decompose routing SWAPs.
-    run_named(
+    run_stage(
+        &mut guard,
         "Unroller(device)",
         &Unroller::to_device_basis(),
         &mut dag,
         &mut props,
         &mut stats,
+        false,
     )?;
     match opts.level {
         0 => {}
         1 => {
-            run_named(
+            run_stage(
+                &mut guard,
                 "Optimize1qGates",
                 &Optimize1qGates,
                 &mut dag,
                 &mut props,
                 &mut stats,
+                true,
             )?;
-            run_named(
+            run_stage(
+                &mut guard,
                 "CxCancellation",
                 &CxCancellation,
                 &mut dag,
                 &mut props,
                 &mut stats,
+                true,
             )?;
         }
         level => {
-            run_named(
+            run_stage(
+                &mut guard,
                 "Optimize1qGates",
                 &Optimize1qGates,
                 &mut dag,
                 &mut props,
                 &mut stats,
+                true,
             )?;
             let mut fp = FixedPointLoop::new(fixpoint_passes(level >= 3), dag.num_qubits());
             if !opts.interest_filtering {
                 fp = fp.without_interest_filtering();
             }
-            fp.run(&mut dag, &mut props, 10)?;
+            fp.run_guarded(&mut dag, &mut props, 10, &mut guard)?;
             stats.extend(fp.stats);
         }
+    }
+    if guard.deadline_exceeded() {
+        // Record the overrun even when no pass was individually skipped
+        // (e.g. the last pass itself blew the deadline).
+        guard.note_deadline("pipeline end");
     }
     let final_map = layout.iter().map(|&w| wire_map[w]).collect();
     // The single dag→circuit conversion of the pipeline.
@@ -320,9 +367,47 @@ pub fn transpile_instrumented(
         Transpiled {
             circuit: c,
             final_map,
+            degradation: guard.into_report(),
         },
         stats,
     ))
+}
+
+/// Rejects structurally invalid input before any pass runs: non-finite
+/// gate parameters and non-unitary embedded matrices become
+/// [`crate::RpoError::InvalidInput`] instead of NaN-poisoned output.
+///
+/// # Errors
+///
+/// [`crate::RpoError::InvalidInput`] naming the offending gate.
+pub fn validate_input(circuit: &Circuit) -> Result<(), TranspileError> {
+    for inst in circuit.instructions() {
+        if let Some(issue) = input_issue(&inst.gate) {
+            return Err(TranspileError::InvalidInput(format!(
+                "input circuit: {issue}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// [`dag_stage_route`] under a deadline budget: later trials are skipped
+/// once the deadline passes (trial 0 always runs). Returns the wire map
+/// and the number of trials actually run.
+///
+/// # Errors
+///
+/// Same failure modes as [`crate::routing::route`].
+pub fn dag_stage_route_budgeted(
+    dag: &mut Dag,
+    backend: &Backend,
+    seed: u64,
+    trials: usize,
+    budget: crate::guard::BudgetSnapshot,
+) -> Result<(Vec<usize>, usize), TranspileError> {
+    let (routed, ran) = route_dag_budgeted(dag, backend, seed, trials, budget)?;
+    dag.replace_all(backend.num_qubits(), routed.circuit.into_instructions());
+    Ok((routed.wire_map, ran))
 }
 
 #[cfg(test)]

@@ -51,5 +51,6 @@ pub fn transpile_reference(
     Ok(Transpiled {
         circuit: c,
         final_map,
+        degradation: crate::guard::DegradationReport::default(),
     })
 }

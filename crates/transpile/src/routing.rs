@@ -11,6 +11,7 @@
 //! runs its post-routing QBO over them *before* they are unrolled (Fig. 8,
 //! line 5), which is where SWAP → SWAPZ rewrites happen.
 
+use crate::guard::BudgetSnapshot;
 use crate::TranspileError;
 use qc_backends::Backend;
 use qc_circuit::{Circuit, Dag, Gate, Instruction};
@@ -59,16 +60,40 @@ pub fn route_dag(
     seed: u64,
     trials: usize,
 ) -> Result<Routed, TranspileError> {
+    route_dag_budgeted(dag, backend, seed, trials, BudgetSnapshot::unlimited()).map(|(r, _)| r)
+}
+
+/// [`route_dag`] under a deadline: trial 0 always runs (routing is
+/// mandatory — there must be *a* routed circuit), later trials are skipped
+/// once the budget's deadline passes and the best result so far is kept.
+/// Returns the routed result and the number of trials actually run, so the
+/// caller can record the degradation.
+///
+/// # Errors
+///
+/// Same failure modes as [`route`].
+pub fn route_dag_budgeted(
+    dag: &Dag,
+    backend: &Backend,
+    seed: u64,
+    trials: usize,
+    budget: BudgetSnapshot,
+) -> Result<(Routed, usize), TranspileError> {
     if dag.num_qubits() > backend.num_qubits() {
-        return Err(TranspileError::TooManyQubits {
-            circuit: dag.num_qubits(),
-            backend: backend.num_qubits(),
-        });
+        return Err(TranspileError::too_many_qubits(
+            dag.num_qubits(),
+            backend.num_qubits(),
+        ));
     }
     let dist = backend.distance_matrix();
     let mut best: Option<Routed> = None;
+    let mut ran = 0usize;
     for t in 0..trials.max(1) {
+        if t > 0 && budget.exceeded() {
+            break;
+        }
         let r = route_once(dag, backend, &dist, seed.wrapping_add(t as u64))?;
+        ran += 1;
         if best
             .as_ref()
             .map(|b| r.swaps_added < b.swaps_added)
@@ -77,7 +102,10 @@ pub fn route_dag(
             best = Some(r);
         }
     }
-    Ok(best.expect("at least one trial"))
+    match best {
+        Some(b) => Ok((b, ran)),
+        None => Err(TranspileError::Internal("no routing trial ran".into())),
+    }
 }
 
 fn route_once(
@@ -214,14 +242,13 @@ fn route_once(
         out.swap(chosen.0, chosen.1);
         swaps_added += 1;
         // Update the wire permutation.
-        let wa = perm
-            .iter()
-            .position(|&p| p == chosen.0)
-            .expect("physical qubit held by some wire");
-        let wb = perm
-            .iter()
-            .position(|&p| p == chosen.1)
-            .expect("physical qubit held by some wire");
+        let held_by = |phys: usize| {
+            perm.iter().position(|&p| p == phys).ok_or_else(|| {
+                TranspileError::Internal(format!("physical qubit {phys} held by no wire"))
+            })
+        };
+        let wa = held_by(chosen.0)?;
+        let wb = held_by(chosen.1)?;
         perm.swap(wa, wb);
         stall += 1;
         if progressed {
@@ -356,7 +383,7 @@ mod tests {
         let c = Circuit::new(3);
         assert!(matches!(
             route(&c, &backend, 0, 1),
-            Err(TranspileError::TooManyQubits { .. })
+            Err(TranspileError::InvalidInput(_))
         ));
     }
 }

@@ -99,11 +99,7 @@ impl Unroller {
             Gate::Rz(t) => push(Gate::U1(*t), vec![q[0]]),
             Gate::U1(l) => push(Gate::U3(0.0, 0.0, *l), vec![q[0]]),
             Gate::U2(p, l) => push(Gate::U3(FRAC_PI_2, *p, *l), vec![q[0]]),
-            Gate::U3(..) => {
-                return Err(TranspileError::UnsupportedGate(
-                    "basis must include u3".into(),
-                ))
-            }
+            Gate::U3(..) => return Err(TranspileError::unsupported_gate("basis must include u3")),
             Gate::Cx => push(Gate::Cx, vec![q[0], q[1]]),
             Gate::Cz => {
                 push(Gate::H, vec![q[1]]);
@@ -136,7 +132,7 @@ impl Unroller {
                 1 => push(matrix_to_u3_gate(m), vec![q[0]]),
                 2 => compose_onto(out, &synthesize_two_qubit(m), q),
                 n => {
-                    return Err(TranspileError::UnsupportedGate(format!(
+                    return Err(TranspileError::unsupported_gate(format!(
                         "{n}-qubit unitary block"
                     )))
                 }
@@ -342,6 +338,6 @@ mod tests {
         let mut c = Circuit::new(3);
         c.push(Gate::Unitary(Matrix::identity(8)), &[0, 1, 2]);
         let err = Unroller::to_device_basis().run(&mut c).unwrap_err();
-        assert!(matches!(err, TranspileError::UnsupportedGate(_)));
+        assert!(matches!(err, TranspileError::InvalidInput(_)));
     }
 }

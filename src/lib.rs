@@ -45,9 +45,10 @@ pub use rpo_core as core;
 pub mod prelude {
     pub use qc_backends::Backend;
     pub use qc_circuit::{BasisState, Circuit, Gate};
+    pub use qc_circuit::{BudgetKind, RpoError};
     pub use qc_hoare::{transpile_hoare, HoareOptimizer};
     pub use qc_sim::{NoiseModel, NoisySimulator, Statevector};
-    pub use qc_transpile::{transpile, Pass, TranspileOptions};
+    pub use qc_transpile::{transpile, DegradationReport, Pass, TranspileBudget, TranspileOptions};
     pub use rpo_core::{transpile_rpo, Qbo, Qpo, RpoOptions};
 }
 
