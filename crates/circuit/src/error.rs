@@ -73,6 +73,23 @@ pub enum RpoError {
         /// Where the numerical check failed.
         context: String,
     },
+    /// The serving layer refused admission because accepting the request
+    /// would overload the process (queue full, or the predicted queue wait
+    /// already exceeds the request's deadline slack). The request was
+    /// never started; retrying later is safe.
+    Overloaded {
+        /// Jobs queued or running when the request was refused.
+        queued: usize,
+        /// The admission queue's capacity.
+        capacity: usize,
+    },
+    /// The serving layer dropped the request for a non-load reason —
+    /// shutdown drain in progress, or the deadline expired while the
+    /// request sat in the admission queue. The request was never started.
+    Shed {
+        /// Why the request was dropped.
+        reason: String,
+    },
     /// An internal invariant was violated (a bug, not a user error).
     Internal(String),
 }
@@ -104,6 +121,13 @@ impl fmt::Display for RpoError {
             RpoError::Numeric { context } => {
                 write!(f, "numerical failure in {context}")
             }
+            RpoError::Overloaded { queued, capacity } => {
+                write!(
+                    f,
+                    "service overloaded: {queued} jobs queued (capacity {capacity})"
+                )
+            }
+            RpoError::Shed { reason } => write!(f, "request shed: {reason}"),
             RpoError::Internal(msg) => write!(f, "internal transpiler error: {msg}"),
         }
     }

@@ -1,0 +1,225 @@
+//! Canonical content hashing of circuits.
+//!
+//! The `qc-serve` compile service caches transpile results
+//! content-addressed: two requests carrying the *same program* must map to
+//! the same cache key, and any difference — one gate, one parameter bit,
+//! one qubit index — must map to a different key. [`canonical_bytes`]
+//! defines that program identity: a length-prefixed, byte-exact encoding
+//! of the circuit (qubit count, then per instruction the gate name, every
+//! parameter's IEEE-754 bit pattern, and the qubit operands), and
+//! [`content_hash`] folds it into a 128-bit FNV-1a digest.
+//!
+//! Properties the serving layer relies on:
+//!
+//! * **Deterministic** — no pointers, no hash-map iteration order, no
+//!   floating-point arithmetic (bit patterns only), so the same circuit
+//!   hashes identically across runs, threads and processes.
+//! * **Bit-exact** — parameters are compared as `u64` bit patterns;
+//!   `rz(0.1 + 0.2)` and `rz(0.3)` are *different* programs (they
+//!   transpile to different gates, so they must cache separately).
+//! * **Prefix-free** — every variable-length field (name, qubit list,
+//!   embedded matrix) is length-prefixed, so no two distinct circuits can
+//!   serialize to the same byte stream.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// Appends a `u64` little-endian.
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `f64` as its IEEE-754 bit pattern (bit-exact identity; note
+/// `-0.0` and `0.0` hash differently, as do distinct NaN payloads — both
+/// are rejected upstream by input validation anyway).
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+/// Appends a length-prefixed byte string.
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u64(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+/// Appends one gate: name, then its parameters (length-prefixed).
+fn put_gate(out: &mut Vec<u8>, gate: &Gate) {
+    put_bytes(out, gate.name().as_bytes());
+    match gate {
+        Gate::Rx(t) | Gate::Ry(t) | Gate::Rz(t) | Gate::U1(t) | Gate::Cp(t) => {
+            put_u64(out, 1);
+            put_f64(out, *t);
+        }
+        Gate::U2(a, b) | Gate::Annot(a, b) => {
+            put_u64(out, 2);
+            put_f64(out, *a);
+            put_f64(out, *b);
+        }
+        Gate::U3(a, b, c) => {
+            put_u64(out, 3);
+            put_f64(out, *a);
+            put_f64(out, *b);
+            put_f64(out, *c);
+        }
+        Gate::Mcx(n) | Gate::Mcz(n) | Gate::Barrier(n) => {
+            put_u64(out, 1);
+            put_u64(out, *n as u64);
+        }
+        Gate::Cu(m) | Gate::Unitary(m) => {
+            let elems = m.as_slice();
+            put_u64(out, 2 + 2 * elems.len() as u64);
+            put_u64(out, m.rows() as u64);
+            put_u64(out, m.cols() as u64);
+            for z in elems {
+                put_f64(out, z.re);
+                put_f64(out, z.im);
+            }
+        }
+        _ => put_u64(out, 0),
+    }
+}
+
+/// The canonical byte encoding of a circuit — the program identity the
+/// content-addressed transpile cache keys on.
+///
+/// # Examples
+///
+/// ```
+/// use qc_circuit::{canonical_bytes, Circuit};
+/// let mut a = Circuit::new(2);
+/// a.h(0).cx(0, 1);
+/// let mut b = Circuit::new(2);
+/// b.h(0).cx(0, 1);
+/// assert_eq!(canonical_bytes(&a), canonical_bytes(&b));
+/// b.t(1);
+/// assert_ne!(canonical_bytes(&a), canonical_bytes(&b));
+/// ```
+pub fn canonical_bytes(circuit: &Circuit) -> Vec<u8> {
+    // Rough sizing: ~40 bytes per instruction avoids most reallocation.
+    let mut out = Vec::with_capacity(16 + circuit.len() * 40);
+    put_u64(&mut out, circuit.num_qubits() as u64);
+    put_u64(&mut out, circuit.len() as u64);
+    for inst in circuit.instructions() {
+        put_gate(&mut out, &inst.gate);
+        put_u64(&mut out, inst.qubits.len() as u64);
+        for &q in &inst.qubits {
+            put_u64(&mut out, q as u64);
+        }
+    }
+    out
+}
+
+const FNV_OFFSET_128: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV_PRIME_128: u128 = 0x0000000001000000000000000000013b;
+
+/// 128-bit FNV-1a over a byte stream — the digest primitive behind
+/// [`content_hash`], exposed so callers composing larger cache keys
+/// (circuit + target + options) can fold extra fields into the same
+/// stream.
+pub fn fnv1a_128(bytes: &[u8], seed: u128) -> u128 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= b as u128;
+        h = h.wrapping_mul(FNV_PRIME_128);
+    }
+    h
+}
+
+/// The 128-bit content hash of a circuit: FNV-1a over
+/// [`canonical_bytes`]. 128 bits keep accidental collisions out of reach
+/// for any realistic cache population (birthday bound ~2⁶⁴ entries).
+///
+/// # Examples
+///
+/// ```
+/// use qc_circuit::{content_hash, Circuit};
+/// let mut a = Circuit::new(2);
+/// a.h(0).cx(0, 1);
+/// let h1 = content_hash(&a);
+/// assert_eq!(h1, content_hash(&a.clone()));
+/// a.rz(1e-300, 0); // even a denormal-angle gate changes the program
+/// assert_ne!(h1, content_hash(&a));
+/// ```
+pub fn content_hash(circuit: &Circuit) -> u128 {
+    fnv1a_128(&canonical_bytes(circuit), FNV_OFFSET_128)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::random_circuit;
+    use qc_math::Matrix;
+
+    #[test]
+    fn identical_circuits_hash_equal() {
+        for seed in 0..8 {
+            let a = random_circuit(4, 30, seed);
+            let b = random_circuit(4, 30, seed);
+            assert_eq!(content_hash(&a), content_hash(&b));
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_hash_distinct() {
+        let hashes: Vec<u128> = (0..32)
+            .map(|s| content_hash(&random_circuit(4, 30, s)))
+            .collect();
+        for i in 0..hashes.len() {
+            for j in i + 1..hashes.len() {
+                assert_ne!(hashes[i], hashes[j], "seeds {i} and {j} collided");
+            }
+        }
+    }
+
+    #[test]
+    fn parameter_bits_matter() {
+        let mut a = Circuit::new(1);
+        a.rz(0.1, 0);
+        let mut b = Circuit::new(1);
+        b.rz(0.1 + f64::EPSILON, 0);
+        assert_ne!(content_hash(&a), content_hash(&b));
+    }
+
+    #[test]
+    fn qubit_operands_matter() {
+        let mut a = Circuit::new(2);
+        a.cx(0, 1);
+        let mut b = Circuit::new(2);
+        b.cx(1, 0);
+        assert_ne!(content_hash(&a), content_hash(&b));
+    }
+
+    #[test]
+    fn width_matters_even_with_identical_gates() {
+        let mut a = Circuit::new(2);
+        a.h(0);
+        let mut b = Circuit::new(3);
+        b.h(0);
+        assert_ne!(content_hash(&a), content_hash(&b));
+    }
+
+    #[test]
+    fn embedded_matrices_hash_by_content() {
+        let u = Matrix::identity(2);
+        let mut a = Circuit::new(1);
+        a.push(crate::Gate::Unitary(u.clone()), &[0]);
+        let mut b = Circuit::new(1);
+        b.push(crate::Gate::Unitary(u), &[0]);
+        assert_eq!(content_hash(&a), content_hash(&b));
+        let mut c = Circuit::new(1);
+        let flipped = Matrix::identity(2).scale(qc_math::C64::real(-1.0));
+        c.push(crate::Gate::Unitary(flipped), &[0]);
+        assert_ne!(content_hash(&a), content_hash(&c));
+    }
+
+    #[test]
+    fn encoding_is_prefix_free_across_gate_boundaries() {
+        // `barrier(2)` on [0,1] vs two 1q barriers must differ.
+        let mut a = Circuit::new(2);
+        a.push(crate::Gate::Barrier(2), &[0, 1]);
+        let mut b = Circuit::new(2);
+        b.push(crate::Gate::Barrier(1), &[0]);
+        b.push(crate::Gate::Barrier(1), &[1]);
+        assert_ne!(content_hash(&a), content_hash(&b));
+    }
+}

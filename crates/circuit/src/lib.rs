@@ -37,6 +37,7 @@ pub mod dag;
 pub mod error;
 pub mod fusion;
 pub mod gate;
+pub mod hash;
 pub mod qasm;
 pub mod testing;
 pub mod unitary;
@@ -50,6 +51,7 @@ pub use dag::{
 pub use error::{BudgetKind, RpoError};
 pub use fusion::{fuse_instructions, fuse_instructions_with, FusedInst, FusionProfile};
 pub use gate::{BasisState, Gate};
+pub use hash::{canonical_bytes, content_hash, fnv1a_128};
 pub use unitary::{
     circuit_unitary, circuit_unitary_reference, circuit_unitary_unfused, circuits_equivalent,
     embed, UnitaryAccumulator,

@@ -159,7 +159,7 @@ pub fn transpile_rpo_instrumented(
     } else {
         Qpo::without_block_optimization()
     };
-    let mut guard = PassGuard::new(opts.base.budget);
+    let mut guard = PassGuard::new(opts.base.budget).with_predisabled(opts.base.disabled_passes);
     guard.check_qubits(circuit.num_qubits())?;
     qc_transpile::preset::validate_input(circuit)?;
     // The single circuit→dag conversion of the pipeline.

@@ -1,0 +1,416 @@
+//! Load generator for the `qc-serve` transpile service.
+//!
+//! ```text
+//! serve_load [--requests N] [--threads T] [--seed S] [--json PATH]
+//!            [--connect ADDR:PORT] [--drain]
+//! ```
+//!
+//! Default mode drives an **in-process** [`TranspileService`] through the
+//! three workload tiers of the serving story and reports latency
+//! percentiles per tier:
+//!
+//! * `cold` — every request is a distinct circuit (full compile);
+//! * `warm-identical` — every request is a byte-identical repeat of an
+//!   already-served circuit (content-addressed cache hit);
+//! * `warm-edited` — every request is a one-gate edit of a served circuit
+//!   (a fresh cache key, but the process-wide synthesis memo and warmed
+//!   allocator make it cheaper than a true cold start);
+//!
+//! then a mixed multi-threaded phase interleaving all three for
+//! throughput and p99. With `--json PATH` the tier medians are written in
+//! the workspace's bench format, ready for `scripts/bench_check.sh`. The
+//! run fails (exit 1) if the warm-identical median is not at least 10×
+//! faster than the cold median — the serving layer's acceptance bar.
+//!
+//! With `--connect ADDR:PORT` it instead smoke-tests a running `qc-serve`
+//! front-end over TCP with the same tiers (one connection, JSONL), checks
+//! every response line, and with `--drain` finishes by draining the
+//! server and validating the drain report.
+
+use qc_backends::Backend;
+use qc_circuit::qasm::to_qasm;
+use qc_circuit::Circuit;
+use qc_serve::wire::escape_json;
+use qc_serve::{CacheClass, ServeConfig, ServeFlow, ServeRequest, TranspileService};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Args {
+    requests: usize,
+    threads: usize,
+    seed: u64,
+    json: Option<String>,
+    connect: Option<String>,
+    drain: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve_load [--requests N] [--threads T] [--seed S] [--json PATH] \
+         [--connect ADDR:PORT] [--drain]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        requests: 24,
+        threads: 4,
+        seed: 7,
+        json: None,
+        connect: None,
+        drain: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let val = |args: &mut dyn Iterator<Item = String>| -> String {
+            args.next().unwrap_or_else(|| usage())
+        };
+        match arg.as_str() {
+            "--requests" => out.requests = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--threads" => out.threads = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--seed" => out.seed = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--json" => out.json = Some(val(&mut args)),
+            "--connect" => out.connect = Some(val(&mut args)),
+            "--drain" => out.drain = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("serve_load: unknown flag '{other}'");
+                usage();
+            }
+        }
+    }
+    out.requests = out.requests.max(4);
+    out.threads = out.threads.clamp(1, 32);
+    out
+}
+
+/// A 6-qubit layered circuit, distinct per `variant` (every rotation angle
+/// depends on it), using only QASM-serializable gates.
+fn workload_circuit(variant: u64) -> Circuit {
+    let n = 6;
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    for layer in 0..4usize {
+        for q in 0..n {
+            let angle = 0.1 + 0.05 * variant as f64 + 0.2 * (layer * n + q) as f64;
+            c.ry(angle, q);
+            c.rz(angle * 0.7, q);
+        }
+        for q in (layer % 2..n - 1).step_by(2) {
+            c.cx(q, q + 1);
+        }
+    }
+    c.measure_all();
+    c
+}
+
+/// A one-gate edit of `workload_circuit(0)`: same structure, one extra
+/// trailing rotation whose angle varies per `i`.
+fn edited_circuit(i: u64) -> Circuit {
+    let mut c = workload_circuit(0);
+    c.rz(1e-3 * (i + 1) as f64, 0);
+    c
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 * p).ceil() as usize).saturating_sub(1);
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+struct Tier {
+    name: &'static str,
+    latencies: Vec<u64>,
+    threads: usize,
+}
+
+impl Tier {
+    fn median(&self) -> u64 {
+        let mut v = self.latencies.clone();
+        v.sort_unstable();
+        percentile(&v, 0.5)
+    }
+
+    fn p99(&self) -> u64 {
+        let mut v = self.latencies.clone();
+        v.sort_unstable();
+        percentile(&v, 0.99)
+    }
+}
+
+fn request(id: String, circuit: Circuit, seed: u64) -> ServeRequest {
+    ServeRequest {
+        id,
+        circuit,
+        backend: Backend::melbourne(),
+        flow: ServeFlow::Preset { level: 3 },
+        seed,
+        deadline: None,
+    }
+}
+
+fn timed(service: &TranspileService, req: ServeRequest) -> (u64, CacheClass) {
+    let t0 = Instant::now();
+    let resp = service.handle(req);
+    let nanos = t0.elapsed().as_nanos() as u64;
+    let ok = resp
+        .result
+        .unwrap_or_else(|e| panic!("load request failed: {e}"));
+    (nanos, ok.cache)
+}
+
+fn run_in_process(args: &Args) -> i32 {
+    let service = Arc::new(TranspileService::new(ServeConfig {
+        max_concurrent: args.threads,
+        verify_every: 16,
+        seed: args.seed,
+        ..ServeConfig::default()
+    }));
+    let r = args.requests;
+
+    // Tier 1: cold — r distinct circuits.
+    let mut cold = Tier {
+        name: "serve_cold",
+        latencies: Vec::with_capacity(r),
+        threads: 1,
+    };
+    for i in 0..r {
+        let (ns, class) = timed(
+            &service,
+            request(format!("cold{i}"), workload_circuit(i as u64), args.seed),
+        );
+        assert_eq!(class, CacheClass::Cold, "cold tier must miss the cache");
+        cold.latencies.push(ns);
+    }
+
+    // Tier 2: warm-identical — byte-identical repeats of variant 0.
+    let mut warm = Tier {
+        name: "serve_warm_identical",
+        latencies: Vec::with_capacity(r),
+        threads: 1,
+    };
+    for i in 0..r {
+        let (ns, class) = timed(
+            &service,
+            request(format!("warm{i}"), workload_circuit(0), args.seed),
+        );
+        assert_eq!(class, CacheClass::Warm, "identical repeats must hit");
+        warm.latencies.push(ns);
+    }
+
+    // Tier 3: warm-edited — one-gate edits (fresh keys, warmed process).
+    let mut edited = Tier {
+        name: "serve_warm_edited",
+        latencies: Vec::with_capacity(r),
+        threads: 1,
+    };
+    for i in 0..r {
+        let (ns, _) = timed(
+            &service,
+            request(format!("edit{i}"), edited_circuit(i as u64), args.seed),
+        );
+        edited.latencies.push(ns);
+    }
+
+    // Mixed phase: T threads interleaving all three tiers.
+    let total = r * args.threads;
+    let t0 = Instant::now();
+    let mut mixed_lat: Vec<u64> = Vec::with_capacity(total);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.threads)
+            .map(|t| {
+                let service = Arc::clone(&service);
+                let seed = args.seed;
+                scope.spawn(move || {
+                    let mut lats = Vec::with_capacity(r);
+                    for i in 0..r {
+                        let k = (t * r + i) as u64;
+                        let circuit = match i % 3 {
+                            0 => workload_circuit(k % 8), // mostly warm after round 1
+                            1 => workload_circuit(0),     // always warm
+                            _ => edited_circuit(k),       // always a fresh key
+                        };
+                        let (ns, _) = timed(&service, request(format!("mix{k}"), circuit, seed));
+                        lats.push(ns);
+                    }
+                    lats
+                })
+            })
+            .collect();
+        for h in handles {
+            mixed_lat.extend(h.join().expect("mixed-phase worker must not panic"));
+        }
+    });
+    let wall = t0.elapsed().as_nanos() as u64;
+    let mixed = Tier {
+        name: "serve_p99_latency_mixed",
+        latencies: mixed_lat,
+        threads: args.threads,
+    };
+
+    let m = service.metrics();
+    println!(
+        "# serve_load: {} requests/tier, {} threads mixed\n",
+        r, args.threads
+    );
+    println!("| tier | median | p99 |");
+    println!("|---|---:|---:|");
+    for tier in [&cold, &warm, &edited, &mixed] {
+        println!(
+            "| {} | {:.3} ms | {:.3} ms |",
+            tier.name,
+            tier.median() as f64 / 1e6,
+            tier.p99() as f64 / 1e6
+        );
+    }
+    let throughput_ns = wall / total as u64;
+    println!(
+        "\nmixed throughput: {:.1} req/s ({} requests in {:.1} ms)",
+        total as f64 / (wall as f64 / 1e9),
+        total,
+        wall as f64 / 1e6
+    );
+    println!(
+        "metrics: ok={} err={} compiles={} warm={} coalesced={} shed={} retries={} \
+         integrity={}/{} panics={}",
+        m.served_ok,
+        m.served_err,
+        m.compiles,
+        m.cache_warm,
+        m.coalesced,
+        m.shed_overloaded + m.shed_deadline + m.shed_drain,
+        m.retries,
+        m.integrity_checks - m.integrity_failures,
+        m.integrity_checks,
+        m.handler_panics
+    );
+
+    if let Some(path) = &args.json {
+        let mut out = String::from("[\n");
+        let entries = [
+            (cold.name, cold.median(), cold.threads),
+            (warm.name, warm.median(), warm.threads),
+            (edited.name, edited.median(), edited.threads),
+            ("serve_throughput_mixed", throughput_ns, args.threads),
+            (mixed.name, mixed.p99(), mixed.threads),
+        ];
+        for (i, (name, ns, threads)) in entries.iter().enumerate() {
+            let comma = if i + 1 == entries.len() { "" } else { "," };
+            out.push_str(&format!(
+                "  {{\"name\": \"{name}\", \"median_ns\": {ns}.0, \"samples\": {r}, \
+                 \"iters_per_sample\": 1, \"threads\": {threads}}}{comma}\n"
+            ));
+        }
+        out.push_str("]\n");
+        std::fs::write(path, out).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("\nwrote bench JSON to {path}");
+    }
+
+    // The serving acceptance bar: a warm-identical hit must be at least an
+    // order of magnitude cheaper than a cold compile.
+    let ratio = cold.median() as f64 / warm.median().max(1) as f64;
+    println!("cold/warm-identical ratio: {ratio:.1}x (bar: >= 10x)");
+    if ratio < 10.0 {
+        eprintln!("serve_load: FAIL — warm-identical tier is not >= 10x faster than cold");
+        return 1;
+    }
+    if m.served_err > 0 || m.handler_panics > 0 || m.integrity_failures > 0 {
+        eprintln!("serve_load: FAIL — errors during a healthy load run");
+        return 1;
+    }
+    0
+}
+
+/// TCP smoke against a running `qc-serve`: send the tiers as JSONL over
+/// one connection, check every response line.
+fn run_tcp(args: &Args, addr: &str) -> i32 {
+    let stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve_load: cannot connect to {addr}: {e}");
+            return 1;
+        }
+    };
+    let mut writer = stream.try_clone().expect("clone TCP stream");
+    let mut reader = BufReader::new(stream);
+    let r = args.requests.min(12); // smoke, not load
+
+    let send = |line: &str, writer: &mut TcpStream| writeln!(writer, "{line}").expect("TCP write");
+    let read_line = |reader: &mut BufReader<TcpStream>| -> String {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("TCP read");
+        line
+    };
+    // Responses are not flat objects (they carry arrays and a nested
+    // metrics object), so pull the status tag out by substring: the
+    // protocol always emits it as `"status":"<tag>"`.
+    let status_of = |line: &str| -> Option<String> {
+        let rest = &line[line.find("\"status\":\"")? + "\"status\":\"".len()..];
+        Some(rest[..rest.find('"')?].to_string())
+    };
+    let mut failures = 0;
+    let mut check = |line: &str, want_status: &str, what: &str| {
+        if status_of(line).as_deref() != Some(want_status) {
+            eprintln!("serve_load: {what}: expected status {want_status}, got {line}");
+            failures += 1;
+        }
+    };
+
+    // Cold + warm-identical + warm-edited, sequentially on one connection.
+    for i in 0..r {
+        let circuit = match i % 3 {
+            0 => workload_circuit(i as u64),
+            1 => workload_circuit(0),
+            _ => edited_circuit(i as u64),
+        };
+        let qasm = to_qasm(&circuit).expect("workload serializes");
+        let line = format!(
+            "{{\"id\": \"smoke{i}\", \"qasm\": \"{}\", \"backend\": \"melbourne\", \
+             \"flow\": \"preset\", \"level\": 3, \"seed\": {}}}",
+            escape_json(&qasm),
+            args.seed
+        );
+        send(&line, &mut writer);
+        let resp = read_line(&mut reader);
+        check(&resp, "ok", "request");
+    }
+
+    // A malformed line must come back as a typed error, not kill the server.
+    send("{\"qasm\": \"garbage\"}", &mut writer);
+    let resp = read_line(&mut reader);
+    check(&resp, "error", "malformed line");
+
+    send("{\"op\": \"metrics\"}", &mut writer);
+    let resp = read_line(&mut reader);
+    check(&resp, "metrics", "metrics op");
+
+    if args.drain {
+        send("{\"op\": \"drain\"}", &mut writer);
+        let resp = read_line(&mut reader);
+        check(&resp, "drained", "drain report");
+    }
+
+    if failures == 0 {
+        println!("serve_load: TCP smoke OK ({r} requests + error/metrics probes)");
+        0
+    } else {
+        eprintln!("serve_load: TCP smoke FAILED ({failures} bad responses)");
+        1
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let code = match &args.connect {
+        Some(addr) => run_tcp(&args, addr),
+        None => run_in_process(&args),
+    };
+    std::process::exit(code);
+}

@@ -1,0 +1,89 @@
+//! Bounded decorrelated-jitter backoff for the compile-retry path.
+//!
+//! The serve layer retries a compile at most a couple of times (after
+//! pre-disabling a quarantined optional pass), and between attempts it
+//! sleeps a decorrelated-jitter interval: `next = min(cap, uniform(base,
+//! prev * 3))`. Decorrelated jitter (the AWS architecture-blog variant)
+//! avoids the synchronized retry waves plain exponential backoff produces
+//! when many clients fail at once, while the cap bounds worst-case added
+//! latency.
+//!
+//! A `base` of zero short-circuits to zero sleeps — the deterministic-test
+//! configuration.
+
+use rand::{rngs::StdRng, Rng};
+use std::time::Duration;
+
+/// Decorrelated-jitter interval generator. One instance per retry loop;
+/// the RNG is passed in so the service owns seeding (deterministic under
+/// test, seeded per-request in production).
+#[derive(Clone, Copy, Debug)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    prev: Duration,
+}
+
+impl Backoff {
+    /// A generator whose first interval is `base` and whose intervals
+    /// never exceed `cap`.
+    pub fn new(base: Duration, cap: Duration) -> Self {
+        Backoff {
+            base,
+            cap,
+            prev: base,
+        }
+    }
+
+    /// The next sleep interval. Zero `base` always yields zero.
+    pub fn next(&mut self, rng: &mut StdRng) -> Duration {
+        if self.base.is_zero() {
+            return Duration::ZERO;
+        }
+        let base_ns = self.base.as_nanos() as u64;
+        let hi = (self.prev.as_nanos() as u64)
+            .saturating_mul(3)
+            .max(base_ns + 1);
+        let picked = Duration::from_nanos(rng.gen_range(base_ns..hi));
+        self.prev = picked.min(self.cap);
+        self.prev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_base_never_sleeps() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut b = Backoff::new(Duration::ZERO, Duration::from_secs(1));
+        for _ in 0..10 {
+            assert_eq!(b.next(&mut rng), Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn intervals_stay_within_base_and_cap() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(100);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut b = Backoff::new(base, cap);
+        for _ in 0..100 {
+            let d = b.next(&mut rng);
+            assert!(d >= base, "interval {d:?} below base");
+            assert!(d <= cap, "interval {d:?} above cap");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mk = || {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut b = Backoff::new(Duration::from_millis(5), Duration::from_millis(50));
+            (0..5).map(|_| b.next(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -1,0 +1,417 @@
+//! Content-addressed single-flight compile cache.
+//!
+//! Identical requests are identical work: the transpile stack is
+//! deterministic given (circuit, backend, flow, seed, budget class,
+//! disabled passes), so the cache keys on a 128-bit FNV-1a hash of exactly
+//! those inputs — with the circuit contributing its *canonical bytes*
+//! ([`qc_circuit::canonical_bytes`]), not a pointer or a source string, so
+//! textually different but structurally identical submissions share an
+//! entry.
+//!
+//! **Single-flight**: when N identical requests arrive concurrently,
+//! exactly one (the leader) compiles; the rest block on the in-flight slot
+//! and receive the leader's result. The leader holds an RAII
+//! [`LeaderGuard`] — if it panics or is otherwise dropped without
+//! completing, waiters are woken with a typed error instead of hanging
+//! forever, and the slot is cleared so the next request can retry.
+//!
+//! Failures are *not* cached: errors propagate to the waiters of the
+//! attempt that failed, then the slot empties. Capacity is bounded; on
+//! overflow the completed entries are dropped wholesale (cheap,
+//! deterministic, no clock — the same policy as the synthesis memo).
+
+use qc_circuit::{canonical_bytes, fnv1a_128, Circuit, RpoError};
+use qc_transpile::{DegradationReport, PassSet, DISABLEABLE_PASSES};
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// How a response was produced, relative to the cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheClass {
+    /// Compiled fresh; no usable entry existed.
+    Cold,
+    /// Blocked on a concurrent identical compile and shared its result.
+    Coalesced,
+    /// Served from a completed cache entry.
+    Warm,
+}
+
+impl CacheClass {
+    /// Wire-format tag.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CacheClass::Cold => "cold",
+            CacheClass::Coalesced => "coalesced",
+            CacheClass::Warm => "warm",
+        }
+    }
+}
+
+/// A completed compile, as stored in the cache and shared by reference
+/// with every response built from it.
+#[derive(Debug)]
+pub struct CompiledEntry {
+    /// The hardware-ready output circuit.
+    pub circuit: Circuit,
+    /// The output pre-rendered as OpenQASM 2.0 (the wire format), so cache
+    /// hits skip serialization work too.
+    pub qasm: String,
+    /// Logical→physical qubit map.
+    pub final_map: Vec<usize>,
+    /// What the guard contained while compiling this entry.
+    pub degradation: DegradationReport,
+    /// Wall time of the winning compile attempt, nanoseconds.
+    pub compile_nanos: u64,
+    /// Compile attempts beyond the first (quarantine-triggered retries).
+    pub retries: u32,
+    /// Pass labels whose quarantine triggered those retries.
+    pub retried_after: Vec<String>,
+    /// The effective pre-disabled set the winning attempt ran with.
+    pub disabled: PassSet,
+}
+
+/// The deadline bucket a request's budget falls into. Caching on the
+/// *class* instead of the exact deadline lets requests with slightly
+/// different deadlines share entries, while keeping "tight budget may
+/// have skipped passes" results from serving unconstrained requests.
+pub fn budget_class(deadline_ms: Option<u64>) -> u8 {
+    match deadline_ms {
+        None => 0,
+        Some(ms) if ms < 100 => 1,
+        Some(ms) if ms < 1_000 => 2,
+        Some(_) => 3,
+    }
+}
+
+/// Inputs that fully determine a compile's output.
+#[derive(Clone, Copy)]
+pub struct KeyParts<'a> {
+    /// The (not yet transpiled) circuit.
+    pub circuit: &'a Circuit,
+    /// Backend name — backends are identified by name in this workspace.
+    pub backend: &'a str,
+    /// Flow tag: `"preset"` or `"rpo"`.
+    pub flow: &'a str,
+    /// Optimization level (fixed 3 for rpo).
+    pub level: u8,
+    /// Routing seed.
+    pub seed: u64,
+    /// [`budget_class`] of the request deadline.
+    pub budget_class: u8,
+    /// Passes pre-disabled for this compile (breaker state folded in, so
+    /// entries compiled without a broken pass never serve requests made
+    /// after the breaker closed again).
+    pub disabled: PassSet,
+}
+
+/// The 128-bit content-addressed cache key.
+pub fn cache_key(parts: &KeyParts<'_>) -> u128 {
+    let mut bytes = canonical_bytes(parts.circuit);
+    bytes.extend_from_slice(parts.backend.as_bytes());
+    bytes.push(0);
+    bytes.extend_from_slice(parts.flow.as_bytes());
+    bytes.push(0);
+    bytes.push(parts.level);
+    bytes.extend_from_slice(&parts.seed.to_le_bytes());
+    bytes.push(parts.budget_class);
+    // PassSet has no byte accessor; its label iteration order is the
+    // stable bit order, so folding labels keeps the key well-defined.
+    for label in DISABLEABLE_PASSES {
+        bytes.push(parts.disabled.contains(label) as u8);
+    }
+    fnv1a_128(&bytes, 0)
+}
+
+type CompileResult = Result<Arc<CompiledEntry>, RpoError>;
+
+/// An in-flight compile waiters can block on (opaque; resolved via
+/// [`SingleFlightCache::wait`]).
+#[derive(Default)]
+pub struct Flight {
+    result: Mutex<Option<CompileResult>>,
+    cv: Condvar,
+}
+
+enum Slot {
+    InFlight(Arc<Flight>),
+    Done(Arc<CompiledEntry>),
+}
+
+/// What a lookup resolved to.
+pub enum Lookup<'a> {
+    /// Completed entry: serve it.
+    Hit(Arc<CompiledEntry>),
+    /// Someone else is compiling this key: call [`SingleFlightCache::wait`].
+    Follow(Arc<Flight>),
+    /// This caller leads the compile; complete (or drop) the guard.
+    Lead(LeaderGuard<'a>),
+}
+
+/// Bounded single-flight cache. All methods take `&self`.
+pub struct SingleFlightCache {
+    map: Mutex<HashMap<u128, Slot>>,
+    capacity: usize,
+}
+
+impl SingleFlightCache {
+    /// An empty cache holding at most `capacity` completed entries.
+    pub fn new(capacity: usize) -> Self {
+        SingleFlightCache {
+            map: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Resolves `key` to a hit, an in-flight compile to follow, or
+    /// leadership of a fresh compile.
+    pub fn lookup(&self, key: u128) -> Lookup<'_> {
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        match map.get(&key) {
+            Some(Slot::Done(entry)) => Lookup::Hit(Arc::clone(entry)),
+            Some(Slot::InFlight(flight)) => Lookup::Follow(Arc::clone(flight)),
+            None => {
+                let flight = Arc::new(Flight::default());
+                map.insert(key, Slot::InFlight(Arc::clone(&flight)));
+                Lookup::Lead(LeaderGuard {
+                    cache: self,
+                    key,
+                    flight,
+                    completed: false,
+                })
+            }
+        }
+    }
+
+    /// Blocks until the flight's leader completes, returning its result.
+    pub fn wait(&self, flight: &Flight) -> CompileResult {
+        let mut slot = flight.result.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return result.clone();
+            }
+            slot = flight.cv.wait(slot).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Drops the completed entry for `key`, if any (integrity eviction).
+    pub fn evict(&self, key: u128) {
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        if matches!(map.get(&key), Some(Slot::Done(_))) {
+            map.remove(&key);
+        }
+    }
+
+    /// Completed entries currently cached.
+    pub fn len(&self) -> usize {
+        let map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        map.values().filter(|s| matches!(s, Slot::Done(_))).count()
+    }
+
+    /// Whether no completed entry is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn complete_inner(&self, key: u128, flight: &Flight, result: CompileResult) {
+        {
+            let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+            match &result {
+                Ok(entry) => {
+                    let done = map.values().filter(|s| matches!(s, Slot::Done(_))).count();
+                    if done >= self.capacity {
+                        // Wholesale drop of completed entries: cheap,
+                        // deterministic, never touches in-flight slots.
+                        map.retain(|_, s| matches!(s, Slot::InFlight(_)));
+                    }
+                    map.insert(key, Slot::Done(Arc::clone(entry)));
+                }
+                Err(_) => {
+                    // Failures are not cached; clear the in-flight slot so
+                    // the next identical request retries from scratch.
+                    if matches!(map.get(&key), Some(Slot::InFlight(_))) {
+                        map.remove(&key);
+                    }
+                }
+            }
+        }
+        let mut slot = flight.result.lock().unwrap_or_else(|e| e.into_inner());
+        *slot = Some(result);
+        flight.cv.notify_all();
+    }
+}
+
+/// RAII leadership of one in-flight compile. Dropping the guard without
+/// [`LeaderGuard::complete`] (a panicking compile) wakes all waiters with
+/// a typed internal error and clears the slot — waiters never hang.
+pub struct LeaderGuard<'a> {
+    cache: &'a SingleFlightCache,
+    key: u128,
+    flight: Arc<Flight>,
+    completed: bool,
+}
+
+impl LeaderGuard<'_> {
+    /// Publishes the compile result to the cache and every waiter.
+    pub fn complete(mut self, result: CompileResult) {
+        self.completed = true;
+        self.cache.complete_inner(self.key, &self.flight, result);
+    }
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        if !self.completed {
+            self.cache.complete_inner(
+                self.key,
+                &self.flight,
+                Err(RpoError::Internal(
+                    "compile leader terminated without a result".into(),
+                )),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry() -> Arc<CompiledEntry> {
+        Arc::new(CompiledEntry {
+            circuit: Circuit::new(1),
+            qasm: String::new(),
+            final_map: vec![0],
+            degradation: DegradationReport::default(),
+            compile_nanos: 1,
+            retries: 0,
+            retried_after: Vec::new(),
+            disabled: PassSet::empty(),
+        })
+    }
+
+    #[test]
+    fn lookup_leads_then_hits() {
+        let cache = SingleFlightCache::new(8);
+        let Lookup::Lead(guard) = cache.lookup(1) else {
+            panic!("expected leadership");
+        };
+        guard.complete(Ok(entry()));
+        assert!(matches!(cache.lookup(1), Lookup::Hit(_)));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn followers_get_the_leaders_result() {
+        let cache = Arc::new(SingleFlightCache::new(8));
+        let Lookup::Lead(guard) = cache.lookup(7) else {
+            panic!("expected leadership");
+        };
+        let Lookup::Follow(flight) = cache.lookup(7) else {
+            panic!("expected follow");
+        };
+        let waiter = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || cache.wait(&flight))
+        };
+        guard.complete(Ok(entry()));
+        assert!(waiter.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn dropped_leader_fails_waiters_and_clears_slot() {
+        let cache = SingleFlightCache::new(8);
+        let Lookup::Lead(guard) = cache.lookup(3) else {
+            panic!("expected leadership");
+        };
+        let Lookup::Follow(flight) = cache.lookup(3) else {
+            panic!("expected follow");
+        };
+        drop(guard);
+        assert!(matches!(cache.wait(&flight), Err(RpoError::Internal(_))));
+        // Slot cleared: the next lookup leads again.
+        assert!(matches!(cache.lookup(3), Lookup::Lead(_)));
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache = SingleFlightCache::new(8);
+        let Lookup::Lead(guard) = cache.lookup(9) else {
+            panic!("expected leadership");
+        };
+        guard.complete(Err(RpoError::Internal("x".into())));
+        assert!(matches!(cache.lookup(9), Lookup::Lead(_)));
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn capacity_bound_drops_completed_entries() {
+        let cache = SingleFlightCache::new(2);
+        for key in 0..5u128 {
+            let Lookup::Lead(guard) = cache.lookup(key) else {
+                panic!("expected leadership");
+            };
+            guard.complete(Ok(entry()));
+        }
+        assert!(cache.len() <= 2);
+    }
+
+    #[test]
+    fn key_separates_every_dimension() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let base = KeyParts {
+            circuit: &c,
+            backend: "melbourne",
+            flow: "preset",
+            level: 3,
+            seed: 0,
+            budget_class: 0,
+            disabled: PassSet::empty(),
+        };
+        let k0 = cache_key(&base);
+        assert_eq!(k0, cache_key(&base), "key must be deterministic");
+        let mut disabled = PassSet::empty();
+        disabled.insert("QPO");
+        for (i, k) in [
+            cache_key(&KeyParts {
+                backend: "almaden",
+                ..base
+            }),
+            cache_key(&KeyParts {
+                flow: "rpo",
+                ..base
+            }),
+            cache_key(&KeyParts { level: 2, ..base }),
+            cache_key(&KeyParts { seed: 1, ..base }),
+            cache_key(&KeyParts {
+                budget_class: 1,
+                ..base
+            }),
+            cache_key(&KeyParts { disabled, ..base }),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            assert_ne!(k0, k, "dimension {i} did not affect the key");
+        }
+        let mut c2 = Circuit::new(2);
+        c2.h(0).cx(1, 0);
+        assert_ne!(
+            k0,
+            cache_key(&KeyParts {
+                circuit: &c2,
+                ..base
+            })
+        );
+    }
+
+    #[test]
+    fn budget_classes_bucket_deadlines() {
+        assert_eq!(budget_class(None), 0);
+        assert_eq!(budget_class(Some(5)), 1);
+        assert_eq!(budget_class(Some(99)), 1);
+        assert_eq!(budget_class(Some(100)), 2);
+        assert_eq!(budget_class(Some(999)), 2);
+        assert_eq!(budget_class(Some(60_000)), 3);
+    }
+}

@@ -10,13 +10,99 @@
 
 use crate::guard::{BudgetSnapshot, BUDGET_KEY};
 use crate::{Pass, TranspileError};
+use qc_circuit::circuit::gate_counts_of;
 use qc_circuit::{Circuit, Dag, Instruction, UnitaryAccumulator};
 use qc_synth::try_synthesize_two_qubit;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Re-synthesizes collected two-qubit blocks when it reduces cost.
 #[derive(Default)]
 pub struct ConsolidateBlocks;
+
+/// The memo key of a block's unitary: the IEEE-754 bit patterns of all 16
+/// complex entries of the accumulated 4×4 matrix. Bit-exact by design —
+/// the [`UnitaryAccumulator`] is deterministic over a gate stream, so the
+/// *same block content* always reproduces the same key, while any
+/// numerically different block misses (a miss only costs the KAK that
+/// would have run anyway).
+type SynthKey = [u64; 32];
+
+/// Entries kept in the process-wide synthesis memo before it is dropped
+/// wholesale. 8k entries × (key 256 B + a short gate list) stays well
+/// under a few MiB; a full clear is cheap and keeps the policy
+/// deterministic (no RNG, no clock).
+const SYNTH_MEMO_CAP: usize = 8192;
+
+/// Process-wide memo of KAK re-synthesis results, keyed on the block's
+/// bit-exact unitary bytes: `None` records a numerically degenerate
+/// failure, `Some` the synthesized replacement on local wires (0, 1).
+///
+/// Process-wide on purpose: a serve process sees the same blocks over and
+/// over — warm-*edited* requests re-transpile a circuit whose blocks are
+/// mostly unchanged, and blocks rewritten by our own synthesis reappear
+/// verbatim in the next fixed-point iteration. Both now cost a hash
+/// lookup instead of a Weyl decomposition. Memoization cannot change
+/// results: KAK synthesis is a deterministic function of the unitary.
+static SYNTH_MEMO: Mutex<Option<HashMap<SynthKey, Option<Vec<Instruction>>>>> = Mutex::new(None);
+static SYNTH_MEMO_HITS: AtomicU64 = AtomicU64::new(0);
+static SYNTH_MEMO_MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn synth_key(u: &qc_math::Matrix) -> SynthKey {
+    let mut key = [0u64; 32];
+    for (i, z) in u.as_slice().iter().enumerate() {
+        key[2 * i] = z.re.to_bits();
+        key[2 * i + 1] = z.im.to_bits();
+    }
+    key
+}
+
+/// [`try_synthesize_two_qubit`] through the process-wide memo. Returns the
+/// synthesized instructions on local wires (0, 1), or `None` when the KAK
+/// declined the matrix (also memoized — degenerate blocks repeat too).
+fn memoized_synthesize(u: &qc_math::Matrix) -> Option<Vec<Instruction>> {
+    let key = synth_key(u);
+    {
+        let memo = SYNTH_MEMO.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(hit) = memo.as_ref().and_then(|m| m.get(&key)) {
+            SYNTH_MEMO_HITS.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+    }
+    // KAK outside the lock: synthesis is ~10 µs, and concurrent serve
+    // workers must not serialize on it. A racing duplicate insert is
+    // harmless (same key, same deterministic value).
+    SYNTH_MEMO_MISSES.fetch_add(1, Ordering::Relaxed);
+    let result = try_synthesize_two_qubit(u)
+        .ok()
+        .map(|c| c.into_instructions());
+    let mut memo = SYNTH_MEMO.lock().unwrap_or_else(|e| e.into_inner());
+    let map = memo.get_or_insert_with(HashMap::new);
+    if map.len() >= SYNTH_MEMO_CAP {
+        map.clear();
+    }
+    map.insert(key, result.clone());
+    result
+}
+
+/// Synthesis-memo counters since process start (or the last
+/// [`reset_synth_memo`]): `(hits, misses)`. Observability hook for the
+/// serve metrics and the warm-edited cache-tier tests.
+pub fn synth_memo_stats() -> (u64, u64) {
+    (
+        SYNTH_MEMO_HITS.load(Ordering::Relaxed),
+        SYNTH_MEMO_MISSES.load(Ordering::Relaxed),
+    )
+}
+
+/// Drops the process-wide synthesis memo and zeroes its counters (tests).
+pub fn reset_synth_memo() {
+    let mut memo = SYNTH_MEMO.lock().unwrap_or_else(|e| e.into_inner());
+    *memo = None;
+    SYNTH_MEMO_HITS.store(0, Ordering::Relaxed);
+    SYNTH_MEMO_MISSES.store(0, Ordering::Relaxed);
+}
 
 /// Generation-keyed memory of qubit pairs whose blocks the pass *declined*
 /// to rewrite: `pairs[(a,b)]` holds both wires' generation stamps at the
@@ -94,12 +180,14 @@ fn plan_consolidation(
         }
         let u = acc.matrix();
         // A failed KAK (numerically degenerate accumulated unitary) simply
-        // declines the block — the original gates are already valid.
-        let Ok(synth) = try_synthesize_two_qubit(&u) else {
+        // declines the block — the original gates are already valid. The
+        // memo makes repeat blocks (warm-edited requests, our own
+        // synthesis output re-collected next iteration) a hash lookup.
+        let Some(synth) = memoized_synthesize(&u) else {
             fresh.entry(key).or_insert(true);
             continue;
         };
-        let counts_new = synth.gate_counts();
+        let counts_new = gate_counts_of(&synth);
         let counts_old = local.gate_counts();
         let better = counts_new.cx < cx_before
             || (counts_new.cx == cx_before && counts_new.total < counts_old.total);
@@ -110,7 +198,6 @@ fn plan_consolidation(
         *fresh.entry(key).or_insert(true) = false;
         // Map the synthesized circuit back onto (a, b).
         let mapped: Vec<Instruction> = synth
-            .instructions()
             .iter()
             .map(|inst| {
                 let qs: Vec<usize> = inst

@@ -103,6 +103,21 @@ pub fn fire_after(label: &str, dag: &mut Dag) {
     }
 }
 
+/// Serve-perimeter hook: fires *any* armed kind at a point with no DAG in
+/// scope (the `qc-serve` stage labels `"serve:admission"`, `"serve:cache"`,
+/// `"serve:compile"`, `"serve:response"`). [`FaultKind::Stall`] sleeps;
+/// every other kind panics — at a serve point there is no DAG to corrupt,
+/// so `BadUnitary` degenerates to a panic, which is the strictly harsher
+/// failure anyway.
+pub fn fire_point(label: &str) {
+    if let Some(plan) = take_if(label, |_| true) {
+        match plan.kind {
+            FaultKind::Stall(d) => std::thread::sleep(d),
+            _ => panic!("injected fault at '{label}'"),
+        }
+    }
+}
+
 /// Splices a deliberately non-unitary 2×2 embedded matrix after the last
 /// node (or as the only node of an empty DAG).
 fn corrupt(dag: &mut Dag) {

@@ -79,6 +79,91 @@ impl TranspileBudget {
     }
 }
 
+/// The universe of *disableable* pass labels: every optional optimization
+/// stage the guarded pipelines run. Mandatory stages (device unrolling,
+/// layout, routing) are deliberately absent — disabling them could not be
+/// honored anyway, since without them there is no hardware-valid output.
+///
+/// The order is the bit order of [`PassSet`]; appending is
+/// backwards-compatible, reordering is not (serve-level breaker state is
+/// keyed by label, not bit, so only in-process `PassSet` values care).
+pub const DISABLEABLE_PASSES: [&str; 7] = [
+    "QBO(early)",
+    "QBO(post-route)",
+    "QPO",
+    "Optimize1qGates",
+    "CommutativeCancellation",
+    "CxCancellation",
+    "ConsolidateBlocks",
+];
+
+/// A set of disableable pass labels, packed into a bitmask so it stays
+/// `Copy` (it travels on [`crate::TranspileOptions`]). Used by the serve
+/// layer's retry path ("recompile with the offending pass pre-disabled")
+/// and circuit breakers ("remove this pass from admission fleet-wide").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct PassSet {
+    bits: u8,
+}
+
+impl PassSet {
+    /// The empty set (nothing disabled) — the default.
+    pub fn empty() -> Self {
+        PassSet::default()
+    }
+
+    /// Whether no pass is in the set.
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// The bit index of `label`, if it names a disableable pass.
+    fn bit(label: &str) -> Option<u8> {
+        DISABLEABLE_PASSES
+            .iter()
+            .position(|&l| l == label)
+            .map(|i| i as u8)
+    }
+
+    /// Whether `label` names a pass that *can* be disabled at all.
+    pub fn is_disableable(label: &str) -> bool {
+        Self::bit(label).is_some()
+    }
+
+    /// Adds `label` to the set. Returns `false` (set unchanged) when the
+    /// label is not disableable.
+    pub fn insert(&mut self, label: &str) -> bool {
+        match Self::bit(label) {
+            Some(b) => {
+                self.bits |= 1 << b;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether `label` is in the set.
+    pub fn contains(&self, label: &str) -> bool {
+        Self::bit(label).is_some_and(|b| self.bits & (1 << b) != 0)
+    }
+
+    /// The union of two sets.
+    pub fn union(self, other: PassSet) -> PassSet {
+        PassSet {
+            bits: self.bits | other.bits,
+        }
+    }
+
+    /// The labels in the set, in [`DISABLEABLE_PASSES`] order.
+    pub fn iter(&self) -> impl Iterator<Item = &'static str> + '_ {
+        DISABLEABLE_PASSES
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.bits & (1 << i) != 0)
+            .map(|(_, &l)| l)
+    }
+}
+
 /// A pass the guard rolled back and disabled for the rest of the run.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct QuarantineRecord {
@@ -105,10 +190,17 @@ pub struct DegradationReport {
     pub quarantined: Vec<QuarantineRecord>,
     /// Budget ceilings hit (graceful degradations), in order.
     pub budget_hits: Vec<BudgetHit>,
+    /// Optional passes the *caller* disabled up front
+    /// ([`crate::TranspileOptions::disabled_passes`] — serve-level retry
+    /// and circuit breakers). Requested behavior, so it does not make the
+    /// run unclean, but responses surface it for observability.
+    pub predisabled: Vec<String>,
 }
 
 impl DegradationReport {
-    /// Whether the run completed with no containment at all.
+    /// Whether the run completed with no *unexpected* containment:
+    /// nothing quarantined, no budget ceiling hit. Caller-requested
+    /// pre-disables do not count — the run did exactly what was asked.
     pub fn is_clean(&self) -> bool {
         self.quarantined.is_empty() && self.budget_hits.is_empty()
     }
@@ -181,6 +273,7 @@ pub struct PassGuard {
     budget: TranspileBudget,
     deadline_at: Option<Instant>,
     quarantined: HashSet<String>,
+    predisabled: PassSet,
     report: DegradationReport,
     deadline_reported: bool,
     validation: ValidationMode,
@@ -195,6 +288,7 @@ impl PassGuard {
             budget,
             deadline_at: budget.deadline.map(|d| Instant::now() + d),
             quarantined: HashSet::new(),
+            predisabled: PassSet::empty(),
             report: DegradationReport::default(),
             deadline_reported: false,
             validation: ValidationMode::default_for_build(),
@@ -205,6 +299,17 @@ impl PassGuard {
     /// Overrides the validation mode.
     pub fn with_validation(mut self, mode: ValidationMode) -> Self {
         self.validation = mode;
+        self
+    }
+
+    /// Pre-disables a set of optional passes for the whole run (the serve
+    /// layer's retry/circuit-breaker hook). Disabled passes are skipped
+    /// *only in their optional executions*; mandatory stages carrying the
+    /// same label still run, so the output stays hardware-valid. The set
+    /// is recorded on [`DegradationReport::predisabled`].
+    pub fn with_predisabled(mut self, set: PassSet) -> Self {
+        self.predisabled = set;
+        self.report.predisabled = set.iter().map(str::to_string).collect();
         self
     }
 
@@ -341,6 +446,10 @@ impl PassGuard {
     ) -> Result<GuardedRun, RpoError> {
         if self.is_quarantined(label) {
             stats.quarantined += 1;
+            return Ok(GuardedRun::Skipped);
+        }
+        if optional && self.predisabled.contains(label) {
+            stats.predisabled += 1;
             return Ok(GuardedRun::Skipped);
         }
         if optional && self.deadline_exceeded() {

@@ -55,8 +55,8 @@ pub mod routing;
 pub mod unroll;
 
 pub use guard::{
-    catch_stage, BudgetHit, BudgetSnapshot, DegradationReport, GuardedRun, PassGuard,
-    QuarantineRecord, TranspileBudget, ValidationMode, BUDGET_KEY,
+    catch_stage, BudgetHit, BudgetSnapshot, DegradationReport, GuardedRun, PassGuard, PassSet,
+    QuarantineRecord, TranspileBudget, ValidationMode, BUDGET_KEY, DISABLEABLE_PASSES,
 };
 pub use manager::{
     BlocksAnalysis, CommutationAnalysis, DagPass, FixedPointLoop, PassInterest, PassStats,

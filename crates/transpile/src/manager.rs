@@ -316,6 +316,10 @@ pub struct PassStats {
     /// Times the guard skipped the pass because the transpile budget's
     /// deadline had passed.
     pub budget_skips: usize,
+    /// Times the guard skipped the pass because the caller pre-disabled
+    /// it ([`crate::guard::PassSet`] on the options — serve-level retry
+    /// and circuit breakers).
+    pub predisabled: usize,
 }
 
 impl PassStats {
@@ -335,6 +339,7 @@ impl PassStats {
             wall: Duration::ZERO,
             quarantined: 0,
             budget_skips: 0,
+            predisabled: 0,
         }
     }
 }

@@ -17,7 +17,7 @@ use crate::cancellation::CxCancellation;
 use crate::commutation::CommutativeCancellation;
 use crate::consolidate::ConsolidateBlocks;
 use crate::guard::{
-    catch_stage, input_issue, run_stage, DegradationReport, PassGuard, TranspileBudget,
+    catch_stage, input_issue, run_stage, DegradationReport, PassGuard, PassSet, TranspileBudget,
 };
 use crate::layout::{apply_layout, apply_layout_dag, dense_layout, trivial_layout};
 use crate::manager::{DagPass, FixedPointLoop, PassStats, PropertySet};
@@ -47,6 +47,12 @@ pub struct TranspileOptions {
     /// the best circuit so far is returned); gate/qubit ceilings are hard
     /// [`crate::RpoError::BudgetExceeded`] errors.
     pub budget: TranspileBudget,
+    /// Optional passes to skip for the whole run (empty by default). The
+    /// serve layer's retry path recompiles with a previously-quarantined
+    /// pass in this set, and its circuit breakers pre-disable repeat
+    /// offenders fleet-wide. Mandatory executions of a listed label still
+    /// run — see [`crate::guard::PassGuard::with_predisabled`].
+    pub disabled_passes: PassSet,
 }
 
 impl TranspileOptions {
@@ -59,12 +65,19 @@ impl TranspileOptions {
             routing_trials: 5,
             interest_filtering: true,
             budget: TranspileBudget::unlimited(),
+            disabled_passes: PassSet::empty(),
         }
     }
 
     /// Sets the resource budget.
     pub fn with_budget(mut self, budget: TranspileBudget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Sets the pre-disabled optional passes.
+    pub fn with_disabled_passes(mut self, set: PassSet) -> Self {
+        self.disabled_passes = set;
         self
     }
 
@@ -277,7 +290,7 @@ pub fn transpile_instrumented(
     backend: &Backend,
     opts: &TranspileOptions,
 ) -> Result<(Transpiled, Vec<PassStats>), TranspileError> {
-    let mut guard = PassGuard::new(opts.budget);
+    let mut guard = PassGuard::new(opts.budget).with_predisabled(opts.disabled_passes);
     guard.check_qubits(circuit.num_qubits())?;
     validate_input(circuit)?;
     // The single circuit→dag conversion of the pipeline.

@@ -36,6 +36,7 @@ pub use qc_backends as backends;
 pub use qc_circuit as circuit;
 pub use qc_hoare as hoare;
 pub use qc_math as math;
+pub use qc_serve as serve;
 pub use qc_sim as sim;
 pub use qc_synth as synth;
 pub use qc_transpile as transpile;
@@ -47,6 +48,7 @@ pub mod prelude {
     pub use qc_circuit::{BasisState, Circuit, Gate};
     pub use qc_circuit::{BudgetKind, RpoError};
     pub use qc_hoare::{transpile_hoare, HoareOptimizer};
+    pub use qc_serve::{ServeConfig, ServeFlow, ServeRequest, TranspileService};
     pub use qc_sim::{NoiseModel, NoisySimulator, Statevector};
     pub use qc_transpile::{transpile, DegradationReport, Pass, TranspileBudget, TranspileOptions};
     pub use rpo_core::{transpile_rpo, Qbo, Qpo, RpoOptions};

@@ -1,0 +1,277 @@
+//! Fault sweep over the serve perimeter (`--features fault-inject`).
+//!
+//! Arms every serve-stage label (admission, cache lookup, compile,
+//! response write) and a set of pipeline-stage labels with every fault
+//! kind, drives real requests through a shared [`TranspileService`], and
+//! asserts the contract of the serving layer: **no injected fault may
+//! kill the process** — every request resolves to a typed response, the
+//! service keeps serving afterwards, and failures show up in the metrics
+//! instead of in a core dump. Also covers the failure-driven machinery
+//! that cannot be reached without faults: quarantine-triggered retry with
+//! the pass pre-disabled, and breaker trip → half-open probe → recovery.
+
+#![cfg(feature = "fault-inject")]
+
+use rpo::backends::Backend;
+use rpo::circuit::{Circuit, RpoError};
+use rpo::serve::breaker::BreakerConfig;
+use rpo::serve::{BreakerState, ServeConfig, ServeFlow, ServeRequest, TestClock, TranspileService};
+use rpo::transpile::fault::{arm, disarm, FaultKind, FaultPlan};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SERVE_STAGES: [&str; 4] = [
+    "serve:admission",
+    "serve:cache",
+    "serve:compile",
+    "serve:response",
+];
+
+const PIPELINE_STAGES: [&str; 5] = [
+    "Optimize1qGates",
+    "CommutativeCancellation",
+    "ConsolidateBlocks",
+    "QPO",
+    "Unroller(device)",
+];
+
+fn workload(salt: u64) -> Circuit {
+    let mut c = Circuit::new(4);
+    c.h(0);
+    for q in 1..4 {
+        c.cx(q - 1, q);
+    }
+    // A salt-dependent rotation keeps every request's cache key distinct.
+    c.rz(0.1 + salt as f64 * 0.01, 0);
+    c.measure_all();
+    c
+}
+
+fn request(salt: u64, flow: ServeFlow) -> ServeRequest {
+    ServeRequest {
+        id: format!("f{salt}"),
+        circuit: workload(salt),
+        backend: Backend::linear(5),
+        flow,
+        seed: salt,
+        deadline: None,
+    }
+}
+
+fn quiet_config() -> ServeConfig {
+    ServeConfig {
+        backoff_base: Duration::ZERO,
+        verify_every: 0,
+        ..ServeConfig::default()
+    }
+}
+
+fn kinds() -> [FaultKind; 4] {
+    [
+        FaultKind::PanicBefore,
+        FaultKind::PanicAfter,
+        FaultKind::Stall(Duration::from_millis(1)),
+        FaultKind::BadUnitary,
+    ]
+}
+
+/// Serve-stage faults: the injected panic is absorbed into a typed
+/// Internal error, stalls succeed, and the service keeps serving.
+#[test]
+fn serve_stage_faults_never_escape() {
+    let service = TranspileService::new(quiet_config());
+    let mut salt = 0u64;
+    let mut expected_panics = 0u64;
+    for stage in SERVE_STAGES {
+        for kind in kinds() {
+            for _seed in 0..2 {
+                salt += 1;
+                let stall = matches!(kind, FaultKind::Stall(_));
+                arm(FaultPlan {
+                    pass: stage.into(),
+                    kind: kind.clone(),
+                });
+                let resp = service.handle(request(salt, ServeFlow::Preset { level: 2 }));
+                disarm();
+                if stall {
+                    resp.result.unwrap_or_else(|e| {
+                        panic!("stall at {stage} must still succeed, got {e:?}")
+                    });
+                } else {
+                    expected_panics += 1;
+                    match resp.result {
+                        Err(RpoError::Internal(msg)) => {
+                            assert!(
+                                msg.contains("injected fault"),
+                                "unexpected internal error at {stage}: {msg}"
+                            );
+                        }
+                        other => panic!("expected Internal at {stage}, got {other:?}"),
+                    }
+                }
+                // The perimeter must be fully recovered: the very next
+                // request (fresh cache key) succeeds.
+                salt += 1;
+                let probe = service.handle(request(salt, ServeFlow::Preset { level: 2 }));
+                probe
+                    .result
+                    .unwrap_or_else(|e| panic!("service wedged after {stage} fault: {e:?}"));
+            }
+        }
+    }
+    let m = service.metrics();
+    assert_eq!(m.handler_panics, expected_panics);
+    assert_eq!(m.served_ok + m.served_err, salt);
+}
+
+/// Pipeline-stage faults through the service: optional passes quarantine
+/// (and may retry clean); mandatory stages surface typed errors. Nothing
+/// panics through the public API.
+#[test]
+fn pipeline_stage_faults_resolve_to_typed_responses() {
+    let service = TranspileService::new(quiet_config());
+    let mut salt = 1000u64;
+    for stage in PIPELINE_STAGES {
+        for kind in kinds() {
+            for flow in [ServeFlow::Preset { level: 3 }, ServeFlow::Rpo] {
+                salt += 1;
+                arm(FaultPlan {
+                    pass: stage.into(),
+                    kind: kind.clone(),
+                });
+                let resp = service.handle(request(salt, flow));
+                disarm();
+                // Ok (possibly degraded / retried) or a typed error — the
+                // sweep only forbids panics and process death.
+                if let Err(e) = &resp.result {
+                    assert!(
+                        matches!(
+                            e,
+                            RpoError::PassFailed { .. }
+                                | RpoError::Internal(_)
+                                | RpoError::Numeric { .. }
+                        ),
+                        "unexpected error class for {stage}: {e:?}"
+                    );
+                }
+            }
+        }
+    }
+    assert_eq!(service.metrics().handler_panics, 0);
+}
+
+/// A quarantined optional pass triggers one retry with the pass
+/// pre-disabled; the retry comes back clean and the response records the
+/// whole story.
+#[test]
+fn quarantine_triggers_predisabled_retry() {
+    let service = TranspileService::new(quiet_config());
+    arm(FaultPlan {
+        pass: "Optimize1qGates".into(),
+        kind: FaultKind::PanicBefore,
+    });
+    let resp = service.handle(request(1, ServeFlow::Preset { level: 3 }));
+    disarm();
+    let ok = resp.result.expect("retry must rescue the request");
+    assert_eq!(ok.retries, 1);
+    assert_eq!(ok.retried_after, vec!["Optimize1qGates".to_string()]);
+    assert!(
+        ok.degradation.is_clean(),
+        "the winning attempt ran with the pass disabled, so it is clean: {:?}",
+        ok.degradation
+    );
+    assert!(ok
+        .degradation
+        .predisabled
+        .contains(&"Optimize1qGates".to_string()));
+    let m = service.metrics();
+    assert_eq!(m.retries, 1);
+    assert_eq!(m.compiles, 2);
+}
+
+/// Repeated quarantines trip the process-wide breaker; after the cooldown
+/// a half-open probe runs the pass again and closes the breaker.
+#[test]
+fn breaker_trips_and_recovers_through_the_service() {
+    const PASS: &str = "Optimize1qGates";
+    let clock = Arc::new(TestClock::new());
+    let clock_dyn: Arc<dyn rpo::serve::Clock> = Arc::clone(&clock) as _;
+    let service = TranspileService::with_clock(
+        ServeConfig {
+            breaker: BreakerConfig {
+                window: 2,
+                threshold: 2,
+                cooldown: Duration::from_secs(10),
+            },
+            ..quiet_config()
+        },
+        clock_dyn,
+    );
+
+    // Two requests whose first attempt quarantines the pass.
+    for salt in 0..2 {
+        arm(FaultPlan {
+            pass: PASS.into(),
+            kind: FaultKind::PanicBefore,
+        });
+        let resp = service.handle(request(salt, ServeFlow::Preset { level: 3 }));
+        disarm();
+        resp.result.expect("retried requests succeed");
+    }
+    assert_eq!(service.breakers().state(PASS), BreakerState::Open);
+
+    // While open, requests are admitted with the pass pre-disabled: no
+    // quarantine, no retry, and the response says why the pass was off.
+    let resp = service.handle(request(50, ServeFlow::Preset { level: 3 }));
+    let ok = resp.result.expect("breaker-degraded compile succeeds");
+    assert_eq!(ok.retries, 0);
+    assert!(ok.breaker_disabled.contains(&PASS.to_string()));
+    assert!(ok.degradation.predisabled.contains(&PASS.to_string()));
+
+    // Cooldown elapses; the next request is the half-open probe, runs the
+    // (now healthy) pass, and closes the breaker.
+    clock.advance(Duration::from_secs(11));
+    let probe = service.handle(request(51, ServeFlow::Preset { level: 3 }));
+    let ok = probe.result.expect("probe succeeds");
+    assert!(
+        ok.breaker_disabled.is_empty(),
+        "the probe itself runs with the pass enabled"
+    );
+    assert_eq!(service.breakers().state(PASS), BreakerState::Closed);
+    assert_eq!(service.metrics().breaker_trips, 1);
+
+    // Fully healthy again.
+    let after = service.handle(request(52, ServeFlow::Preset { level: 3 }));
+    let ok = after.result.expect("post-recovery compile succeeds");
+    assert!(ok.breaker_disabled.is_empty());
+    assert!(ok.degradation.predisabled.is_empty());
+}
+
+/// A compile-stage stall combined with a deadline exercises the budget
+/// path end to end: the response is either a degraded success (budget
+/// hit recorded) or a typed shed — never a hang past the sweep or a
+/// process death.
+#[test]
+fn stalled_compile_with_deadline_degrades_gracefully() {
+    let service = TranspileService::new(quiet_config());
+    arm(FaultPlan {
+        pass: "QPO".into(),
+        kind: FaultKind::Stall(Duration::from_millis(30)),
+    });
+    let mut req = request(7, ServeFlow::Rpo);
+    req.deadline = Some(Duration::from_millis(25));
+    let resp = service.handle(req);
+    disarm();
+    match resp.result {
+        Ok(ok) => {
+            // Deadline noticed mid-pipeline: optional tail skipped.
+            assert!(
+                !ok.degradation.budget_hits.is_empty() || ok.degradation.is_clean(),
+                "stall under deadline should surface as a budget hit: {:?}",
+                ok.degradation
+            );
+        }
+        Err(RpoError::Shed { .. }) | Err(RpoError::BudgetExceeded { .. }) => {}
+        Err(other) => panic!("unexpected error: {other:?}"),
+    }
+}
