@@ -39,6 +39,7 @@ pub mod fusion;
 pub mod gate;
 pub mod hash;
 pub mod qasm;
+pub mod serial;
 pub mod testing;
 pub mod unitary;
 
@@ -52,6 +53,7 @@ pub use error::{BudgetKind, RpoError};
 pub use fusion::{fuse_instructions, fuse_instructions_with, FusedInst, FusionProfile};
 pub use gate::{BasisState, Gate};
 pub use hash::{canonical_bytes, content_hash, fnv1a_128};
+pub use serial::decode_circuit;
 pub use unitary::{
     circuit_unitary, circuit_unitary_reference, circuit_unitary_unfused, circuits_equivalent,
     embed, UnitaryAccumulator,

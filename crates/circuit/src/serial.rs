@@ -1,0 +1,317 @@
+//! Stable binary (de)serialization of circuits for persistence.
+//!
+//! [`crate::canonical_bytes`] already defines a deterministic, bit-exact,
+//! prefix-free byte encoding of a circuit — it is the content identity the
+//! serve cache keys on. This module adds the inverse, [`decode_circuit`],
+//! so the same bytes can serve as the *storage* format of the serve
+//! layer's persistent cache segments: a record written by one process
+//! replays in another as the bit-identical circuit (every `f64` parameter
+//! round-trips through its IEEE-754 bit pattern, never through text).
+//!
+//! Decoding is defensive — persistence records cross process lifetimes and
+//! may be torn or corrupted on disk. Every length is bounds-checked before
+//! use, gate arity and qubit indices are validated before construction,
+//! and any malformed input returns [`RpoError::InvalidInput`]; no input
+//! can make the decoder panic or allocate unboundedly.
+
+use crate::circuit::{Circuit, Instruction};
+use crate::error::RpoError;
+use crate::gate::Gate;
+use qc_math::{Matrix, C64};
+
+/// Hard ceiling on decoded sizes: a corrupt length prefix must not turn
+/// into a multi-gigabyte allocation. Generous vs any real workload (the
+/// widest backend is 64 qubits; circuits are thousands of gates).
+const MAX_QUBITS: u64 = 1 << 12;
+const MAX_INSTRUCTIONS: u64 = 1 << 24;
+const MAX_NAME_LEN: u64 = 64;
+const MAX_MATRIX_DIM: u64 = 1 << 8;
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn bad(msg: &str) -> RpoError {
+    RpoError::InvalidInput(format!("circuit decode: {msg}"))
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], RpoError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| bad("truncated record"))?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u64(&mut self) -> Result<u64, RpoError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, RpoError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn usize_bounded(&mut self, max: u64, what: &str) -> Result<usize, RpoError> {
+        let v = self.u64()?;
+        if v > max {
+            return Err(bad(&format!("{what} {v} exceeds limit {max}")));
+        }
+        Ok(v as usize)
+    }
+}
+
+/// Decodes the parameter block of one gate. The canonical encoding writes
+/// a parameter count first; each gate name implies both the count and the
+/// interpretation of the payload words (f64 bit patterns for angles, raw
+/// u64 for structural counts, a dimension-prefixed element list for
+/// embedded matrices).
+fn decode_gate(name: &str, r: &mut Reader<'_>) -> Result<Gate, RpoError> {
+    let nparams = r.u64()?;
+    let want = |n: u64| -> Result<(), RpoError> {
+        if nparams == n {
+            Ok(())
+        } else {
+            Err(bad(&format!(
+                "gate '{name}' carries {nparams} params, expected {n}"
+            )))
+        }
+    };
+    let gate = match name {
+        "id" => Gate::I,
+        "x" => Gate::X,
+        "y" => Gate::Y,
+        "z" => Gate::Z,
+        "h" => Gate::H,
+        "s" => Gate::S,
+        "sdg" => Gate::Sdg,
+        "t" => Gate::T,
+        "tdg" => Gate::Tdg,
+        "cx" => Gate::Cx,
+        "cz" => Gate::Cz,
+        "swap" => Gate::Swap,
+        "swapz" => Gate::SwapZ,
+        "ccx" => Gate::Ccx,
+        "cswap" => Gate::Cswap,
+        "reset" => Gate::Reset,
+        "measure" => Gate::Measure,
+        "rx" => {
+            want(1)?;
+            return Ok(Gate::Rx(r.f64()?));
+        }
+        "ry" => {
+            want(1)?;
+            return Ok(Gate::Ry(r.f64()?));
+        }
+        "rz" => {
+            want(1)?;
+            return Ok(Gate::Rz(r.f64()?));
+        }
+        "u1" => {
+            want(1)?;
+            return Ok(Gate::U1(r.f64()?));
+        }
+        "cp" => {
+            want(1)?;
+            return Ok(Gate::Cp(r.f64()?));
+        }
+        "u2" => {
+            want(2)?;
+            return Ok(Gate::U2(r.f64()?, r.f64()?));
+        }
+        "annot" => {
+            want(2)?;
+            return Ok(Gate::Annot(r.f64()?, r.f64()?));
+        }
+        "u3" => {
+            want(3)?;
+            return Ok(Gate::U3(r.f64()?, r.f64()?, r.f64()?));
+        }
+        "mcx" => {
+            want(1)?;
+            return Ok(Gate::Mcx(r.usize_bounded(MAX_QUBITS, "mcx controls")?));
+        }
+        "mcz" => {
+            want(1)?;
+            return Ok(Gate::Mcz(r.usize_bounded(MAX_QUBITS, "mcz controls")?));
+        }
+        "barrier" => {
+            want(1)?;
+            return Ok(Gate::Barrier(r.usize_bounded(MAX_QUBITS, "barrier width")?));
+        }
+        "cu" | "unitary" => {
+            let rows = r.usize_bounded(MAX_MATRIX_DIM, "matrix rows")?;
+            let cols = r.usize_bounded(MAX_MATRIX_DIM, "matrix cols")?;
+            if nparams != 2 + 2 * (rows as u64) * (cols as u64) {
+                return Err(bad(&format!(
+                    "matrix gate '{name}' param count {nparams} disagrees with {rows}x{cols}"
+                )));
+            }
+            if rows != cols || !rows.is_power_of_two() {
+                return Err(bad(&format!("matrix gate '{name}' is {rows}x{cols}")));
+            }
+            let mut elems = Vec::with_capacity(rows * cols);
+            for _ in 0..rows * cols {
+                elems.push(C64::new(r.f64()?, r.f64()?));
+            }
+            let m = Matrix::from_fn(rows, cols, |i, j| elems[i * cols + j]);
+            return Ok(match name {
+                "cu" => Gate::Cu(m),
+                _ => Gate::Unitary(m),
+            });
+        }
+        other => return Err(bad(&format!("unknown gate name '{other}'"))),
+    };
+    want(0)?;
+    Ok(gate)
+}
+
+/// Decodes a circuit from its [`crate::canonical_bytes`] encoding.
+///
+/// The round trip is exact: for any circuit `c`,
+/// `decode_circuit(&canonical_bytes(&c))` reproduces `c` gate-for-gate
+/// with bit-identical parameters, and re-encoding a decoded circuit
+/// reproduces the input bytes.
+pub fn decode_circuit(bytes: &[u8]) -> Result<Circuit, RpoError> {
+    let mut r = Reader { bytes, pos: 0 };
+    let num_qubits = r.usize_bounded(MAX_QUBITS, "qubit count")?;
+    let len = r.usize_bounded(MAX_INSTRUCTIONS, "instruction count")?;
+    let mut circuit = Circuit::new(num_qubits);
+    for _ in 0..len {
+        let name_len = r.usize_bounded(MAX_NAME_LEN, "gate name length")?;
+        let name = std::str::from_utf8(r.take(name_len)?)
+            .map_err(|_| bad("gate name is not UTF-8"))?
+            .to_string();
+        let gate = decode_gate(&name, &mut r)?;
+        let nq = r.usize_bounded(MAX_QUBITS, "operand count")?;
+        if nq != gate.num_qubits() {
+            return Err(bad(&format!(
+                "gate '{name}' encoded with {nq} operands, needs {}",
+                gate.num_qubits()
+            )));
+        }
+        let mut qubits = Vec::with_capacity(nq);
+        for _ in 0..nq {
+            let q = r.usize_bounded(MAX_QUBITS, "qubit index")?;
+            if q >= num_qubits {
+                return Err(bad(&format!(
+                    "qubit {q} out of range for a {num_qubits}-qubit circuit"
+                )));
+            }
+            if qubits.contains(&q) {
+                return Err(bad(&format!("repeated qubit {q} in '{name}' operands")));
+            }
+            qubits.push(q);
+        }
+        circuit.push_instruction(Instruction::new(gate, qubits));
+    }
+    if r.pos != bytes.len() {
+        return Err(bad("trailing bytes after the encoded circuit"));
+    }
+    Ok(circuit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::canonical_bytes;
+    use crate::testing::random_circuit;
+
+    #[test]
+    fn round_trips_random_circuits_bit_exactly() {
+        for seed in 0..16 {
+            let c = random_circuit(5, 40, seed);
+            let bytes = canonical_bytes(&c);
+            let back = decode_circuit(&bytes).expect("valid encoding decodes");
+            assert_eq!(
+                canonical_bytes(&back),
+                bytes,
+                "seed {seed}: re-encode differs"
+            );
+            assert_eq!(back.num_qubits(), c.num_qubits());
+            assert_eq!(back.len(), c.len());
+        }
+    }
+
+    #[test]
+    fn round_trips_every_gate_shape() {
+        let u = Matrix::from_fn(2, 2, |i, j| C64::new(i as f64 + 0.25, j as f64 - 0.5));
+        let big = Matrix::from_fn(4, 4, |i, j| C64::new(0.1 * i as f64, 0.2 * j as f64));
+        let mut c = Circuit::new(4);
+        c.h(0).x(1).cx(0, 1).cz(1, 2).swap(2, 3);
+        c.rx(0.123456789012345, 0)
+            .ry(-1.5e-300, 1)
+            .rz(f64::MIN_POSITIVE, 2);
+        c.push(Gate::U2(0.1, 0.2), &[0]);
+        c.push(Gate::U3(0.1, 0.2, 0.3), &[1]);
+        c.push(Gate::Cp(2.5), &[0, 2]);
+        c.push(Gate::Mcx(2), &[0, 1, 2]);
+        c.push(Gate::Mcz(3), &[0, 1, 2, 3]);
+        c.push(Gate::Barrier(2), &[1, 3]);
+        c.push(Gate::Annot(0.7, -0.3), &[2]);
+        c.push(Gate::Cu(u), &[0, 3]);
+        c.push(Gate::Unitary(big), &[1, 2]);
+        c.push(Gate::SwapZ, &[0, 1]);
+        c.push(Gate::Ccx, &[0, 1, 2]);
+        c.push(Gate::Cswap, &[1, 2, 3]);
+        c.reset(0);
+        c.measure_all();
+        let bytes = canonical_bytes(&c);
+        let back = decode_circuit(&bytes).expect("every gate shape decodes");
+        assert_eq!(canonical_bytes(&back), bytes);
+    }
+
+    #[test]
+    fn corrupt_inputs_are_typed_errors_never_panics() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).rz(0.5, 2).measure_all();
+        let bytes = canonical_bytes(&c);
+        // Every truncation of a valid encoding must fail cleanly (or, for
+        // the empty-tail cases, still decode a shorter valid prefix — but
+        // never panic).
+        for cut in 0..bytes.len() {
+            let _ = decode_circuit(&bytes[..cut]);
+        }
+        // Every single-byte corruption must fail cleanly or decode to
+        // *something* — never panic, never hang.
+        for i in 0..bytes.len() {
+            let mut b = bytes.clone();
+            b[i] ^= 0xff;
+            let _ = decode_circuit(&b);
+        }
+        // Specific defects map to typed errors.
+        assert!(decode_circuit(&[]).is_err());
+        assert!(decode_circuit(&[1, 2, 3]).is_err());
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_circuit(&huge),
+            Err(RpoError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let mut bytes = canonical_bytes(&c);
+        bytes.push(0);
+        assert!(decode_circuit(&bytes).is_err());
+    }
+
+    #[test]
+    fn out_of_range_qubits_are_rejected() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let bytes = canonical_bytes(&c);
+        // Shrink the qubit count in the header below the operands' range.
+        let mut b = bytes.clone();
+        b[..8].copy_from_slice(&1u64.to_le_bytes());
+        assert!(decode_circuit(&b).is_err());
+    }
+}

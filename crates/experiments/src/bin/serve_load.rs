@@ -26,6 +26,24 @@
 //! front-end over TCP with the same tiers (one connection, JSONL), checks
 //! every response line, and with `--drain` finishes by draining the
 //! server and validating the drain report.
+//!
+//! Fleet/persistence modes (all against `--connect`):
+//!
+//! * `--soak SECS` — open-loop soak: arrivals scheduled at a fixed
+//!   `--rate` (never back-pressured by responses), latencies measured
+//!   from the *scheduled* arrival so queueing delay is charged honestly,
+//!   fixed 5 s windows of p50/p95/p99/max plus shed/error rates, and a
+//!   machine-readable SLO verdict (`--json`) that CI gates on: post-warmup
+//!   p99 under `--slo-p99-ms`, shed rate under `--slo-shed`, zero
+//!   non-shed errors.
+//! * `--fill N` — send N distinct circuits and require every response ok
+//!   (populates shard caches ahead of a restart test).
+//! * `--expect-warm N` — send the same N circuits and require every
+//!   response to be a warm cache hit (the restart-survival assertion).
+//!
+//! `--persist-bench DIR` (in-process) measures segment-log replay:
+//! fill a persisted service, reopen it repeatedly, and emit the
+//! per-entry restore cost as the `serve_persist_restore` bench entry.
 
 use qc_backends::Backend;
 use qc_circuit::qasm::to_qasm;
@@ -35,7 +53,7 @@ use qc_serve::{CacheClass, ServeConfig, ServeFlow, ServeRequest, TranspileServic
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct Args {
     requests: usize,
@@ -44,12 +62,20 @@ struct Args {
     json: Option<String>,
     connect: Option<String>,
     drain: bool,
+    soak_secs: u64,
+    rate: f64,
+    slo_p99_ms: f64,
+    slo_shed: f64,
+    fill: Option<usize>,
+    expect_warm: Option<usize>,
+    persist_bench: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: serve_load [--requests N] [--threads T] [--seed S] [--json PATH] \
-         [--connect ADDR:PORT] [--drain]"
+         [--connect ADDR:PORT] [--drain] [--soak SECS] [--rate R] [--slo-p99-ms MS] \
+         [--slo-shed FRAC] [--fill N] [--expect-warm N] [--persist-bench DIR]"
     );
     std::process::exit(2);
 }
@@ -62,6 +88,13 @@ fn parse_args() -> Args {
         json: None,
         connect: None,
         drain: false,
+        soak_secs: 0,
+        rate: 100.0,
+        slo_p99_ms: 250.0,
+        slo_shed: 0.05,
+        fill: None,
+        expect_warm: None,
+        persist_bench: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -75,6 +108,15 @@ fn parse_args() -> Args {
             "--json" => out.json = Some(val(&mut args)),
             "--connect" => out.connect = Some(val(&mut args)),
             "--drain" => out.drain = true,
+            "--soak" => out.soak_secs = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--rate" => out.rate = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--slo-p99-ms" => out.slo_p99_ms = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--slo-shed" => out.slo_shed = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--fill" => out.fill = Some(val(&mut args).parse().unwrap_or_else(|_| usage())),
+            "--expect-warm" => {
+                out.expect_warm = Some(val(&mut args).parse().unwrap_or_else(|_| usage()))
+            }
+            "--persist-bench" => out.persist_bench = Some(val(&mut args)),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("serve_load: unknown flag '{other}'");
@@ -84,6 +126,9 @@ fn parse_args() -> Args {
     }
     out.requests = out.requests.max(4);
     out.threads = out.threads.clamp(1, 32);
+    if !(out.rate > 0.0 && out.rate.is_finite()) {
+        usage();
+    }
     out
 }
 
@@ -328,6 +373,444 @@ fn run_in_process(args: &Args) -> i32 {
     0
 }
 
+/// Pulls the status tag out of a response line by substring — responses
+/// are not flat objects (they carry arrays), so this is the parse.
+fn status_of(line: &str) -> Option<String> {
+    let rest = &line[line.find("\"status\":\"")? + "\"status\":\"".len()..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// The request line for workload variant `i` (deterministic across
+/// processes — `--fill` in one run and `--expect-warm` in the next build
+/// byte-identical circuits).
+fn variant_line(i: u64, seed: u64) -> String {
+    let qasm = to_qasm(&workload_circuit(i)).expect("workload serializes");
+    format!(
+        "{{\"id\": \"v{i}\", \"qasm\": \"{}\", \"backend\": \"melbourne\", \
+         \"flow\": \"preset\", \"level\": 3, \"seed\": {seed}}}",
+        escape_json(&qasm)
+    )
+}
+
+/// One blocking JSONL round trip on an owned connection, reconnecting
+/// once on failure.
+struct LineConn {
+    addr: String,
+    conn: Option<BufReader<TcpStream>>,
+}
+
+impl LineConn {
+    fn new(addr: &str) -> Self {
+        LineConn {
+            addr: addr.to_string(),
+            conn: None,
+        }
+    }
+
+    fn round_trip(&mut self, line: &str) -> std::io::Result<String> {
+        for attempt in 0..2 {
+            if self.conn.is_none() {
+                self.conn = Some(BufReader::new(TcpStream::connect(&self.addr)?));
+            }
+            let conn = self.conn.as_mut().expect("connection just ensured");
+            let result = (|| -> std::io::Result<String> {
+                let w = conn.get_mut();
+                w.write_all(line.as_bytes())?;
+                w.write_all(b"\n")?;
+                w.flush()?;
+                let mut resp = String::new();
+                if conn.read_line(&mut resp)? == 0 {
+                    return Err(std::io::Error::other("server closed the connection"));
+                }
+                Ok(resp.trim_end().to_string())
+            })();
+            match result {
+                Ok(resp) => return Ok(resp),
+                Err(e) => {
+                    self.conn = None;
+                    if attempt == 1 {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        unreachable!()
+    }
+}
+
+/// `--fill N` / `--expect-warm N`: drive the N deterministic workload
+/// variants through the server; with `expect_warm`, additionally require
+/// every response to be a warm cache hit (a persisted cache surviving a
+/// restart is exactly this assertion).
+fn run_fill(args: &Args, addr: &str, n: usize, expect_warm: bool) -> i32 {
+    let mut conn = LineConn::new(addr);
+    let mut failures = 0usize;
+    for i in 0..n {
+        let line = variant_line(i as u64, args.seed);
+        match conn.round_trip(&line) {
+            Ok(resp) => {
+                if status_of(&resp).as_deref() != Some("ok") {
+                    eprintln!("serve_load: variant {i}: non-ok response: {resp}");
+                    failures += 1;
+                } else if expect_warm && !resp.contains("\"cache\":\"warm\"") {
+                    eprintln!("serve_load: variant {i}: expected a warm hit, got: {resp}");
+                    failures += 1;
+                }
+            }
+            Err(e) => {
+                eprintln!("serve_load: variant {i}: transport error: {e}");
+                failures += 1;
+            }
+        }
+    }
+    let mode = if expect_warm { "expect-warm" } else { "fill" };
+    if failures == 0 {
+        println!("serve_load: {mode} OK ({n} variants)");
+        0
+    } else {
+        eprintln!("serve_load: {mode} FAILED ({failures}/{n} bad)");
+        1
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum SoakStatus {
+    Ok,
+    Shed,
+    Error,
+}
+
+#[derive(Clone, Copy)]
+struct SoakSample {
+    /// Scheduled arrival offset from soak start, nanoseconds.
+    sched_ns: u64,
+    /// Response latency measured from the scheduled arrival.
+    latency_ns: u64,
+    status: SoakStatus,
+}
+
+struct WindowStats {
+    total: usize,
+    ok: usize,
+    shed: usize,
+    errors: usize,
+    p50: u64,
+    p95: u64,
+    p99: u64,
+    max: u64,
+}
+
+fn window_stats(samples: &[SoakSample]) -> WindowStats {
+    let mut lats: Vec<u64> = samples
+        .iter()
+        .filter(|s| s.status == SoakStatus::Ok)
+        .map(|s| s.latency_ns)
+        .collect();
+    lats.sort_unstable();
+    WindowStats {
+        total: samples.len(),
+        ok: lats.len(),
+        shed: samples
+            .iter()
+            .filter(|s| s.status == SoakStatus::Shed)
+            .count(),
+        errors: samples
+            .iter()
+            .filter(|s| s.status == SoakStatus::Error)
+            .count(),
+        p50: percentile(&lats, 0.50),
+        p95: percentile(&lats, 0.95),
+        p99: percentile(&lats, 0.99),
+        max: lats.last().copied().unwrap_or(0),
+    }
+}
+
+/// `--soak SECS`: open-loop mixed arrivals against a running fleet (or
+/// single server), fixed-window latency tracking, SLO verdict.
+fn run_soak(args: &Args, addr: &str) -> i32 {
+    const WINDOW_NS: u64 = 5_000_000_000;
+    let period_ns = (1e9 / args.rate) as u64;
+    let total = ((args.soak_secs as f64) * args.rate) as usize;
+    let threads = args.threads;
+    println!(
+        "serve_load: soaking {addr} for {} s at {:.0} req/s ({} requests, {} sender threads)",
+        args.soak_secs, args.rate, total, threads
+    );
+
+    let t0 = Instant::now();
+    let mut samples: Vec<SoakSample> = Vec::with_capacity(total);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let seed = args.seed;
+                scope.spawn(move || {
+                    let mut conn = LineConn::new(addr);
+                    let mut out = Vec::with_capacity(total / threads + 1);
+                    let mut i = t;
+                    while i < total {
+                        let sched_ns = i as u64 * period_ns;
+                        let sched = Duration::from_nanos(sched_ns);
+                        // Open loop: fire at the scheduled instant no
+                        // matter how the previous response went.
+                        if let Some(wait) = sched.checked_sub(t0.elapsed()) {
+                            std::thread::sleep(wait);
+                        }
+                        let k = i as u64;
+                        let line = match i % 3 {
+                            0 => variant_line(k % 8, seed), // mostly warm
+                            1 => variant_line(0, seed),     // always warm
+                            _ => {
+                                // Fresh key every time: a real compile.
+                                let qasm = to_qasm(&edited_circuit(k)).expect("edit serializes");
+                                format!(
+                                    "{{\"id\": \"s{k}\", \"qasm\": \"{}\", \"backend\": \
+                                     \"melbourne\", \"flow\": \"preset\", \"level\": 3, \
+                                     \"seed\": {seed}}}",
+                                    escape_json(&qasm)
+                                )
+                            }
+                        };
+                        let status = match conn.round_trip(&line) {
+                            Ok(resp) => match status_of(&resp).as_deref() {
+                                Some("ok") => SoakStatus::Ok,
+                                Some("error")
+                                    if resp.contains("\"kind\":\"shed\"")
+                                        || resp.contains("\"kind\":\"overloaded\"") =>
+                                {
+                                    SoakStatus::Shed
+                                }
+                                _ => SoakStatus::Error,
+                            },
+                            Err(_) => SoakStatus::Error,
+                        };
+                        // Latency from the *scheduled* arrival: a sender
+                        // running late charges the delay to the request
+                        // (no coordinated omission).
+                        let latency_ns = (t0.elapsed().as_nanos() as u64).saturating_sub(sched_ns);
+                        out.push(SoakSample {
+                            sched_ns,
+                            latency_ns,
+                            status,
+                        });
+                        i += threads;
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            samples.extend(h.join().expect("soak sender must not panic"));
+        }
+    });
+
+    // Fixed windows over the scheduled timeline; window 0 is warmup
+    // (cold caches, JIT-warming the fleet) and excluded from the SLO.
+    let windows = (args.soak_secs * 1_000_000_000).div_ceil(WINDOW_NS) as usize;
+    let mut per_window: Vec<Vec<SoakSample>> = vec![Vec::new(); windows.max(1)];
+    for s in &samples {
+        let w = ((s.sched_ns / WINDOW_NS) as usize).min(per_window.len() - 1);
+        per_window[w].push(*s);
+    }
+    println!("\n| window | total | ok | shed | err | p50 | p95 | p99 | max |");
+    println!("|---:|---:|---:|---:|---:|---:|---:|---:|---:|");
+    let mut window_rows = Vec::new();
+    for (w, bucket) in per_window.iter().enumerate() {
+        let st = window_stats(bucket);
+        println!(
+            "| {} | {} | {} | {} | {} | {:.2} ms | {:.2} ms | {:.2} ms | {:.2} ms |",
+            w,
+            st.total,
+            st.ok,
+            st.shed,
+            st.errors,
+            st.p50 as f64 / 1e6,
+            st.p95 as f64 / 1e6,
+            st.p99 as f64 / 1e6,
+            st.max as f64 / 1e6
+        );
+        window_rows.push(st);
+    }
+
+    let steady: Vec<SoakSample> = per_window
+        .iter()
+        .skip(1)
+        .flat_map(|b| b.iter().copied())
+        .collect();
+    let steady = if steady.is_empty() {
+        samples.clone() // soak shorter than one window: no warmup carve-out
+    } else {
+        steady
+    };
+    let st = window_stats(&steady);
+    let shed_rate = if st.total > 0 {
+        st.shed as f64 / st.total as f64
+    } else {
+        0.0
+    };
+    let p99_ms = st.p99 as f64 / 1e6;
+    let pass = p99_ms <= args.slo_p99_ms && shed_rate <= args.slo_shed && st.errors == 0;
+    println!(
+        "\nsteady-state (post-warmup): {} requests, p99 {:.2} ms (budget {:.0} ms), \
+         shed rate {:.2}% (budget {:.0}%), {} errors",
+        st.total,
+        p99_ms,
+        args.slo_p99_ms,
+        shed_rate * 100.0,
+        args.slo_shed * 100.0,
+        st.errors
+    );
+    println!("SLO verdict: {}", if pass { "PASS" } else { "FAIL" });
+
+    if let Some(path) = &args.json {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"soak_secs\": {},\n", args.soak_secs));
+        out.push_str(&format!("  \"rate_per_sec\": {:.1},\n", args.rate));
+        out.push_str(&format!("  \"threads\": {},\n", threads));
+        out.push_str(&format!("  \"total\": {},\n", samples.len()));
+        out.push_str(&format!(
+            "  \"steady_total\": {},\n  \"steady_ok\": {},\n  \"steady_shed\": {},\n  \
+             \"steady_errors\": {},\n",
+            st.total, st.ok, st.shed, st.errors
+        ));
+        out.push_str(&format!("  \"shed_rate\": {shed_rate:.6},\n"));
+        out.push_str(&format!(
+            "  \"p50_ns\": {},\n  \"p95_ns\": {},\n  \"p99_ns\": {},\n  \"max_ns\": {},\n",
+            st.p50, st.p95, st.p99, st.max
+        ));
+        out.push_str(&format!(
+            "  \"slo_p99_budget_ms\": {:.1},\n  \"slo_max_shed_rate\": {:.4},\n",
+            args.slo_p99_ms, args.slo_shed
+        ));
+        out.push_str(&format!("  \"slo_pass\": {pass},\n"));
+        out.push_str("  \"windows\": [\n");
+        for (w, st) in window_rows.iter().enumerate() {
+            let comma = if w + 1 == window_rows.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"window\": {w}, \"warmup\": {}, \"total\": {}, \"ok\": {}, \
+                 \"shed\": {}, \"errors\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \
+                 \"p99_ns\": {}, \"max_ns\": {}}}{comma}\n",
+                w == 0,
+                st.total,
+                st.ok,
+                st.shed,
+                st.errors,
+                st.p50,
+                st.p95,
+                st.p99,
+                st.max
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write(path, out).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote soak report to {path}");
+    }
+    if pass {
+        0
+    } else {
+        1
+    }
+}
+
+/// `--persist-bench DIR`: measure segment-log replay cost. Fills a
+/// persisted in-process service with `--requests` clean compiles, then
+/// reopens the log repeatedly, asserting the restored cache serves a
+/// warm-identical hit, and reports the per-entry restore cost as the
+/// `serve_persist_restore` bench entry.
+fn run_persist_bench(args: &Args, dir: &str) -> i32 {
+    let dir = std::path::Path::new(dir);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("serve_load: cannot create {}: {e}", dir.display());
+        return 1;
+    }
+    let path = dir.join("persist_bench.seglog");
+    let _ = std::fs::remove_file(&path);
+    let cfg = ServeConfig {
+        verify_every: 0,
+        seed: args.seed,
+        ..ServeConfig::default()
+    };
+    let n = args.requests;
+    {
+        let svc = match TranspileService::with_persistence(cfg, &path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("serve_load: cannot open segment log: {e}");
+                return 1;
+            }
+        };
+        for i in 0..n {
+            let resp = svc.handle(request(
+                format!("fill{i}"),
+                workload_circuit(i as u64),
+                args.seed,
+            ));
+            if resp.result.is_err() {
+                eprintln!("serve_load: persist fill {i} failed");
+                return 1;
+            }
+        }
+        let m = svc.metrics();
+        if (m.persist_appends as usize) < n {
+            eprintln!(
+                "serve_load: only {}/{} fills were persisted",
+                m.persist_appends, n
+            );
+            return 1;
+        }
+    }
+
+    const REPS: usize = 5;
+    let mut per_entry: Vec<u64> = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let svc = match TranspileService::with_persistence(cfg, &path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("serve_load: replay failed: {e}");
+                return 1;
+            }
+        };
+        let replay_ns = t0.elapsed().as_nanos() as u64;
+        let report = svc.replay_report();
+        if report.restored != n || report.invalidated || report.truncated_bytes != 0 {
+            eprintln!(
+                "serve_load: replay expected {n} clean records, got {} (truncated {}, \
+                 invalidated {})",
+                report.restored, report.truncated_bytes, report.invalidated
+            );
+            return 1;
+        }
+        let (ns, class) = timed(
+            &svc,
+            request("warmcheck".into(), workload_circuit(0), args.seed),
+        );
+        if class != CacheClass::Warm {
+            eprintln!("serve_load: restored cache did not serve a warm hit");
+            return 1;
+        }
+        let _ = ns;
+        per_entry.push(replay_ns / n as u64);
+    }
+    per_entry.sort_unstable();
+    let median = per_entry[per_entry.len() / 2];
+    println!(
+        "serve_persist_restore: {} entries, median {:.1} us/entry over {REPS} replays, \
+         warm hit verified",
+        n,
+        median as f64 / 1e3
+    );
+    if let Some(path) = &args.json {
+        let out = format!(
+            "[\n  {{\"name\": \"serve_persist_restore\", \"median_ns\": {median}.0, \
+             \"samples\": {REPS}, \"iters_per_sample\": {n}, \"threads\": 1}}\n]\n"
+        );
+        std::fs::write(path, out).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote bench JSON to {path}");
+    }
+    0
+}
+
 /// TCP smoke against a running `qc-serve`: send the tiers as JSONL over
 /// one connection, check every response line.
 fn run_tcp(args: &Args, addr: &str) -> i32 {
@@ -347,13 +830,6 @@ fn run_tcp(args: &Args, addr: &str) -> i32 {
         let mut line = String::new();
         reader.read_line(&mut line).expect("TCP read");
         line
-    };
-    // Responses are not flat objects (they carry arrays and a nested
-    // metrics object), so pull the status tag out by substring: the
-    // protocol always emits it as `"status":"<tag>"`.
-    let status_of = |line: &str| -> Option<String> {
-        let rest = &line[line.find("\"status\":\"")? + "\"status\":\"".len()..];
-        Some(rest[..rest.find('"')?].to_string())
     };
     let mut failures = 0;
     let mut check = |line: &str, want_status: &str, what: &str| {
@@ -408,9 +884,18 @@ fn run_tcp(args: &Args, addr: &str) -> i32 {
 
 fn main() {
     let args = parse_args();
-    let code = match &args.connect {
-        Some(addr) => run_tcp(&args, addr),
-        None => run_in_process(&args),
+    let code = if let Some(dir) = &args.persist_bench {
+        run_persist_bench(&args, dir)
+    } else {
+        match &args.connect {
+            Some(addr) if args.soak_secs > 0 => run_soak(&args, addr),
+            Some(addr) if args.fill.is_some() => run_fill(&args, addr, args.fill.unwrap(), false),
+            Some(addr) if args.expect_warm.is_some() => {
+                run_fill(&args, addr, args.expect_warm.unwrap(), true)
+            }
+            Some(addr) => run_tcp(&args, addr),
+            None => run_in_process(&args),
+        }
     };
     std::process::exit(code);
 }

@@ -19,7 +19,8 @@
 //! the process down.
 
 use qc_serve::service::{ServeConfig, TranspileService};
-use qc_serve::wire::{decode_line, encode_drain_report, encode_metrics, encode_response, WireMsg};
+use qc_serve::shard::respond_msg;
+use qc_serve::wire::{decode_line, encode_drain_report, encode_response};
 use qc_serve::ServeResponse;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
@@ -28,15 +29,16 @@ use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: qc-serve [--listen ADDR:PORT] [--max-concurrent N] [--queue N] \
-         [--verify-every N] [--seed N]"
+        "usage: qc-serve [--listen ADDR:PORT] [--persist PATH] [--max-concurrent N] \
+         [--queue N] [--verify-every N] [--seed N]"
     );
     std::process::exit(2);
 }
 
-fn parse_args() -> (ServeConfig, Option<String>) {
+fn parse_args() -> (ServeConfig, Option<String>, Option<String>) {
     let mut cfg = ServeConfig::default();
     let mut listen = None;
+    let mut persist = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let num = |args: &mut dyn Iterator<Item = String>| -> usize {
@@ -46,6 +48,7 @@ fn parse_args() -> (ServeConfig, Option<String>) {
         };
         match arg.as_str() {
             "--listen" => listen = Some(args.next().unwrap_or_else(|| usage())),
+            "--persist" => persist = Some(args.next().unwrap_or_else(|| usage())),
             "--max-concurrent" => cfg.max_concurrent = num(&mut args).max(1),
             "--queue" => cfg.queue_capacity = num(&mut args),
             "--verify-every" => cfg.verify_every = num(&mut args) as u64,
@@ -57,7 +60,7 @@ fn parse_args() -> (ServeConfig, Option<String>) {
             }
         }
     }
-    (cfg, listen)
+    (cfg, listen, persist)
 }
 
 /// Handles one request line; `true` means the caller asked to drain.
@@ -67,19 +70,16 @@ fn serve_line(service: &TranspileService, line: &str, out: &mut dyn Write) -> bo
         return false;
     }
     let response = match decode_line(trimmed) {
-        Ok(WireMsg::Drain) => return true,
-        Ok(WireMsg::Metrics) => {
-            let _ = writeln!(out, "{}", encode_metrics(&service.metrics()));
-            let _ = out.flush();
-            return false;
-        }
-        Ok(WireMsg::Request(req)) => service.handle(req),
-        Err(e) => ServeResponse {
+        Ok(msg) => match respond_msg(service, msg) {
+            Some(line) => line,
+            None => return true, // drain: the caller owns shutdown
+        },
+        Err(e) => encode_response(&ServeResponse {
             id: String::new(),
             result: Err(e),
-        },
+        }),
     };
-    let _ = writeln!(out, "{}", encode_response(&response));
+    let _ = writeln!(out, "{response}");
     let _ = out.flush();
     false
 }
@@ -149,8 +149,24 @@ fn serve_conn(service: &TranspileService, stream: TcpStream, draining: &AtomicBo
 }
 
 fn main() {
-    let (cfg, listen) = parse_args();
-    let service = Arc::new(TranspileService::new(cfg));
+    let (cfg, listen, persist) = parse_args();
+    let service = match &persist {
+        Some(path) => {
+            let path = std::path::Path::new(path);
+            let svc = TranspileService::with_persistence(cfg, path).unwrap_or_else(|e| {
+                eprintln!("qc-serve: cannot open segment log {}: {e}", path.display());
+                std::process::exit(1);
+            });
+            let r = svc.replay_report();
+            // CI greps this line to assert warm restarts actually replayed.
+            println!(
+                "qc-serve persistence: restored {} entries, truncated {} bytes, invalidated {}",
+                r.restored, r.truncated_bytes, r.invalidated
+            );
+            Arc::new(svc)
+        }
+        None => Arc::new(TranspileService::new(cfg)),
+    };
     match listen {
         Some(addr) => run_tcp(service, &addr),
         None => run_stdio(&service),

@@ -174,6 +174,37 @@ impl BreakerRegistry {
         }
     }
 
+    /// Force-opens `label`'s breaker for one cooldown — the gossip path: a
+    /// peer shard tripped this pass, so pre-disable it here before paying
+    /// the quarantine cost locally. Only a *closed* breaker transitions
+    /// (an open or half-open breaker already knows more than the gossip
+    /// does); remote opens are not counted as local trips.
+    pub fn force_open(&self, label: &str) {
+        let Some(label) = Self::canonical(label) else {
+            return;
+        };
+        let until = self
+            .clock
+            .now_nanos()
+            .saturating_add(self.cfg.cooldown.as_nanos() as u64);
+        let mut map = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let b = map.entry(label).or_insert(Breaker {
+            state: State::Closed {
+                outcomes: VecDeque::new(),
+            },
+            trips: 0,
+        });
+        if matches!(b.state, State::Closed { .. }) {
+            b.state = State::Open { until_nanos: until };
+        }
+    }
+
+    /// Labels whose breaker is currently open or half-open — the gossip
+    /// payload replicated between shards.
+    pub fn open_labels(&self) -> Vec<String> {
+        self.tripped().into_iter().map(|(l, _)| l).collect()
+    }
+
     /// The current state of `label`'s breaker (read-only: does not advance
     /// cooldowns or claim probes).
     pub fn state(&self, label: &str) -> BreakerState {

@@ -193,6 +193,21 @@ impl SingleFlightCache {
         }
     }
 
+    /// Inserts a completed entry directly (persistence replay and tests).
+    /// Never displaces an in-flight slot; applies the same wholesale-drop
+    /// capacity policy as a leader fill.
+    pub fn insert(&self, key: u128, entry: Arc<CompiledEntry>) {
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        if matches!(map.get(&key), Some(Slot::InFlight(_))) {
+            return;
+        }
+        let done = map.values().filter(|s| matches!(s, Slot::Done(_))).count();
+        if done >= self.capacity && !map.contains_key(&key) {
+            map.retain(|_, s| matches!(s, Slot::InFlight(_)));
+        }
+        map.insert(key, Slot::Done(entry));
+    }
+
     /// Drops the completed entry for `key`, if any (integrity eviction).
     pub fn evict(&self, key: u128) {
         let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());

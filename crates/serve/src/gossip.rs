@@ -1,0 +1,153 @@
+//! Breaker-state gossip between shards.
+//!
+//! Each shard discovers pass failures independently: its local breakers
+//! trip on *its own* traffic. In a fleet that means every shard pays the
+//! quarantine cost of a bad pass once before protecting itself. Gossip
+//! closes that gap: the router periodically collects each shard's open
+//! breaker labels (`{"op":"breakers"}` on the JSONL wire), merges them
+//! here, and pushes the union back to every other shard
+//! (`{"op":"breakers","open":"A,B"}`), which force-opens the named
+//! breakers locally (closed breakers only — a shard that already knows
+//! more keeps its own state; see
+//! [`crate::breaker::BreakerRegistry::force_open`]).
+//!
+//! The merged set is round-scoped: a label a shard stops reporting ages
+//! out after `ttl_rounds` gossip rounds, so a recovered pass is not
+//! force-opened forever by stale gossip. Labels are validated against
+//! [`DISABLEABLE_PASSES`] on merge — a corrupt peer message cannot grow
+//! the set with garbage.
+
+use qc_transpile::DISABLEABLE_PASSES;
+use std::collections::HashMap;
+
+/// Fires the armed gossip fault, if any (no-op outside the
+/// `fault-inject` feature).
+#[inline]
+fn fault_point(label: &str) {
+    #[cfg(feature = "fault-inject")]
+    qc_transpile::fault::fire_point(label);
+    #[cfg(not(feature = "fault-inject"))]
+    let _ = label;
+}
+
+/// The router's merged view of fleet-wide open breakers. Plain state —
+/// callers that share it across threads wrap it in a mutex.
+#[derive(Debug)]
+pub struct GossipState {
+    round: u64,
+    /// label → the round it was last reported open in.
+    last_seen: HashMap<&'static str, u64>,
+    ttl_rounds: u64,
+}
+
+impl GossipState {
+    /// An empty gossip view. A label stays in the merged set for
+    /// `ttl_rounds` rounds after its last report (minimum 1).
+    pub fn new(ttl_rounds: u64) -> Self {
+        GossipState {
+            round: 0,
+            last_seen: HashMap::new(),
+            ttl_rounds: ttl_rounds.max(1),
+        }
+    }
+
+    /// Starts a new gossip round and drops labels no shard has reported
+    /// within the TTL.
+    pub fn begin_round(&mut self) {
+        self.round += 1;
+        let horizon = self.round.saturating_sub(self.ttl_rounds);
+        self.last_seen.retain(|_, seen| *seen > horizon);
+    }
+
+    /// Merges one shard's reported open-label set (a comma-joined wire
+    /// payload or any iterator of labels). Unknown labels are ignored —
+    /// a corrupted peer message must not poison the merged view.
+    pub fn merge<'a>(&mut self, labels: impl IntoIterator<Item = &'a str>) {
+        fault_point("gossip:merge");
+        for label in labels {
+            let label = label.trim();
+            if let Some(canonical) = DISABLEABLE_PASSES.iter().find(|l| **l == label) {
+                self.last_seen.insert(canonical, self.round);
+            }
+        }
+    }
+
+    /// The merged fleet-open labels, sorted (deterministic wire payloads
+    /// and test assertions).
+    pub fn open(&self) -> Vec<&'static str> {
+        let mut out: Vec<&'static str> = self.last_seen.keys().copied().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The merged set as the flat-wire payload: comma-joined labels (the
+    /// request parser accepts no arrays).
+    pub fn payload(&self) -> String {
+        self.open().join(",")
+    }
+
+    /// Rounds completed so far.
+    pub fn rounds(&self) -> u64 {
+        self.round
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_collects_and_sorts_known_labels() {
+        let mut g = GossipState::new(2);
+        g.begin_round();
+        g.merge([DISABLEABLE_PASSES[2], DISABLEABLE_PASSES[0]]);
+        g.merge([DISABLEABLE_PASSES[0]]);
+        let mut want = vec![DISABLEABLE_PASSES[0], DISABLEABLE_PASSES[2]];
+        want.sort_unstable();
+        assert_eq!(g.open(), want);
+        assert_eq!(g.payload(), want.join(","));
+    }
+
+    #[test]
+    fn unknown_labels_are_ignored() {
+        let mut g = GossipState::new(2);
+        g.begin_round();
+        g.merge(["NoSuchPass", "", "   "]);
+        assert!(g.open().is_empty());
+    }
+
+    #[test]
+    fn labels_age_out_after_ttl_rounds() {
+        let mut g = GossipState::new(2);
+        g.begin_round();
+        g.merge([DISABLEABLE_PASSES[0]]);
+        g.begin_round(); // round 2: still within TTL
+        assert_eq!(g.open(), vec![DISABLEABLE_PASSES[0]]);
+        g.begin_round(); // round 3: last seen in round 1, TTL 2 → expired
+        assert!(g.open().is_empty());
+    }
+
+    #[test]
+    fn re_reporting_refreshes_the_ttl() {
+        let mut g = GossipState::new(1);
+        g.begin_round();
+        g.merge([DISABLEABLE_PASSES[1]]);
+        g.begin_round();
+        g.merge([DISABLEABLE_PASSES[1]]);
+        g.begin_round();
+        g.merge([DISABLEABLE_PASSES[1]]);
+        assert_eq!(g.open(), vec![DISABLEABLE_PASSES[1]]);
+    }
+
+    #[test]
+    fn payload_round_trips_through_a_comma_split() {
+        let mut g = GossipState::new(3);
+        g.begin_round();
+        g.merge(DISABLEABLE_PASSES.iter().copied());
+        let payload = g.payload();
+        let mut g2 = GossipState::new(3);
+        g2.begin_round();
+        g2.merge(payload.split(','));
+        assert_eq!(g2.open(), g.open());
+    }
+}

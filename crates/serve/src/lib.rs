@@ -32,14 +32,20 @@ pub mod backoff;
 pub mod breaker;
 pub mod cache;
 pub mod clock;
+pub mod gossip;
+pub mod persist;
 pub mod service;
+pub mod shard;
 pub mod wire;
 
 pub use backoff::Backoff;
 pub use breaker::{BreakerConfig, BreakerRegistry, BreakerState};
 pub use cache::{budget_class, cache_key, CacheClass, CompiledEntry, KeyParts, SingleFlightCache};
 pub use clock::{Clock, SystemClock, TestClock};
+pub use gossip::GossipState;
+pub use persist::{ReplayReport, SegmentLog};
 pub use service::{
     DrainReport, MetricsSnapshot, PassTotals, ServeConfig, ServeFlow, ServeOk, ServeRequest,
     ServeResponse, TranspileService,
 };
+pub use shard::{rendezvous_route, Fleet, FleetConfig, InProcessShard, ShardBackend, ShardHealth};

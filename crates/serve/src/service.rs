@@ -26,6 +26,7 @@ use crate::cache::{
     budget_class, cache_key, CacheClass, CompiledEntry, KeyParts, Lookup, SingleFlightCache,
 };
 use crate::clock::{Clock, SystemClock};
+use crate::persist::{ReplayReport, SegmentLog};
 use qc_backends::Backend;
 use qc_circuit::qasm::to_qasm;
 use qc_circuit::{canonical_bytes, Circuit, RpoError};
@@ -196,6 +197,9 @@ struct Metrics {
     integrity_checks: AtomicU64,
     integrity_failures: AtomicU64,
     handler_panics: AtomicU64,
+    persist_appends: AtomicU64,
+    persist_errors: AtomicU64,
+    persist_restored: AtomicU64,
 }
 
 /// A point-in-time copy of the service counters.
@@ -229,6 +233,12 @@ pub struct MetricsSnapshot {
     pub handler_panics: u64,
     /// Circuit-breaker trips.
     pub breaker_trips: u64,
+    /// Clean cache fills appended to the persistence segment log.
+    pub persist_appends: u64,
+    /// Segment-log append failures (the fill still served from memory).
+    pub persist_errors: u64,
+    /// Entries restored from the segment log at startup.
+    pub persist_restored: u64,
 }
 
 /// Per-pass totals aggregated across every compile of a serve run — the
@@ -286,6 +296,8 @@ pub struct TranspileService {
     metrics: Metrics,
     pass_totals: Mutex<HashMap<&'static str, PassTotals>>,
     rng: Mutex<StdRng>,
+    persist: Option<Mutex<SegmentLog>>,
+    replay_report: ReplayReport,
 }
 
 /// RAII admission permit: released (with a wakeup) even when the request
@@ -326,6 +338,75 @@ impl TranspileService {
             metrics: Metrics::default(),
             pass_totals: Mutex::new(HashMap::new()),
             rng: Mutex::new(StdRng::seed_from_u64(cfg.seed)),
+            persist: None,
+            replay_report: ReplayReport::default(),
+        }
+    }
+
+    /// A service whose cache is backed by the segment log at `path`: the
+    /// log is replayed into the cache (a corrupt tail is truncated, a
+    /// version-skewed file invalidated wholesale — see [`crate::persist`])
+    /// and every subsequent *clean* cache fill is appended, so a restart
+    /// against the same path serves warm-identical hits immediately.
+    ///
+    /// A panic during replay (disk returning garbage, an injected
+    /// `persist:replay` fault) degrades to a cold start on a fresh log —
+    /// persistence failures never prevent the service from coming up.
+    pub fn with_persistence(cfg: ServeConfig, path: &std::path::Path) -> std::io::Result<Self> {
+        let mut svc = TranspileService::new(cfg);
+        let opened = catch_unwind(AssertUnwindSafe(|| SegmentLog::open(path)));
+        let (log, entries, report) = match opened {
+            Ok(result) => result?,
+            Err(_) => {
+                // Replay panicked: discard the file and start cold.
+                std::fs::remove_file(path).ok();
+                let (log, _, _) = SegmentLog::open(path)?;
+                (
+                    log,
+                    Vec::new(),
+                    ReplayReport {
+                        invalidated: true,
+                        ..ReplayReport::default()
+                    },
+                )
+            }
+        };
+        // File order is append order; keep the newest `cache_capacity`
+        // records, later duplicates of a key winning over earlier ones.
+        let skip = entries.len().saturating_sub(cfg.cache_capacity);
+        for (key, entry) in entries.into_iter().skip(skip) {
+            svc.cache.insert(key, entry);
+        }
+        svc.metrics
+            .persist_restored
+            .store(report.restored as u64, Ordering::Relaxed);
+        svc.replay_report = report;
+        svc.persist = Some(Mutex::new(log));
+        Ok(svc)
+    }
+
+    /// What persistence replay recovered at construction (zeros for a
+    /// service without persistence).
+    pub fn replay_report(&self) -> ReplayReport {
+        self.replay_report
+    }
+
+    /// Appends a clean fill to the segment log, if persistence is on.
+    /// Append failures are counted, not surfaced — the in-memory fill
+    /// already succeeded and must still serve.
+    fn persist_fill(&self, key: u128, entry: &CompiledEntry) {
+        let Some(log) = &self.persist else { return };
+        if !entry.degradation.is_clean() {
+            return;
+        }
+        let mut log = log.lock().unwrap_or_else(|e| e.into_inner());
+        match log.append(key, entry) {
+            Ok(()) => {
+                self.metrics.persist_appends.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.metrics.persist_errors.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -391,7 +472,9 @@ impl TranspileService {
             Lookup::Lead(leader) => {
                 let outcome = self.compile_with_retry(&req, breaker_disabled, deadline_nanos);
                 leader.complete(outcome.clone());
-                (outcome?, CacheClass::Cold, false)
+                let entry = outcome?;
+                self.persist_fill(key, &entry);
+                (entry, CacheClass::Cold, false)
             }
         };
 
@@ -716,6 +799,9 @@ impl TranspileService {
             integrity_failures: self.metrics.integrity_failures.load(Ordering::Relaxed),
             handler_panics: self.metrics.handler_panics.load(Ordering::Relaxed),
             breaker_trips: self.breakers.total_trips(),
+            persist_appends: self.metrics.persist_appends.load(Ordering::Relaxed),
+            persist_errors: self.metrics.persist_errors.load(Ordering::Relaxed),
+            persist_restored: self.metrics.persist_restored.load(Ordering::Relaxed),
         }
     }
 
@@ -732,6 +818,17 @@ impl TranspileService {
     /// The breaker registry (read access for front-ends and tests).
     pub fn breakers(&self) -> &BreakerRegistry {
         &self.breakers
+    }
+
+    /// Applies gossiped breaker state from a peer shard: each label is
+    /// force-opened locally (closed breakers only — see
+    /// [`BreakerRegistry::force_open`]), so one shard's quarantine
+    /// discovery pre-disables the pass fleet-wide before anyone else pays
+    /// for it.
+    pub fn apply_remote_breakers<'a>(&self, labels: impl IntoIterator<Item = &'a str>) {
+        for label in labels {
+            self.breakers.force_open(label);
+        }
     }
 }
 

@@ -1,0 +1,621 @@
+//! Rendezvous-sharded fleet routing.
+//!
+//! A fleet is N independent `qc-serve` workers (shards) behind one
+//! router. Each request is routed on its 128-bit *content* cache key
+//! (circuit canonical bytes + backend + flow + seed + budget class — the
+//! breaker dimension excluded, so routing never flaps with breaker
+//! state): the shard with the highest rendezvous (HRW) score for the key
+//! owns it. Rendezvous hashing gives the two properties a cache fleet
+//! needs with no coordination state at all:
+//!
+//! * **Determinism** — every router instance, in every process, ranks the
+//!   shards identically for a key, so a key's compile lands on the same
+//!   shard's cache every time.
+//! * **Minimal remap** — removing one of N shards remaps *only that
+//!   shard's* keys (each key just falls to its second-ranked shard);
+//!   adding a shard steals ~1/N of the keyspace. No ring, no vnode table.
+//!
+//! The router health-checks shards on a gossip tick, fails a dead
+//! shard's keyspace over to the next-ranked live shard, asks the backend
+//! to revive dead shards, and replicates breaker state fleet-wide
+//! ([`crate::gossip`]). When no live shard remains for a key the request
+//! is refused with a typed [`RpoError::Shed`] — the same contract as
+//! single-process overload, so clients need no new error handling.
+//!
+//! The routing logic is generic over [`ShardBackend`] so the whole
+//! failover/gossip state machine is testable in-process
+//! ([`InProcessShard`]) — fault injection is thread-local and must fire
+//! on the calling thread, which a child process cannot do.
+
+use crate::cache::{budget_class, cache_key, KeyParts};
+use crate::gossip::GossipState;
+use crate::service::{ServeRequest, TranspileService};
+use crate::wire::{
+    decode_line, encode_breakers, encode_drain_report, encode_metrics, encode_response,
+    escape_json, parse_flat_object, JsonValue, WireMsg,
+};
+use crate::ServeResponse;
+use qc_circuit::{fnv1a_128, RpoError};
+use qc_transpile::PassSet;
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Fires the armed fleet fault, if any (no-op outside the
+/// `fault-inject` feature).
+#[inline]
+fn fault_point(label: &str) {
+    #[cfg(feature = "fault-inject")]
+    qc_transpile::fault::fire_point(label);
+    #[cfg(not(feature = "fault-inject"))]
+    let _ = label;
+}
+
+/// murmur3's 64-bit finalizer: full avalanche over one word.
+fn fmix64(mut k: u64) -> u64 {
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    k ^= k >> 33;
+    k
+}
+
+/// The rendezvous (highest-random-weight) score of `shard` for `key`.
+/// Pure function of its inputs — every process computes the same score.
+pub fn shard_score(key: u128, shard: u32) -> u128 {
+    let mut bytes = [0u8; 20];
+    bytes[..16].copy_from_slice(&key.to_le_bytes());
+    bytes[16..].copy_from_slice(&shard.to_le_bytes());
+    // A fixed non-zero seed decorrelates shard scores from the cache key
+    // itself (key bits already went through FNV once).
+    let h = fnv1a_128(&bytes, 0x9e37_79b9_7f4a_7c15);
+    // FNV-1a alone avalanches the *trailing* shard bytes poorly — small
+    // shard indices differ only in a few low input bits, which leaves the
+    // per-shard scores nearly ordered by a fixed function of the key and
+    // concentrates ~half the keyspace on one index. Two chained fmix64
+    // rounds restore full avalanche, making ownership uniform.
+    let hi = fmix64((h >> 64) as u64 ^ h as u64);
+    let lo = fmix64((h as u64).rotate_left(32) ^ hi);
+    ((hi as u128) << 64) | lo as u128
+}
+
+/// All `shards` indices ranked by descending score for `key` (ties break
+/// toward the lower index, deterministically). `ranking[0]` is the
+/// key's owner; `ranking[1]` its failover target; and so on.
+pub fn rendezvous_ranking(key: u128, shards: usize) -> Vec<usize> {
+    let mut ranked: Vec<usize> = (0..shards).collect();
+    ranked.sort_by_key(|&i| (std::cmp::Reverse(shard_score(key, i as u32)), i));
+    ranked
+}
+
+/// The live shard owning `key`: the highest-scoring index whose `alive`
+/// flag is set. `None` when every shard is down.
+pub fn rendezvous_route(key: u128, alive: &[bool]) -> Option<usize> {
+    rendezvous_ranking(key, alive.len())
+        .into_iter()
+        .find(|&i| alive[i])
+}
+
+/// The fleet routing key for a request: the content cache key with the
+/// breaker dimension pinned empty, so routing is stable while each
+/// shard still folds its *local* breaker state into its own cache keys.
+pub fn routing_key(req: &ServeRequest) -> u128 {
+    cache_key(&KeyParts {
+        circuit: &req.circuit,
+        backend: req.backend.name(),
+        flow: req.flow.tag(),
+        level: req.flow.level(),
+        seed: req.seed,
+        budget_class: budget_class(req.deadline.map(|d| d.as_millis() as u64)),
+        disabled: PassSet::empty(),
+    })
+}
+
+/// One shard as the router sees it: a line in, a line out. Implementors
+/// are shared across router threads, so both methods take `&self`.
+pub trait ShardBackend {
+    /// Sends one request line and returns the shard's one response line.
+    /// An `Err` means the shard is unreachable (dead process, broken
+    /// socket) — *not* a request-level error, which travels as a
+    /// well-formed error response line.
+    fn send_line(&self, line: &str) -> std::io::Result<String>;
+
+    /// Attempts to bring a dead shard back (respawn the process,
+    /// reconnect the socket). Returns whether the shard is worth
+    /// re-probing. The default backend cannot revive anything.
+    fn revive(&self) -> bool {
+        false
+    }
+}
+
+/// Router tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct FleetConfig {
+    /// Whether a dead owner's keys fail over to the next-ranked live
+    /// shard (off = refuse with [`RpoError::Shed`] immediately).
+    pub failover: bool,
+    /// Gossip rounds a breaker label stays merged after its last report.
+    pub gossip_ttl_rounds: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            failover: true,
+            gossip_ttl_rounds: 3,
+        }
+    }
+}
+
+/// One shard's health as tracked by the router.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardHealth {
+    /// Whether the router currently routes to this shard.
+    pub alive: bool,
+    /// Consecutive failed sends/probes since the last success.
+    pub consecutive_failures: u32,
+}
+
+/// What one health/gossip tick did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TickReport {
+    /// Shards answering their health probe.
+    pub alive: usize,
+    /// Shards still unreachable after the tick.
+    pub dead: usize,
+    /// Dead shards the backend revived this tick.
+    pub revived: usize,
+    /// The merged fleet-open breaker labels after this round.
+    pub open: Vec<&'static str>,
+}
+
+/// What [`Fleet::handle_line`] resolved to.
+pub enum FleetLine {
+    /// One response line to write back to the client.
+    Response(String),
+    /// The client asked to drain: every shard was drained and this is the
+    /// aggregated report line. The caller should stop serving.
+    Drained(String),
+}
+
+/// The sharded router: rendezvous routing, health/failover, gossip.
+/// Construct once, share by reference across connection threads.
+pub struct Fleet<B> {
+    shards: Vec<B>,
+    health: Mutex<Vec<ShardHealth>>,
+    gossip: Mutex<GossipState>,
+    cfg: FleetConfig,
+    routed: AtomicU64,
+    failovers: AtomicU64,
+    shed: AtomicU64,
+    router_panics: AtomicU64,
+}
+
+impl<B: ShardBackend> Fleet<B> {
+    /// A fleet over `shards`, all initially presumed alive.
+    pub fn new(shards: Vec<B>, cfg: FleetConfig) -> Self {
+        let health = shards
+            .iter()
+            .map(|_| ShardHealth {
+                alive: true,
+                consecutive_failures: 0,
+            })
+            .collect();
+        Fleet {
+            shards,
+            health: Mutex::new(health),
+            gossip: Mutex::new(GossipState::new(cfg.gossip_ttl_rounds)),
+            cfg,
+            routed: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            router_panics: AtomicU64::new(0),
+        }
+    }
+
+    /// Shards in the fleet (alive or not).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The backends themselves (process supervision and tests).
+    pub fn backends(&self) -> &[B] {
+        &self.shards
+    }
+
+    /// A snapshot of per-shard health flags.
+    pub fn alive(&self) -> Vec<bool> {
+        let health = self.health.lock().unwrap_or_else(|e| e.into_inner());
+        health.iter().map(|h| h.alive).collect()
+    }
+
+    /// Marks shard `i` dead (tests and external supervisors).
+    pub fn mark_dead(&self, i: usize) {
+        let mut health = self.health.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(h) = health.get_mut(i) {
+            h.alive = false;
+            h.consecutive_failures += 1;
+        }
+    }
+
+    /// The live shard that currently owns `key`.
+    pub fn shard_for(&self, key: u128) -> Option<usize> {
+        rendezvous_route(key, &self.alive())
+    }
+
+    /// Handles one client line end to end. Never panics — a panic
+    /// anywhere in the routing path (including an injected `fleet:*`
+    /// fault) becomes a typed internal-error response line.
+    pub fn handle_line(&self, line: &str) -> FleetLine {
+        match catch_unwind(AssertUnwindSafe(|| self.handle_inner(line))) {
+            Ok(out) => out,
+            Err(_) => {
+                self.router_panics.fetch_add(1, Ordering::Relaxed);
+                FleetLine::Response(error_line(
+                    "",
+                    &RpoError::Internal("fleet router panicked routing the request".into()),
+                ))
+            }
+        }
+    }
+
+    fn handle_inner(&self, line: &str) -> FleetLine {
+        let msg = match decode_line(line.trim()) {
+            Ok(msg) => msg,
+            Err(e) => return FleetLine::Response(error_line("", &e)),
+        };
+        match msg {
+            WireMsg::Request(req) => FleetLine::Response(self.route_request(&req, line.trim())),
+            WireMsg::Metrics => FleetLine::Response(self.aggregate_metrics()),
+            WireMsg::Breakers { open } => {
+                let mut gossip = self.gossip.lock().unwrap_or_else(|e| e.into_inner());
+                if let Some(open) = open {
+                    gossip.merge(open.split(','));
+                }
+                FleetLine::Response(encode_breakers(&gossip.open()))
+            }
+            WireMsg::Drain => FleetLine::Drained(self.drain()),
+        }
+    }
+
+    /// Routes one request to its owner (or, on failure, down the
+    /// rendezvous ranking) and relays the shard's response line verbatim.
+    fn route_request(&self, req: &ServeRequest, raw_line: &str) -> String {
+        fault_point("fleet:route");
+        self.routed.fetch_add(1, Ordering::Relaxed);
+        let key = routing_key(req);
+        let ranking = rendezvous_ranking(key, self.shards.len());
+        let mut attempts = 0usize;
+        for &i in &ranking {
+            if !self.is_alive(i) {
+                continue;
+            }
+            if attempts > 0 {
+                fault_point("fleet:failover");
+                self.failovers.fetch_add(1, Ordering::Relaxed);
+            }
+            attempts += 1;
+            match self.shards[i].send_line(raw_line) {
+                Ok(response) => {
+                    self.mark_outcome(i, true);
+                    return response;
+                }
+                Err(_) => {
+                    // The owner (or a failover target) died under us: mark
+                    // it dead so its whole keyspace fails over until a
+                    // tick revives it, then walk down the ranking.
+                    self.mark_outcome(i, false);
+                    if !self.cfg.failover {
+                        break;
+                    }
+                }
+            }
+        }
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        error_line(
+            &req.id,
+            &RpoError::Shed {
+                reason: "no live shard owns this key (fleet re-warming)".into(),
+            },
+        )
+    }
+
+    fn is_alive(&self, i: usize) -> bool {
+        let health = self.health.lock().unwrap_or_else(|e| e.into_inner());
+        health[i].alive
+    }
+
+    fn mark_outcome(&self, i: usize, ok: bool) {
+        let mut health = self.health.lock().unwrap_or_else(|e| e.into_inner());
+        if ok {
+            health[i].alive = true;
+            health[i].consecutive_failures = 0;
+        } else {
+            health[i].alive = false;
+            health[i].consecutive_failures += 1;
+        }
+    }
+
+    /// One health + gossip round: probe every shard with
+    /// `{"op":"breakers"}`, merge the reported open labels, ask the
+    /// backend to revive dead shards, then push the merged set to every
+    /// live shard. A panic mid-round (an injected `gossip:merge` fault)
+    /// abandons the round; the router survives and the next tick retries.
+    pub fn tick(&self) -> TickReport {
+        match catch_unwind(AssertUnwindSafe(|| self.tick_inner())) {
+            Ok(report) => report,
+            Err(_) => {
+                self.router_panics.fetch_add(1, Ordering::Relaxed);
+                TickReport::default()
+            }
+        }
+    }
+
+    fn tick_inner(&self) -> TickReport {
+        let mut report = TickReport::default();
+        {
+            let mut gossip = self.gossip.lock().unwrap_or_else(|e| e.into_inner());
+            gossip.begin_round();
+        }
+        for (i, shard) in self.shards.iter().enumerate() {
+            let mut probe = shard.send_line("{\"op\":\"breakers\"}");
+            if probe.is_err() && shard.revive() {
+                probe = shard.send_line("{\"op\":\"breakers\"}");
+                if probe.is_ok() {
+                    report.revived += 1;
+                }
+            }
+            match probe {
+                Ok(line) => {
+                    self.mark_outcome(i, true);
+                    report.alive += 1;
+                    if let Some(open) = breaker_report_open(&line) {
+                        let mut gossip = self.gossip.lock().unwrap_or_else(|e| e.into_inner());
+                        gossip.merge(open.split(','));
+                    }
+                }
+                Err(_) => {
+                    self.mark_outcome(i, false);
+                    report.dead += 1;
+                }
+            }
+        }
+        let (payload, open) = {
+            let gossip = self.gossip.lock().unwrap_or_else(|e| e.into_inner());
+            (gossip.payload(), gossip.open())
+        };
+        report.open = open;
+        if !payload.is_empty() {
+            let push = format!(
+                "{{\"op\":\"breakers\",\"open\":\"{}\"}}",
+                escape_json(&payload)
+            );
+            for (i, shard) in self.shards.iter().enumerate() {
+                if self.is_alive(i) {
+                    // A push failure is just a missed round; the probe
+                    // side of the next tick will notice a dead shard.
+                    let _ = shard.send_line(&push);
+                }
+            }
+        }
+        report
+    }
+
+    /// Fans `{"op":"drain"}` out to every shard and aggregates: how many
+    /// drained cleanly, how many were already dead. Dead shards are not
+    /// an error — their in-flight work died with them.
+    pub fn drain(&self) -> String {
+        let mut drained = 0usize;
+        let mut failed = 0usize;
+        for shard in &self.shards {
+            match shard.send_line("{\"op\":\"drain\"}") {
+                Ok(_) => drained += 1,
+                Err(_) => failed += 1,
+            }
+        }
+        format!(
+            concat!(
+                "{{\"status\":\"drained\",\"shards\":{},\"drained\":{},\"failed\":{},",
+                "\"fleet_routed\":{},\"fleet_failovers\":{},\"fleet_shed\":{},",
+                "\"fleet_router_panics\":{}}}"
+            ),
+            self.shards.len(),
+            drained,
+            failed,
+            self.routed.load(Ordering::Relaxed),
+            self.failovers.load(Ordering::Relaxed),
+            self.shed.load(Ordering::Relaxed),
+            self.router_panics.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Sums every live shard's flat metrics line field-by-field and
+    /// appends the router's own counters.
+    fn aggregate_metrics(&self) -> String {
+        let mut sums: BTreeMap<String, u64> = BTreeMap::new();
+        let mut shards_alive = 0usize;
+        for (i, shard) in self.shards.iter().enumerate() {
+            if !self.is_alive(i) {
+                continue;
+            }
+            let Ok(line) = shard.send_line("{\"op\":\"metrics\"}") else {
+                self.mark_outcome(i, false);
+                continue;
+            };
+            shards_alive += 1;
+            if let Ok(map) = parse_flat_object(&line) {
+                for (k, v) in map {
+                    if k == "status" {
+                        continue;
+                    }
+                    if let Some(n) = v.as_u64() {
+                        *sums.entry(k).or_insert(0) += n;
+                    }
+                }
+            }
+        }
+        let mut out = String::from("{\"status\":\"metrics\"");
+        for (k, v) in &sums {
+            out.push_str(&format!(",\"{}\":{}", escape_json(k), v));
+        }
+        out.push_str(&format!(
+            concat!(
+                ",\"fleet_routed\":{},\"fleet_failovers\":{},\"fleet_shed\":{},",
+                "\"fleet_router_panics\":{},\"shards_alive\":{},\"shards_total\":{}}}"
+            ),
+            self.routed.load(Ordering::Relaxed),
+            self.failovers.load(Ordering::Relaxed),
+            self.shed.load(Ordering::Relaxed),
+            self.router_panics.load(Ordering::Relaxed),
+            shards_alive,
+            self.shards.len(),
+        ));
+        out
+    }
+}
+
+/// Extracts the `open` payload from a `{"status":"breakers",...}` line.
+fn breaker_report_open(line: &str) -> Option<String> {
+    let map = parse_flat_object(line).ok()?;
+    if map.get("status").and_then(JsonValue::as_str) != Some("breakers") {
+        return None;
+    }
+    map.get("open")
+        .and_then(JsonValue::as_str)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+}
+
+fn error_line(id: &str, e: &RpoError) -> String {
+    encode_response(&ServeResponse {
+        id: id.to_string(),
+        result: Err(e.clone()),
+    })
+}
+
+/// Answers one already-decoded wire message against a local service —
+/// the single implementation of the per-line protocol shared by the
+/// `qc-serve` binary, [`InProcessShard`], and tests. `Drain` is *not*
+/// executed here (the binary must also stop its listener); the caller
+/// gets [`None`] and owns the drain.
+pub fn respond_msg(svc: &TranspileService, msg: WireMsg) -> Option<String> {
+    match msg {
+        WireMsg::Drain => None,
+        WireMsg::Metrics => Some(encode_metrics(&svc.metrics())),
+        WireMsg::Breakers { open } => {
+            if let Some(open) = open {
+                svc.apply_remote_breakers(open.split(',').map(str::trim));
+            }
+            Some(encode_breakers(&svc.breakers().open_labels()))
+        }
+        WireMsg::Request(req) => Some(encode_response(&svc.handle(req))),
+    }
+}
+
+/// A shard running in this process: the [`ShardBackend`] the fleet tests
+/// use so thread-local fault injection fires on the calling thread. The
+/// `down` flag simulates a dead process (sends fail until revived);
+/// `revivable` controls whether [`ShardBackend::revive`] works.
+pub struct InProcessShard {
+    svc: Arc<TranspileService>,
+    down: AtomicBool,
+    revivable: bool,
+}
+
+impl InProcessShard {
+    /// A live in-process shard over `svc`.
+    pub fn new(svc: Arc<TranspileService>) -> Self {
+        InProcessShard {
+            svc,
+            down: AtomicBool::new(false),
+            revivable: false,
+        }
+    }
+
+    /// Marks revive() as able to bring this shard back.
+    pub fn revivable(mut self) -> Self {
+        self.revivable = true;
+        self
+    }
+
+    /// Simulates the shard process dying: every send fails until
+    /// [`ShardBackend::revive`] succeeds.
+    pub fn kill(&self) {
+        self.down.store(true, Ordering::SeqCst);
+    }
+
+    /// The wrapped service (cache/breaker assertions in tests).
+    pub fn service(&self) -> &TranspileService {
+        &self.svc
+    }
+}
+
+impl ShardBackend for InProcessShard {
+    fn send_line(&self, line: &str) -> std::io::Result<String> {
+        if self.down.load(Ordering::SeqCst) {
+            return Err(std::io::Error::other("in-process shard is down"));
+        }
+        let msg = match decode_line(line.trim()) {
+            Ok(msg) => msg,
+            Err(e) => return Ok(error_line("", &e)),
+        };
+        match respond_msg(&self.svc, msg) {
+            Some(line) => Ok(line),
+            None => Ok(encode_drain_report(&self.svc.drain())),
+        }
+    }
+
+    fn revive(&self) -> bool {
+        if self.revivable {
+            self.down.store(false, Ordering::SeqCst);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranking_is_a_permutation_and_deterministic() {
+        for key in [0u128, 1, u128::MAX, 0xdead_beef] {
+            let r1 = rendezvous_ranking(key, 7);
+            let r2 = rendezvous_ranking(key, 7);
+            assert_eq!(r1, r2);
+            let mut sorted = r1.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..7).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn route_skips_dead_shards_in_rank_order() {
+        let key = 42u128;
+        let ranking = rendezvous_ranking(key, 4);
+        let mut alive = vec![true; 4];
+        assert_eq!(rendezvous_route(key, &alive), Some(ranking[0]));
+        alive[ranking[0]] = false;
+        assert_eq!(rendezvous_route(key, &alive), Some(ranking[1]));
+        alive.iter_mut().for_each(|a| *a = false);
+        assert_eq!(rendezvous_route(key, &alive), None);
+    }
+
+    #[test]
+    fn breaker_report_open_parses_reports_only() {
+        assert_eq!(
+            breaker_report_open("{\"status\":\"breakers\",\"open\":\"A,B\"}").as_deref(),
+            Some("A,B")
+        );
+        assert_eq!(
+            breaker_report_open("{\"status\":\"breakers\",\"open\":\"\"}"),
+            None
+        );
+        assert_eq!(breaker_report_open("{\"status\":\"metrics\"}"), None);
+        assert_eq!(breaker_report_open("not json"), None);
+    }
+}

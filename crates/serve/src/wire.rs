@@ -257,6 +257,15 @@ pub enum WireMsg {
     Drain,
     /// `{"op": "metrics"}`.
     Metrics,
+    /// `{"op": "breakers"}` reports the local open-breaker labels;
+    /// `{"op": "breakers", "open": "A,B"}` first force-opens the named
+    /// breakers (the gossip push), then reports. The label list is a
+    /// comma-joined string because request objects are flat — the parser
+    /// accepts no arrays on the way in.
+    Breakers {
+        /// Comma-joined labels to force-open before reporting, if any.
+        open: Option<String>,
+    },
 }
 
 /// Resolves a backend name (`melbourne`, `almaden`, `rochester`,
@@ -292,6 +301,12 @@ pub fn decode_line(line: &str) -> Result<WireMsg, RpoError> {
         return match op {
             "drain" => Ok(WireMsg::Drain),
             "metrics" => Ok(WireMsg::Metrics),
+            "breakers" => Ok(WireMsg::Breakers {
+                open: map
+                    .get("open")
+                    .and_then(JsonValue::as_str)
+                    .map(str::to_string),
+            }),
             other => Err(bad(format!("unknown op '{other}'"))),
         };
     }
@@ -410,7 +425,8 @@ pub fn encode_metrics(m: &MetricsSnapshot) -> String {
             "\"compiles\":{},\"cache_warm\":{},\"coalesced\":{},",
             "\"shed_overloaded\":{},\"shed_drain\":{},\"shed_deadline\":{},",
             "\"retries\":{},\"degraded\":{},\"integrity_checks\":{},",
-            "\"integrity_failures\":{},\"handler_panics\":{},\"breaker_trips\":{}}}"
+            "\"integrity_failures\":{},\"handler_panics\":{},\"breaker_trips\":{},",
+            "\"persist_appends\":{},\"persist_errors\":{},\"persist_restored\":{}}}"
         ),
         m.served_ok,
         m.served_err,
@@ -426,6 +442,21 @@ pub fn encode_metrics(m: &MetricsSnapshot) -> String {
         m.integrity_failures,
         m.handler_panics,
         m.breaker_trips,
+        m.persist_appends,
+        m.persist_errors,
+        m.persist_restored,
+    )
+}
+
+/// Encodes a breaker-state report as one JSON line. The `open` field is
+/// the comma-joined open/half-open labels — the same flat shape the
+/// gossip push request uses, so a router can feed one shard's report
+/// straight into another shard's request.
+pub fn encode_breakers<S: AsRef<str>>(open: &[S]) -> String {
+    let joined: Vec<&str> = open.iter().map(AsRef::as_ref).collect();
+    format!(
+        "{{\"status\":\"breakers\",\"open\":\"{}\"}}",
+        escape_json(&joined.join(","))
     )
 }
 
@@ -480,6 +511,31 @@ mod tests {
             decode_line("{\"op\": \"metrics\"}").unwrap(),
             WireMsg::Metrics
         ));
+        assert!(matches!(
+            decode_line("{\"op\": \"breakers\"}").unwrap(),
+            WireMsg::Breakers { open: None }
+        ));
+        let WireMsg::Breakers { open: Some(open) } =
+            decode_line("{\"op\": \"breakers\", \"open\": \"A,B\"}").unwrap()
+        else {
+            panic!("expected a gossip push");
+        };
+        assert_eq!(open, "A,B");
+    }
+
+    #[test]
+    fn breaker_report_feeds_back_into_the_parser() {
+        let line = encode_breakers(&["Optimize1qGates", "QPO"]);
+        let map = parse_flat_object(&line).unwrap();
+        assert_eq!(map.get("status").unwrap().as_str().unwrap(), "breakers");
+        assert_eq!(
+            map.get("open").unwrap().as_str().unwrap(),
+            "Optimize1qGates,QPO"
+        );
+        assert_eq!(
+            encode_breakers::<&str>(&[]),
+            "{\"status\":\"breakers\",\"open\":\"\"}"
+        );
     }
 
     #[test]

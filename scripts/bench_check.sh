@@ -66,7 +66,12 @@ awk -v factor="$FACTOR" -v baseline="$BASELINE" -v candidate="$CANDIDATE" '
             }
             ratio = base[name] > 0 ? cand[name] / base[name] : 1
             verdict = ""
-            if (ratio > factor) { fail = 1; verdict = "  << REGRESSION (limit " factor "x)" }
+            if (ratio > factor) {
+                fail = 1
+                verdict = "  << REGRESSION (limit " factor "x)"
+                offenders[++noff] = sprintf("  %s: baseline %.1f ns, measured %.1f ns (%.2fx, limit %sx)", \
+                                            name, base[name], cand[name], ratio, factor)
+            }
             printf "%-45s %14.1f %14.1f %6.2fx%s\n", name, base[name], cand[name], ratio, verdict
         }
         for (name in base) {
@@ -76,6 +81,7 @@ awk -v factor="$FACTOR" -v baseline="$BASELINE" -v candidate="$CANDIDATE" '
         }
         if (fail) {
             printf "\nbench_check: FAIL — regression beyond %sx vs %s\n", factor, baseline
+            for (i = 1; i <= noff; i++) print offenders[i]
             exit 1
         }
         printf "\nbench_check: OK (limit %sx vs %s)\n", factor, baseline

@@ -13,9 +13,15 @@
 #![cfg(feature = "fault-inject")]
 
 use rpo::backends::Backend;
+use rpo::circuit::qasm::to_qasm;
 use rpo::circuit::{Circuit, RpoError};
 use rpo::serve::breaker::BreakerConfig;
-use rpo::serve::{BreakerState, ServeConfig, ServeFlow, ServeRequest, TestClock, TranspileService};
+use rpo::serve::shard::{routing_key, FleetLine};
+use rpo::serve::wire::escape_json;
+use rpo::serve::{
+    BreakerState, Fleet, FleetConfig, InProcessShard, ServeConfig, ServeFlow, ServeRequest,
+    TestClock, TranspileService,
+};
 use rpo::transpile::fault::{arm, disarm, FaultKind, FaultPlan};
 use std::sync::Arc;
 use std::time::Duration;
@@ -245,6 +251,183 @@ fn breaker_trips_and_recovers_through_the_service() {
     let ok = after.result.expect("post-recovery compile succeeds");
     assert!(ok.breaker_disabled.is_empty());
     assert!(ok.degradation.predisabled.is_empty());
+}
+
+// ---------------------------------------------------------------------
+// Fleet-stage faults: `fleet:route`, `fleet:failover`, `persist:replay`,
+// `gossip:merge`. The contract mirrors the serve perimeter's — no
+// injected fault may kill the router or a surviving shard.
+// ---------------------------------------------------------------------
+
+fn request_line(salt: u64) -> String {
+    let qasm = to_qasm(&workload(salt)).unwrap();
+    format!(
+        "{{\"id\":\"f{salt}\",\"qasm\":\"{}\",\"backend\":\"linear:5\",\
+         \"flow\":\"preset\",\"level\":2,\"seed\":{salt}}}",
+        escape_json(&qasm)
+    )
+}
+
+fn fleet_of(n: usize) -> Fleet<InProcessShard> {
+    let shards = (0..n)
+        .map(|_| InProcessShard::new(Arc::new(TranspileService::new(quiet_config()))))
+        .collect();
+    Fleet::new(shards, FleetConfig::default())
+}
+
+fn response_of(line: FleetLine) -> String {
+    match line {
+        FleetLine::Response(s) => s,
+        FleetLine::Drained(s) => panic!("unexpected drain: {s}"),
+    }
+}
+
+/// Routing-stage faults: a panic anywhere in the routing path becomes a
+/// typed internal-error response line; the router and every surviving
+/// shard keep serving afterwards.
+#[test]
+fn fleet_route_and_failover_faults_never_kill_the_router() {
+    let mut salt = 5000u64;
+    for stage in ["fleet:route", "fleet:failover"] {
+        for kind in kinds() {
+            salt += 1;
+            let fleet = fleet_of(2);
+            if stage == "fleet:failover" {
+                // The failover point only fires after the owner's send
+                // fails, so kill the owner of this request's key first.
+                let req = request(salt, ServeFlow::Preset { level: 2 });
+                let owner = fleet.shard_for(routing_key(&req)).unwrap();
+                fleet.backends()[owner].kill();
+            }
+            let stall = matches!(kind, FaultKind::Stall(_));
+            arm(FaultPlan {
+                pass: stage.into(),
+                kind,
+            });
+            let resp = response_of(fleet.handle_line(&request_line(salt)));
+            disarm();
+            if stall {
+                assert!(
+                    resp.contains("\"status\":\"ok\""),
+                    "a stall at {stage} must still serve: {resp}"
+                );
+            } else {
+                assert!(
+                    resp.contains("\"kind\":\"internal\""),
+                    "a panic at {stage} must become a typed response: {resp}"
+                );
+            }
+            // The router survives: the very next request (fresh key)
+            // resolves through whichever shards are still alive.
+            salt += 1;
+            let probe = response_of(fleet.handle_line(&request_line(salt)));
+            assert!(
+                probe.contains("\"status\":\"ok\""),
+                "router wedged after {stage} fault: {probe}"
+            );
+            let drain = fleet.drain();
+            if !stall {
+                assert!(drain.contains("\"fleet_router_panics\":1"), "{drain}");
+            }
+        }
+    }
+}
+
+/// Gossip-stage faults abandon the round, not the router: the tick
+/// returns an empty report, both shards stay alive, and the next clean
+/// tick replicates the breaker state as usual.
+#[test]
+fn gossip_merge_faults_abandon_the_round_not_the_router() {
+    const PASS: &str = "Optimize1qGates";
+    let mut salt = 6000u64;
+    for kind in kinds() {
+        let stall = matches!(kind, FaultKind::Stall(_));
+        let fleet = fleet_of(2);
+        fleet.backends()[0].service().breakers().force_open(PASS);
+        arm(FaultPlan {
+            pass: "gossip:merge".into(),
+            kind: kind.clone(),
+        });
+        let report = fleet.tick();
+        disarm();
+        if stall {
+            assert_eq!(report.alive, 2, "a stalled merge still finishes the round");
+            assert_eq!(report.open, vec![PASS]);
+        } else {
+            assert_eq!(report.alive, 0, "a panicked round is abandoned wholesale");
+            assert!(report.open.is_empty());
+        }
+        // The router survives and the next clean tick replicates.
+        let report = fleet.tick();
+        assert_eq!(report.alive, 2);
+        assert_eq!(report.open, vec![PASS]);
+        assert_eq!(
+            fleet.backends()[1].service().breakers().state(PASS),
+            BreakerState::Open
+        );
+        salt += 1;
+        let probe = response_of(fleet.handle_line(&request_line(salt)));
+        assert!(probe.contains("\"status\":\"ok\""), "{probe}");
+
+        // The same fault through the wire path (`{"op":"breakers",...}`)
+        // also resolves to a typed line instead of a dead router.
+        arm(FaultPlan {
+            pass: "gossip:merge".into(),
+            kind,
+        });
+        let resp =
+            response_of(fleet.handle_line(&format!("{{\"op\":\"breakers\",\"open\":\"{PASS}\"}}")));
+        disarm();
+        if stall {
+            assert!(resp.contains("\"status\":\"breakers\""), "{resp}");
+        } else {
+            assert!(resp.contains("\"kind\":\"internal\""), "{resp}");
+        }
+    }
+}
+
+/// Replay-stage faults degrade to a cold start: a panic while replaying
+/// the segment log discards the file and brings the service up empty —
+/// persistence failures never prevent startup, and the log immediately
+/// accepts fresh appends.
+#[test]
+fn persist_replay_faults_degrade_to_cold_start() {
+    for (i, kind) in kinds().into_iter().enumerate() {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "qc-serve-fault-replay-{}-{i}.seglog",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let stall = matches!(kind, FaultKind::Stall(_));
+        {
+            let svc = TranspileService::with_persistence(quiet_config(), &path).unwrap();
+            svc.handle(request(7000 + i as u64, ServeFlow::Preset { level: 2 }))
+                .result
+                .expect("prefill compile succeeds");
+            assert_eq!(svc.metrics().persist_appends, 1);
+        }
+        arm(FaultPlan {
+            pass: "persist:replay".into(),
+            kind,
+        });
+        let svc = TranspileService::with_persistence(quiet_config(), &path)
+            .expect("startup must survive a replay fault");
+        disarm();
+        let r = svc.replay_report();
+        if stall {
+            assert_eq!(r.restored, 1, "a stalled replay still restores the log");
+            assert!(!r.invalidated);
+        } else {
+            assert!(r.invalidated, "a panicked replay discards the file");
+            assert_eq!(r.restored, 0);
+        }
+        // The service serves and persists either way.
+        let resp = svc.handle(request(7100 + i as u64, ServeFlow::Preset { level: 2 }));
+        resp.result.expect("post-recovery compile succeeds");
+        assert!(svc.metrics().persist_appends >= 1);
+        let _ = std::fs::remove_file(&path);
+    }
 }
 
 /// A compile-stage stall combined with a deadline exercises the budget
