@@ -395,14 +395,16 @@ fn run_tcp(fleet: Arc<Fleet<ProcessShard>>, no_revive: Arc<AtomicBool>, addr: &s
         Err(_) => println!("qc-fleet listening on {addr}"),
     }
     let _ = std::io::stdout().flush();
-    let mut workers = Vec::new();
     loop {
         let Ok((stream, _)) = listener.accept() else {
             continue;
         };
         let fleet = Arc::clone(&fleet);
         let no_revive = Arc::clone(&no_revive);
-        workers.push(std::thread::spawn(move || {
+        // Detached: joining is pointless (drain exits the process from
+        // inside a handler), and hoarding JoinHandles would grow memory
+        // unboundedly with connection churn on a long-running router.
+        std::thread::spawn(move || {
             let mut writer = match stream.try_clone() {
                 Ok(w) => w,
                 Err(_) => return,
@@ -417,7 +419,7 @@ fn run_tcp(fleet: Arc<Fleet<ProcessShard>>, no_revive: Arc<AtomicBool>, addr: &s
                     std::process::exit(0);
                 }
             }
-        }));
+        });
     }
 }
 

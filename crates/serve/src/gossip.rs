@@ -13,7 +13,12 @@
 //!
 //! The merged set is round-scoped: a label a shard stops reporting ages
 //! out after `ttl_rounds` gossip rounds, so a recovered pass is not
-//! force-opened forever by stale gossip. Labels are validated against
+//! force-opened forever by stale gossip. For that aging to work, shards
+//! report only breakers with *local* evidence
+//! ([`crate::breaker::BreakerRegistry::open_labels`] excludes
+//! remotely-pushed opens) — otherwise every push would be echoed back
+//! the next round, refreshing the TTL indefinitely. Labels are
+//! validated against
 //! [`DISABLEABLE_PASSES`] on merge — a corrupt peer message cannot grow
 //! the set with garbage.
 

@@ -31,9 +31,12 @@
 //!   version and the `DISABLEABLE_PASSES` count (the one piece of schema
 //!   the payload depends on); a mismatch invalidates the whole file —
 //!   truncate and start cold — rather than misinterpreting old bytes.
-//! * **Appends are durable per record**: each append is written and
-//!   flushed as one contiguous byte block, so a record is either fully on
-//!   disk or detectably torn.
+//! * **Appends are atomic per record across process death**: each append
+//!   is written and flushed to the kernel as one contiguous byte block,
+//!   so after a crash or `kill -9` a record is either fully present or
+//!   detectably torn. Records are *not* fsynced, so a power loss or
+//!   kernel crash can lose recently appended records wholesale — an
+//!   acceptable trade for a cache whose entries are recomputable.
 
 use crate::cache::CompiledEntry;
 use qc_circuit::qasm::to_qasm;
@@ -266,9 +269,10 @@ impl SegmentLog {
         ))
     }
 
-    /// Appends one cache fill. The record is written and flushed as one
-    /// contiguous block: after a crash it is either fully present or
-    /// detectably torn (and then truncated on the next replay).
+    /// Appends one cache fill. The record is written and flushed to the
+    /// kernel as one contiguous block: after a process crash it is either
+    /// fully present or detectably torn (and then truncated on the next
+    /// replay). No fsync — power/OS failure may drop recent records.
     pub fn append(&mut self, key: u128, entry: &CompiledEntry) -> std::io::Result<()> {
         let payload = encode_payload(key, entry);
         let mut record = Vec::with_capacity(12 + payload.len());

@@ -237,7 +237,9 @@ pub struct MetricsSnapshot {
     pub persist_appends: u64,
     /// Segment-log append failures (the fill still served from memory).
     pub persist_errors: u64,
-    /// Entries restored from the segment log at startup.
+    /// Distinct keys actually warm in the cache after startup replay
+    /// (replayed records minus key duplicates and capacity-trimmed
+    /// entries — [`ReplayReport::restored`] has the raw record count).
     pub persist_restored: u64,
 }
 
@@ -351,35 +353,44 @@ impl TranspileService {
     ///
     /// A panic during replay (disk returning garbage, an injected
     /// `persist:replay` fault) degrades to a cold start on a fresh log —
-    /// persistence failures never prevent the service from coming up.
+    /// and if even the fresh log cannot be opened, to running without
+    /// persistence at all; persistence failures never prevent the
+    /// service from coming up.
     pub fn with_persistence(cfg: ServeConfig, path: &std::path::Path) -> std::io::Result<Self> {
         let mut svc = TranspileService::new(cfg);
         let opened = catch_unwind(AssertUnwindSafe(|| SegmentLog::open(path)));
         let (log, entries, report) = match opened {
             Ok(result) => result?,
             Err(_) => {
-                // Replay panicked: discard the file and start cold.
+                // Replay panicked: discard the file and start cold. The
+                // retry is perimetered too — if it also panics (e.g. the
+                // remove failed and the same bytes replay again), run
+                // without persistence rather than let the panic escape.
                 std::fs::remove_file(path).ok();
-                let (log, _, _) = SegmentLog::open(path)?;
-                (
-                    log,
-                    Vec::new(),
-                    ReplayReport {
-                        invalidated: true,
-                        ..ReplayReport::default()
-                    },
-                )
+                let report = ReplayReport {
+                    invalidated: true,
+                    ..ReplayReport::default()
+                };
+                match catch_unwind(AssertUnwindSafe(|| SegmentLog::open(path))) {
+                    Ok(Ok((log, _, _))) => (log, Vec::new(), report),
+                    Ok(Err(_)) | Err(_) => {
+                        svc.replay_report = report;
+                        return Ok(svc);
+                    }
+                }
             }
         };
         // File order is append order; keep the newest `cache_capacity`
         // records, later duplicates of a key winning over earlier ones.
         let skip = entries.len().saturating_sub(cfg.cache_capacity);
+        let mut retained = std::collections::HashSet::new();
         for (key, entry) in entries.into_iter().skip(skip) {
+            retained.insert(key);
             svc.cache.insert(key, entry);
         }
         svc.metrics
             .persist_restored
-            .store(report.restored as u64, Ordering::Relaxed);
+            .store(retained.len() as u64, Ordering::Relaxed);
         svc.replay_report = report;
         svc.persist = Some(Mutex::new(log));
         Ok(svc)

@@ -275,11 +275,20 @@ fn tick_revives_dead_shards() {
     );
 }
 
+/// Trips `pass`'s breaker on `svc` with genuine local evidence (default
+/// breaker config: 3 failures in the window) — `force_open` would mark
+/// the open as remote, which gossip deliberately does not re-report.
+fn trip_locally(svc: &TranspileService, pass: &str) {
+    for _ in 0..3 {
+        svc.breakers().record(pass, false);
+    }
+}
+
 #[test]
 fn tick_replicates_breakers_fleet_wide() {
     const PASS: &str = "Optimize1qGates";
     let fleet = fleet_of(2, false);
-    fleet.backends()[0].service().breakers().force_open(PASS);
+    trip_locally(fleet.backends()[0].service(), PASS);
     assert_eq!(
         fleet.backends()[1].service().breakers().state(PASS),
         BreakerState::Closed,
@@ -302,9 +311,9 @@ fn gossiped_labels_age_out_after_ttl_rounds() {
     let merged =
         response_of(fleet.handle_line(&format!("{{\"op\":\"breakers\",\"open\":\"{PASS}\"}}")));
     assert!(merged.contains(PASS), "{merged}");
-    // The lone shard now reports the label back on every probe, but once
-    // it recovers (force-closing is not modelled here; we kill the shard
-    // so nothing re-reports) the label expires after gossip_ttl_rounds.
+    // Nothing re-reports the label (the shard's open is remote-only and
+    // deliberately not gossiped back), so it expires after
+    // gossip_ttl_rounds.
     fleet.backends()[0].kill();
     for _ in 0..FleetConfig::default().gossip_ttl_rounds + 1 {
         fleet.tick();
@@ -313,6 +322,39 @@ fn gossiped_labels_age_out_after_ttl_rounds() {
     assert!(
         report.open.is_empty(),
         "stale labels must age out: {report:?}"
+    );
+}
+
+/// The gossip-echo livelock regression: a label pushed to the shards must
+/// not be re-reported by them (their opens are remote-only), so with no
+/// shard holding local evidence the label ages out of the router's merged
+/// set after the TTL — even though every shard's breaker was force-opened
+/// by the pushes in the meantime.
+#[test]
+fn pushed_labels_are_not_echoed_and_age_out_while_shards_stay_alive() {
+    const PASS: &str = "Optimize1qGates";
+    let fleet = fleet_of(2, false);
+    fleet.tick(); // open round 1 so the wire merge below lands inside it
+    response_of(fleet.handle_line(&format!("{{\"op\":\"breakers\",\"open\":\"{PASS}\"}}")));
+    // The next tick pushes the merged set to both live shards.
+    let report = fleet.tick();
+    assert_eq!(report.open, vec![PASS]);
+    for shard in fleet.backends() {
+        assert_eq!(
+            shard.service().breakers().state(PASS),
+            BreakerState::Open,
+            "the push force-opens every shard"
+        );
+    }
+    // No shard has local evidence, so nothing refreshes the TTL: the
+    // label must age out despite both shards answering every probe.
+    for _ in 0..FleetConfig::default().gossip_ttl_rounds {
+        fleet.tick();
+    }
+    let report = fleet.tick();
+    assert!(
+        report.open.is_empty(),
+        "remote-only opens must not refresh the gossip TTL: {report:?}"
     );
 }
 

@@ -343,7 +343,11 @@ fn gossip_merge_faults_abandon_the_round_not_the_router() {
     for kind in kinds() {
         let stall = matches!(kind, FaultKind::Stall(_));
         let fleet = fleet_of(2);
-        fleet.backends()[0].service().breakers().force_open(PASS);
+        // A genuine local trip (force_open would mark the open as remote,
+        // which gossip deliberately does not re-report).
+        for _ in 0..3 {
+            fleet.backends()[0].service().breakers().record(PASS, false);
+        }
         arm(FaultPlan {
             pass: "gossip:merge".into(),
             kind: kind.clone(),
