@@ -16,4 +16,4 @@ pub use bv::{bernstein_vazirani, hidden_string_outcome, OracleStyle};
 pub use grover::{grover, optimal_iterations, McxDesign};
 pub use qpe::{qpe, qpe_expected_outcome};
 pub use qv::{quantum_volume, quantum_volume_with_depth};
-pub use vqe::vqe_ry_ansatz;
+pub use vqe::{vqe_parameter_batch, vqe_ry_ansatz, vqe_ry_ansatz_with_angles};

@@ -35,6 +35,52 @@ pub fn vqe_ry_ansatz(n: usize, depth: usize, seed: u64) -> Circuit {
     c
 }
 
+/// Builds the RY ansatz with explicit rotation angles — the VQE parameter
+/// sweep's unit of work: one circuit per parameter vector, all sharing the
+/// same shape (same gates on the same qubits, only angles differ).
+///
+/// `angles` is consumed layer by layer — `(depth + 1) · n` values, in the
+/// same order [`vqe_ry_ansatz`] draws them.
+///
+/// # Panics
+///
+/// Panics if `angles.len() != (depth + 1) * n`.
+pub fn vqe_ry_ansatz_with_angles(n: usize, depth: usize, angles: &[f64]) -> Circuit {
+    assert_eq!(angles.len(), (depth + 1) * n, "need (depth + 1) * n angles");
+    let mut next = angles.iter().copied();
+    let mut c = Circuit::new(n);
+    let rotation_layer = |c: &mut Circuit, next: &mut dyn Iterator<Item = f64>| {
+        for q in 0..n {
+            c.ry(next.next().expect("angle count checked above"), q);
+        }
+    };
+    rotation_layer(&mut c, &mut next);
+    for _ in 0..depth {
+        for q in 0..n.saturating_sub(1) {
+            c.cx(q, q + 1);
+        }
+        rotation_layer(&mut c, &mut next);
+    }
+    c.measure_all();
+    c
+}
+
+/// A VQE parameter sweep: `batch` same-shape ansatz circuits whose angle
+/// vectors are drawn from a seeded RNG — the ready-made workload for
+/// `qc_sim`'s batched execution front-end (one optimizer generation =
+/// one batch).
+pub fn vqe_parameter_batch(n: usize, depth: usize, batch: usize, seed: u64) -> Vec<Circuit> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..batch)
+        .map(|_| {
+            let angles: Vec<f64> = (0..(depth + 1) * n)
+                .map(|_| rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI))
+                .collect();
+            vqe_ry_ansatz_with_angles(n, depth, &angles)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

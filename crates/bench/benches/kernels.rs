@@ -17,14 +17,14 @@
 //! regressions against the committed baseline.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use qc_algos::{quantum_volume, quantum_volume_with_depth};
+use qc_algos::{quantum_volume, quantum_volume_with_depth, vqe_parameter_batch};
 use qc_backends::Backend;
 use qc_circuit::testing::random_circuit;
 use qc_circuit::{
     circuit_unitary, circuit_unitary_reference, circuit_unitary_unfused, Circuit, Gate,
 };
 use qc_math::haar_unitary;
-use qc_sim::Statevector;
+use qc_sim::{run_batch, Statevector};
 use qc_synth::{synthesize_two_qubit, OneQubitEuler, TwoQubitWeyl};
 use qc_transpile::routing::route;
 use rand::rngs::StdRng;
@@ -130,6 +130,65 @@ fn bench_kernels(c: &mut Criterion) {
     };
     c.bench_function("statevector_qv_chain_20q", |b| {
         b.iter(|| Statevector::from_circuit(&qv_chain))
+    });
+
+    // The 26q+ streaming regime: 2²⁶ amplitudes = 1 GiB, 2¹⁰ shards of
+    // 2¹⁶. The circuit interleaves shard-local SU(4) triangles (qubits
+    // 0–8) with cross-shard blocks on the top qubits; the fusion
+    // scheduler clusters the local ops into one shard-by-shard run
+    // (one streaming pass for the whole cluster) while the high blocks
+    // sweep the full vector per op.
+    let sv26 = {
+        let mut rng = StdRng::seed_from_u64(61);
+        let mut c = Circuit::new(26);
+        c.push(Gate::Unitary(haar_unitary(4, &mut rng)), &[24, 25]);
+        for t in 0..3 {
+            let (a, b, d) = (3 * t, 3 * t + 1, 3 * t + 2);
+            c.push(Gate::Unitary(haar_unitary(4, &mut rng)), &[a, b]);
+            c.push(Gate::Unitary(haar_unitary(4, &mut rng)), &[b, d]);
+            c.push(Gate::Unitary(haar_unitary(4, &mut rng)), &[a, d]);
+        }
+        c.push(Gate::Unitary(haar_unitary(4, &mut rng)), &[12, 25]);
+        c
+    };
+    #[cfg(feature = "parallel")]
+    {
+        // Acceptance check riding along with the bench: the 26q streaming
+        // run must be bit-identical at 1, 2, and max threads before it is
+        // timed.
+        let max = qc_math::max_threads().max(2);
+        qc_math::set_max_threads(Some(1));
+        let baseline = Statevector::from_circuit(&sv26);
+        for threads in [2usize, max] {
+            qc_math::set_max_threads(Some(threads));
+            let sv = Statevector::from_circuit(&sv26);
+            assert!(
+                baseline.amplitudes() == sv.amplitudes(),
+                "statevector_26q: thread cap {threads} changed amplitude bits"
+            );
+        }
+        qc_math::set_max_threads(None);
+        println!("statevector_26q: bit-identical at 1/2/max threads");
+    }
+    c.bench_function("statevector_26q", |b| {
+        b.iter(|| Statevector::from_circuit(&sv26))
+    });
+
+    // Batched multi-circuit execution: one VQE optimizer generation (24
+    // parameter vectors over a 14-qubit depth-4 RY ansatz) through the
+    // batch front-end vs one circuit at a time. Each circuit sits below
+    // the kernel parallel threshold, so circuits — not amplitudes — are
+    // the unit of parallelism here; the ratio of the two medians is the
+    // batch speedup, and 24 / median_ns is circuits per nanosecond.
+    let sweep = vqe_parameter_batch(14, 4, 24, 5);
+    c.bench_function("sim_batch_throughput", |b| b.iter(|| run_batch(&sweep)));
+    c.bench_function("sim_batch_sequential", |b| {
+        b.iter(|| {
+            sweep
+                .iter()
+                .map(Statevector::from_circuit)
+                .collect::<Vec<_>>()
+        })
     });
 
     // Toffoli-chain workload with single-qubit dressing on the operands —

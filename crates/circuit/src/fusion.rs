@@ -181,6 +181,24 @@ impl FusionProfile {
         }
     }
 
+    /// Cost profile for panel streaming with host-measured constants — the
+    /// "k = 3 panels" revisit (ROADMAP carried-over item): now that the
+    /// stealing pool fans panels out across workers, a host where even
+    /// L2-resident passes measure expensive relative to multiply-adds would
+    /// profit from growing panels' blocks to 8×8. Wiring the measured
+    /// cache-resident pass cost through the existing calibration hook lets
+    /// the planner make that call per host instead of pinning it. Measured
+    /// on this class of hardware the cheap-pass cost stays ≈ 1–2 — far
+    /// below the ≈ `8·w − 4` break-even for trading a pass for an 8-way
+    /// mix — so panels keep 4×4 blocks in practice; [`FusionProfile::panels`]
+    /// remains the pinned-constant profile for shape-sensitive tests.
+    pub fn panels_calibrated() -> Self {
+        FusionProfile {
+            pass_cost: qc_math::calibrated_cheap_pass_cost().unwrap_or(FALLBACK_CHEAP_PASS),
+            dense3_weight: dense3_penalty(),
+        }
+    }
+
     /// Cost profile for applying the plan to one 2ⁿ-amplitude vector.
     ///
     /// The two operating points (cache-resident below 2¹⁶ amplitudes,
@@ -260,6 +278,85 @@ pub fn fuse_instructions_with(
     profile: FusionProfile,
 ) -> Vec<FusedInst<'_>> {
     Planner::new(num_qubits, profile).plan(insts)
+}
+
+/// One maximal run of equal shard-locality ops in a plan scheduled by
+/// [`schedule_fused`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScheduleGroup {
+    /// Index of the run's first op in the scheduled plan.
+    pub start: usize,
+    /// Number of consecutive ops in the run.
+    pub len: usize,
+    /// True when every qubit of every op in the run lies below the shard
+    /// bit, so the whole run can be applied shard-by-shard without any
+    /// cross-shard amplitude traffic.
+    pub local: bool,
+}
+
+impl ScheduleGroup {
+    /// The op index range this group covers.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start..self.start + self.len
+    }
+}
+
+/// Reorders commuting fused ops in place to minimize cross-shard amplitude
+/// traffic, and reports the resulting runs.
+///
+/// An op is *shard-local* when all its qubits lie below `shard_qubits`:
+/// applied to a statevector cut into contiguous 2^`shard_qubits`-amplitude
+/// shards, it never mixes amplitudes across a shard boundary, so a run of
+/// such ops can be applied one cache-resident shard at a time — one
+/// streaming pass over the vector for the whole run instead of one per op.
+/// The scheduler bubbles each shard-local op leftward past immediately
+/// preceding non-local ops whose qubit support is disjoint from its own
+/// (disjoint-support ops act on different tensor factors and commute
+/// *exactly*, not merely approximately), clustering local ops into maximal
+/// runs. Ops of equal locality never reorder and overlapping supports are
+/// never crossed, so the schedule is a deterministic function of the plan:
+/// the same plan yields the same op order and the same groups at every
+/// thread count.
+///
+/// Note the reorder changes floating-point summation order relative to the
+/// unscheduled plan (commuting exactly in exact arithmetic, to roundoff in
+/// f64) — equivalence to a reference stays within the usual oracle
+/// tolerances, while bit-identity across thread counts is preserved because
+/// the schedule itself is thread-count independent.
+pub fn schedule_fused(plan: &mut [FusedInst<'_>], shard_qubits: usize) -> Vec<ScheduleGroup> {
+    fn local(fi: &FusedInst<'_>, shard_qubits: usize) -> bool {
+        fi.qubits.iter().all(|&q| q < shard_qubits)
+    }
+    fn disjoint(a: &FusedInst<'_>, b: &FusedInst<'_>) -> bool {
+        a.qubits.iter().all(|q| !b.qubits.contains(q))
+    }
+    for i in 1..plan.len() {
+        let mut j = i;
+        while j > 0
+            && local(&plan[j], shard_qubits)
+            && !local(&plan[j - 1], shard_qubits)
+            && disjoint(&plan[j], &plan[j - 1])
+        {
+            plan.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+    let mut groups = Vec::new();
+    let mut start = 0;
+    while start < plan.len() {
+        let is_local = local(&plan[start], shard_qubits);
+        let mut end = start + 1;
+        while end < plan.len() && local(&plan[end], shard_qubits) == is_local {
+            end += 1;
+        }
+        groups.push(ScheduleGroup {
+            start,
+            len: end - start,
+            local: is_local,
+        });
+        start = end;
+    }
+    groups
 }
 
 /// Streaming fusion state: per-qubit pending 1q products plus the shared
@@ -943,6 +1040,83 @@ mod tests {
         c.h(0).barrier().t(0).annot_zero(1).h(0);
         let plan = fuse_instructions(c.instructions(), 2);
         assert_eq!(plan.len(), 1);
+    }
+
+    #[test]
+    fn scheduler_clusters_disjoint_local_ops_and_preserves_unitary() {
+        // Shard bit = 2: ops confined to qubits {0,1} are shard-local.
+        let mut c = Circuit::new(5);
+        c.push(dense_2q(20), &[2, 3]); // non-local
+        c.push(dense_2q(21), &[0, 1]); // local, disjoint → bubbles left
+        c.push(dense_2q(22), &[2, 4]); // non-local
+
+        // Pinned cheap-pass profile: the host-calibrated statevector profile
+        // can grow k=3 blocks here, which would change the plan shape this
+        // test asserts on.
+        let mut plan = fuse_instructions_with(c.instructions(), 5, FusionProfile::panels());
+        assert_eq!(plan.len(), 3);
+        let want = plan_unitary(&plan, 5);
+        let groups = schedule_fused(&mut plan, 2);
+        assert_eq!(plan[0].qubits, vec![0, 1], "local op must move to front");
+        assert_eq!(
+            groups,
+            vec![
+                ScheduleGroup {
+                    start: 0,
+                    len: 1,
+                    local: true
+                },
+                ScheduleGroup {
+                    start: 1,
+                    len: 2,
+                    local: false
+                },
+            ]
+        );
+        // Disjoint-support swaps commute exactly: the scheduled plan's
+        // unitary matches the unscheduled one.
+        assert!(plan_unitary(&plan, 5).approx_eq(&want, 1e-12));
+    }
+
+    #[test]
+    fn scheduler_never_crosses_overlapping_supports() {
+        let mut c = Circuit::new(5);
+        c.push(dense_2q(23), &[1, 3]); // non-local (qubit 3 ≥ shard bit)
+        c.push(dense_2q(24), &[0, 1]); // local but shares qubit 1: stays put
+        let mut plan = fuse_instructions_with(c.instructions(), 5, FusionProfile::panels());
+        assert_eq!(plan.len(), 2);
+        let groups = schedule_fused(&mut plan, 2);
+        assert_eq!(plan[0].qubits, vec![1, 3], "overlap must block the swap");
+        assert!(!groups[0].local);
+        assert!(groups[1].local);
+    }
+
+    #[test]
+    fn scheduler_is_deterministic_and_groups_partition_the_plan() {
+        let mut c = Circuit::new(6);
+        c.push(dense_2q(25), &[3, 4]);
+        c.push(dense_2q(26), &[0, 1]);
+        c.push(dense_2q(27), &[2, 5]);
+        c.push(dense_2q(28), &[0, 2]);
+        let mut plan_a = fuse_instructions_with(c.instructions(), 6, FusionProfile::panels());
+        let mut plan_b = fuse_instructions_with(c.instructions(), 6, FusionProfile::panels());
+        let ga = schedule_fused(&mut plan_a, 3);
+        let gb = schedule_fused(&mut plan_b, 3);
+        assert_eq!(ga, gb, "same plan must yield the same schedule");
+        let qa: Vec<_> = plan_a.iter().map(|fi| fi.qubits.clone()).collect();
+        let qb: Vec<_> = plan_b.iter().map(|fi| fi.qubits.clone()).collect();
+        assert_eq!(qa, qb, "same plan must yield the same op order");
+        // Groups cover 0..len contiguously with alternating locality.
+        let mut next = 0;
+        for (i, g) in ga.iter().enumerate() {
+            assert_eq!(g.start, next);
+            assert!(g.len > 0);
+            if i > 0 {
+                assert_ne!(ga[i - 1].local, g.local, "maximal runs alternate");
+            }
+            next += g.len;
+        }
+        assert_eq!(next, plan_a.len());
     }
 
     #[test]

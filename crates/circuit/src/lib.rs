@@ -50,7 +50,10 @@ pub use dag::{
     DagEdit, WireSet,
 };
 pub use error::{BudgetKind, RpoError};
-pub use fusion::{fuse_instructions, fuse_instructions_with, FusedInst, FusionProfile};
+pub use fusion::{
+    fuse_instructions, fuse_instructions_with, schedule_fused, FusedInst, FusionProfile,
+    ScheduleGroup,
+};
 pub use gate::{BasisState, Gate};
 pub use hash::{canonical_bytes, content_hash, fnv1a_128};
 pub use serial::decode_circuit;

@@ -124,7 +124,11 @@ pub fn circuit_unitary(circuit: &Circuit) -> Matrix {
     let n = circuit.num_qubits();
     // Panel profile: the plan streams over L2-resident column panels, so
     // the planner only makes arithmetic-reducing merges (passes are cheap).
-    let plan = fuse_instructions_with(circuit.instructions(), n, FusionProfile::panels());
+    let plan = fuse_instructions_with(
+        circuit.instructions(),
+        n,
+        FusionProfile::panels_calibrated(),
+    );
     unitary_from_plan(&plan, n, panel_width(1usize << n))
 }
 
@@ -134,7 +138,11 @@ pub fn circuit_unitary(circuit: &Circuit) -> Matrix {
 #[doc(hidden)]
 pub fn circuit_unitary_with_panel_width(circuit: &Circuit, width: usize) -> Matrix {
     let n = circuit.num_qubits();
-    let plan = fuse_instructions_with(circuit.instructions(), n, FusionProfile::panels());
+    let plan = fuse_instructions_with(
+        circuit.instructions(),
+        n,
+        FusionProfile::panels_calibrated(),
+    );
     unitary_from_plan(&plan, n, width)
 }
 

@@ -121,6 +121,14 @@ fn main() {
 
     println!("# Pipeline pass timing (qv20 on {})\n", backend.name());
 
+    // The worker count the kernel pool actually fans out to (after the
+    // RPO_THREADS request is clamped to pool capacity) — reported here so
+    // a CI log line records what the timings below really ran with.
+    println!(
+        "kernel threads: {} effective (1 = sequential build or single-core host)\n",
+        qc_math::kernel_threads()
+    );
+
     let (_, stats) =
         transpile_instrumented(&qv20, &backend, &TranspileOptions::level(3).with_seed(7))
             .expect("level-3 transpile");

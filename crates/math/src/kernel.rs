@@ -63,7 +63,9 @@ use crate::complex::C64;
 use crate::matrix::Matrix;
 
 #[cfg(feature = "parallel")]
-pub use scoped_pool::{default_threads, max_threads, set_max_threads};
+pub use scoped_pool::{
+    default_threads, hw_threads, max_threads, set_max_threads, set_steal_sequence,
+};
 
 /// Buffers smaller than this many scalars never fan out to the thread pool:
 /// below ~1 MiB the split/merge latency exceeds the memory-bound sweep.
@@ -1085,9 +1087,91 @@ fn apply_dense_3q(buf: &mut [C64], row_len: usize, qs: [usize; 3], m: &[C64; 64]
     par_units(nk, total, move |lo, hi| {
         // Dispatch once per span, not per octuple: the whole base-index
         // loop (including the scalar state-vector path) compiles under the
-        // detected target features, like the 1q/2q row kernels.
+        // detected target features, like the 1q/2q row kernels. The scalar
+        // state-vector octuple mix additionally gets a hand-vectorized AVX
+        // body (the autovectorizer cannot express the complex
+        // multiply-accumulate without reassociating, which would change
+        // bits): same arithmetic, same rounding sequence, explicit lanes.
+        #[cfg(target_arch = "x86_64")]
+        if row_len == 1 && !matches!(simd_level(), SimdLevel::Scalar) {
+            // SAFETY: `simd_level()` verified AVX2/AVX-512 support, both
+            // supersets of the AVX feature the span requires.
+            unsafe { dense3_span_cavx(bp, lo, hi, &masks, &offs, m) };
+            return;
+        }
         dense3_span(bp, row_len, lo, hi, &masks, &offs, m);
     });
+}
+
+/// Hand-vectorized AVX complex octuple mix for the scalar (`row_len == 1`)
+/// dense-3q path. Each 256-bit lane holds two interleaved `(re, im)`
+/// outputs; one input amplitude is broadcast per column step and mixed with
+/// a column-major copy of the 8×8.
+///
+/// Bit-compatibility with [`dense3_span_inner`]'s scalar walk: per output
+/// element the column order (c = 0, 1, …, 7) is unchanged, and each step
+/// performs exactly the scalar complex multiply's roundings — two products
+/// (`t1`, `t2`), one add/sub combining them, then one add into the
+/// accumulator; the first column initializes the accumulator with the bare
+/// product just like the scalar `acc = m[r][0]·v[0]`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn dense3_span_cavx(
+    bp: BufPtr,
+    lo: usize,
+    hi: usize,
+    masks: &[usize; 3],
+    offs: &[usize; 8],
+    m: &[C64; 64],
+) {
+    use std::arch::x86_64::*;
+    // Column-major copy so each column's eight coefficients load as four
+    // contiguous vectors.
+    let mut mt = [C64::ZERO; 64];
+    for r in 0..8 {
+        for c in 0..8 {
+            mt[c * 8 + r] = m[r * 8 + c];
+        }
+    }
+    let mtp = mt.as_ptr() as *const f64;
+    for bidx in lo..hi {
+        let base = expand_bits(bidx, masks);
+        // SAFETY: the eight indices are distinct and distinct base indices
+        // give disjoint octuples; `C64` is `repr(C)` `(re, im)`, matching
+        // the interleaved lane layout.
+        unsafe {
+            let p = bp.ptr;
+            let mut v = [C64::ZERO; 8];
+            for (x, &off) in v.iter_mut().zip(offs) {
+                *x = *p.add(base + off);
+            }
+            // acc[k] holds outputs r = 2k, 2k+1.
+            let mut acc = [_mm256_setzero_pd(); 4];
+            for (c, &x) in v.iter().enumerate() {
+                let xr = _mm256_set1_pd(x.re);
+                let xi = _mm256_set1_pd(x.im);
+                let col = mtp.add(c * 16);
+                for (k, a) in acc.iter_mut().enumerate() {
+                    let cv = _mm256_loadu_pd(col.add(k * 4));
+                    let t1 = _mm256_mul_pd(cv, xr);
+                    let t2 = _mm256_mul_pd(_mm256_permute_pd(cv, 0x5), xi);
+                    let prod = _mm256_addsub_pd(t1, t2);
+                    *a = if c == 0 {
+                        prod
+                    } else {
+                        _mm256_add_pd(*a, prod)
+                    };
+                }
+            }
+            let mut out = [C64::ZERO; 8];
+            for (k, a) in acc.iter().enumerate() {
+                _mm256_storeu_pd(out.as_mut_ptr().add(k * 2) as *mut f64, *a);
+            }
+            for (&o, &off) in out.iter().zip(offs) {
+                *p.add(base + off) = o;
+            }
+        }
+    }
 }
 
 /// One executor's span of the dense-3q kernel: applies the 8×8 to every
@@ -1505,9 +1589,18 @@ mod tests {
         buf
     }
 
+    /// Serializes tests that mutate the process-wide thread cap or the
+    /// pool's steal-order test hook.
+    #[cfg(feature = "parallel")]
+    fn pool_guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     #[test]
     #[cfg(feature = "parallel")]
     fn parallel_is_bit_identical_at_every_thread_count() {
+        let _g = pool_guard();
         // 2¹⁷ scalars in both layouts: state vector and batched rows.
         for (n, row_len) in [(17, 1), (11, 64)] {
             set_max_threads(Some(1));
@@ -1519,6 +1612,35 @@ mod tests {
                 assert!(
                     sequential == parallel,
                     "thread count {threads} changed bits (n={n}, row_len={row_len})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[cfg(feature = "parallel")]
+    fn adversarial_steal_order_cannot_change_bits() {
+        // The workload covers every kernel shape (1q, diag, controlled,
+        // phase, swap, permutation, dense 2q, dense 3q) in both layouts;
+        // the injected permutations force regions with a matching part
+        // count (16 = 2 executors × STEAL_PARTS_PER_EXECUTOR) to claim
+        // parts in an adversarial order. Output bits must not move.
+        let _g = pool_guard();
+        for (n, row_len) in [(17, 1), (11, 64)] {
+            set_max_threads(Some(1));
+            let sequential = parallel_workload(n, row_len);
+            for seq in [
+                (0..16).rev().collect::<Vec<_>>(),
+                (0..16).map(|i| (i + 5) % 16).collect::<Vec<_>>(),
+            ] {
+                set_max_threads(Some(2));
+                set_steal_sequence(Some(seq.clone()));
+                let stolen = parallel_workload(n, row_len);
+                set_steal_sequence(None);
+                set_max_threads(None);
+                assert!(
+                    sequential == stolen,
+                    "steal order {seq:?} changed bits (n={n}, row_len={row_len})"
                 );
             }
         }

@@ -41,7 +41,7 @@ pub use kernel::{
     KernelEngine, KernelOp,
 };
 #[cfg(feature = "parallel")]
-pub use kernel::{default_threads, max_threads, set_max_threads};
+pub use kernel::{default_threads, hw_threads, max_threads, set_max_threads, set_steal_sequence};
 pub use matrix::Matrix;
 pub use random::{haar_state, haar_unitary};
 pub use real::{jacobi_eigh, simultaneous_diagonalize, RealMatrix};

@@ -1,0 +1,238 @@
+//! Batched multi-circuit execution over the shared kernel pool.
+//!
+//! Many workloads in this workspace run *sets* of independent circuits:
+//! a VQE optimizer evaluates one ansatz per parameter vector each
+//! generation (`qc_algos::vqe_parameter_batch`), expectation-value
+//! estimation re-runs one circuit per measured observable, and the serve
+//! path recompiles batches of cached circuits for integrity checks. Run
+//! one at a time, each circuit parallelizes only across its own amplitude
+//! vector — and small registers (below the kernel's parallel threshold)
+//! use one core no matter how many are available.
+//!
+//! [`run_batch`] instead makes **circuits** the unit of parallelism: the
+//! batch fans out across the vendored work-stealing pool with one circuit
+//! per deterministically numbered part, so whole simulations are claimed
+//! by whichever executor is free. Inside a batch each circuit's own
+//! kernel loops run inline (the pool never nests), so the machine is
+//! never oversubscribed: one pool, shared by the batch fan-out and by
+//! single-circuit runs alike.
+//!
+//! # Work sharing
+//!
+//! Bitwise-identical circuits (same gates, same parameters — the
+//! expectation-value and integrity-recheck case) are detected up front by
+//! [`qc_circuit::content_hash`] and simulated **once**; duplicates
+//! receive clones of the first result. Same-*shape* circuits with
+//! different parameters (the VQE sweep case) still share everything the
+//! planner caches process-wide (calibrated cost model, kernel tables) but
+//! are each planned and simulated: fusion decisions are value-dependent
+//! (exact-identity and diagonality guards inspect the matrices), so a
+//! plan cannot be replayed across parameter vectors without revalidating
+//! every guard — and the fused matrix products dominate replanning cost
+//! anyway.
+//!
+//! # Determinism
+//!
+//! Results are bit-identical to running each circuit alone, at any thread
+//! count and under any steal schedule: every circuit is an independent
+//! part with its own seeded RNG stream, and the per-circuit simulation is
+//! itself deterministic.
+//!
+//! # Examples
+//!
+//! ```
+//! use qc_circuit::Circuit;
+//! use qc_sim::{run_batch, Statevector};
+//!
+//! let circuits: Vec<Circuit> = (0..4)
+//!     .map(|k| {
+//!         let mut c = Circuit::new(2);
+//!         c.ry(0.3 * k as f64, 0).cx(0, 1);
+//!         c
+//!     })
+//!     .collect();
+//! let states = run_batch(&circuits);
+//! assert_eq!(states.len(), 4);
+//! assert_eq!(states[0], Statevector::from_circuit(&circuits[0]));
+//! ```
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use qc_circuit::{content_hash, Circuit};
+use qc_math::{kernel_threads, par_units};
+
+use crate::Statevector;
+
+/// A raw mutable pointer to the batch's result slots, shipped into the
+/// pool body for disjoint per-part writes (each part fills only its own
+/// slot indices).
+struct SlotPtr<T>(*mut T);
+unsafe impl<T> Send for SlotPtr<T> {}
+unsafe impl<T> Sync for SlotPtr<T> {}
+
+impl<T> SlotPtr<T> {
+    /// # Safety
+    ///
+    /// `i` must be in bounds and written by exactly one part.
+    #[inline]
+    unsafe fn write(&self, i: usize, v: T) {
+        unsafe { *self.0.add(i) = v }
+    }
+}
+
+/// Execution metrics for one [`run_batch_with_report`] call.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Circuits submitted.
+    pub circuits: usize,
+    /// Circuits actually simulated after content-hash deduplication.
+    pub unique: usize,
+    /// Wall-clock time for the whole batch (dedup + simulation).
+    pub elapsed: Duration,
+    /// Submitted circuits per second of wall-clock time — the batch
+    /// throughput metric (deduplicated circuits count: serving a cached
+    /// clone is part of the work the batch front-end does).
+    pub circuits_per_sec: f64,
+    /// Effective executor count the pool fans out to (after `RPO_THREADS`
+    /// / capacity clamping), not the requested count; 1 without the
+    /// `parallel` feature.
+    pub threads: usize,
+}
+
+/// Runs every circuit on |0…0⟩ and returns one [`Statevector`] per input,
+/// in input order. See the [module docs](self) for the parallelism and
+/// determinism contract.
+pub fn run_batch(circuits: &[Circuit]) -> Vec<Statevector> {
+    run_batch_with_report(circuits).0
+}
+
+/// [`run_batch`] plus a [`BatchReport`] with throughput metrics.
+pub fn run_batch_with_report(circuits: &[Circuit]) -> (Vec<Statevector>, BatchReport) {
+    let start = Instant::now();
+
+    // Content-hash dedup: map every input to a unique-circuit slot.
+    let mut first: HashMap<u128, usize> = HashMap::new();
+    let mut source: Vec<usize> = Vec::with_capacity(circuits.len());
+    let mut unique: Vec<usize> = Vec::new();
+    for (i, c) in circuits.iter().enumerate() {
+        match first.entry(content_hash(c)) {
+            Entry::Occupied(e) => source.push(*e.get()),
+            Entry::Vacant(v) => {
+                v.insert(unique.len());
+                source.push(unique.len());
+                unique.push(i);
+            }
+        }
+    }
+
+    // Fan unique circuits out as pool parts. `usize::MAX` elements forces
+    // the parallel path regardless of register size — the batch is the
+    // unit of work here, not the amplitude count.
+    let mut slots: Vec<Option<Statevector>> = (0..unique.len()).map(|_| None).collect();
+    {
+        let ptr = SlotPtr(slots.as_mut_ptr());
+        par_units(unique.len(), usize::MAX, |lo, hi| {
+            for u in lo..hi {
+                let sv = Statevector::from_circuit(&circuits[unique[u]]);
+                // SAFETY: slot `u` belongs to exactly one `lo..hi` range.
+                unsafe { ptr.write(u, Some(sv)) };
+            }
+        });
+    }
+
+    // Distribute results in input order, cloning only for duplicates (the
+    // last reference to each slot moves the state out instead).
+    let mut last = vec![0usize; unique.len()];
+    for (i, &u) in source.iter().enumerate() {
+        last[u] = i;
+    }
+    let results: Vec<Statevector> = source
+        .iter()
+        .enumerate()
+        .map(|(i, &u)| {
+            if last[u] == i {
+                slots[u].take().expect("every unique slot is filled")
+            } else {
+                slots[u]
+                    .as_ref()
+                    .expect("every unique slot is filled")
+                    .clone()
+            }
+        })
+        .collect();
+
+    let elapsed = start.elapsed();
+    let secs = elapsed.as_secs_f64();
+    let report = BatchReport {
+        circuits: circuits.len(),
+        unique: unique.len(),
+        elapsed,
+        circuits_per_sec: if secs > 0.0 {
+            circuits.len() as f64 / secs
+        } else {
+            0.0
+        },
+        threads: kernel_threads(),
+    };
+    (results, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qc_circuit::Circuit;
+
+    fn ry_chain(n: usize, theta: f64) -> Circuit {
+        let mut c = Circuit::new(n);
+        for q in 0..n {
+            c.ry(theta + q as f64 * 0.1, q);
+        }
+        for q in 0..n - 1 {
+            c.cx(q, q + 1);
+        }
+        c.measure_all();
+        c
+    }
+
+    #[test]
+    fn batch_matches_individual_runs_bitwise() {
+        let circuits: Vec<Circuit> = (0..7).map(|k| ry_chain(5, 0.2 * k as f64)).collect();
+        let batch = run_batch(&circuits);
+        for (c, got) in circuits.iter().zip(&batch) {
+            let alone = Statevector::from_circuit(c);
+            assert_eq!(alone.amplitudes(), got.amplitudes());
+        }
+    }
+
+    #[test]
+    fn duplicates_are_simulated_once_and_results_repeat() {
+        let a = ry_chain(4, 0.3);
+        let b = ry_chain(4, 0.9);
+        let circuits = vec![a.clone(), b.clone(), a.clone(), a, b];
+        let (states, report) = run_batch_with_report(&circuits);
+        assert_eq!(report.circuits, 5);
+        assert_eq!(report.unique, 2);
+        assert_eq!(states[0], states[2]);
+        assert_eq!(states[0], states[3]);
+        assert_eq!(states[1], states[4]);
+        assert_ne!(states[0], states[1]);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (states, report) = run_batch_with_report(&[]);
+        assert!(states.is_empty());
+        assert_eq!(report.circuits, 0);
+        assert_eq!(report.unique, 0);
+    }
+
+    #[test]
+    fn report_counts_threads_and_throughput() {
+        let circuits: Vec<Circuit> = (0..3).map(|k| ry_chain(3, k as f64)).collect();
+        let (_, report) = run_batch_with_report(&circuits);
+        assert!(report.threads >= 1);
+        assert!(report.circuits_per_sec > 0.0);
+    }
+}

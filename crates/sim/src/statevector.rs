@@ -30,7 +30,7 @@
 //! O(2ⁿ) memory); prefer [`qc_circuit::circuit_unitary`] when the full
 //! operator is required (all 2ⁿ columns, O(4ⁿ) memory).
 
-use qc_circuit::{fuse_instructions, Circuit, Gate, Instruction};
+use qc_circuit::{fuse_instructions, schedule_fused, Circuit, FusedInst, Gate, Instruction};
 use qc_math::{expand_bits, par_units, KernelEngine, Matrix, C64};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -51,7 +51,28 @@ impl<T> SyncPtr<T> {
     unsafe fn write(&self, i: usize, v: T) {
         unsafe { *self.0.add(i) = v }
     }
+
+    /// # Safety
+    ///
+    /// Same contract as [`SyncPtr::write`]: the returned pointer must only
+    /// be used for indices not concurrently touched by another chunk.
+    #[inline]
+    unsafe fn offset_ptr(&self, i: usize) -> *mut T {
+        unsafe { self.0.add(i) }
+    }
 }
+
+/// Shard width of the chunked streaming executor: one shard of 2¹⁶
+/// amplitudes (1 MiB of `C64`) stays cache-resident, so a run of
+/// shard-local fused ops applied shard-by-shard costs one streaming pass
+/// over the vector for the *whole run* instead of one per op.
+const STREAM_SHARD_QUBITS: usize = 16;
+
+/// Minimum register size for the chunked streaming executor: at least four
+/// shards, so the shard loop both amortizes its per-shard engine setup and
+/// gives the stealing pool real units to claim. Below it the vector is
+/// close to cache-resident and the plain per-op sweeps win.
+const STREAM_MIN_QUBITS: usize = STREAM_SHARD_QUBITS + 2;
 
 /// Register size from which the auxiliary sweeps (`probabilities`, the
 /// `sample` CDF build, `reset` collapse) split across the kernel pool:
@@ -198,15 +219,70 @@ impl Statevector {
     /// 1q runs collapse to one 2×2, 1q gates fold into adjacent 2q blocks,
     /// and each fused op makes a single pass over the amplitudes.
     ///
+    /// Once the vector outgrows [`STREAM_MIN_QUBITS`], the fused plan is
+    /// additionally *scheduled* ([`qc_circuit::schedule_fused`]): commuting
+    /// fused ops reorder so that ops whose qubits all lie below the shard
+    /// bit cluster into runs, and each run is applied one cache-resident
+    /// 2¹⁶-amplitude shard at a time — the whole run costs a single
+    /// streaming pass over the vector, and the shards double as the
+    /// stealing pool's deterministically numbered work units. Shards are
+    /// fixed by the register size alone and each shard is processed
+    /// identically regardless of which executor claims it, so results stay
+    /// bit-identical at every thread count and steal order (they differ
+    /// from the *unscheduled* op order only by the commuting reorder's
+    /// floating-point roundoff).
+    ///
     /// # Panics
     ///
     /// Panics if the stream contains reset or measure; split at those
     /// boundaries first (as [`Statevector::from_circuit_with_rng`] does).
     pub fn apply_fused(&mut self, insts: &[Instruction]) {
-        for fi in fuse_instructions(insts, self.num_qubits) {
-            self.engine
-                .apply(&mut self.amps, self.num_qubits, &fi.op(), &fi.qubits);
+        let n = self.num_qubits;
+        let mut plan = fuse_instructions(insts, n);
+        if n >= STREAM_MIN_QUBITS {
+            for g in schedule_fused(&mut plan, STREAM_SHARD_QUBITS) {
+                let ops = &plan[g.range()];
+                if g.local && g.len >= 2 {
+                    Self::apply_sharded(&mut self.amps, ops);
+                } else {
+                    for fi in ops {
+                        self.engine.apply(&mut self.amps, n, &fi.op(), &fi.qubits);
+                    }
+                }
+            }
+        } else {
+            for fi in &plan {
+                self.engine.apply(&mut self.amps, n, &fi.op(), &fi.qubits);
+            }
         }
+    }
+
+    /// Applies a run of shard-local fused ops one 2¹⁶-amplitude shard at a
+    /// time. Every op's qubits lie below the shard bit, so no op mixes
+    /// amplitudes across a shard boundary and the per-shard application is
+    /// arithmetic-for-arithmetic identical to sweeping the full vector with
+    /// each op in turn — while the shard stays cache-resident across the
+    /// whole run. Shards are independent, so they split across the stealing
+    /// pool as numbered units (bit-identical at any thread count / steal
+    /// order).
+    fn apply_sharded(amps: &mut [C64], ops: &[FusedInst<'_>]) {
+        let shard = 1usize << STREAM_SHARD_QUBITS;
+        let shards = amps.len() >> STREAM_SHARD_QUBITS;
+        let total = amps.len();
+        let base = SyncPtr(amps.as_mut_ptr());
+        par_units(shards, total, move |lo, hi| {
+            let mut engine = KernelEngine::new();
+            for s in lo..hi {
+                // SAFETY: shard `s` covers amplitudes
+                // `[s·2¹⁶, (s+1)·2¹⁶)` — disjoint across `s`, and chunks
+                // cover disjoint shard ranges.
+                let slice =
+                    unsafe { std::slice::from_raw_parts_mut(base.offset_ptr(s * shard), shard) };
+                for fi in ops {
+                    engine.apply(slice, STREAM_SHARD_QUBITS, &fi.op(), &fi.qubits);
+                }
+            }
+        });
     }
 
     /// Applies an arbitrary k-qubit matrix on the given qubits

@@ -12,7 +12,10 @@
 #   BENCH_FEATURES   cargo features for the bench build (default "parallel";
 #                    set empty to benchmark the single-threaded build)
 #   RPO_THREADS      kernel thread cap; the bench itself records the
-#                    effective count as "threads" in the JSON
+#                    effective count as "threads" in the JSON (the
+#                    requested value clamps to pool capacity)
+#   RPO_PIN          set to 1 to pin pool workers to CPUs (Linux only;
+#                    worker w goes to CPU w mod hw_threads)
 #
 # The bench writes to a temporary file that is moved into place only when
 # the bench binary exits 0, so a crashed or interrupted run can never

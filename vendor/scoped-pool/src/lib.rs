@@ -2,21 +2,31 @@
 //!
 //! The build environment has no crates.io access, so the workspace vendors
 //! the one primitive its kernels need: [`Pool::run`], a blocking parallel
-//! for-each over `parts` statically-assigned slices of an index space. The
+//! for-each over `parts` deterministically numbered slices of an index
+//! space, distributed to executors by claim-based work stealing. The
 //! caller thread participates as executor 0 and the call does not return
 //! until every part has finished, so borrowed closures are sound (the
 //! closure cannot outlive the call — the "scoped" in the name).
 //!
 //! Design constraints, in order:
 //!
-//! 1. **Determinism.** Part assignment is static (`part p` runs the same
-//!    indices regardless of how many OS threads back the pool), so callers
-//!    that make per-part work element-wise independent get bit-identical
-//!    results at any thread count.
-//! 2. **Persistence.** Worker threads are spawned once (lazily, on first
+//! 1. **Determinism.** Work is pre-chunked into numbered parts whose
+//!    index ranges depend only on `(units, parts)` — never on which
+//!    executor runs them or in what order they are claimed. Callers that
+//!    make per-part work element-wise independent get bit-identical
+//!    results at any thread count and under any steal schedule.
+//! 2. **Load balance.** Executors *claim* parts from a shared atomic
+//!    counter instead of walking a static stride, so a skewed part
+//!    (dense-3q spans, panel tails, CDF builds) no longer idles the other
+//!    workers: whoever finishes early steals the next numbered part.
+//!    [`run_chunked`] oversubscribes parts relative to executors
+//!    ([`STEAL_PARTS_PER_EXECUTOR`]) to give the stealing room to work.
+//! 3. **Persistence.** Worker threads are spawned once (lazily, on first
 //!    parallel call) and parked on a condvar between calls — a `run` on a
 //!    warm pool costs two lock round-trips per worker, not a thread spawn.
-//! 3. **No nesting surprises.** A `run` issued from inside a pool worker
+//!    Hardware parallelism is queried once at pool construction
+//!    ([`hw_threads`]), not per parallel region.
+//! 4. **No nesting surprises.** A `run` issued from inside a pool worker
 //!    (or from the caller's own share of an outer `run`) executes inline on
 //!    that thread; the pool never deadlocks on itself.
 //!
@@ -25,13 +35,25 @@
 //! `run` fans out to at most [`max_threads`] executors — by default
 //! [`default_threads`], overridable per-process with [`set_max_threads`]
 //! and at launch with the `RPO_THREADS` environment variable.
+//!
+//! Pinning: with `RPO_PIN=1` in the environment, worker `w` is pinned to
+//! CPU `w % hw_threads()` at spawn (Linux only, via `sched_setaffinity`;
+//! a no-op elsewhere), so large statevector shards revisit the cache and
+//! NUMA node that first touched them. The submitting thread is never
+//! pinned — the pool does not change the affinity of threads it does not
+//! own.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
 
 /// Process-wide override for [`max_threads`]; 0 means "no override".
 static MAX_THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// How many parts [`run_chunked`] creates per executor. Oversubscription is
+/// what lets claim-based stealing rebalance skew: with one part per
+/// executor (the old static split) there is nothing to steal.
+pub const STEAL_PARTS_PER_EXECUTOR: usize = 8;
 
 thread_local! {
     /// True on pool workers and on any thread currently running its own
@@ -39,9 +61,16 @@ thread_local! {
     static IN_POOL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
 }
 
+/// Hardware parallelism, queried from the OS exactly once per process (the
+/// pool snapshots it at construction; parallel regions never re-query).
+pub fn hw_threads() -> usize {
+    static HW: OnceLock<usize> = OnceLock::new();
+    *HW.get_or_init(|| thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
 /// The number of executors a parallel region uses with no override in
 /// effect: the `RPO_THREADS` environment variable if set to a positive
-/// integer, otherwise [`std::thread::available_parallelism`].
+/// integer, otherwise the cached [`hw_threads`].
 pub fn default_threads() -> usize {
     static DEFAULT: OnceLock<usize> = OnceLock::new();
     *DEFAULT.get_or_init(|| {
@@ -52,7 +81,7 @@ pub fn default_threads() -> usize {
                 }
             }
         }
-        thread::available_parallelism().map_or(1, |n| n.get())
+        hw_threads()
     })
 }
 
@@ -66,6 +95,9 @@ pub fn set_max_threads(n: Option<usize>) {
 
 /// The current executor cap: the [`set_max_threads`] override when set,
 /// otherwise [`default_threads`], clamped to the global pool's capacity.
+/// This is the *effective* worker count — what a region with enough parts
+/// actually fans out to — as opposed to whatever was requested via
+/// `RPO_THREADS`/[`set_max_threads`] before clamping.
 pub fn max_threads() -> usize {
     let cap = match MAX_THREADS_OVERRIDE.load(Ordering::Relaxed) {
         0 => default_threads(),
@@ -74,13 +106,65 @@ pub fn max_threads() -> usize {
     cap.min(Pool::global().capacity())
 }
 
-/// Splits `0..units` into one contiguous chunk per executor (at most
-/// [`max_threads`], never more than `units`) and runs `body(lo, hi)` for
-/// each chunk via [`Pool::run`] on the global pool — the shared partition
-/// policy for every kernel/panel loop in the workspace. Runs inline when a
-/// single executor is configured. Chunk boundaries vary with the executor
-/// count, so bodies must keep each unit's work element-wise independent of
-/// the split for results to be bit-identical at every thread count.
+/// Whether worker pinning was requested (`RPO_PIN=1`), read once.
+pub fn pin_enabled() -> bool {
+    static PIN: OnceLock<bool> = OnceLock::new();
+    *PIN.get_or_init(|| std::env::var("RPO_PIN").is_ok_and(|v| v.trim() == "1"))
+}
+
+/// Pins the calling thread to `cpu` (modulo the machine's CPU count).
+/// Linux-only; declared directly against libc (already linked by std)
+/// because the build environment cannot add the `libc` crate. Failure is
+/// ignored — pinning is an optimization, never a correctness requirement.
+#[cfg(target_os = "linux")]
+fn pin_to_cpu(cpu: usize) {
+    extern "C" {
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u8) -> i32;
+    }
+    // A fixed 1024-bit cpu_set_t, the glibc default size.
+    let mut mask = [0u8; 128];
+    let cpu = cpu % (mask.len() * 8);
+    mask[cpu / 8] |= 1 << (cpu % 8);
+    // SAFETY: pid 0 targets the calling thread; the mask pointer and length
+    // describe a live, correctly sized buffer for the duration of the call.
+    let _ = unsafe { sched_setaffinity(0, mask.len(), mask.as_ptr()) };
+}
+
+#[cfg(not(target_os = "linux"))]
+fn pin_to_cpu(_cpu: usize) {}
+
+/// Test-only injection point: forces the global order in which parts are
+/// claimed. `seq` must be a permutation of `0..parts` for the regions it is
+/// meant to steer; regions whose part count differs from `seq.len()` ignore
+/// it. Used by determinism tests to prove that no steal schedule — however
+/// adversarial — can change output bits. Not for production use.
+static STEAL_SEQ: Mutex<Option<Arc<Vec<usize>>>> = Mutex::new(None);
+static STEAL_SEQ_ACTIVE: AtomicBool = AtomicBool::new(false);
+
+#[doc(hidden)]
+pub fn set_steal_sequence(seq: Option<Vec<usize>>) {
+    let mut slot = STEAL_SEQ.lock().unwrap_or_else(|e| e.into_inner());
+    STEAL_SEQ_ACTIVE.store(seq.is_some(), Ordering::Release);
+    *slot = seq.map(Arc::new);
+}
+
+fn steal_sequence_snapshot() -> Option<Arc<Vec<usize>>> {
+    if STEAL_SEQ_ACTIVE.load(Ordering::Acquire) {
+        STEAL_SEQ.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    } else {
+        None
+    }
+}
+
+/// Splits `0..units` into [`STEAL_PARTS_PER_EXECUTOR`]× more contiguous
+/// chunks than executors (at most [`max_threads`] executors, never more
+/// parts than `units`) and runs `body(lo, hi)` for each chunk via
+/// [`Pool::run`] on the global pool — the shared partition policy for every
+/// kernel/panel loop in the workspace. Runs inline when a single executor
+/// is configured. Chunk boundaries depend only on `units` and the executor
+/// cap — not on which executor claims which chunk — so bodies that keep
+/// each unit's work element-wise independent of the split get bit-identical
+/// results at every thread count and under any steal schedule.
 pub fn run_chunked<F: Fn(usize, usize) + Sync>(units: usize, body: F) {
     if units == 0 {
         return;
@@ -90,8 +174,9 @@ pub fn run_chunked<F: Fn(usize, usize) + Sync>(units: usize, body: F) {
         body(0, units);
         return;
     }
-    let parts = threads.min(units);
+    let parts = units.min(threads * STEAL_PARTS_PER_EXECUTOR);
     let chunk = units.div_ceil(parts);
+    let parts = units.div_ceil(chunk);
     Pool::global().run(parts, |p, _| {
         let lo = p * chunk;
         let hi = ((p + 1) * chunk).min(units);
@@ -132,13 +217,15 @@ struct Job {
     pending: usize,
     /// The erased closure of the current epoch.
     task: Option<Task>,
+    /// Forced claim ordering for the current epoch (tests only).
+    steal: Option<Arc<Vec<usize>>>,
     /// The first panic payload raised by a worker this epoch; the
     /// submitting thread resumes it once all executors are done.
     panic: Option<Box<dyn std::any::Any + Send>>,
 }
 
-/// A persistent pool of parked worker threads with a blocking, statically
-/// partitioned broadcast ([`Pool::run`]).
+/// A persistent pool of parked worker threads with a blocking, claim-based
+/// work-stealing broadcast ([`Pool::run`]).
 pub struct Pool {
     /// Serializes whole parallel regions: the `Job` slot describes exactly
     /// one in-flight epoch, so a second external submitter must wait for
@@ -147,8 +234,13 @@ pub struct Pool {
     job: Mutex<Job>,
     work_cv: Condvar,
     done_cv: Condvar,
+    /// The next part number to claim in the current epoch. Lock-free:
+    /// executors `fetch_add` to steal the next part.
+    claim: AtomicUsize,
     /// Maximum concurrent executors: spawned workers + the calling thread.
     capacity: usize,
+    /// Hardware parallelism, snapshotted once at construction.
+    hw: usize,
 }
 
 impl Pool {
@@ -170,11 +262,14 @@ impl Pool {
                 parts: 0,
                 pending: 0,
                 task: None,
+                steal: None,
                 panic: None,
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
+            claim: AtomicUsize::new(0),
             capacity,
+            hw: hw_threads(),
         }
     }
 
@@ -183,16 +278,39 @@ impl Pool {
         self.capacity
     }
 
+    /// Hardware parallelism as snapshotted at pool construction.
+    pub fn hw_threads(&self) -> usize {
+        self.hw
+    }
+
+    /// Claims and runs parts until the epoch's claim counter is exhausted.
+    /// The part executed for claim ticket `c` is `steal[c]` when a forced
+    /// sequence of matching length is installed, otherwise `c` itself —
+    /// either way a fixed part number whose work does not depend on which
+    /// executor drew the ticket.
+    fn claim_loop(&self, parts: usize, steal: Option<&[usize]>, run_part: impl Fn(usize, usize)) {
+        let forced = steal.filter(|s| s.len() == parts);
+        loop {
+            let ticket = self.claim.fetch_add(1, Ordering::Relaxed);
+            if ticket >= parts {
+                break;
+            }
+            let part = forced.map_or(ticket, |s| s[ticket]);
+            run_part(part, parts);
+        }
+    }
+
     /// Runs `f(part, parts)` for every `part` in `0..parts`, returning when
-    /// all parts are done. Executor `e` runs parts `e, e + E, e + 2E, …`
-    /// where `E = min(parts, max_threads())` — a static assignment, so the
-    /// mapping of indices to parts is independent of pool backing. Runs
-    /// entirely inline when only one executor is available or the call
-    /// originates inside another parallel region; concurrent external
-    /// submitters serialize (the pool hosts one region at a time). If any
-    /// executor panics, the panic is resumed on the submitting thread after
-    /// every executor has finished (workers survive to serve later
-    /// regions).
+    /// all parts are done. Executors (the caller plus up to
+    /// `min(parts, max_threads()) - 1` workers) claim parts from a shared
+    /// counter — work stealing over pre-chunked, deterministically numbered
+    /// units: the indices a part covers are fixed by its number, only the
+    /// part→executor assignment is dynamic. Runs entirely inline when one
+    /// executor is available or the call originates inside another parallel
+    /// region; concurrent external submitters serialize (the pool hosts one
+    /// region at a time). If any executor panics, the panic is resumed on
+    /// the submitting thread after every executor has finished (workers
+    /// survive to serve later regions).
     pub fn run<F: Fn(usize, usize) + Sync>(&'static self, parts: usize, f: F) {
         if parts == 0 {
             return;
@@ -213,6 +331,7 @@ impl Pool {
             data: &f as *const F as *const (),
             call: call_thunk::<F>,
         };
+        let steal = steal_sequence_snapshot();
         {
             let mut job = self.job.lock().unwrap_or_else(|e| e.into_inner());
             job.epoch += 1;
@@ -220,6 +339,10 @@ impl Pool {
             job.parts = parts;
             job.pending = executors - 1;
             job.task = Some(task);
+            job.steal = steal.clone();
+            // Reset the claim counter before any executor of this epoch can
+            // observe the new epoch (workers read `epoch` under this lock).
+            self.claim.store(0, Ordering::Relaxed);
             self.work_cv.notify_all();
         }
         // The caller is executor 0; mark it in-pool so nested runs inline.
@@ -227,11 +350,9 @@ impl Pool {
         // every executor is done, then resume.
         IN_POOL.with(|c| c.set(true));
         let caller_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let mut part = 0;
-            while part < parts {
-                f(part, parts);
-                part += executors;
-            }
+            self.claim_loop(parts, steal.as_deref().map(Vec::as_slice), |part, parts| {
+                f(part, parts)
+            });
         }));
         IN_POOL.with(|c| c.set(false));
         let mut job = self.job.lock().unwrap_or_else(|e| e.into_inner());
@@ -239,6 +360,7 @@ impl Pool {
             job = self.done_cv.wait(job).unwrap_or_else(|e| e.into_inner());
         }
         job.task = None;
+        job.steal = None;
         let worker_panic = job.panic.take();
         drop(job);
         if let Err(payload) = caller_result {
@@ -249,26 +371,33 @@ impl Pool {
         }
     }
 
-    /// Spawns the worker threads once.
+    /// Spawns the worker threads once. With `RPO_PIN=1`, worker `w` is
+    /// pinned to CPU `w % hw` at spawn.
     fn ensure_workers(&'static self) {
         static SPAWNED: OnceLock<()> = OnceLock::new();
         SPAWNED.get_or_init(|| {
             for w in 1..self.capacity {
                 thread::Builder::new()
                     .name(format!("rpo-kernel-{w}"))
-                    .spawn(move || self.worker_loop(w))
+                    .spawn(move || {
+                        if pin_enabled() {
+                            pin_to_cpu(w % self.hw);
+                        }
+                        self.worker_loop(w)
+                    })
                     .expect("failed to spawn pool worker");
             }
         });
     }
 
-    /// A worker's park/claim/execute loop. Worker `w` runs parts
-    /// `w, w + E, …` of every epoch with `executors > w`.
+    /// A worker's park/claim/execute loop. Worker `w` participates in every
+    /// epoch with `executors > w`, stealing parts from the shared claim
+    /// counter until none remain.
     fn worker_loop(&self, w: usize) {
         IN_POOL.with(|c| c.set(true));
         let mut seen_epoch = 0u64;
         loop {
-            let (task, parts, executors) = {
+            let (task, parts, steal) = {
                 let mut job = self.job.lock().unwrap_or_else(|e| e.into_inner());
                 loop {
                     if job.epoch != seen_epoch {
@@ -277,7 +406,7 @@ impl Pool {
                             break (
                                 job.task.expect("task set for epoch"),
                                 job.parts,
-                                job.executors,
+                                job.steal.clone(),
                             );
                         }
                     }
@@ -288,14 +417,12 @@ impl Pool {
             // closure must hang neither the submitter nor later regions.
             // The payload is handed to the submitter, which resumes it.
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                let mut part = w;
-                while part < parts {
+                self.claim_loop(parts, steal.as_deref().map(Vec::as_slice), |part, parts| {
                     // SAFETY: the submitting thread blocks in `run` until
                     // this worker decrements `pending`, keeping the closure
                     // alive.
                     unsafe { (task.call)(task.data, part, parts) };
-                    part += executors;
-                }
+                });
             }));
             let mut job = self.job.lock().unwrap_or_else(|e| e.into_inner());
             if let Err(payload) = result {
@@ -314,7 +441,8 @@ mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
 
-    /// Serializes tests that mutate the process-wide thread cap.
+    /// Serializes tests that mutate the process-wide thread cap or steal
+    /// sequence.
     fn cap_guard() -> std::sync::MutexGuard<'static, ()> {
         static CAP_LOCK: Mutex<()> = Mutex::new(());
         CAP_LOCK.lock().unwrap_or_else(|e| e.into_inner())
@@ -327,6 +455,65 @@ mod tests {
             assert_eq!(parts, hits.len());
             hits[p].fetch_add(1, Ordering::Relaxed);
         });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn skewed_parts_all_run_once_under_stealing() {
+        // One part sleeps; the claim counter must hand every other part to
+        // whichever executor is free, and all parts still run exactly once.
+        let _guard = cap_guard();
+        set_max_threads(Some(2));
+        let hits: Vec<AtomicU64> = (0..64).map(|_| AtomicU64::new(0)).collect();
+        Pool::global().run(hits.len(), |p, _| {
+            if p == 0 {
+                thread::sleep(std::time::Duration::from_millis(20));
+            }
+            hits[p].fetch_add(1, Ordering::Relaxed);
+        });
+        set_max_threads(None);
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn forced_steal_sequence_still_runs_every_part_once() {
+        let _guard = cap_guard();
+        set_max_threads(Some(2));
+        // Adversarial claim order: reversed.
+        set_steal_sequence(Some((0..48).rev().collect()));
+        let hits: Vec<AtomicU64> = (0..48).map(|_| AtomicU64::new(0)).collect();
+        Pool::global().run(hits.len(), |p, _| {
+            hits[p].fetch_add(1, Ordering::Relaxed);
+        });
+        // A sequence of the wrong length is ignored, not misapplied.
+        let small: Vec<AtomicU64> = (0..7).map(|_| AtomicU64::new(0)).collect();
+        Pool::global().run(small.len(), |p, _| {
+            small[p].fetch_add(1, Ordering::Relaxed);
+        });
+        set_steal_sequence(None);
+        set_max_threads(None);
+        for h in hits.iter().chain(small.iter()) {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn run_chunked_covers_units_with_oversubscribed_parts() {
+        let _guard = cap_guard();
+        set_max_threads(Some(2));
+        let units = 1000;
+        let hits: Vec<AtomicU64> = (0..units).map(|_| AtomicU64::new(0)).collect();
+        run_chunked(units, |lo, hi| {
+            assert!(lo < hi && hi <= units);
+            for h in &hits[lo..hi] {
+                h.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        set_max_threads(None);
         for h in &hits {
             assert_eq!(h.load(Ordering::Relaxed), 1);
         }
@@ -385,11 +572,14 @@ mod tests {
         let result = std::panic::catch_unwind(|| {
             Pool::global().run(8, |p, _| {
                 if p == 1 {
-                    panic!("boom"); // part 1 belongs to worker 1
+                    panic!("boom");
                 }
             });
         });
-        assert!(result.is_err(), "the worker's panic must reach the caller");
+        assert!(
+            result.is_err(),
+            "the executor's panic must reach the caller"
+        );
         // The worker survived and later regions still complete.
         let sum = AtomicU64::new(0);
         Pool::global().run(16, |p, _| {
@@ -403,7 +593,7 @@ mod tests {
     fn concurrent_submitters_serialize() {
         // Multiple external threads submitting regions at once: the submit
         // lock must keep every region's parts intact (no cross-talk through
-        // the shared Job slot).
+        // the shared Job slot or claim counter).
         let handles: Vec<_> = (0..4)
             .map(|_| {
                 thread::spawn(|| {
@@ -420,5 +610,11 @@ mod tests {
         for h in handles {
             h.join().expect("submitter thread panicked");
         }
+    }
+
+    #[test]
+    fn hw_threads_cached_and_positive() {
+        assert!(hw_threads() >= 1);
+        assert_eq!(Pool::global().hw_threads(), hw_threads());
     }
 }
