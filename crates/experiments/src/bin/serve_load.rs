@@ -40,6 +40,15 @@
 //!   (populates shard caches ahead of a restart test).
 //! * `--expect-warm N` — send the same N circuits and require every
 //!   response to be a warm cache hit (the restart-survival assertion).
+//! * `--chaos SECS --fleet-log PATH` — chaos soak against a running
+//!   `qc-fleet`: fill the shard caches, then loop kill -9 of workers
+//!   (pids parsed from the fleet's log file), tearing their snapshot
+//!   files on alternate kills (`--persist-dir`), probing every filled
+//!   key through the router, and waiting for the supervisor to revive
+//!   the victim. Gates (reported as `"chaos_pass"` with `--json`): zero
+//!   router panics, zero failed probes, every worker revived, a clean
+//!   full-fleet drain, and ≥90% of failover-served responses warm —
+//!   the replication tentpole's headline number.
 //!
 //! `--persist-bench DIR` (in-process) measures segment-log replay:
 //! fill a persisted service, reopen it repeatedly, and emit the
@@ -69,13 +78,18 @@ struct Args {
     fill: Option<usize>,
     expect_warm: Option<usize>,
     persist_bench: Option<String>,
+    chaos_secs: u64,
+    fleet_log: Option<String>,
+    persist_dir: Option<String>,
+    kill_every: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: serve_load [--requests N] [--threads T] [--seed S] [--json PATH] \
          [--connect ADDR:PORT] [--drain] [--soak SECS] [--rate R] [--slo-p99-ms MS] \
-         [--slo-shed FRAC] [--fill N] [--expect-warm N] [--persist-bench DIR]"
+         [--slo-shed FRAC] [--fill N] [--expect-warm N] [--persist-bench DIR] \
+         [--chaos SECS --fleet-log PATH [--persist-dir DIR] [--kill-every N]]"
     );
     std::process::exit(2);
 }
@@ -95,6 +109,10 @@ fn parse_args() -> Args {
         fill: None,
         expect_warm: None,
         persist_bench: None,
+        chaos_secs: 0,
+        fleet_log: None,
+        persist_dir: None,
+        kill_every: 2,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -117,6 +135,10 @@ fn parse_args() -> Args {
                 out.expect_warm = Some(val(&mut args).parse().unwrap_or_else(|_| usage()))
             }
             "--persist-bench" => out.persist_bench = Some(val(&mut args)),
+            "--chaos" => out.chaos_secs = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--fleet-log" => out.fleet_log = Some(val(&mut args)),
+            "--persist-dir" => out.persist_dir = Some(val(&mut args)),
+            "--kill-every" => out.kill_every = val(&mut args).parse().unwrap_or_else(|_| usage()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("serve_load: unknown flag '{other}'");
@@ -712,6 +734,287 @@ fn run_soak(args: &Args, addr: &str) -> i32 {
     }
 }
 
+/// Pulls a bare numeric field out of a flat JSON metrics/drain line.
+fn field_u64(line: &str, name: &str) -> Option<u64> {
+    let tag = format!("\"{name}\":");
+    let rest = &line[line.find(&tag)? + tag.len()..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Router-side fleet counters the chaos soak gates on.
+#[derive(Clone, Copy, Default)]
+struct FleetStats {
+    warm_failover_hits: u64,
+    failover_served: u64,
+    router_panics: u64,
+    shards_alive: u64,
+    shards_total: u64,
+}
+
+fn fleet_stats(conn: &mut LineConn) -> Option<FleetStats> {
+    let resp = conn.round_trip("{\"op\": \"metrics\"}").ok()?;
+    Some(FleetStats {
+        warm_failover_hits: field_u64(&resp, "warm_failover_hits")?,
+        failover_served: field_u64(&resp, "failover_served")?,
+        router_panics: field_u64(&resp, "fleet_router_panics")?,
+        shards_alive: field_u64(&resp, "shards_alive")?,
+        shards_total: field_u64(&resp, "shards_total")?,
+    })
+}
+
+/// The latest pid per worker index from a `qc-fleet` log file — respawns
+/// reprint the `qc-fleet worker I pid P listening on ...` line, so later
+/// lines win.
+fn latest_pids(log_path: &str) -> std::collections::HashMap<usize, u32> {
+    let mut out = std::collections::HashMap::new();
+    let Ok(text) = std::fs::read_to_string(log_path) else {
+        return out;
+    };
+    for line in text.lines() {
+        let mut tok = line.split_whitespace();
+        if tok.next() != Some("qc-fleet") || tok.next() != Some("worker") {
+            continue;
+        }
+        let Some(Ok(idx)) = tok.next().map(str::parse::<usize>) else {
+            continue;
+        };
+        if tok.next() != Some("pid") {
+            continue;
+        }
+        let Some(Ok(pid)) = tok.next().map(str::parse::<u32>) else {
+            continue;
+        };
+        out.insert(idx, pid);
+    }
+    out
+}
+
+/// Polls router metrics until every shard is alive again (the supervisor
+/// revived the victim) or the timeout lapses.
+fn wait_for_full_fleet(conn: &mut LineConn, timeout: Duration) -> bool {
+    let t0 = Instant::now();
+    while t0.elapsed() < timeout {
+        if let Some(st) = fleet_stats(conn) {
+            if st.shards_total > 0 && st.shards_alive == st.shards_total {
+                return true;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(250));
+    }
+    false
+}
+
+/// `--chaos SECS`: kill/respawn soak against a running `qc-fleet`. Fills
+/// the shard caches through the router, then loops: kill -9 one worker
+/// (round-robin), tear its snapshot file on alternate kills, probe every
+/// filled key (each must still answer ok, overwhelmingly warm via its
+/// replica), and wait for the supervisor to revive the victim. Finishes
+/// with a fresh-compile burst and a full-fleet drain.
+fn run_chaos(args: &Args, addr: &str) -> i32 {
+    let Some(log_path) = &args.fleet_log else {
+        eprintln!("serve_load: --chaos needs --fleet-log PATH (the qc-fleet log file)");
+        return 2;
+    };
+    let n = args.requests;
+    let mut conn = LineConn::new(addr);
+
+    // Phase 1: fill the fleet with n deterministic variants; every fill
+    // is acknowledged, so chaos must never lose one.
+    for i in 0..n {
+        let line = variant_line(i as u64, args.seed);
+        match conn.round_trip(&line) {
+            Ok(resp) if status_of(&resp).as_deref() == Some("ok") => {}
+            Ok(resp) => {
+                eprintln!("serve_load: chaos fill {i}: non-ok response: {resp}");
+                return 1;
+            }
+            Err(e) => {
+                eprintln!("serve_load: chaos fill {i}: transport error: {e}");
+                return 1;
+            }
+        }
+    }
+    // Let a couple of ticks run so replication (and any anti-entropy
+    // retries of dropped pushes) lands before the first kill.
+    std::thread::sleep(Duration::from_millis(1200));
+    let Some(base) = fleet_stats(&mut conn) else {
+        eprintln!("serve_load: chaos: router metrics unavailable");
+        return 1;
+    };
+    let shards = base.shards_total;
+    println!(
+        "serve_load: chaos soak for {} s against {addr} ({} shards, {} keys filled)",
+        args.chaos_secs, shards, n
+    );
+
+    let deadline = Instant::now() + Duration::from_secs(args.chaos_secs);
+    let kill_every = args.kill_every.max(1);
+    let mut round = 0u64;
+    let mut kills = 0u64;
+    let mut torn = 0u64;
+    let mut probe_failures = 0u64;
+    let mut probes = 0u64;
+    let mut revive_failures = 0u64;
+    loop {
+        if round >= 2 && Instant::now() >= deadline {
+            break;
+        }
+        if round.is_multiple_of(kill_every as u64) {
+            let victim = (kills % shards) as usize;
+            let pids = latest_pids(log_path);
+            if let Some(pid) = pids.get(&victim) {
+                let _ = std::process::Command::new("kill")
+                    .args(["-9", &pid.to_string()])
+                    .status();
+                kills += 1;
+                println!("serve_load: chaos round {round}: killed worker {victim} (pid {pid})");
+                // Alternate kills also tear the victim's snapshot, so the
+                // respawn exercises the fallback chain (snap.prev +
+                // log.prev + log) rather than the happy path.
+                if kills.is_multiple_of(2) {
+                    if let Some(dir) = &args.persist_dir {
+                        let snap =
+                            std::path::Path::new(dir).join(format!("shard-{victim}.seglog.snap"));
+                        if let Ok(mut f) = std::fs::OpenOptions::new().append(true).open(&snap) {
+                            let _ = f.write_all(&[0xAB; 48]);
+                            torn += 1;
+                            println!(
+                                "serve_load: chaos round {round}: tore snapshot {}",
+                                snap.display()
+                            );
+                        }
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(200));
+            } else {
+                eprintln!("serve_load: chaos round {round}: no pid for worker {victim} yet");
+            }
+        }
+        // Probe every filled key through the router: the dead worker's
+        // keyspace must fail over (warm, via its replicas) and every
+        // other key must answer normally.
+        for i in 0..n {
+            probes += 1;
+            let line = variant_line(i as u64, args.seed);
+            match conn.round_trip(&line) {
+                Ok(resp) if status_of(&resp).as_deref() == Some("ok") => {}
+                Ok(resp) => {
+                    eprintln!("serve_load: chaos round {round} probe {i}: {resp}");
+                    probe_failures += 1;
+                }
+                Err(e) => {
+                    eprintln!("serve_load: chaos round {round} probe {i}: transport: {e}");
+                    probe_failures += 1;
+                }
+            }
+        }
+        // Every round ends with the fleet whole again — the revival path
+        // (respawn + segment-log replay, possibly through a torn
+        // snapshot) is as much under test as the failover path.
+        if !wait_for_full_fleet(&mut conn, Duration::from_secs(60)) {
+            eprintln!("serve_load: chaos round {round}: fleet did not re-form in 60 s");
+            revive_failures += 1;
+        }
+        round += 1;
+    }
+
+    // A burst of fresh compiles through the recovered fleet: chaos must
+    // leave the fleet able to take new work, not just serve old keys.
+    let mut burst_failures = 0u64;
+    for i in 0..n {
+        let k = 1_000_000 + i as u64;
+        let qasm = to_qasm(&edited_circuit(k)).expect("edit serializes");
+        let line = format!(
+            "{{\"id\": \"c{k}\", \"qasm\": \"{}\", \"backend\": \"melbourne\", \
+             \"flow\": \"preset\", \"level\": 3, \"seed\": {}}}",
+            escape_json(&qasm),
+            args.seed
+        );
+        match conn.round_trip(&line) {
+            Ok(resp) if status_of(&resp).as_deref() == Some("ok") => {}
+            _ => burst_failures += 1,
+        }
+    }
+
+    let Some(fin) = fleet_stats(&mut conn) else {
+        eprintln!("serve_load: chaos: final router metrics unavailable");
+        return 1;
+    };
+    let served = fin.failover_served - base.failover_served;
+    let warm = fin.warm_failover_hits - base.warm_failover_hits;
+    let ratio = if served > 0 {
+        warm as f64 / served as f64
+    } else {
+        0.0
+    };
+
+    // Full-fleet drain through the router: every worker must still be
+    // there to acknowledge it.
+    let (drained, drain_panics) = match conn.round_trip("{\"op\": \"drain\"}") {
+        Ok(resp) if resp.contains("\"status\":\"drained\"") => (
+            field_u64(&resp, "drained").unwrap_or(0),
+            field_u64(&resp, "fleet_router_panics").unwrap_or(u64::MAX),
+        ),
+        Ok(resp) => {
+            eprintln!("serve_load: chaos drain: unexpected response: {resp}");
+            (0, u64::MAX)
+        }
+        Err(e) => {
+            eprintln!("serve_load: chaos drain: transport error: {e}");
+            (0, u64::MAX)
+        }
+    };
+
+    let pass = kills >= 1
+        && probe_failures == 0
+        && burst_failures == 0
+        && revive_failures == 0
+        && served > 0
+        && ratio >= 0.9
+        && fin.router_panics == 0
+        && drain_panics == 0
+        && drained == shards;
+    println!(
+        "serve_load: chaos verdict: {} — {} rounds, {} kills ({} torn snapshots), \
+         {}/{} probes ok, warm-failover {}/{} ({:.1}%), {} router panics, {}/{} drained",
+        if pass { "PASS" } else { "FAIL" },
+        round,
+        kills,
+        torn,
+        probes - probe_failures,
+        probes,
+        warm,
+        served,
+        ratio * 100.0,
+        fin.router_panics,
+        drained,
+        shards
+    );
+
+    if let Some(path) = &args.json {
+        let out = format!(
+            "{{\n  \"chaos_secs\": {},\n  \"rounds\": {round},\n  \"kills\": {kills},\n  \
+             \"torn_snapshots\": {torn},\n  \"probes\": {probes},\n  \
+             \"probe_failures\": {probe_failures},\n  \"burst_failures\": {burst_failures},\n  \
+             \"revive_failures\": {revive_failures},\n  \"failover_served\": {served},\n  \
+             \"warm_failover_hits\": {warm},\n  \"warm_failover_ratio\": {ratio:.4},\n  \
+             \"router_panics\": {},\n  \"shards\": {shards},\n  \"drained\": {drained},\n  \
+             \"chaos_pass\": {pass}\n}}\n",
+            args.chaos_secs, fin.router_panics
+        );
+        std::fs::write(path, out).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote chaos report to {path}");
+    }
+    if pass {
+        0
+    } else {
+        1
+    }
+}
+
 /// `--persist-bench DIR`: measure segment-log replay cost. Fills a
 /// persisted in-process service with `--requests` clean compiles, then
 /// reopens the log repeatedly, asserting the restored cache serves a
@@ -888,6 +1191,7 @@ fn main() {
         run_persist_bench(&args, dir)
     } else {
         match &args.connect {
+            Some(addr) if args.chaos_secs > 0 => run_chaos(&args, addr),
             Some(addr) if args.soak_secs > 0 => run_soak(&args, addr),
             Some(addr) if args.fill.is_some() => run_fill(&args, addr, args.fill.unwrap(), false),
             Some(addr) if args.expect_warm.is_some() => {

@@ -3,8 +3,10 @@
 //!
 //! ```text
 //! qc-fleet --shards N [--listen ADDR:PORT] [--persist-dir DIR]
-//!          [--worker-bin PATH] [--gossip-ms MS] [--max-concurrent N]
-//!          [--queue N] [--verify-every N] [--seed N]
+//!          [--worker-bin PATH] [--tick-ms MS] [--replicas N]
+//!          [--max-concurrent N] [--queue N] [--cache N]
+//!          [--compact-every N] [--verify-every N] [--seed N]
+//!          [--chaos-replication-drop P] [--chaos-partition-every N]
 //! ```
 //!
 //! The router spawns each worker as a `qc-serve --listen 127.0.0.1:0`
@@ -43,8 +45,11 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: qc-fleet --shards N [--listen ADDR:PORT] [--persist-dir DIR] \
-         [--worker-bin PATH] [--gossip-ms MS] [--max-concurrent N] [--queue N] \
-         [--verify-every N] [--seed N]"
+         [--worker-bin PATH] [--tick-ms MS] [--replicas N] [--max-concurrent N] \
+         [--queue N] [--cache N] [--compact-every N] [--verify-every N] [--seed N] \
+         [--chaos-replication-drop P] [--chaos-partition-every N]\n\
+         (--gossip-ms is an accepted alias of --tick-ms; default 500 ms, min 10. \
+         --replicas defaults to 1 next-ranked warm copy per fill.)"
     );
     std::process::exit(2);
 }
@@ -57,6 +62,9 @@ struct Options {
     gossip_ms: u64,
     worker_flags: Vec<String>,
     seed: u64,
+    replicas: usize,
+    chaos_replication_drop: f64,
+    chaos_partition_every: u64,
 }
 
 fn parse_args() -> Options {
@@ -68,6 +76,9 @@ fn parse_args() -> Options {
         gossip_ms: 500,
         worker_flags: Vec::new(),
         seed: 0,
+        replicas: 1,
+        chaos_replication_drop: 0.0,
+        chaos_partition_every: 0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -83,7 +94,7 @@ fn parse_args() -> Options {
             "--listen" => opts.listen = Some(value()),
             "--persist-dir" => opts.persist_dir = Some(PathBuf::from(value())),
             "--worker-bin" => opts.worker_bin = Some(PathBuf::from(value())),
-            "--gossip-ms" => {
+            "--gossip-ms" | "--tick-ms" => {
                 opts.gossip_ms = value()
                     .parse()
                     .ok()
@@ -91,7 +102,19 @@ fn parse_args() -> Options {
                     .unwrap_or_else(|| usage())
             }
             "--seed" => opts.seed = value().parse().unwrap_or_else(|_| usage()),
-            flag @ ("--max-concurrent" | "--queue" | "--verify-every") => {
+            "--replicas" => opts.replicas = value().parse().unwrap_or_else(|_| usage()),
+            "--chaos-replication-drop" => {
+                opts.chaos_replication_drop = value()
+                    .parse()
+                    .ok()
+                    .filter(|p| (0.0..=1.0).contains(p))
+                    .unwrap_or_else(|| usage())
+            }
+            "--chaos-partition-every" => {
+                opts.chaos_partition_every = value().parse().unwrap_or_else(|_| usage())
+            }
+            flag @ ("--max-concurrent" | "--queue" | "--cache" | "--compact-every"
+            | "--verify-every") => {
                 let v = value();
                 if v.parse::<usize>().is_err() {
                     usage();
@@ -454,7 +477,16 @@ fn main() {
         }
         shards.push(shard);
     }
-    let fleet = Arc::new(Fleet::new(shards, FleetConfig::default()));
+    let fleet = Arc::new(Fleet::new(
+        shards,
+        FleetConfig {
+            replicas: opts.replicas,
+            chaos_replication_drop: opts.chaos_replication_drop,
+            chaos_partition_every: opts.chaos_partition_every,
+            seed: opts.seed,
+            ..FleetConfig::default()
+        },
+    ));
     println!("qc-fleet ready with {} shards", fleet.num_shards());
     let _ = std::io::stdout().flush();
 

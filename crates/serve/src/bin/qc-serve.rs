@@ -30,7 +30,7 @@ use std::sync::Arc;
 fn usage() -> ! {
     eprintln!(
         "usage: qc-serve [--listen ADDR:PORT] [--persist PATH] [--max-concurrent N] \
-         [--queue N] [--verify-every N] [--seed N]"
+         [--queue N] [--cache N] [--compact-every N] [--verify-every N] [--seed N]"
     );
     std::process::exit(2);
 }
@@ -51,6 +51,8 @@ fn parse_args() -> (ServeConfig, Option<String>, Option<String>) {
             "--persist" => persist = Some(args.next().unwrap_or_else(|| usage())),
             "--max-concurrent" => cfg.max_concurrent = num(&mut args).max(1),
             "--queue" => cfg.queue_capacity = num(&mut args),
+            "--cache" => cfg.cache_capacity = num(&mut args).max(1),
+            "--compact-every" => cfg.compact_every_records = num(&mut args) as u64,
             "--verify-every" => cfg.verify_every = num(&mut args) as u64,
             "--seed" => cfg.seed = num(&mut args) as u64,
             "--help" | "-h" => usage(),
@@ -158,10 +160,17 @@ fn main() {
                 std::process::exit(1);
             });
             let r = svc.replay_report();
-            // CI greps this line to assert warm restarts actually replayed.
+            // CI greps the prefix of this line to assert warm restarts
+            // actually replayed (and, after a compaction, that replay
+            // stayed O(live entries)); keep new info after the prefix.
             println!(
-                "qc-serve persistence: restored {} entries, truncated {} bytes, invalidated {}",
-                r.restored, r.truncated_bytes, r.invalidated
+                "qc-serve persistence: restored {} entries, truncated {} bytes, invalidated {}, \
+                 snapshot {} entries, fallback {}",
+                r.restored,
+                r.truncated_bytes,
+                r.invalidated,
+                r.snapshot_entries,
+                r.snapshot_fallback
             );
             Arc::new(svc)
         }

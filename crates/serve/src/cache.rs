@@ -216,6 +216,34 @@ impl SingleFlightCache {
         }
     }
 
+    /// The completed entry for `key`, if any, without registering a
+    /// flight or joining one — the read the replication exporter uses
+    /// (unlike [`SingleFlightCache::lookup`], a miss stays a miss).
+    pub fn peek(&self, key: u128) -> Option<Arc<CompiledEntry>> {
+        let map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        match map.get(&key) {
+            Some(Slot::Done(entry)) => Some(entry.clone()),
+            _ => None,
+        }
+    }
+
+    /// Snapshot of every completed entry, sorted by key so two snapshots
+    /// of the same state are byte-identical. In-flight slots are skipped:
+    /// they hold no result yet and their leader will persist the fill
+    /// itself. This is what the compactor writes out.
+    pub fn entries(&self) -> Vec<(u128, Arc<CompiledEntry>)> {
+        let map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<(u128, Arc<CompiledEntry>)> = map
+            .iter()
+            .filter_map(|(&key, slot)| match slot {
+                Slot::Done(entry) => Some((key, entry.clone())),
+                Slot::InFlight(_) => None,
+            })
+            .collect();
+        out.sort_unstable_by_key(|&(key, _)| key);
+        out
+    }
+
     /// Completed entries currently cached.
     pub fn len(&self) -> usize {
         let map = self.map.lock().unwrap_or_else(|e| e.into_inner());

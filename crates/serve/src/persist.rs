@@ -37,6 +37,19 @@
 //!   detectably torn. Records are *not* fsynced, so a power loss or
 //!   kernel crash can lose recently appended records wholesale — an
 //!   acceptable trade for a cache whose entries are recomputable.
+//!
+//! Compaction keeps replay O(live entries) instead of O(appends-ever):
+//! [`SegmentLog::compact`] writes a snapshot of the live cache
+//! (`<log>.snap`, `QCSEGSNP` magic, same checksummed record framing plus
+//! a declared entry count) via temp-file + atomic rename, then rotates
+//! the log tail aside and starts a fresh one. The pre-compaction
+//! snapshot and tail are kept as `<log>.snap.prev` / `<log>.prev`: if
+//! the current snapshot is ever torn or corrupted, recovery unions the
+//! previous chain with the live tail instead. Union replay in any order
+//! is safe because records are content-addressed — the same key always
+//! maps to an equivalent entry, so duplicates are harmless — which makes
+//! every crash point in the compaction sequence lossless for
+//! still-cached entries.
 
 use crate::cache::CompiledEntry;
 use qc_circuit::qasm::to_qasm;
@@ -49,11 +62,17 @@ use std::sync::Arc;
 
 /// Identifies a qc-serve cache segment file.
 pub const MAGIC: &[u8; 8] = b"QCSEGLOG";
+/// Identifies a qc-serve cache snapshot file.
+pub const SNAP_MAGIC: &[u8; 8] = b"QCSEGSNP";
 /// Bumped whenever the record payload layout changes; a mismatch
 /// invalidates the file cleanly.
 pub const FORMAT_VERSION: u32 = 1;
 
 const HEADER_LEN: u64 = 8 + 4 + 4;
+/// Snapshot header: magic, format version, pass count, declared entry
+/// count. The count lets recovery tell a complete snapshot from one
+/// whose tail was torn off.
+const SNAP_HEADER_LEN: usize = 8 + 4 + 4 + 8;
 /// Defensive ceiling for one record: a corrupt length prefix must not
 /// drive a huge allocation. Far above any real compiled circuit.
 const MAX_PAYLOAD: u32 = 64 << 20;
@@ -77,12 +96,48 @@ pub struct ReplayReport {
     pub truncated_bytes: u64,
     /// Whether the whole file was discarded (bad header / version skew).
     pub invalidated: bool,
+    /// Records restored from a snapshot (current or previous).
+    pub snapshot_entries: usize,
+    /// Whether the current snapshot was torn/corrupt and recovery fell
+    /// back to the previous snapshot + rotated log tail.
+    pub snapshot_fallback: bool,
 }
 
 /// The append-only segment log behind one shard's cache.
 pub struct SegmentLog {
     file: File,
     path: PathBuf,
+    /// Records appended to the live tail since open or the last
+    /// compaction — the entry-count half of the compaction trigger.
+    tail_records: u64,
+    /// Bytes in the live tail past the header — the size half.
+    tail_bytes: u64,
+}
+
+/// `<log>.snap`: the current snapshot.
+fn snap_path(base: &Path) -> PathBuf {
+    suffixed(base, ".snap")
+}
+
+/// `<log>.snap.prev`: the previous snapshot, kept as the fallback chain.
+fn snap_prev_path(base: &Path) -> PathBuf {
+    suffixed(base, ".snap.prev")
+}
+
+/// `<log>.prev`: the pre-compaction log tail backing `<log>.snap.prev`.
+fn log_prev_path(base: &Path) -> PathBuf {
+    suffixed(base, ".prev")
+}
+
+/// `<log>.snap.tmp`: in-progress snapshot; never read at recovery.
+fn snap_tmp_path(base: &Path) -> PathBuf {
+    suffixed(base, ".snap.tmp")
+}
+
+fn suffixed(base: &Path, suffix: &str) -> PathBuf {
+    let mut s = base.as_os_str().to_os_string();
+    s.push(suffix);
+    PathBuf::from(s)
 }
 
 fn put_u64(out: &mut Vec<u8>, v: u64) {
@@ -173,18 +228,184 @@ fn decode_payload(payload: &[u8]) -> Result<(u128, CompiledEntry), RpoError> {
     ))
 }
 
+/// Frames a payload exactly as the log stores it on disk:
+/// `payload_len u32 | checksum u64 | payload`.
+fn frame_record(payload: &[u8]) -> Vec<u8> {
+    let mut record = Vec::with_capacity(12 + payload.len());
+    record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    record.extend_from_slice(&checksum(payload).to_le_bytes());
+    record.extend_from_slice(payload);
+    record
+}
+
+/// Encodes one cache entry as a self-verifying framed record — byte-for-
+/// byte what the log appends on disk. This is the unit the fleet ships
+/// to replica shards: the receiver re-verifies the checksum before
+/// admitting the entry, so a corrupted hop is rejected, not cached.
+pub fn encode_record(key: u128, entry: &CompiledEntry) -> Vec<u8> {
+    frame_record(&encode_payload(key, entry))
+}
+
+/// Decodes and verifies one framed record produced by [`encode_record`].
+/// Framing, checksum, or structural defects are typed errors.
+pub fn decode_record(bytes: &[u8]) -> Result<(u128, CompiledEntry), RpoError> {
+    let bad = |msg: &str| RpoError::InvalidInput(format!("replicated record: {msg}"));
+    if bytes.len() < 12 {
+        return Err(bad("shorter than the framing"));
+    }
+    let len = u32::from_le_bytes(bytes[..4].try_into().unwrap());
+    if len > MAX_PAYLOAD || len as usize != bytes.len() - 12 {
+        return Err(bad("length prefix does not match"));
+    }
+    let sum = u64::from_le_bytes(bytes[4..12].try_into().unwrap());
+    let payload = &bytes[12..];
+    if checksum(payload) != sum {
+        return Err(bad("checksum mismatch"));
+    }
+    decode_payload(payload)
+}
+
+/// Replays framed records from `buf` until EOF or the first defect.
+/// Returns `(bytes consumed cleanly, records restored)`; a defect shows
+/// up as `consumed < buf.len()`.
+fn replay_records(buf: &[u8], entries: &mut Vec<(u128, Arc<CompiledEntry>)>) -> (usize, usize) {
+    let mut pos = 0usize;
+    let mut restored = 0usize;
+    loop {
+        if pos + 12 > buf.len() {
+            return (pos, restored); // clean EOF or torn record framing
+        }
+        let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap());
+        let sum = u64::from_le_bytes(buf[pos + 4..pos + 12].try_into().unwrap());
+        let start = pos + 12;
+        if len > MAX_PAYLOAD || start + len as usize > buf.len() {
+            return (pos, restored); // corrupt length or torn payload
+        }
+        let payload = &buf[start..start + len as usize];
+        if checksum(payload) != sum {
+            return (pos, restored); // bit rot or torn write
+        }
+        match decode_payload(payload) {
+            Ok((key, entry)) => entries.push((key, Arc::new(entry))),
+            Err(_) => return (pos, restored), // checksummed but structurally bad
+        }
+        restored += 1;
+        pos = start + len as usize;
+    }
+}
+
+/// Outcome of reading one snapshot file.
+enum SnapRead {
+    /// No file at that path.
+    Missing,
+    /// Header valid, every declared record verified, nothing trailing.
+    Complete { restored: usize },
+    /// Torn, corrupt, or version-skewed; any good prefix was *not* kept
+    /// (the fallback chain covers it).
+    Damaged,
+}
+
+/// Best-effort read of a snapshot. Only a byte-perfect snapshot counts
+/// as `Complete`: the declared entry count must match and the file must
+/// contain nothing past the last record, so appended garbage (a "torn"
+/// snapshot in the chaos harness's sense) is detected even though every
+/// individual record still verifies.
+fn read_snapshot(path: &Path, entries: &mut Vec<(u128, Arc<CompiledEntry>)>) -> SnapRead {
+    let buf = match std::fs::read(path) {
+        Ok(buf) => buf,
+        Err(_) => return SnapRead::Missing,
+    };
+    if buf.len() < SNAP_HEADER_LEN
+        || &buf[..8] != SNAP_MAGIC
+        || u32::from_le_bytes(buf[8..12].try_into().unwrap()) != FORMAT_VERSION
+        || u32::from_le_bytes(buf[12..16].try_into().unwrap()) != DISABLEABLE_PASSES.len() as u32
+    {
+        return SnapRead::Damaged;
+    }
+    let declared = u64::from_le_bytes(buf[16..24].try_into().unwrap());
+    let mut read = Vec::new();
+    let (consumed, restored) = replay_records(&buf[SNAP_HEADER_LEN..], &mut read);
+    if restored as u64 != declared || SNAP_HEADER_LEN + consumed != buf.len() {
+        return SnapRead::Damaged;
+    }
+    entries.append(&mut read);
+    SnapRead::Complete { restored }
+}
+
 /// What `SegmentLog::open` recovers: the log positioned for appending,
 /// the restored `(key, entry)` pairs in file order, and the replay report.
 pub type Replayed = (SegmentLog, Vec<(u128, Arc<CompiledEntry>)>, ReplayReport);
 
+/// Reads a rotated log tail (`<log>.prev`) for union replay: returns the
+/// record bytes past a valid header, or `None` for missing/skewed files.
+fn read_log_tail(path: &Path) -> Option<Vec<u8>> {
+    let buf = std::fs::read(path).ok()?;
+    if buf.len() < HEADER_LEN as usize
+        || &buf[..8] != MAGIC
+        || u32::from_le_bytes(buf[8..12].try_into().unwrap()) != FORMAT_VERSION
+        || u32::from_le_bytes(buf[12..16].try_into().unwrap()) != DISABLEABLE_PASSES.len() as u32
+    {
+        return None;
+    }
+    Some(buf[HEADER_LEN as usize..].to_vec())
+}
+
+fn log_header() -> Vec<u8> {
+    let mut header = Vec::with_capacity(HEADER_LEN as usize);
+    header.extend_from_slice(MAGIC);
+    header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    header.extend_from_slice(&(DISABLEABLE_PASSES.len() as u32).to_le_bytes());
+    header
+}
+
 impl SegmentLog {
     /// Opens (or creates) the segment log at `path` and replays it:
     /// returns the log positioned for appending, the recovered
-    /// `(key, entry)` pairs in file order, and a report of what recovery
-    /// did. Never fails on *content* — a bad header or corrupt tail
-    /// truncates — only on real I/O errors.
+    /// `(key, entry)` pairs in replay order, and a report of what
+    /// recovery did. Never fails on *content* — a bad header or corrupt
+    /// tail truncates, a damaged snapshot falls back to the previous
+    /// chain — only on real I/O errors.
     pub fn open(path: &Path) -> std::io::Result<Replayed> {
         fault_point("persist:replay");
+        // A leftover `.snap.tmp` is an interrupted compaction that never
+        // committed; the live log still covers its entries.
+        let _ = std::fs::remove_file(snap_tmp_path(path));
+        let mut report = ReplayReport::default();
+        let mut entries: Vec<(u128, Arc<CompiledEntry>)> = Vec::new();
+
+        // Snapshot chain first. A complete current snapshot covers
+        // everything up to the last compaction. Anything less degrades to
+        // the union of the previous snapshot and the rotated log tail —
+        // replay order and duplicates don't matter because records are
+        // content-addressed (same key ⇒ equivalent entry).
+        match read_snapshot(&snap_path(path), &mut entries) {
+            SnapRead::Complete { restored } => {
+                report.snapshot_entries = restored;
+                // Replay the rotated tail even under a complete snapshot:
+                // if a compaction died between rotating the log and
+                // swapping the append handle, acknowledged appends sit in
+                // `.prev` — duplicates collapse below, so this only costs
+                // one compaction interval of records.
+                if let Some(tail) = read_log_tail(&log_prev_path(path)) {
+                    let _ = replay_records(&tail, &mut entries);
+                }
+            }
+            status => {
+                let mut fell_back = matches!(status, SnapRead::Damaged);
+                if let SnapRead::Complete { restored } =
+                    read_snapshot(&snap_prev_path(path), &mut entries)
+                {
+                    report.snapshot_entries += restored;
+                    fell_back = true;
+                }
+                if let Some(tail) = read_log_tail(&log_prev_path(path)) {
+                    let (_, restored) = replay_records(&tail, &mut entries);
+                    fell_back = fell_back || restored > 0;
+                }
+                report.snapshot_fallback = fell_back;
+            }
+        }
+
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -192,8 +413,6 @@ impl SegmentLog {
             .truncate(false)
             .open(path)?;
         let file_len = file.metadata()?.len();
-        let mut report = ReplayReport::default();
-        let mut entries: Vec<(u128, Arc<CompiledEntry>)> = Vec::new();
 
         let header_ok = if file_len >= HEADER_LEN {
             let mut header = [0u8; HEADER_LEN as usize];
@@ -216,41 +435,19 @@ impl SegmentLog {
         }
 
         let mut good_end = HEADER_LEN;
+        let mut tail_records = 0u64;
         if file_len == 0 || report.invalidated {
             file.seek(SeekFrom::Start(0))?;
-            let mut header = Vec::with_capacity(HEADER_LEN as usize);
-            header.extend_from_slice(MAGIC);
-            header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
-            header.extend_from_slice(&(DISABLEABLE_PASSES.len() as u32).to_le_bytes());
-            file.write_all(&header)?;
+            file.write_all(&log_header())?;
             file.flush()?;
         } else {
             // Replay records until EOF or the first defect.
             let mut buf = Vec::new();
             file.seek(SeekFrom::Start(HEADER_LEN))?;
             file.read_to_end(&mut buf)?;
-            let mut pos = 0usize;
-            loop {
-                if pos + 12 > buf.len() {
-                    break; // clean EOF or torn record framing
-                }
-                let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap());
-                let sum = u64::from_le_bytes(buf[pos + 4..pos + 12].try_into().unwrap());
-                let start = pos + 12;
-                if len > MAX_PAYLOAD || start + len as usize > buf.len() {
-                    break; // corrupt length or torn payload
-                }
-                let payload = &buf[start..start + len as usize];
-                if checksum(payload) != sum {
-                    break; // bit rot or torn write
-                }
-                match decode_payload(payload) {
-                    Ok((key, entry)) => entries.push((key, Arc::new(entry))),
-                    Err(_) => break, // checksummed but structurally bad: stop here
-                }
-                pos = start + len as usize;
-                good_end = HEADER_LEN + pos as u64;
-            }
+            let (consumed, restored) = replay_records(&buf, &mut entries);
+            tail_records = restored as u64;
+            good_end = HEADER_LEN + consumed as u64;
             let tail = file_len - good_end;
             if tail > 0 {
                 report.truncated_bytes = tail;
@@ -258,11 +455,18 @@ impl SegmentLog {
             }
         }
         file.seek(SeekFrom::Start(good_end.min(file.metadata()?.len())))?;
+        // Duplicate keys across the chain (a key re-filled after an
+        // eviction, or the union replay paths) collapse to one entry:
+        // records are content-addressed, so first wins.
+        let mut seen = std::collections::HashSet::new();
+        entries.retain(|(key, _)| seen.insert(*key));
         report.restored = entries.len();
         Ok((
             SegmentLog {
                 file,
                 path: path.to_path_buf(),
+                tail_records,
+                tail_bytes: good_end - HEADER_LEN,
             },
             entries,
             report,
@@ -274,13 +478,77 @@ impl SegmentLog {
     /// fully present or detectably torn (and then truncated on the next
     /// replay). No fsync — power/OS failure may drop recent records.
     pub fn append(&mut self, key: u128, entry: &CompiledEntry) -> std::io::Result<()> {
-        let payload = encode_payload(key, entry);
-        let mut record = Vec::with_capacity(12 + payload.len());
-        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        record.extend_from_slice(&checksum(&payload).to_le_bytes());
-        record.extend_from_slice(&payload);
+        let record = encode_record(key, entry);
         self.file.write_all(&record)?;
-        self.file.flush()
+        self.file.flush()?;
+        self.tail_records += 1;
+        self.tail_bytes += record.len() as u64;
+        Ok(())
+    }
+
+    /// Records appended to the live tail since open or the last
+    /// compaction.
+    pub fn tail_records(&self) -> u64 {
+        self.tail_records
+    }
+
+    /// Bytes in the live tail past the header.
+    pub fn tail_bytes(&self) -> u64 {
+        self.tail_bytes
+    }
+
+    /// Rewrites persistence as a snapshot of `live` plus a fresh, empty
+    /// log tail: restart replay becomes O(live entries), not
+    /// O(appends-ever). Crash-safe at every step — the snapshot is
+    /// staged in a temp file and renamed into place, and the previous
+    /// snapshot + pre-compaction tail survive as the `.prev` fallback
+    /// chain, so recovery after a crash (or a later torn snapshot) can
+    /// always union an intact chain. Returns the snapshot's byte size.
+    pub fn compact(&mut self, live: &[(u128, Arc<CompiledEntry>)]) -> std::io::Result<u64> {
+        fault_point("persist:compact:begin");
+        let tmp = snap_tmp_path(&self.path);
+        let snap = snap_path(&self.path);
+        let bytes;
+        {
+            let mut out = Vec::with_capacity(SNAP_HEADER_LEN);
+            out.extend_from_slice(SNAP_MAGIC);
+            out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+            out.extend_from_slice(&(DISABLEABLE_PASSES.len() as u32).to_le_bytes());
+            out.extend_from_slice(&(live.len() as u64).to_le_bytes());
+            for (key, entry) in live {
+                out.extend_from_slice(&encode_record(*key, entry));
+            }
+            bytes = out.len() as u64;
+            let mut f = File::create(&tmp)?;
+            f.write_all(&out)?;
+            f.flush()?;
+        }
+        fault_point("persist:compact:written");
+        // Keep the outgoing snapshot as the fallback for a torn new one.
+        if snap.exists() {
+            std::fs::rename(&snap, snap_prev_path(&self.path))?;
+        }
+        fault_point("persist:compact:rotated");
+        std::fs::rename(&tmp, &snap)?;
+        fault_point("persist:compact:committed");
+        // Rotate the tail aside (it backs `.snap.prev`, not the trash):
+        // everything in it that is still cached lives in the new snapshot,
+        // but if that snapshot is later torn, `.snap.prev` + this file
+        // reconstruct the same state.
+        std::fs::rename(&self.path, log_prev_path(&self.path))?;
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&self.path)?;
+        file.write_all(&log_header())?;
+        file.flush()?;
+        self.file = file;
+        self.tail_records = 0;
+        self.tail_bytes = 0;
+        fault_point("persist:compact:truncated");
+        Ok(bytes)
     }
 
     /// The file this log appends to.
@@ -331,6 +599,23 @@ mod tests {
         for label in DISABLEABLE_PASSES {
             assert_eq!(back.disabled.contains(label), e.disabled.contains(label));
         }
+    }
+
+    #[test]
+    fn framed_records_round_trip_and_verify() {
+        let e = entry(0.75);
+        let record = encode_record(99, &e);
+        let (key, back) = decode_record(&record).unwrap();
+        assert_eq!(key, 99);
+        assert_eq!(back.qasm, e.qasm);
+        // Any single flipped byte must fail verification, not decode.
+        for i in 0..record.len() {
+            let mut bad = record.clone();
+            bad[i] ^= 0x40;
+            assert!(decode_record(&bad).is_err(), "flip at {i} went undetected");
+        }
+        assert!(decode_record(&record[..record.len() - 1]).is_err());
+        assert!(decode_record(b"").is_err());
     }
 
     #[test]

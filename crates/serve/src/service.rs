@@ -162,6 +162,12 @@ pub struct ServeConfig {
     pub verify_every: u64,
     /// Seed for the backoff jitter RNG.
     pub seed: u64,
+    /// Compact the segment log after this many appends since the last
+    /// compaction (0 disables the count trigger).
+    pub compact_every_records: u64,
+    /// Compact when the live log tail exceeds this many bytes
+    /// (0 disables the size trigger).
+    pub compact_min_bytes: u64,
 }
 
 impl Default for ServeConfig {
@@ -176,6 +182,8 @@ impl Default for ServeConfig {
             breaker: BreakerConfig::default(),
             verify_every: 16,
             seed: 0,
+            compact_every_records: 1024,
+            compact_min_bytes: 8 << 20,
         }
     }
 }
@@ -200,6 +208,10 @@ struct Metrics {
     persist_appends: AtomicU64,
     persist_errors: AtomicU64,
     persist_restored: AtomicU64,
+    replicated_entries: AtomicU64,
+    compactions: AtomicU64,
+    snapshot_bytes: AtomicU64,
+    replay_entries: AtomicU64,
 }
 
 /// A point-in-time copy of the service counters.
@@ -241,6 +253,16 @@ pub struct MetricsSnapshot {
     /// (replayed records minus key duplicates and capacity-trimmed
     /// entries — [`ReplayReport::restored`] has the raw record count).
     pub persist_restored: u64,
+    /// Entries admitted from a peer shard's replication push.
+    pub replicated_entries: u64,
+    /// Segment-log compactions completed by this process.
+    pub compactions: u64,
+    /// Byte size of the last snapshot written by this process (a gauge,
+    /// 0 until the first compaction).
+    pub snapshot_bytes: u64,
+    /// Raw records processed at startup replay (snapshot + log tail,
+    /// before key dedup) — the number compaction keeps O(live).
+    pub replay_entries: u64,
 }
 
 /// Per-pass totals aggregated across every compile of a serve run — the
@@ -391,6 +413,9 @@ impl TranspileService {
         svc.metrics
             .persist_restored
             .store(retained.len() as u64, Ordering::Relaxed);
+        svc.metrics
+            .replay_entries
+            .store(report.restored as u64, Ordering::Relaxed);
         svc.replay_report = report;
         svc.persist = Some(Mutex::new(log));
         Ok(svc)
@@ -419,6 +444,56 @@ impl TranspileService {
                 self.metrics.persist_errors.fetch_add(1, Ordering::Relaxed);
             }
         }
+        self.maybe_compact(&mut log);
+    }
+
+    /// Compacts the log when a trigger threshold is crossed. Perimetered:
+    /// a compaction failure (or an injected `persist:compact:*` panic) is
+    /// counted and the fill still serves — the log keeps appending and
+    /// recovery unions whatever chain the interruption left intact.
+    fn maybe_compact(&self, log: &mut SegmentLog) {
+        let due = (self.cfg.compact_every_records > 0
+            && log.tail_records() >= self.cfg.compact_every_records)
+            || (self.cfg.compact_min_bytes > 0 && log.tail_bytes() >= self.cfg.compact_min_bytes);
+        if !due {
+            return;
+        }
+        let live = self.cache.entries();
+        match catch_unwind(AssertUnwindSafe(|| log.compact(&live))) {
+            Ok(Ok(bytes)) => {
+                self.metrics.compactions.fetch_add(1, Ordering::Relaxed);
+                self.metrics.snapshot_bytes.store(bytes, Ordering::Relaxed);
+            }
+            Ok(Err(_)) | Err(_) => {
+                self.metrics.persist_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Serializes the cached entry for `key` as a self-verifying framed
+    /// record — what the router ships to the key's replica shard. `None`
+    /// when the key is not (or no longer) cached here.
+    pub fn export_entry(&self, key: u128) -> Option<Vec<u8>> {
+        let entry = self.cache.peek(key)?;
+        Some(crate::persist::encode_record(key, &entry))
+    }
+
+    /// Admits a replicated record from a peer shard: verifies the framing
+    /// checksum, decodes, inserts (never displacing an in-flight fill),
+    /// and persists it so the replica restarts warm too. Returns whether
+    /// the entry was newly admitted (`false` = already cached).
+    pub fn import_entry(&self, record: &[u8]) -> Result<bool, RpoError> {
+        let (key, entry) = crate::persist::decode_record(record)?;
+        if self.cache.peek(key).is_some() {
+            return Ok(false);
+        }
+        let entry = Arc::new(entry);
+        self.cache.insert(key, Arc::clone(&entry));
+        self.metrics
+            .replicated_entries
+            .fetch_add(1, Ordering::Relaxed);
+        self.persist_fill(key, &entry);
+        Ok(true)
     }
 
     /// Handles one request end to end. Never panics: a panic anywhere in
@@ -813,6 +888,10 @@ impl TranspileService {
             persist_appends: self.metrics.persist_appends.load(Ordering::Relaxed),
             persist_errors: self.metrics.persist_errors.load(Ordering::Relaxed),
             persist_restored: self.metrics.persist_restored.load(Ordering::Relaxed),
+            replicated_entries: self.metrics.replicated_entries.load(Ordering::Relaxed),
+            compactions: self.metrics.compactions.load(Ordering::Relaxed),
+            snapshot_bytes: self.metrics.snapshot_bytes.load(Ordering::Relaxed),
+            replay_entries: self.metrics.replay_entries.load(Ordering::Relaxed),
         }
     }
 

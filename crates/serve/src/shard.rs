@@ -31,13 +31,14 @@ use crate::cache::{budget_class, cache_key, KeyParts};
 use crate::gossip::GossipState;
 use crate::service::{ServeRequest, TranspileService};
 use crate::wire::{
-    decode_line, encode_breakers, encode_drain_report, encode_metrics, encode_response,
-    escape_json, parse_flat_object, JsonValue, WireMsg,
+    decode_hex, decode_line, encode_breakers, encode_drain_report, encode_entry_request,
+    encode_entry_response, encode_metrics, encode_replicate_request, encode_replicate_response,
+    encode_response, escape_json, parse_flat_object, JsonValue, WireMsg,
 };
 use crate::ServeResponse;
 use qc_circuit::{fnv1a_128, RpoError};
 use qc_transpile::PassSet;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -138,6 +139,18 @@ pub struct FleetConfig {
     pub failover: bool,
     /// Gossip rounds a breaker label stays merged after its last report.
     pub gossip_ttl_rounds: u64,
+    /// Cache fills pushed to this many next-ranked live shards so a
+    /// dead owner's keyspace fails over warm (0 disables replication).
+    pub replicas: usize,
+    /// Chaos knob: probability in `[0,1]` that any one replication push
+    /// is dropped instead of sent (the key stays pending for
+    /// anti-entropy). 0.0 in production.
+    pub chaos_replication_drop: f64,
+    /// Chaos knob: skip every Nth health/gossip tick wholesale — a
+    /// simulated gossip partition (0 = never).
+    pub chaos_partition_every: u64,
+    /// Seed for the chaos drop RNG (deterministic chaos runs).
+    pub seed: u64,
 }
 
 impl Default for FleetConfig {
@@ -145,9 +158,30 @@ impl Default for FleetConfig {
         FleetConfig {
             failover: true,
             gossip_ttl_rounds: 3,
+            replicas: 1,
+            chaos_replication_drop: 0.0,
+            chaos_partition_every: 0,
+            seed: 0,
         }
     }
 }
+
+/// Keys the router has seen filled, for replication bookkeeping. Bounded:
+/// beyond [`MAX_TRACKED`] keys the oldest falls off — an un-tracked key
+/// just loses anti-entropy coverage, never correctness (the owner still
+/// has it, and the next cold fill after a failover re-tracks it).
+struct Tracked {
+    order: VecDeque<u128>,
+    keys: HashSet<u128>,
+    /// Keys whose replica push failed (or was chaos-dropped) and should
+    /// be retried on the health tick.
+    pending: HashSet<u128>,
+}
+
+/// Upper bound on router-side replication bookkeeping.
+const MAX_TRACKED: usize = 4096;
+/// Pending replica pushes drained per health tick — bounds tick latency.
+const ANTI_ENTROPY_BATCH: usize = 64;
 
 /// One shard's health as tracked by the router.
 #[derive(Clone, Copy, Debug)]
@@ -191,27 +225,51 @@ pub struct Fleet<B> {
     failovers: AtomicU64,
     shed: AtomicU64,
     router_panics: AtomicU64,
+    replicated: AtomicU64,
+    replication_drops: AtomicU64,
+    failover_served: AtomicU64,
+    warm_failover_hits: AtomicU64,
+    tracked: Mutex<Tracked>,
+    /// The alive set as of the last tick's anti-entropy check; a change
+    /// re-queues every tracked key for replica backfill.
+    last_alive: Mutex<Vec<bool>>,
+    /// xorshift state for the chaos drop coin.
+    chaos_rng: AtomicU64,
+    ticks: AtomicU64,
 }
 
 impl<B: ShardBackend> Fleet<B> {
     /// A fleet over `shards`, all initially presumed alive.
     pub fn new(shards: Vec<B>, cfg: FleetConfig) -> Self {
-        let health = shards
+        let health: Vec<ShardHealth> = shards
             .iter()
             .map(|_| ShardHealth {
                 alive: true,
                 consecutive_failures: 0,
             })
             .collect();
+        let last_alive = health.iter().map(|h| h.alive).collect();
         Fleet {
             shards,
             health: Mutex::new(health),
             gossip: Mutex::new(GossipState::new(cfg.gossip_ttl_rounds)),
-            cfg,
             routed: AtomicU64::new(0),
             failovers: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             router_panics: AtomicU64::new(0),
+            replicated: AtomicU64::new(0),
+            replication_drops: AtomicU64::new(0),
+            failover_served: AtomicU64::new(0),
+            warm_failover_hits: AtomicU64::new(0),
+            tracked: Mutex::new(Tracked {
+                order: VecDeque::new(),
+                keys: HashSet::new(),
+                pending: HashSet::new(),
+            }),
+            last_alive: Mutex::new(last_alive),
+            chaos_rng: AtomicU64::new(cfg.seed | 1),
+            ticks: AtomicU64::new(0),
+            cfg,
         }
     }
 
@@ -276,6 +334,21 @@ impl<B: ShardBackend> Fleet<B> {
                 }
                 FleetLine::Response(encode_breakers(&gossip.open()))
             }
+            WireMsg::Entry { key } => {
+                // Forwarded to the key's live owner, so operators can
+                // inspect replication state over the router port.
+                let resp = self
+                    .shard_for(key)
+                    .and_then(|i| self.shards[i].send_line(&encode_entry_request(key)).ok())
+                    .unwrap_or_else(|| encode_entry_response(None));
+                FleetLine::Response(resp)
+            }
+            WireMsg::Replicate { .. } => FleetLine::Response(error_line(
+                "",
+                &RpoError::InvalidInput(
+                    "'replicate' is a shard-direct op; the router replicates on its own".into(),
+                ),
+            )),
             WireMsg::Drain => FleetLine::Drained(self.drain()),
         }
     }
@@ -288,8 +361,13 @@ impl<B: ShardBackend> Fleet<B> {
         let key = routing_key(req);
         let ranking = rendezvous_ranking(key, self.shards.len());
         let mut attempts = 0usize;
+        // True once any higher-ranked shard was skipped (known dead) or
+        // failed its send: the answering shard is then not the key's
+        // owner, i.e. this response is failover-served.
+        let mut demoted = false;
         for &i in &ranking {
             if !self.is_alive(i) {
+                demoted = true;
                 continue;
             }
             if attempts > 0 {
@@ -300,6 +378,34 @@ impl<B: ShardBackend> Fleet<B> {
             match self.shards[i].send_line(raw_line) {
                 Ok(response) => {
                     self.mark_outcome(i, true);
+                    if demoted || attempts > 1 {
+                        // A non-owner answered: the warmth ratio of these
+                        // responses is the chaos soak's headline assertion
+                        // (≥90% warm after a kill).
+                        self.failover_served.fetch_add(1, Ordering::Relaxed);
+                        if response.contains("\"cache\":\"warm\"") {
+                            self.warm_failover_hits.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    if response.contains("\"cache\":\"cold\"") {
+                        // A fresh fill on the serving shard: push it to
+                        // the key's replica targets right away. Best
+                        // effort — a failed (or chaos-dropped, or
+                        // panicking) push leaves the key pending for the
+                        // tick's anti-entropy, never affects the response.
+                        self.track_key(key, true);
+                        let pushed = catch_unwind(AssertUnwindSafe(|| self.replicate_key(key)))
+                            .unwrap_or(false);
+                        if pushed {
+                            self.clear_pending(key);
+                        }
+                    } else if response.contains("\"cache\":\"warm\"") {
+                        // Warm on the shard but possibly unknown to this
+                        // router (filled before a restart, or restored
+                        // from its segment log): track it so anti-entropy
+                        // covers it after the next topology change.
+                        self.track_key(key, false);
+                    }
                     return response;
                 }
                 Err(_) => {
@@ -320,6 +426,99 @@ impl<B: ShardBackend> Fleet<B> {
                 reason: "no live shard owns this key (fleet re-warming)".into(),
             },
         )
+    }
+
+    /// Remembers `key` as filled somewhere in the fleet; `pending` also
+    /// queues it for a replica push on the next tick.
+    fn track_key(&self, key: u128, pending: bool) {
+        if self.cfg.replicas == 0 {
+            return;
+        }
+        let mut t = self.tracked.lock().unwrap_or_else(|e| e.into_inner());
+        if t.keys.insert(key) {
+            t.order.push_back(key);
+            if t.order.len() > MAX_TRACKED {
+                if let Some(old) = t.order.pop_front() {
+                    t.keys.remove(&old);
+                    t.pending.remove(&old);
+                }
+            }
+        }
+        if pending {
+            t.pending.insert(key);
+        }
+    }
+
+    fn clear_pending(&self, key: u128) {
+        let mut t = self.tracked.lock().unwrap_or_else(|e| e.into_inner());
+        t.pending.remove(&key);
+    }
+
+    /// Pushes `key`'s entry from its live owner to the next
+    /// `cfg.replicas` live shards in rendezvous order. Returns whether
+    /// every due push landed (false ⇒ leave/queue the key as pending).
+    fn replicate_key(&self, key: u128) -> bool {
+        if self.cfg.replicas == 0 {
+            return true;
+        }
+        fault_point("fleet:replicate");
+        let alive = self.alive();
+        let ranking = rendezvous_ranking(key, self.shards.len());
+        let Some(owner) = ranking.iter().copied().find(|&i| alive[i]) else {
+            return false;
+        };
+        let Ok(resp) = self.shards[owner].send_line(&encode_entry_request(key)) else {
+            self.mark_outcome(owner, false);
+            return false;
+        };
+        let Some(record) = entry_response_record(&resp) else {
+            // `found:false`: the owner evicted it — nothing to replicate,
+            // and retrying would not change that.
+            return true;
+        };
+        let push = encode_replicate_request(&record);
+        let mut all_landed = true;
+        let mut targets = 0usize;
+        for &i in &ranking {
+            if i == owner || !alive[i] {
+                continue;
+            }
+            if targets >= self.cfg.replicas {
+                break;
+            }
+            targets += 1;
+            if self.chaos_drop() {
+                self.replication_drops.fetch_add(1, Ordering::Relaxed);
+                all_landed = false;
+                continue;
+            }
+            match self.shards[i].send_line(&push) {
+                Ok(_) => {
+                    self.replicated.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    self.mark_outcome(i, false);
+                    all_landed = false;
+                }
+            }
+        }
+        all_landed
+    }
+
+    /// The chaos drop coin: a seeded xorshift64* stream, so a chaos soak
+    /// with a fixed seed drops the same pushes every run.
+    fn chaos_drop(&self) -> bool {
+        let p = self.cfg.chaos_replication_drop;
+        if p <= 0.0 {
+            return false;
+        }
+        let mut x = self.chaos_rng.load(Ordering::Relaxed);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.chaos_rng.store(x, Ordering::Relaxed);
+        let unit = (x.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
     }
 
     fn is_alive(&self, i: usize) -> bool {
@@ -355,6 +554,15 @@ impl<B: ShardBackend> Fleet<B> {
 
     fn tick_inner(&self) -> TickReport {
         let mut report = TickReport::default();
+        let round = self.ticks.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.cfg.chaos_partition_every > 0
+            && round.is_multiple_of(self.cfg.chaos_partition_every)
+        {
+            // Simulated gossip partition: this round never happens. Health
+            // state, gossip aging, and anti-entropy all stall one period —
+            // the fleet must absorb that without misrouting.
+            return report;
+        }
         {
             let mut gossip = self.gossip.lock().unwrap_or_else(|e| e.into_inner());
             gossip.begin_round();
@@ -400,7 +608,46 @@ impl<B: ShardBackend> Fleet<B> {
                 }
             }
         }
+        self.anti_entropy(report.revived > 0);
         report
+    }
+
+    /// Replica backfill on the health tick: a topology change (death or
+    /// revival) re-queues every tracked key — entries admitted before the
+    /// change may now live on the wrong replica set — then a bounded
+    /// batch of pending keys is re-pushed. `revived` forces the re-queue:
+    /// a shard that died and was revived within one tick (or between two
+    /// ticks) leaves the alive set looking unchanged, yet came back with
+    /// whatever state its restart could recover.
+    fn anti_entropy(&self, revived: bool) {
+        if self.cfg.replicas == 0 {
+            return;
+        }
+        let alive_now = self.alive();
+        {
+            let mut last = self.last_alive.lock().unwrap_or_else(|e| e.into_inner());
+            if *last != alive_now || revived {
+                *last = alive_now;
+                let mut t = self.tracked.lock().unwrap_or_else(|e| e.into_inner());
+                let keys: Vec<u128> = t.keys.iter().copied().collect();
+                t.pending.extend(keys);
+            }
+        }
+        let batch: Vec<u128> = {
+            let mut t = self.tracked.lock().unwrap_or_else(|e| e.into_inner());
+            let batch: Vec<u128> = t.pending.iter().copied().take(ANTI_ENTROPY_BATCH).collect();
+            for key in &batch {
+                t.pending.remove(key);
+            }
+            batch
+        };
+        for key in batch {
+            let pushed =
+                catch_unwind(AssertUnwindSafe(|| self.replicate_key(key))).unwrap_or(false);
+            if !pushed {
+                self.track_key(key, true);
+            }
+        }
     }
 
     /// Fans `{"op":"drain"}` out to every shard and aggregates: how many
@@ -419,7 +666,9 @@ impl<B: ShardBackend> Fleet<B> {
             concat!(
                 "{{\"status\":\"drained\",\"shards\":{},\"drained\":{},\"failed\":{},",
                 "\"fleet_routed\":{},\"fleet_failovers\":{},\"fleet_shed\":{},",
-                "\"fleet_router_panics\":{}}}"
+                "\"fleet_router_panics\":{},\"fleet_replicated\":{},",
+                "\"fleet_replication_drops\":{},\"failover_served\":{},",
+                "\"warm_failover_hits\":{}}}"
             ),
             self.shards.len(),
             drained,
@@ -428,6 +677,10 @@ impl<B: ShardBackend> Fleet<B> {
             self.failovers.load(Ordering::Relaxed),
             self.shed.load(Ordering::Relaxed),
             self.router_panics.load(Ordering::Relaxed),
+            self.replicated.load(Ordering::Relaxed),
+            self.replication_drops.load(Ordering::Relaxed),
+            self.failover_served.load(Ordering::Relaxed),
+            self.warm_failover_hits.load(Ordering::Relaxed),
         )
     }
 
@@ -463,17 +716,35 @@ impl<B: ShardBackend> Fleet<B> {
         out.push_str(&format!(
             concat!(
                 ",\"fleet_routed\":{},\"fleet_failovers\":{},\"fleet_shed\":{},",
-                "\"fleet_router_panics\":{},\"shards_alive\":{},\"shards_total\":{}}}"
+                "\"fleet_router_panics\":{},\"fleet_replicated\":{},",
+                "\"fleet_replication_drops\":{},\"failover_served\":{},",
+                "\"warm_failover_hits\":{},\"shards_alive\":{},\"shards_total\":{}}}"
             ),
             self.routed.load(Ordering::Relaxed),
             self.failovers.load(Ordering::Relaxed),
             self.shed.load(Ordering::Relaxed),
             self.router_panics.load(Ordering::Relaxed),
+            self.replicated.load(Ordering::Relaxed),
+            self.replication_drops.load(Ordering::Relaxed),
+            self.failover_served.load(Ordering::Relaxed),
+            self.warm_failover_hits.load(Ordering::Relaxed),
             shards_alive,
             self.shards.len(),
         ));
         out
     }
+}
+
+/// Extracts the record bytes from a `{"status":"entry","found":true}`
+/// response line (`None` for not-found, malformed, or bad hex).
+fn entry_response_record(line: &str) -> Option<Vec<u8>> {
+    let map = parse_flat_object(line).ok()?;
+    if map.get("status").and_then(JsonValue::as_str) != Some("entry")
+        || map.get("found") != Some(&JsonValue::Bool(true))
+    {
+        return None;
+    }
+    decode_hex(map.get("record")?.as_str()?).ok()
 }
 
 /// Extracts the `open` payload from a `{"status":"breakers",...}` line.
@@ -510,6 +781,11 @@ pub fn respond_msg(svc: &TranspileService, msg: WireMsg) -> Option<String> {
             }
             Some(encode_breakers(&svc.breakers().open_labels()))
         }
+        WireMsg::Entry { key } => Some(encode_entry_response(svc.export_entry(key).as_deref())),
+        WireMsg::Replicate { record } => Some(match svc.import_entry(&record) {
+            Ok(admitted) => encode_replicate_response(admitted),
+            Err(e) => error_line("", &e),
+        }),
         WireMsg::Request(req) => Some(encode_response(&svc.handle(req))),
     }
 }

@@ -266,6 +266,43 @@ pub enum WireMsg {
         /// Comma-joined labels to force-open before reporting, if any.
         open: Option<String>,
     },
+    /// `{"op": "entry", "key": "<32 hex>"}` — fetch the framed cache
+    /// record for a key (the router's replication read). Keys travel as
+    /// hex strings: they are 128-bit and would not survive the f64
+    /// number path.
+    Entry {
+        /// The content cache key.
+        key: u128,
+    },
+    /// `{"op": "replicate", "record": "<hex>"}` — admit a framed cache
+    /// record pushed from a peer shard (the router's replication write).
+    Replicate {
+        /// The framed record bytes ([`crate::persist::encode_record`]).
+        record: Vec<u8>,
+    },
+}
+
+/// Lower-hex encoding (the wire form of record bytes).
+pub fn encode_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        let _ = write!(out, "{b:02x}");
+    }
+    out
+}
+
+/// Decodes lower/upper hex back to bytes.
+pub fn decode_hex(s: &str) -> Result<Vec<u8>, RpoError> {
+    let bytes = s.as_bytes();
+    if !bytes.len().is_multiple_of(2) {
+        return Err(bad("odd-length hex string"));
+    }
+    let digit = |b: u8| (b as char).to_digit(16).ok_or_else(|| bad("bad hex digit"));
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        out.push((digit(pair[0])? * 16 + digit(pair[1])?) as u8);
+    }
+    Ok(out)
 }
 
 /// Resolves a backend name (`melbourne`, `almaden`, `rochester`,
@@ -307,6 +344,24 @@ pub fn decode_line(line: &str) -> Result<WireMsg, RpoError> {
                     .and_then(JsonValue::as_str)
                     .map(str::to_string),
             }),
+            "entry" => {
+                let key = map
+                    .get("key")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| bad("missing 'key' field"))?;
+                let key = u128::from_str_radix(key.trim_start_matches("0x"), 16)
+                    .map_err(|_| bad("bad 'key' hex"))?;
+                Ok(WireMsg::Entry { key })
+            }
+            "replicate" => {
+                let record = map
+                    .get("record")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| bad("missing 'record' field"))?;
+                Ok(WireMsg::Replicate {
+                    record: decode_hex(record)?,
+                })
+            }
             other => Err(bad(format!("unknown op '{other}'"))),
         };
     }
@@ -426,7 +481,9 @@ pub fn encode_metrics(m: &MetricsSnapshot) -> String {
             "\"shed_overloaded\":{},\"shed_drain\":{},\"shed_deadline\":{},",
             "\"retries\":{},\"degraded\":{},\"integrity_checks\":{},",
             "\"integrity_failures\":{},\"handler_panics\":{},\"breaker_trips\":{},",
-            "\"persist_appends\":{},\"persist_errors\":{},\"persist_restored\":{}}}"
+            "\"persist_appends\":{},\"persist_errors\":{},\"persist_restored\":{},",
+            "\"replicated_entries\":{},\"compactions\":{},\"snapshot_bytes\":{},",
+            "\"replay_entries\":{}}}"
         ),
         m.served_ok,
         m.served_err,
@@ -445,7 +502,42 @@ pub fn encode_metrics(m: &MetricsSnapshot) -> String {
         m.persist_appends,
         m.persist_errors,
         m.persist_restored,
+        m.replicated_entries,
+        m.compactions,
+        m.snapshot_bytes,
+        m.replay_entries,
     )
+}
+
+/// Encodes the reply to `{"op":"entry"}`: the framed record as hex when
+/// the key is cached, `found:false` otherwise.
+pub fn encode_entry_response(record: Option<&[u8]>) -> String {
+    match record {
+        Some(bytes) => format!(
+            "{{\"status\":\"entry\",\"found\":true,\"record\":\"{}\"}}",
+            encode_hex(bytes)
+        ),
+        None => "{\"status\":\"entry\",\"found\":false,\"record\":\"\"}".to_string(),
+    }
+}
+
+/// Encodes an `{"op":"entry"}` request line for `key`.
+pub fn encode_entry_request(key: u128) -> String {
+    format!("{{\"op\":\"entry\",\"key\":\"{key:032x}\"}}")
+}
+
+/// Encodes an `{"op":"replicate"}` push line carrying a framed record.
+pub fn encode_replicate_request(record: &[u8]) -> String {
+    format!(
+        "{{\"op\":\"replicate\",\"record\":\"{}\"}}",
+        encode_hex(record)
+    )
+}
+
+/// Encodes the reply to `{"op":"replicate"}` — whether the record was
+/// newly admitted (`false` = already cached, still a success).
+pub fn encode_replicate_response(admitted: bool) -> String {
+    format!("{{\"status\":\"replicated\",\"admitted\":{admitted}}}")
 }
 
 /// Encodes a breaker-state report as one JSON line. The `open` field is
@@ -536,6 +628,50 @@ mod tests {
             encode_breakers::<&str>(&[]),
             "{\"status\":\"breakers\",\"open\":\"\"}"
         );
+    }
+
+    #[test]
+    fn replication_ops_round_trip() {
+        let key = 0xdead_beef_0123_4567_89ab_cdef_0011_2233u128;
+        let WireMsg::Entry { key: back } = decode_line(&encode_entry_request(key)).unwrap() else {
+            panic!("expected entry op");
+        };
+        assert_eq!(back, key);
+
+        let record: Vec<u8> = (0..=255u8).collect();
+        let WireMsg::Replicate { record: back } =
+            decode_line(&encode_replicate_request(&record)).unwrap()
+        else {
+            panic!("expected replicate op");
+        };
+        assert_eq!(back, record);
+
+        let resp = encode_entry_response(Some(&record));
+        let map = parse_flat_object(&resp).unwrap();
+        assert_eq!(map.get("status").unwrap().as_str().unwrap(), "entry");
+        assert_eq!(
+            decode_hex(map.get("record").unwrap().as_str().unwrap()).unwrap(),
+            record
+        );
+        assert!(encode_entry_response(None).contains("\"found\":false"));
+        assert!(encode_replicate_response(true).contains("\"admitted\":true"));
+    }
+
+    #[test]
+    fn bad_replication_lines_are_typed_errors() {
+        for line in [
+            "{\"op\": \"entry\"}",
+            "{\"op\": \"entry\", \"key\": \"zz\"}",
+            "{\"op\": \"entry\", \"key\": 12}",
+            "{\"op\": \"replicate\"}",
+            "{\"op\": \"replicate\", \"record\": \"abc\"}",
+            "{\"op\": \"replicate\", \"record\": \"xy\"}",
+        ] {
+            match decode_line(line) {
+                Err(RpoError::InvalidInput(_)) => {}
+                other => panic!("line {line:?} decoded to {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Property-based tests for the decorrelated-jitter backoff: every
+//! interval stays inside `[base, cap]` for any (base ≤ cap, seed), the
+//! cap clamp is exact (cap == base pins every interval to base), the
+//! sequence is a pure function of the seed, and a zero base never
+//! sleeps. These hold for *all* configurations, not just the ones the
+//! unit tests pin — the retry path must never oversleep its cap no
+//! matter how the service is tuned.
+
+use proptest::prelude::*;
+use qc_serve::backoff::Backoff;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn intervals(base_ms: u64, cap_ms: u64, seed: u64, n: usize) -> Vec<Duration> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Backoff::new(
+        Duration::from_millis(base_ms),
+        Duration::from_millis(cap_ms),
+    );
+    (0..n).map(|_| b.next(&mut rng)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn intervals_stay_within_base_and_cap(
+        base_ms in 1u64..50,
+        extra_ms in 0u64..100,
+        seed in 0u64..10_000,
+    ) {
+        let cap_ms = base_ms + extra_ms;
+        let (base, cap) = (
+            Duration::from_millis(base_ms),
+            Duration::from_millis(cap_ms),
+        );
+        for (i, d) in intervals(base_ms, cap_ms, seed, 32).into_iter().enumerate() {
+            prop_assert!(d >= base, "interval {i} = {d:?} fell below base {base:?}");
+            prop_assert!(d <= cap, "interval {i} = {d:?} exceeded cap {cap:?}");
+        }
+    }
+
+    // The degenerate clamp: cap == base leaves no jitter range, so every
+    // interval is exactly base — the cap is a hard bound, not advisory.
+    #[test]
+    fn cap_equal_to_base_pins_every_interval(
+        base_ms in 1u64..200,
+        seed in 0u64..10_000,
+    ) {
+        let base = Duration::from_millis(base_ms);
+        for d in intervals(base_ms, base_ms, seed, 16) {
+            prop_assert_eq!(d, base);
+        }
+    }
+
+    // Raising the cap never shrinks the worst case below a tighter cap's
+    // bound, and the tighter cap's sequence never exceeds the looser cap:
+    // the clamp is monotone in the configuration.
+    #[test]
+    fn cap_clamp_is_monotone(
+        base_ms in 1u64..50,
+        lo_extra in 0u64..50,
+        hi_extra in 50u64..200,
+        seed in 0u64..10_000,
+    ) {
+        let lo_cap = base_ms + lo_extra;
+        let hi_cap = base_ms + hi_extra;
+        let tight = intervals(base_ms, lo_cap, seed, 32);
+        for d in &tight {
+            prop_assert!(*d <= Duration::from_millis(lo_cap));
+            prop_assert!(*d <= Duration::from_millis(hi_cap));
+        }
+    }
+
+    #[test]
+    fn sequence_is_deterministic_under_the_seed(
+        base_ms in 1u64..50,
+        extra_ms in 0u64..100,
+        seed in 0u64..10_000,
+    ) {
+        let a = intervals(base_ms, base_ms + extra_ms, seed, 16);
+        let b = intervals(base_ms, base_ms + extra_ms, seed, 16);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_base_never_sleeps(
+        cap_ms in 0u64..1_000,
+        seed in 0u64..10_000,
+    ) {
+        for d in intervals(0, cap_ms, seed, 16) {
+            prop_assert_eq!(d, Duration::ZERO);
+        }
+    }
+}

@@ -210,6 +210,161 @@ fn foreign_file_is_invalidated_not_parsed() {
     let _ = std::fs::remove_file(&path);
 }
 
+fn compacting_config(every: u64) -> ServeConfig {
+    ServeConfig {
+        compact_every_records: every,
+        ..quiet_config()
+    }
+}
+
+/// Removes the whole persistence family for `path` (log, snapshot, and
+/// their previous-generation siblings).
+fn cleanup(path: &std::path::Path) {
+    for suffix in ["", ".prev", ".snap", ".snap.prev", ".snap.tmp"] {
+        let mut os = path.as_os_str().to_os_string();
+        os.push(suffix);
+        let _ = std::fs::remove_file(PathBuf::from(os));
+    }
+}
+
+fn sibling(path: &std::path::Path, suffix: &str) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(suffix);
+    PathBuf::from(os)
+}
+
+#[test]
+fn compaction_keeps_replay_o_live_and_serves_warm() {
+    let path = temp_log("compact");
+    cleanup(&path);
+    {
+        let svc = TranspileService::with_persistence(compacting_config(4), &path).unwrap();
+        fill(&svc, 0..8);
+        let m = svc.metrics();
+        assert_eq!(m.persist_appends, 8);
+        assert_eq!(m.compactions, 2, "a compaction every 4 appends");
+        assert!(m.snapshot_bytes > 0);
+        assert_eq!(m.persist_errors, 0);
+    }
+    // After the second compaction every live entry sits in the snapshot
+    // and the segment log is back to a bare header: replay work is
+    // bounded by live entries, not by append history.
+    assert_eq!(
+        std::fs::metadata(&path).unwrap().len(),
+        16,
+        "the rotated log holds only its header"
+    );
+    assert!(sibling(&path, ".snap").exists());
+
+    let svc = TranspileService::with_persistence(compacting_config(4), &path).unwrap();
+    let r = svc.replay_report();
+    assert_eq!(r.restored, 8);
+    assert_eq!(r.snapshot_entries, 8, "all entries come from the snapshot");
+    assert!(!r.snapshot_fallback);
+    assert_eq!(r.truncated_bytes, 0);
+    assert!(!r.invalidated);
+    assert_eq!(svc.metrics().replay_entries, 8);
+    for salt in 0..8 {
+        assert_eq!(
+            svc.handle(request(salt)).result.unwrap().cache,
+            CacheClass::Warm,
+            "salt {salt} must survive compaction + restart"
+        );
+    }
+    assert_eq!(svc.metrics().compiles, 0);
+    cleanup(&path);
+}
+
+#[test]
+fn snapshot_plus_log_tail_replays_both() {
+    let path = temp_log("snap-tail");
+    cleanup(&path);
+    {
+        let svc = TranspileService::with_persistence(compacting_config(3), &path).unwrap();
+        fill(&svc, 0..5); // compacts at 3; salts 3..5 stay in the log tail
+        assert_eq!(svc.metrics().compactions, 1);
+    }
+    let svc = TranspileService::with_persistence(compacting_config(3), &path).unwrap();
+    let r = svc.replay_report();
+    assert_eq!(r.snapshot_entries, 3);
+    assert_eq!(r.restored, 5, "snapshot plus the post-compaction tail");
+    assert!(!r.snapshot_fallback);
+    for salt in 0..5 {
+        assert_eq!(
+            svc.handle(request(salt)).result.unwrap().cache,
+            CacheClass::Warm
+        );
+    }
+    cleanup(&path);
+}
+
+#[test]
+fn torn_snapshot_falls_back_to_previous_chain() {
+    let path = temp_log("torn-snap");
+    cleanup(&path);
+    {
+        let svc = TranspileService::with_persistence(compacting_config(3), &path).unwrap();
+        fill(&svc, 0..6); // two compactions: snap={0..6}, snap.prev={0..3}, log.prev={3..6}
+        assert_eq!(svc.metrics().compactions, 2);
+    }
+    // A torn write to the current snapshot (garbage past the declared
+    // entries) must not lose a single acknowledged entry: recovery
+    // unions snap.prev + log.prev + log instead.
+    {
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(sibling(&path, ".snap"))
+            .unwrap();
+        f.write_all(&[0xAB; 48]).unwrap();
+    }
+    let svc = TranspileService::with_persistence(compacting_config(3), &path).unwrap();
+    let r = svc.replay_report();
+    assert!(r.snapshot_fallback, "the damaged snapshot is not trusted");
+    assert_eq!(r.restored, 6, "the previous chain still covers everything");
+    assert!(!r.invalidated);
+    for salt in 0..6 {
+        assert_eq!(
+            svc.handle(request(salt)).result.unwrap().cache,
+            CacheClass::Warm,
+            "salt {salt} must survive a torn snapshot"
+        );
+    }
+    // The recovery itself re-persisted nothing silently: appends resume.
+    fill(&svc, 6..7);
+    drop(svc);
+    let svc = TranspileService::with_persistence(compacting_config(3), &path).unwrap();
+    assert_eq!(svc.replay_report().restored, 7);
+    cleanup(&path);
+}
+
+#[test]
+fn truncated_snapshot_header_falls_back_too() {
+    let path = temp_log("stub-snap");
+    cleanup(&path);
+    {
+        let svc = TranspileService::with_persistence(compacting_config(3), &path).unwrap();
+        fill(&svc, 0..3);
+        assert_eq!(svc.metrics().compactions, 1);
+    }
+    // Cut the snapshot mid-header — a crash during the very first write.
+    let snap = sibling(&path, ".snap");
+    let f = OpenOptions::new().write(true).open(&snap).unwrap();
+    f.set_len(6).unwrap();
+    drop(f);
+
+    let svc = TranspileService::with_persistence(compacting_config(3), &path).unwrap();
+    let r = svc.replay_report();
+    assert!(r.snapshot_fallback);
+    assert_eq!(r.restored, 3, "log.prev still holds the records");
+    for salt in 0..3 {
+        assert_eq!(
+            svc.handle(request(salt)).result.unwrap().cache,
+            CacheClass::Warm
+        );
+    }
+    cleanup(&path);
+}
+
 /// Only *clean* fills persist: a service without persistence keeps
 /// zeroed persist counters, and restore counts surface in metrics.
 #[test]

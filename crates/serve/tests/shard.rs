@@ -174,7 +174,7 @@ fn quiet_config() -> ServeConfig {
     }
 }
 
-fn fleet_of(n: usize, revivable: bool) -> Fleet<InProcessShard> {
+fn fleet_with(n: usize, revivable: bool, cfg: FleetConfig) -> Fleet<InProcessShard> {
     let shards = (0..n)
         .map(|_| {
             let shard = InProcessShard::new(Arc::new(TranspileService::new(quiet_config())));
@@ -185,7 +185,11 @@ fn fleet_of(n: usize, revivable: bool) -> Fleet<InProcessShard> {
             }
         })
         .collect();
-    Fleet::new(shards, FleetConfig::default())
+    Fleet::new(shards, cfg)
+}
+
+fn fleet_of(n: usize, revivable: bool) -> Fleet<InProcessShard> {
+    fleet_with(n, revivable, FleetConfig::default())
 }
 
 fn response_of(line: FleetLine) -> String {
@@ -389,6 +393,184 @@ fn metrics_aggregate_across_live_shards() {
     assert!(metrics.contains("\"fleet_routed\":2"), "{metrics}");
     assert!(metrics.contains("\"shards_alive\":2"), "{metrics}");
     assert!(metrics.contains("\"shards_total\":2"), "{metrics}");
+}
+
+// ---------------------------------------------------------------------
+// Warm-cache replication and chaos knobs
+// ---------------------------------------------------------------------
+
+#[test]
+fn cold_fill_replicates_and_failover_serves_warm() {
+    let fleet = fleet_of(3, false);
+    let key = routing_key(&ghz_request(20));
+    let owner = fleet.shard_for(key).unwrap();
+    let replica = rendezvous_ranking(key, 3)[1];
+
+    let cold = response_of(fleet.handle_line(&ghz_line(20)));
+    assert!(cold.contains("\"cache\":\"cold\""), "{cold}");
+
+    // The fill was pushed inline to the next-ranked shard.
+    let replica_svc = fleet.backends()[replica].service();
+    assert_eq!(
+        replica_svc.metrics().replicated_entries,
+        1,
+        "the replica admitted the pushed entry"
+    );
+
+    // Kill the owner: its keyspace fails over to the replica, warm.
+    fleet.backends()[owner].kill();
+    let resp = response_of(fleet.handle_line(&ghz_line(20)));
+    assert!(
+        resp.contains("\"cache\":\"warm\""),
+        "failover must be warm via the replica: {resp}"
+    );
+    assert_eq!(
+        replica_svc.metrics().compiles,
+        0,
+        "the replica never recompiled the replicated key"
+    );
+
+    let drain = fleet.drain();
+    assert!(drain.contains("\"fleet_replicated\":1"), "{drain}");
+    assert!(drain.contains("\"failover_served\":1"), "{drain}");
+    assert!(drain.contains("\"warm_failover_hits\":1"), "{drain}");
+}
+
+#[test]
+fn replication_disabled_with_zero_replicas() {
+    let fleet = fleet_with(
+        3,
+        false,
+        FleetConfig {
+            replicas: 0,
+            ..FleetConfig::default()
+        },
+    );
+    let key = routing_key(&ghz_request(21));
+    let owner = fleet.shard_for(key).unwrap();
+    response_of(fleet.handle_line(&ghz_line(21)));
+    fleet.backends()[owner].kill();
+    let resp = response_of(fleet.handle_line(&ghz_line(21)));
+    assert!(
+        resp.contains("\"cache\":\"cold\""),
+        "without replicas a failover recompiles: {resp}"
+    );
+    let drain = fleet.drain();
+    assert!(drain.contains("\"fleet_replicated\":0"), "{drain}");
+    assert!(drain.contains("\"warm_failover_hits\":0"), "{drain}");
+}
+
+/// A replica target that is down at fill time is backfilled by the tick's
+/// anti-entropy once the alive set changes — the fill is not lost.
+#[test]
+fn anti_entropy_backfills_replicas_after_revival() {
+    let fleet = fleet_with(3, true, FleetConfig::default());
+    let key = routing_key(&ghz_request(22));
+    let ranking = rendezvous_ranking(key, 3);
+    let (owner, second) = (ranking[0], ranking[1]);
+
+    // The natural replica target is dead during the fill.
+    fleet.backends()[second].kill();
+    fleet.mark_dead(second);
+    let cold = response_of(fleet.handle_line(&ghz_line(22)));
+    assert!(cold.contains("\"cache\":\"cold\""), "{cold}");
+    assert_eq!(
+        fleet.backends()[second]
+            .service()
+            .metrics()
+            .replicated_entries,
+        0,
+        "a dead shard received nothing"
+    );
+
+    // The tick revives it; the alive-set change re-queues every tracked
+    // key, and anti-entropy pushes the replica within the same tick.
+    let report = fleet.tick();
+    assert_eq!(report.revived, 1);
+    assert_eq!(
+        fleet.backends()[second]
+            .service()
+            .metrics()
+            .replicated_entries,
+        1,
+        "anti-entropy backfilled the revived shard"
+    );
+
+    // Now the owner dies: the backfilled replica serves warm.
+    fleet.backends()[owner].kill();
+    let resp = response_of(fleet.handle_line(&ghz_line(22)));
+    assert!(resp.contains("\"cache\":\"warm\""), "{resp}");
+}
+
+/// With the chaos drop coin at 1.0 every inline push is dropped — the
+/// response is unaffected and the drop is counted, which is exactly what
+/// the chaos soak gates on.
+#[test]
+fn chaos_replication_drop_never_affects_the_response() {
+    let fleet = fleet_with(
+        3,
+        false,
+        FleetConfig {
+            chaos_replication_drop: 1.0,
+            seed: 42,
+            ..FleetConfig::default()
+        },
+    );
+    let resp = response_of(fleet.handle_line(&ghz_line(23)));
+    assert!(resp.contains("\"cache\":\"cold\""), "{resp}");
+    let drain = fleet.drain();
+    assert!(drain.contains("\"fleet_replicated\":0"), "{drain}");
+    assert!(
+        drain.contains("\"fleet_replication_drops\":1"),
+        "the dropped push is visible: {drain}"
+    );
+}
+
+/// `chaos_partition_every: 1` suppresses every gossip round wholesale: a
+/// dead shard stays dead and breakers stop propagating — the router keeps
+/// serving regardless.
+#[test]
+fn chaos_partition_skips_whole_ticks() {
+    let fleet = fleet_with(
+        2,
+        true,
+        FleetConfig {
+            chaos_partition_every: 1,
+            ..FleetConfig::default()
+        },
+    );
+    fleet.backends()[0].kill();
+    fleet.mark_dead(0);
+    let report = fleet.tick();
+    assert_eq!(report.revived, 0, "a partitioned tick revives nothing");
+    assert_eq!(report.alive, 0, "a partitioned tick probes nothing");
+    assert_eq!(fleet.alive(), vec![false, true]);
+    // Requests still route around the partition.
+    let resp = response_of(fleet.handle_line(&ghz_line(24)));
+    assert!(resp.contains("\"status\":\"ok\""), "{resp}");
+}
+
+/// The `entry` op is answered by the key's live owner through the
+/// router; `replicate` is shard-direct only and refused at the router.
+#[test]
+fn entry_op_fetches_and_replicate_is_shard_direct() {
+    let fleet = fleet_of(2, false);
+    let key = routing_key(&ghz_request(25));
+    let probe = qc_serve::wire::encode_entry_request(key);
+
+    let miss = response_of(fleet.handle_line(&probe));
+    assert!(miss.contains("\"found\":false"), "{miss}");
+
+    response_of(fleet.handle_line(&ghz_line(25)));
+    let hit = response_of(fleet.handle_line(&probe));
+    assert!(hit.contains("\"found\":true"), "{hit}");
+    assert!(hit.contains("\"record\":\""), "{hit}");
+
+    let refused = response_of(fleet.handle_line("{\"op\":\"replicate\",\"record\":\"00\"}"));
+    assert!(
+        refused.contains("\"error\"") && refused.contains("shard-direct"),
+        "{refused}"
+    );
 }
 
 #[test]

@@ -434,6 +434,131 @@ fn persist_replay_faults_degrade_to_cold_start() {
     }
 }
 
+/// Every compaction fire point, crashed with both panic kinds: the
+/// response that triggered the compaction still succeeds (compaction is
+/// best-effort, surfaced via `persist_errors`), the service keeps
+/// persisting, and a restart restores every acknowledged entry from
+/// whatever mix of snapshot generations and log tails the crash left.
+#[test]
+fn compaction_crash_points_never_lose_acknowledged_entries() {
+    const COMPACT_STAGES: [&str; 5] = [
+        "persist:compact:begin",
+        "persist:compact:written",
+        "persist:compact:rotated",
+        "persist:compact:committed",
+        "persist:compact:truncated",
+    ];
+    let compact_config = || ServeConfig {
+        compact_every_records: 2,
+        ..quiet_config()
+    };
+    let mut salt = 8000u64;
+    for (i, stage) in COMPACT_STAGES.iter().enumerate() {
+        for (j, kind) in [FaultKind::PanicBefore, FaultKind::PanicAfter]
+            .into_iter()
+            .enumerate()
+        {
+            let mut path = std::env::temp_dir();
+            path.push(format!(
+                "qc-serve-fault-compact-{}-{i}-{j}.seglog",
+                std::process::id()
+            ));
+            for suffix in ["", ".prev", ".snap", ".snap.prev", ".snap.tmp"] {
+                let mut os = path.as_os_str().to_os_string();
+                os.push(suffix);
+                let _ = std::fs::remove_file(std::path::PathBuf::from(os));
+            }
+            let salts = [salt, salt + 1, salt + 2];
+            salt += 3;
+            {
+                let svc = TranspileService::with_persistence(compact_config(), &path).unwrap();
+                svc.handle(request(salts[0], ServeFlow::Preset { level: 2 }))
+                    .result
+                    .expect("first fill succeeds");
+                // The second fill crosses compact_every_records and fires
+                // the armed compaction fault.
+                arm(FaultPlan {
+                    pass: (*stage).into(),
+                    kind: kind.clone(),
+                });
+                let resp = svc.handle(request(salts[1], ServeFlow::Preset { level: 2 }));
+                disarm();
+                resp.result.unwrap_or_else(|e| {
+                    panic!("a compaction crash at {stage} must not fail the request: {e:?}")
+                });
+                assert_eq!(
+                    svc.metrics().persist_errors,
+                    1,
+                    "the crash at {stage} is visible in metrics"
+                );
+                // The log keeps accepting appends (and retries the
+                // compaction, now clean) after the crash.
+                svc.handle(request(salts[2], ServeFlow::Preset { level: 2 }))
+                    .result
+                    .expect("post-crash fill succeeds");
+            }
+            let svc = TranspileService::with_persistence(compact_config(), &path).unwrap();
+            let r = svc.replay_report();
+            assert_eq!(
+                r.restored, 3,
+                "acknowledged entries lost after a crash at {stage}: {r:?}"
+            );
+            for s in salts {
+                let resp = svc.handle(request(s, ServeFlow::Preset { level: 2 }));
+                let ok = resp.result.expect("restored entry serves");
+                assert_eq!(
+                    format!("{:?}", ok.cache),
+                    "Warm",
+                    "salt {s} must replay warm after a crash at {stage}"
+                );
+            }
+            for suffix in ["", ".prev", ".snap", ".snap.prev", ".snap.tmp"] {
+                let mut os = path.as_os_str().to_os_string();
+                os.push(suffix);
+                let _ = std::fs::remove_file(std::path::PathBuf::from(os));
+            }
+        }
+    }
+}
+
+/// Replication faults are invisible to the client: the cold response
+/// still succeeds, the router never counts a panic, the key stays
+/// pending, and the next tick's anti-entropy lands the replica — after
+/// which the owner's death fails over warm.
+#[test]
+fn replicate_faults_leave_the_key_pending_not_the_router_dead() {
+    let mut salt = 9000u64;
+    for kind in kinds() {
+        salt += 1;
+        let fleet = fleet_of(2);
+        arm(FaultPlan {
+            pass: "fleet:replicate".into(),
+            kind,
+        });
+        let resp = response_of(fleet.handle_line(&request_line(salt)));
+        disarm();
+        assert!(
+            resp.contains("\"status\":\"ok\"") && resp.contains("\"cache\":\"cold\""),
+            "a replication fault must never affect the response: {resp}"
+        );
+
+        // The next clean tick retries the pending push; the replica then
+        // covers the owner's death warm.
+        fleet.tick();
+        let req = request(salt, ServeFlow::Preset { level: 2 });
+        let owner = fleet.shard_for(routing_key(&req)).unwrap();
+        fleet.backends()[owner].kill();
+        let probe = response_of(fleet.handle_line(&request_line(salt)));
+        assert!(
+            probe.contains("\"cache\":\"warm\""),
+            "anti-entropy must have replicated the key: {probe}"
+        );
+        let drain = fleet.drain();
+        assert!(drain.contains("\"fleet_router_panics\":0"), "{drain}");
+        assert!(drain.contains("\"warm_failover_hits\":1"), "{drain}");
+    }
+}
+
 /// A compile-stage stall combined with a deadline exercises the budget
 /// path end to end: the response is either a degraded success (budget
 /// hit recorded) or a typed shed — never a hang past the sweep or a
